@@ -1,0 +1,46 @@
+"""Ablation: outage-detector sensitivity to the MAD threshold.
+
+Sweeps the threshold and reports recall (ground-truth blackouts found)
+and false-positive episodes.  The default (5 MADs + 10pp absolute drop)
+sits on the plateau: full recall, zero false positives.
+"""
+
+from repro.outages import BLACKOUT_SCHEDULE, OutageDetector, synthesize_connectivity
+from repro.outages.synthetic import signal_countries
+
+
+def _evaluate(signals, threshold):
+    detector = OutageDetector(mad_threshold=threshold)
+    recall = 0
+    false_positives = 0
+    per_country = {cc: detector.detect(sig) for cc, sig in signals.items()}
+    for blackout in BLACKOUT_SCHEDULE:
+        if any(
+            e.start <= blackout.end and e.end >= blackout.start
+            for e in per_country[blackout.country]
+        ):
+            recall += 1
+    for cc, episodes in per_country.items():
+        truth = [b for b in BLACKOUT_SCHEDULE if b.country == cc]
+        for episode in episodes:
+            if not any(
+                b.start <= episode.end and b.end >= episode.start for b in truth
+            ):
+                false_positives += 1
+    return recall, false_positives
+
+
+def test_bench_ablation_outage_threshold(benchmark):
+    signals = {cc: synthesize_connectivity(cc) for cc in signal_countries()}
+
+    recall, false_positives = benchmark.pedantic(
+        _evaluate, args=(signals, 5.0), rounds=3, iterations=1
+    )
+    print()
+    print("ABLATION: outage detector MAD threshold")
+    print(f"  {'threshold':>9} {'recall':>8} {'false+':>7}")
+    for threshold in (2.0, 3.0, 5.0, 8.0, 12.0, 20.0):
+        r, fp = _evaluate(signals, threshold)
+        print(f"  {threshold:>9.1f} {r:>5}/{len(BLACKOUT_SCHEDULE)} {fp:>7}")
+    assert recall == len(BLACKOUT_SCHEDULE)
+    assert false_positives == 0

@@ -1,0 +1,29 @@
+"""Ablation: median vs mean aggregation of crowd-sourced speed tests.
+
+Crowd-sourced NDT speeds are heavy-tailed (lognormal in the synthetic
+load); the paper reports medians.  This benchmark shows the mean would
+systematically overstate Venezuelan speeds -- for a lognormal with
+sigma=0.9 the mean sits ~50% above the median.
+"""
+
+from repro.mlab import mean_download_panel, median_download_panel
+from repro.timeseries.month import Month
+
+
+def test_bench_ablation_speed_aggregation(scenario, benchmark):
+    tests = scenario.ndt_tests
+
+    median_panel = benchmark.pedantic(
+        median_download_panel, args=(tests,), rounds=3, iterations=1
+    )
+    mean_panel = mean_download_panel(tests)
+
+    month = Month(2023, 7)
+    print()
+    print("ABLATION: NDT aggregation (download Mbps, July 2023)")
+    print(f"  {'cc':<4} {'median':>8} {'mean':>8} {'inflation':>10}")
+    for cc in ("VE", "UY", "BR", "AR"):
+        med = median_panel[cc][month]
+        mean = mean_panel[cc][month]
+        print(f"  {cc:<4} {med:>8.2f} {mean:>8.2f} {mean / med:>9.2f}x")
+    assert mean_panel["VE"][month] > median_panel["VE"][month]

@@ -1,0 +1,23 @@
+"""Benchmark: valley-free path lengths from CANTV to content ASes.
+
+Extension of Section 6: the sanctions-era transit departures lengthen
+CANTV's policy-compliant paths to US-peered content providers.
+"""
+
+from repro.bgp.paths import AS_GOOGLE, AS_META, AS_NETFLIX, path_length_series
+from repro.timeseries.month import Month
+
+
+def test_bench_ext_content_paths(scenario, benchmark):
+    series = benchmark.pedantic(
+        path_length_series, args=(scenario.asrel, 8048, AS_GOOGLE),
+        rounds=2, iterations=1,
+    )
+    print()
+    print("EXT: CANTV shortest valley-free AS-path length")
+    print(f"  {'dst':<8} {'2012':>6} {'2016':>6} {'2020':>6} {'2023':>6}")
+    for dst, name in ((AS_GOOGLE, "google"), (AS_META, "meta"), (AS_NETFLIX, "netflix")):
+        lengths = path_length_series(scenario.asrel, 8048, dst)
+        row = [lengths.get(Month(y, 6)) for y in (2012, 2016, 2020, 2023)]
+        print(f"  {name:<8}" + "".join(f" {v:>5.0f}" for v in row))
+    assert series[Month(2020, 6)] > series[Month(2012, 6)]

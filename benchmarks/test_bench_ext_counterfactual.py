@@ -1,0 +1,32 @@
+"""Benchmark: the recovery-counterfactual extension.
+
+Computes Venezuela's no-crisis bandwidth path and catch-up horizons.
+"""
+
+import math
+
+from repro.core.counterfactual import gap_summary, years_to_catch_up
+from repro.mlab.aggregate import median_download_panel
+from repro.timeseries.month import Month
+
+
+def test_bench_ext_counterfactual(scenario, benchmark):
+    panel = median_download_panel(scenario.ndt_tests)
+
+    gap = benchmark.pedantic(
+        gap_summary, args=(panel, "VE", Month(2013, 1)), rounds=3, iterations=1
+    )
+    print()
+    print("EXT: Venezuela download-speed counterfactual (pivot 2013-01)")
+    print(f"  actual (latest)      : {gap.final_actual:.2f} Mbps")
+    print(f"  no-crisis path       : {gap.final_counterfactual:.2f} Mbps")
+    print(f"  shortfall            : {gap.shortfall_ratio * 100:.1f}%")
+    latest = panel.months()[-1]
+    region = panel.regional_mean().get(latest)
+    for growth in (0.15, 0.30, 0.50):
+        years = years_to_catch_up(
+            gap.final_actual, region, growth, target_growth_rate=0.10
+        )
+        text = f"{years:.1f}y" if math.isfinite(years) else "never"
+        print(f"  catch-up at +{growth * 100:.0f}%/yr : {text}")
+    assert gap.shortfall_ratio > 0.5

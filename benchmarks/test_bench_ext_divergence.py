@@ -1,0 +1,25 @@
+"""Benchmark: the divergence dashboard extension.
+
+Dates Venezuela's departure from the regional trend on each signal and
+prints the before/after z-levels.
+"""
+
+from repro.core.divergence import crisis_dashboard
+
+
+def test_bench_ext_divergence(scenario, benchmark):
+    dashboard = benchmark.pedantic(
+        crisis_dashboard, args=(scenario,), rounds=2, iterations=1
+    )
+    print()
+    print("EXT: divergence dashboard (Venezuela vs region)")
+    print(f"  {'signal':<20} {'onset':>9} {'z before':>9} {'z after':>9} {'pct':>5}")
+    for s in dashboard:
+        onset = str(s.onset) if s.onset else "-"
+        print(
+            f"  {s.signal:<20} {onset:>9} {s.z_before:>9.2f} {s.z_after:>9.2f}"
+            f" {s.latest_percentile * 100:>4.0f}%"
+        )
+    speed = next(s for s in dashboard if s.signal == "download speed")
+    assert speed.onset is not None and 2010 <= speed.onset.year <= 2018
+    assert speed.z_after < speed.z_before

@@ -1,0 +1,15 @@
+"""Benchmark: the computed limitations report (paper Section 8)."""
+
+from repro.core.limitations import limitations_report, render_limitations
+
+
+def test_bench_ext_limitations(scenario, benchmark):
+    stats = benchmark.pedantic(
+        limitations_report, args=(scenario,), rounds=3, iterations=1
+    )
+    print()
+    print("EXT: limitations / coverage report")
+    print(render_limitations(scenario))
+    by_name = {s.name: s.value for s in stats}
+    assert by_name["ve_probe_rank"] <= 6
+    assert by_name["ve_probes"] == 30.0

@@ -1,0 +1,33 @@
+"""Benchmark: the outage-detection extension.
+
+Detects the scripted 2019 blackouts across all modelled countries and
+prints recall against ground truth plus the severity ranking.
+"""
+
+from repro.outages import (
+    BLACKOUT_SCHEDULE,
+    OutageDetector,
+    severity_ranking,
+    synthesize_connectivity,
+)
+from repro.outages.synthetic import signal_countries
+
+
+def _detect_all(signals):
+    detector = OutageDetector()
+    return {cc: detector.detect(signal) for cc, signal in signals.items()}
+
+
+def test_bench_ext_outage_detection(benchmark):
+    signals = {cc: synthesize_connectivity(cc) for cc in signal_countries()}
+    per_country = benchmark.pedantic(_detect_all, args=(signals,), rounds=3, iterations=1)
+
+    hits = sum(
+        any(e.start <= b.end and e.end >= b.start for e in per_country[b.country])
+        for b in BLACKOUT_SCHEDULE
+    )
+    print()
+    print(f"EXT: outage detection recall {hits}/{len(BLACKOUT_SCHEDULE)}")
+    for cc, hours in severity_ranking(per_country):
+        print(f"  {cc}: {hours:7.1f} severity-weighted hours")
+    assert hits == len(BLACKOUT_SCHEDULE)

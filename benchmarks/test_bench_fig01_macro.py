@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 1: macro collapse indicators.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig01(run_and_print):
+    exhibit = run_and_print("fig01")
+    assert exhibit.rows

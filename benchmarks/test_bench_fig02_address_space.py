@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 2: CANTV vs Telefonica address space.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig02(run_and_print):
+    exhibit = run_and_print("fig02")
+    assert exhibit.rows

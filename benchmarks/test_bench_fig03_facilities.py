@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 3: peering facility growth.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig03(run_and_print):
+    exhibit = run_and_print("fig03")
+    assert exhibit.rows

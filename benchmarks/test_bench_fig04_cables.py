@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 4: submarine cable expansion.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig04(run_and_print):
+    exhibit = run_and_print("fig04")
+    assert exhibit.rows

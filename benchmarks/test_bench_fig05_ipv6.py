@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 5: IPv6 adoption.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig05(run_and_print):
+    exhibit = run_and_print("fig05")
+    assert exhibit.rows

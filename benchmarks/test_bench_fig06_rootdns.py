@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 6: root DNS replicas per country.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig06(run_and_print):
+    exhibit = run_and_print("fig06")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 7: hypergiant off-net coverage.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig07(run_and_print):
+    exhibit = run_and_print("fig07")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 8: CANTV upstream/downstream degree.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig08(run_and_print):
+    exhibit = run_and_print("fig08")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 9: CANTV transit provider heatmap.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig09(run_and_print):
+    exhibit = run_and_print("fig09")
+    assert exhibit.rows

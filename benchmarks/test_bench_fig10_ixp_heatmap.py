@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 10: Latin American IXP coverage.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig10(run_and_print):
+    exhibit = run_and_print("fig10")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 11: median download speeds.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig11(run_and_print):
+    exhibit = run_and_print("fig11")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 12: RTT to Google Public DNS.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig12(run_and_print):
+    exhibit = run_and_print("fig12")
+    assert exhibit.rows

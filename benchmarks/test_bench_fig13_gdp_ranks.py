@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 13: GDP per capita rank path.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig13(run_and_print):
+    exhibit = run_and_print("fig13")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 14: Telefonica prefix visibility.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig14(run_and_print):
+    exhibit = run_and_print("fig14")
+    assert exhibit.rows

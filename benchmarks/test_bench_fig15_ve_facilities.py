@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 15: networks at VE facilities.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig15(run_and_print):
+    exhibit = run_and_print("fig15")
+    assert exhibit.rows

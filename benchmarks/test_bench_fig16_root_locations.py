@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 16: root servers serving Venezuela.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig16(run_and_print):
+    exhibit = run_and_print("fig16")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 17: RIPE Atlas probe coverage.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig17(run_and_print):
+    exhibit = run_and_print("fig17")
+    assert exhibit.rows

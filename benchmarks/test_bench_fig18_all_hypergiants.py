@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 18: all ten hypergiants.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig18(run_and_print):
+    exhibit = run_and_print("fig18")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 19: third-party service adoption.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig19(run_and_print):
+    exhibit = run_and_print("fig19")
+    assert exhibit.rows

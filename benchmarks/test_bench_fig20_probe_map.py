@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 20: VE probe map RTT bins.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig20(run_and_print):
+    exhibit = run_and_print("fig20")
+    assert exhibit.rows

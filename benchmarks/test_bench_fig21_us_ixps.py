@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 21: LatAm networks at US IXPs.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_fig21(run_and_print):
+    exhibit = run_and_print("fig21")
+    assert exhibit.rows

@@ -1,0 +1,88 @@
+"""Parser throughput benchmarks.
+
+The pipeline's ingestion cost is dominated by parsing monthly archive
+snapshots; these benchmarks measure each wire-format parser on realistic
+synthetic payloads (the same ones a real archive download would replace).
+"""
+
+import pytest
+
+from repro.bgp.asrel import parse_asrel
+from repro.bgp.prefix2as import parse_prefix2as
+from repro.peeringdb.schema import PeeringDBSnapshot
+from repro.registry.delegation import parse_delegation_file
+from repro.telegeography.model import CableMap
+from repro.timeseries.month import Month
+
+
+@pytest.fixture(scope="module")
+def payloads(scenario):
+    month = Month(2023, 12)
+    return {
+        "asrel": scenario.asrel[month].to_text(),
+        "prefix2as": scenario.prefix2as[month].to_text(),
+        "delegation": scenario.delegations.to_text(),
+        "peeringdb": scenario.peeringdb.latest().to_json(),
+        "cables": scenario.cables.to_json(),
+    }
+
+
+def test_bench_parse_asrel(payloads, benchmark):
+    snapshot = benchmark(parse_asrel, payloads["asrel"])
+    assert len(snapshot) > 50
+
+
+def test_bench_parse_prefix2as(payloads, benchmark):
+    snapshot = benchmark(parse_prefix2as, payloads["prefix2as"])
+    assert len(snapshot) > 50
+
+
+def test_bench_parse_delegation(payloads, benchmark):
+    parsed = benchmark(parse_delegation_file, payloads["delegation"])
+    assert len(parsed.records) > 50
+
+
+def test_bench_parse_peeringdb(payloads, benchmark):
+    snapshot = benchmark(PeeringDBSnapshot.from_json, payloads["peeringdb"])
+    assert len(snapshot.facilities) == 552
+
+
+def test_bench_parse_cable_map(payloads, benchmark):
+    cables = benchmark(CableMap.from_json, payloads["cables"])
+    assert len(cables) == 54
+
+
+def test_bench_parse_ndt_rows(scenario, benchmark):
+    from repro.mlab.ndt import NDTResult
+
+    rows = [r.to_json() for r in scenario.ndt_tests[:5000]]
+
+    def parse_all():
+        return [NDTResult.from_json(row) for row in rows]
+
+    parsed = benchmark.pedantic(parse_all, rounds=3, iterations=1)
+    assert len(parsed) == 5000
+
+
+def test_bench_parse_traceroutes(scenario, benchmark):
+    from repro.atlas.traceroute import TracerouteResult
+
+    rows = [r.to_json() for r in scenario.gpdns_traceroutes[:5000]]
+
+    def parse_all():
+        return [TracerouteResult.from_json(row) for row in rows]
+
+    parsed = benchmark.pedantic(parse_all, rounds=3, iterations=1)
+    assert len(parsed) == 5000
+
+
+def test_bench_chaos_grammar_parse(scenario, benchmark):
+    from repro.rootdns.naming import parse_chaos_string
+
+    observations = scenario.chaos_observations[:20_000]
+
+    def parse_all():
+        return [parse_chaos_string(o.letter, o.answer) for o in observations]
+
+    parsed = benchmark.pedantic(parse_all, rounds=3, iterations=1)
+    assert len(parsed) == 20_000

@@ -1,0 +1,31 @@
+"""Benchmark: building the full synthetic world from scratch.
+
+Measures the end-to-end cost of materialising every dataset a fresh
+Scenario holds -- the fixed cost every analysis session pays once.
+"""
+
+from repro.core import Scenario
+
+
+def _build():
+    scenario = Scenario()
+    scenario.macro, scenario.delegations, scenario.prefix2as
+    scenario.peeringdb, scenario.cables, scenario.ipv6
+    scenario.root_deployment, scenario.probes, scenario.chaos_observations
+    scenario.populations, scenario.offnets, scenario.orgmap
+    scenario.site_survey, scenario.asrel, scenario.ndt_tests
+    scenario.gpdns_traceroutes
+    return scenario
+
+
+def test_bench_scenario_build(benchmark):
+    scenario = benchmark.pedantic(_build, rounds=2, iterations=1)
+    print()
+    print("Scenario contents:")
+    print(f"  AS-rel snapshots      : {len(scenario.asrel)}")
+    print(f"  prefix2as snapshots   : {len(scenario.prefix2as)}")
+    print(f"  PeeringDB snapshots   : {len(scenario.peeringdb)}")
+    print(f"  CHAOS observations    : {len(scenario.chaos_observations):,}")
+    print(f"  NDT tests             : {len(scenario.ndt_tests):,}")
+    print(f"  GPDNS traceroutes     : {len(scenario.gpdns_traceroutes):,}")
+    assert len(scenario.chaos_observations) > 100_000

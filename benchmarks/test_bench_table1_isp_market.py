@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table 1: Venezuela's ISP market.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_table1(run_and_print):
+    exhibit = run_and_print("table1")
+    assert exhibit.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table 2: VE facility rosters.
+
+Runs the exhibit pipeline against the pre-built scenario and prints the
+paper-vs-measured rows.
+"""
+
+
+def test_bench_table2(run_and_print):
+    exhibit = run_and_print("table2")
+    assert exhibit.rows

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Render the paper's three-panel figures as ASCII sparklines.
+
+Every longitudinal figure in the paper shares one layout: per-country
+trajectories on top, a Venezuela zoom, and a regional aggregate.  This
+example draws all seven of the library's three-panel figures in the
+terminal -- Venezuela's flat line stands out against the region's growth
+in each one.
+
+Usage::
+
+    python examples/ascii_figures.py          # all figures
+    python examples/ascii_figures.py fig11    # just the bandwidth figure
+"""
+
+import sys
+
+from repro.core import Scenario
+from repro.core.figures import THREE_PANEL_FIGURES
+from repro.core.plotting import render_three_panel
+
+
+def main() -> int:
+    wanted = sys.argv[1:] or sorted(THREE_PANEL_FIGURES)
+    unknown = [f for f in wanted if f not in THREE_PANEL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; known: {sorted(THREE_PANEL_FIGURES)}")
+        return 1
+    scenario = Scenario()
+    for figure_id in wanted:
+        figure = THREE_PANEL_FIGURES[figure_id](scenario)
+        print(render_three_panel(figure))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Country scorecard: rank any LACNIC economy across the paper's signals.
+
+The paper's methodology is reusable beyond Venezuela: every analysis is a
+country-vs-region comparison.  This example computes one country's latest
+standing and regional rank for each signal.
+
+Usage::
+
+    python examples/country_scorecard.py          # Venezuela (default)
+    python examples/country_scorecard.py CL       # Chile
+"""
+
+import sys
+
+from repro.core import Scenario
+from repro.geo.countries import UnknownCountryError, country, is_lacnic
+from repro.mlab.aggregate import median_download_panel
+from repro.rootdns.analysis import replica_count_panel
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+
+
+def _latest_and_rank(panel: CountryPanel, cc: str, descending: bool = True):
+    series = panel.get(cc)
+    if series is None or not series:
+        return None, None, len(panel)
+    month = panel.months()[-1]
+    value = series.get(month)
+    if value is None:
+        month = series.last_month()
+        value = series.last_value()
+    return value, panel.rank_in_month(cc, month, descending=descending), len(panel)
+
+
+def main() -> int:
+    cc = (sys.argv[1] if len(sys.argv) > 1 else "VE").upper()
+    try:
+        home = country(cc)
+    except UnknownCountryError:
+        print(f"unknown country code: {cc}")
+        return 1
+    if not is_lacnic(cc):
+        print(f"{home.name} is not in the LACNIC region")
+        return 1
+
+    scenario = Scenario()
+    signals = [
+        (
+            "peering facilities",
+            scenario.peeringdb.facility_count_panel(),
+            "facilities",
+        ),
+        (
+            "submarine cables",
+            scenario.cables.count_panel(2000, 2024),
+            "cables",
+        ),
+        ("IPv6 adoption", scenario.ipv6.panel(), "%"),
+        (
+            "root DNS replicas",
+            replica_count_panel(scenario.chaos_observations),
+            "replicas",
+        ),
+        (
+            "download speed",
+            median_download_panel(scenario.ndt_tests),
+            "Mbps",
+        ),
+    ]
+
+    print(f"Scorecard for {home.name} ({cc}) -- latest synthetic snapshot")
+    print(f"{'signal':<22}{'value':>10}  {'rank':>9}  unit")
+    for name, panel, unit in signals:
+        value, rank, pool = _latest_and_rank(panel, cc)
+        value_text = f"{value:.2f}" if value is not None else "none"
+        rank_text = f"{rank}/{pool}" if rank else f"-/{pool}"
+        print(f"{name:<22}{value_text:>10}  {rank_text:>9}  {unit}")
+
+    ve_probes = scenario.probes.count_panel([Month(2024, 1)])
+    value, rank, pool = _latest_and_rank(ve_probes, cc)
+    print(f"{'RIPE Atlas probes':<22}{value or 0:>10.2f}  {rank}/{pool:<7} probes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""When did Venezuela leave the pack?  A per-signal divergence dashboard.
+
+For each longitudinal signal, computes Venezuela's z-score trajectory
+against the rest of the region, dates the divergence onset with a
+changepoint detector, and reports the before/after levels -- the
+"around 2013" claim, measured signal by signal.
+
+Usage::
+
+    python examples/divergence_dashboard.py          # Venezuela
+    python examples/divergence_dashboard.py AR       # any LACNIC country
+"""
+
+import sys
+
+from repro.core import Scenario
+from repro.core.divergence import crisis_dashboard, zscore_series
+from repro.core.plotting import render_series
+from repro.mlab.aggregate import median_download_panel
+
+
+def main() -> int:
+    country = (sys.argv[1] if len(sys.argv) > 1 else "VE").upper()
+    scenario = Scenario()
+    dashboard = crisis_dashboard(scenario, country)
+    if not dashboard:
+        print(f"no signals available for {country}")
+        return 1
+
+    print(f"Divergence dashboard for {country} (z-scores vs the region)")
+    print(f"{'signal':<20}{'onset':>9}{'z before':>10}{'z after':>9}{'pct now':>9}")
+    for s in dashboard:
+        onset = str(s.onset) if s.onset else "-"
+        print(
+            f"{s.signal:<20}{onset:>9}{s.z_before:>10.2f}{s.z_after:>9.2f}"
+            f"{s.latest_percentile * 100:>8.0f}%"
+        )
+
+    print()
+    print("Download-speed z-score trajectory:")
+    panel = median_download_panel(scenario.ndt_tests)
+    print(render_series(country, zscore_series(panel, country), width=64))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quantify Venezuela's recovery gap (extension of the paper's Section 10).
+
+For each signal, computes the counterfactual "no-crisis" path (Venezuela's
+2013 value carried along the regional trend), the measured shortfall, and
+the years needed to reach the regional mean under optimistic growth.
+
+Usage::
+
+    python examples/recovery_gap.py
+"""
+
+import math
+
+from repro.core import Scenario
+from repro.core.counterfactual import gap_summary, years_to_catch_up
+from repro.mlab.aggregate import median_download_panel
+from repro.timeseries.month import Month
+
+
+def main() -> int:
+    scenario = Scenario()
+
+    from repro.rootdns.analysis import replica_count_panel
+
+    signals = {
+        "download speed (Mbps)": median_download_panel(scenario.ndt_tests),
+        "root DNS replicas": replica_count_panel(scenario.chaos_observations),
+        "submarine cables": scenario.cables.count_panel(2000, 2024),
+    }
+    pivots = {
+        "download speed (Mbps)": Month(2013, 1),
+        "root DNS replicas": Month(2016, 6),
+        "submarine cables": Month(2013, 1),
+    }
+
+    print("Venezuela: actual vs no-crisis counterfactual")
+    print(f"{'signal':<24}{'actual':>10}{'no-crisis':>11}{'shortfall':>11}")
+    for name, panel in signals.items():
+        gap = gap_summary(panel, "VE", pivots[name])
+        print(
+            f"{name:<24}{gap.final_actual:>10.2f}{gap.final_counterfactual:>11.2f}"
+            f"{gap.shortfall_ratio * 100:>10.1f}%"
+        )
+
+    print()
+    print("Years to reach the regional mean (assumed VE growth per year)")
+    speed_panel = signals["download speed (Mbps)"]
+    latest = speed_panel.months()[-1]
+    ve_speed = speed_panel["VE"].get(latest) or speed_panel["VE"].last_value()
+    region = speed_panel.regional_mean().get(latest)
+    for growth in (0.15, 0.30, 0.50):
+        years = years_to_catch_up(
+            ve_speed, region, growth_rate=growth, target_growth_rate=0.10
+        )
+        text = f"{years:.1f} years" if math.isfinite(years) else "never"
+        print(f"  download speed at +{growth * 100:.0f}%/yr vs region +10%/yr: {text}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

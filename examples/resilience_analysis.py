@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Resilience deep-dive: concentration, chokepoints, DNS proximity, IXPs.
+
+Extends the paper's qualitative observations with four quantitative
+lenses on Venezuela vs. its comparators:
+
+* eyeball-market concentration (HHI);
+* transit dependence on CANTV (single point of failure);
+* expected root-DNS resolution RTT from replica placement;
+* the unrealised local-peering potential and the nearest exchanges.
+
+Usage::
+
+    python examples/resilience_analysis.py
+"""
+
+from repro.bgp import ASGraph
+from repro.bgp.resilience import market_hhi, transit_dependence
+from repro.core import Scenario
+from repro.ixp import local_exchange_potential, nearest_exchanges
+from repro.registry.address_plan import AS_CANTV
+from repro.rootdns.resilience import expected_resolution_rtt_ms
+from repro.timeseries.month import Month
+
+
+def main() -> int:
+    scenario = Scenario()
+    estimates = scenario.populations
+    graph = ASGraph(scenario.asrel[scenario.asrel.months()[-1]])
+    comparators = ("VE", "AR", "BR", "CL", "CO", "MX", "UY")
+
+    print("Market concentration (HHI; >0.25 = highly concentrated)")
+    for cc in comparators:
+        print(f"  {cc}: {market_hhi(estimates, cc):.3f}")
+
+    print()
+    dependence = transit_dependence(graph, estimates, "VE", AS_CANTV)
+    print(f"Venezuelan users fully dependent on CANTV for transit: "
+          f"{dependence * 100:.1f}%")
+
+    print()
+    print("Expected root-DNS resolution RTT (ms), 2016 vs 2023")
+    for cc in comparators:
+        before = expected_resolution_rtt_ms(scenario.root_deployment, cc, Month(2016, 1))
+        after = expected_resolution_rtt_ms(scenario.root_deployment, cc, Month(2023, 1))
+        print(f"  {cc}: {before:6.2f} -> {after:6.2f}  ({after / before - 1:+.0%})")
+
+    print()
+    print("Unrealised local peering (top-10 networks at a domestic IXP)")
+    for cc in comparators:
+        potential = local_exchange_potential(estimates, cc, top_n=10)
+        print(f"  {cc}: {potential * 100:5.1f}% of domestic flows could stay local")
+
+    print()
+    print("Nearest exchanges to Caracas")
+    for exchange in nearest_exchanges(scenario.peeringdb.latest(), "VE", limit=4):
+        print(f"  {exchange.name:<18} ({exchange.country})  {exchange.distance_km:7.0f} km")
+    print("\nNo Venezuelan network peers at any of them except Equinix Bogota.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

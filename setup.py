@@ -1,0 +1,7 @@
+"""Legacy shim: environments without the `wheel` package cannot build
+PEP 660 editable wheels, so `pip install -e . --no-use-pep517` falls back
+to `setup.py develop` through this file. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""repro: country-level longitudinal Internet analysis.
+
+A full reproduction of "Ten years of the Venezuelan crisis -- An Internet
+perspective" (ACM SIGCOMM 2024): wire-format parsers for the paper's
+datasets, calibrated synthetic generators for offline use, the analysis
+pipelines behind every figure and table, and extensions (outage detection,
+recovery counterfactuals) building on the same substrates.
+
+Start with :class:`repro.core.Scenario` and :func:`repro.core.run_exhibit`,
+or run ``python -m repro report``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,17 @@
+"""APNIC per-AS Internet population estimates (labs.apnic.net substitute).
+
+The paper weighs every network-level observation by APNIC's estimate of
+the eyeballs behind each AS: Table 1 (Venezuela's ISP market), Fig. 7/18
+(share of a country's users in networks hosting off-nets) and
+Figs. 10/21 (share of a country's users in networks present at IXPs).
+
+* :mod:`repro.apnic.model` -- the estimate collection with per-country
+  market queries and a CSV round-trip.
+* :mod:`repro.apnic.synthetic` -- regional populations calibrated to the
+  paper's Table 1 (CANTV 21.50% / 4,330,868 users; top-10 = 77.18%).
+"""
+
+from repro.apnic.model import APNICEstimates, ASPopulation
+from repro.apnic.synthetic import synthesize_populations
+
+__all__ = ["APNICEstimates", "ASPopulation", "synthesize_populations"]

@@ -1,0 +1,131 @@
+"""APNIC AS-population estimate collection.
+
+The on-disk form mirrors a flattened labs.apnic.net export::
+
+    asn,cc,autnum_name,users
+    8048,VE,CANTV Servicios Venezuela,4330868
+
+Percentages are always derived (users / country total) rather than stored,
+so the collection stays internally consistent.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class ASPopulation:
+    """Estimated eyeballs behind one AS in one economy."""
+
+    asn: int
+    cc: str
+    name: str
+    users: int
+
+
+class APNICEstimates:
+    """A collection of AS-population estimates with market queries."""
+
+    def __init__(self, entries: Iterable[ASPopulation] = ()):
+        self._entries: dict[tuple[int, str], ASPopulation] = {}
+        for e in entries:
+            self.add(e)
+
+    def add(self, entry: ASPopulation) -> None:
+        """Insert or replace one (asn, cc) estimate."""
+        self._entries[(entry.asn, entry.cc.upper())] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ASPopulation]:
+        return iter(
+            sorted(self._entries.values(), key=lambda e: (e.cc, -e.users, e.asn))
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def users_of(self, asn: int, cc: str) -> int:
+        """Estimated users of *asn* in *cc* (0 when unknown)."""
+        entry = self._entries.get((asn, cc.upper()))
+        return entry.users if entry else 0
+
+    def countries_of(self, asn: int) -> list[str]:
+        """Economies in which *asn* serves eyeballs."""
+        return sorted(cc for a, cc in self._entries if a == asn)
+
+    def country_entries(self, cc: str) -> list[ASPopulation]:
+        """All estimates for *cc*, largest first."""
+        wanted = cc.upper()
+        return sorted(
+            (e for e in self._entries.values() if e.cc == wanted),
+            key=lambda e: (-e.users, e.asn),
+        )
+
+    def country_users(self, cc: str) -> int:
+        """Total estimated Internet users of *cc*."""
+        return sum(e.users for e in self.country_entries(cc))
+
+    def share_of(self, asn: int, cc: str) -> float:
+        """Fraction of *cc*'s users behind *asn* (0.0 when unknown)."""
+        total = self.country_users(cc)
+        if total == 0:
+            return 0.0
+        return self.users_of(asn, cc) / total
+
+    def share_of_group(self, asns: Iterable[int], cc: str) -> float:
+        """Fraction of *cc*'s users behind any AS in *asns*.
+
+        ASNs are deduplicated, so passing the same AS twice cannot inflate
+        the share.
+        """
+        total = self.country_users(cc)
+        if total == 0:
+            return 0.0
+        unique = set(asns)
+        return sum(self.users_of(a, cc) for a in unique) / total
+
+    def top_networks(self, cc: str, n: int = 10) -> list[ASPopulation]:
+        """The *n* largest networks of *cc* by estimated users."""
+        return self.country_entries(cc)[:n]
+
+    def countries(self) -> list[str]:
+        """All economies with at least one estimate."""
+        return sorted({cc for _a, cc in self._entries})
+
+    # -- CSV round-trip --------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialise in the labs-export layout."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["asn", "cc", "autnum_name", "users"])
+        for e in self:
+            writer.writerow([e.asn, e.cc, e.name, e.users])
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "APNICEstimates":
+        """Parse the layout produced by :meth:`to_csv`."""
+        estimates = cls()
+        for row in csv.DictReader(io.StringIO(text)):
+            estimates.add(
+                ASPopulation(
+                    int(row["asn"]), row["cc"], row["autnum_name"], int(row["users"])
+                )
+            )
+        return estimates
+
+    def save(self, path: Path | str) -> None:
+        """Write the CSV form to *path*."""
+        Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "APNICEstimates":
+        """Read the CSV form from *path*."""
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))

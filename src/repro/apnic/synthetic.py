@@ -1,0 +1,282 @@
+"""Synthetic APNIC population estimates calibrated to the paper.
+
+Venezuela's market follows Table 1 exactly (users per top-10 ASN; CANTV at
+21.50%, the top-10 at 77.18% of a ~20.1M-user base, the remainder spread
+over a 30-network tail).  Other economies get incumbent-heavy rosters whose
+shares are chosen so the IXP-coverage exhibits (Figs. 10 and 21) reproduce
+the paper's headline cells: AR-IX covering 62.4% of Argentina, IX.br 45.53%
+of Brazil, PIT Chile 49.57% of Chile, and Venezuela's seven-network / ~7%
+presence at US exchanges.
+"""
+
+from __future__ import annotations
+
+from repro.apnic.model import APNICEstimates, ASPopulation
+
+#: Venezuela's Table 1 roster: (asn, name, users), verbatim from the paper.
+VE_TOP10: tuple[tuple[int, str, int], ...] = (
+    (8048, "CANTV Servicios, Venezuela", 4_330_868),
+    (21826, "Corporacion Telemic C.A.", 2_490_253),
+    (6306, "TELEFONICA VENEZOLANA, C.A.", 2_110_464),
+    (264731, "Corporacion Digitel C.A.", 1_419_723),
+    (264628, "CORPORACION FIBEX TELECOM, C.A.", 1_316_463),
+    (61461, "Airtek Solutions C.A.", 1_092_514),
+    (263703, "VIGINET C.A", 962_781),
+    (11562, "Net Uno, C.A.", 896_094),
+    (272809, "THUNDERNET, C.A.", 515_761),
+    (27889, "Telecomunicaciones MOVILNET", 417_762),
+)
+
+#: Total Venezuelan Internet users implied by Table 1's percentages.
+VE_TOTAL_USERS = 20_145_000
+#: Number of tail networks sharing the remaining ~22.8%.
+VE_TAIL_NETWORKS = 30
+#: First ASN of the synthetic Venezuelan tail.
+VE_TAIL_ASN_BASE = 274_000
+
+#: Other economies: total users and (asn, name, share-percent) rosters.
+#: Shares not covered by the roster go to a synthetic tail AS per country.
+_COUNTRY_MARKETS: dict[str, tuple[int, tuple[tuple[int, str, float], ...]]] = {
+    "AR": (
+        38_000_000,
+        (
+            (7303, "Telecom Argentina", 33.0),
+            (22927, "Telefonica de Argentina", 22.0),
+            (10318, "Cablevision", 14.0),
+            (19037, "AMX Argentina", 13.0),
+            (52367, "Red Regional AR", 10.0),
+            (27747, "IPLAN", 3.0),
+            (11664, "Techtel", 2.4),
+        ),
+    ),
+    "BR": (
+        165_000_000,
+        (
+            (27699, "Telefonica Brasil (Vivo)", 25.0),
+            (28573, "Claro Brasil", 22.0),
+            (26599, "TIM Brasil", 10.0),
+            (7738, "Oi", 8.0),
+            (61573, "Regional BR 1", 7.0),
+            (28220, "Regional BR 2", 3.5),
+            (52871, "Regional BR 3", 3.03),
+            (263237, "Regional BR 4", 3.0),
+            (28343, "Regional BR 5", 3.0),
+            (53062, "Regional BR 6", 3.0),
+            (268699, "Regional BR 7", 3.0),
+            (262272, "Regional BR 8", 2.0),
+        ),
+    ),
+    "CL": (
+        17_000_000,
+        (
+            (7418, "Telefonica Chile (Movistar)", 30.0),
+            (27651, "Entel Chile", 20.0),
+            (22047, "VTR", 18.0),
+            (27986, "Claro Chile", 12.0),
+            (14259, "GTD Internet", 6.0),
+            (27678, "Mundo Pacifico", 5.0),
+            (263702, "Regional CL 1", 0.57),
+        ),
+    ),
+    "CO": (
+        36_000_000,
+        (
+            (10620, "Claro Colombia (Telmex)", 35.0),
+            (13489, "EPM / UNE", 15.0),
+            (27951, "Movistar Colombia", 12.0),
+            (27831, "Tigo (Colombia Movil)", 10.0),
+            (19429, "ETB", 8.0),
+            (262186, "Regional CO 1", 5.68),
+        ),
+    ),
+    "MX": (
+        96_000_000,
+        (
+            (8151, "Telmex (Uninet)", 50.0),
+            (13999, "Megacable", 12.0),
+            (28548, "Cablevision Mexico (izzi)", 10.0),
+            (22884, "Totalplay", 9.0),
+            (28509, "Cablemas", 8.0),
+        ),
+    ),
+    "UY": (
+        3_000_000,
+        (
+            (6057, "Antel Uruguay", 80.0),
+            (19422, "Movistar Uruguay", 10.0),
+            (21575, "Claro Uruguay", 5.0),
+        ),
+    ),
+    "CR": (
+        4_300_000,
+        (
+            (11830, "ICE (Costa Rica)", 24.1),
+            (14340, "Tigo Costa Rica", 30.0),
+            (27742, "Cabletica", 25.0),
+        ),
+    ),
+    "PA": (
+        3_400_000,
+        (
+            (18809, "Cable & Wireless Panama", 55.0),
+            (11556, "Cable Onda", 35.0),
+        ),
+    ),
+    "EC": (
+        13_000_000,
+        (
+            (14420, "CNT Ecuador", 45.0),
+            (27947, "Telconet", 25.0),
+            (26613, "Netlife", 15.0),
+        ),
+    ),
+    "PE": (
+        25_000_000,
+        (
+            (6147, "Telefonica del Peru", 45.0),
+            (12252, "Claro Peru", 30.0),
+        ),
+    ),
+    "PY": (
+        5_500_000,
+        (
+            (23201, "Tigo Paraguay", 45.0),
+            (27768, "Copaco", 30.0),
+            (61512, "Claro Paraguay", 15.0),
+        ),
+    ),
+    "BO": (
+        8_000_000,
+        (
+            (6568, "Entel Bolivia", 50.0),
+            (26210, "Tigo Bolivia", 30.0),
+        ),
+    ),
+    "DO": (
+        8_500_000,
+        (
+            (6400, "Claro Dominicana", 50.0),
+            (28118, "Altice Dominicana", 30.0),
+        ),
+    ),
+    "GT": (
+        10_000_000,
+        (
+            (14754, "Claro Guatemala (Telgua)", 55.0),
+            (23243, "Tigo Guatemala", 30.0),
+        ),
+    ),
+    "HN": (
+        6_000_000,
+        (
+            (27884, "Tigo Honduras", 50.0),
+            (15516, "Claro Honduras", 30.0),
+        ),
+    ),
+    "NI": (
+        4_000_000,
+        (
+            (31772, "Claro Nicaragua (Enitel)", 55.0),
+            (52242, "Tigo Nicaragua", 25.0),
+        ),
+    ),
+    "SV": (
+        4_500_000,
+        (
+            (27773, "Claro El Salvador", 45.0),
+            (17079, "Tigo El Salvador", 35.0),
+        ),
+    ),
+    "CU": (
+        7_000_000,
+        ((27725, "ETECSA", 95.0),),
+    ),
+    "TT": (
+        1_100_000,
+        (
+            (27665, "TSTT", 50.0),
+            (5639, "Flow Trinidad", 35.0),
+        ),
+    ),
+    "CW": (
+        140_000,
+        ((52233, "Flow Curacao", 70.0),),
+    ),
+    "GF": (
+        200_000,
+        ((21351, "Orange Caraibe", 85.0),),
+    ),
+    "SR": (
+        450_000,
+        ((27775, "Telesur Suriname", 85.0),),
+    ),
+    "HT": (
+        4_500_000,
+        (
+            (27759, "Access Haiti", 40.0),
+            (33576, "Digicel Haiti", 45.0),
+        ),
+    ),
+    "BZ": (
+        300_000,
+        ((10269, "Belize Telemedia", 80.0),),
+    ),
+    "GY": (
+        600_000,
+        ((19863, "GTT Guyana", 80.0),),
+    ),
+    "BQ": (
+        20_000,
+        ((27781, "Telbo", 90.0),),
+    ),
+    "AW": (
+        100_000,
+        ((28683, "Setar Aruba", 75.0),),
+    ),
+    "SX": (
+        30_000,
+        ((11992, "TelEm Sint Maarten", 90.0),),
+    ),
+}
+
+#: ASN base for per-country synthetic tail networks.
+_TAIL_ASN_BASE = 276_000
+
+
+def synthesize_populations() -> APNICEstimates:
+    """Build the regional population estimates.
+
+    Venezuela is exact per Table 1; every other economy gets its scripted
+    roster plus one tail AS absorbing the unassigned share, so country
+    totals equal the scripted totals exactly.
+    """
+    estimates = APNICEstimates()
+
+    top10_users = sum(users for _a, _n, users in VE_TOP10)
+    for asn, name, users in VE_TOP10:
+        estimates.add(ASPopulation(asn, "VE", name, users))
+    tail_total = VE_TOTAL_USERS - top10_users
+    per_tail = tail_total // VE_TAIL_NETWORKS
+    remainder = tail_total - per_tail * VE_TAIL_NETWORKS
+    for i in range(VE_TAIL_NETWORKS):
+        users = per_tail + (remainder if i == 0 else 0)
+        estimates.add(
+            ASPopulation(
+                VE_TAIL_ASN_BASE + i, "VE", f"VE access network {i + 1}", users
+            )
+        )
+
+    for offset, (cc, (total, roster)) in enumerate(sorted(_COUNTRY_MARKETS.items())):
+        assigned = 0
+        for asn, name, share in roster:
+            users = round(total * share / 100.0)
+            assigned += users
+            estimates.add(ASPopulation(asn, cc, name, users))
+        leftover = total - assigned
+        if leftover > 0:
+            estimates.add(
+                ASPopulation(
+                    _TAIL_ASN_BASE + offset, cc, f"{cc} long tail", leftover
+                )
+            )
+    return estimates

@@ -1,0 +1,74 @@
+"""Atlas-style DNS built-in results carrying CHAOS TXT answers."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.rootdns.analysis import ChaosObservation
+from repro.timeseries.month import Month
+
+
+class DNSResultParseError(ValueError):
+    """Raised when a DNS result object cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class DNSBuiltinResult:
+    """One CHAOS ``hostname.bind`` answer from one probe.
+
+    Attributes:
+        probe_id: Reporting probe.
+        probe_country: Country of the probe (joined from the registry at
+            generation time so the analysis layer needs no lookups).
+        root_letter: Target root server letter, ``"A"``..``"M"``.
+        answer: The TXT record contents (the site identifier).
+        month: Snapshot month (the paper keeps the first five days of each
+            month; a single representative answer stands in for the batch).
+    """
+
+    probe_id: int
+    probe_country: str
+    root_letter: str
+    answer: str
+    month: Month
+
+    def to_observation(self) -> ChaosObservation:
+        """Convert to the analysis-layer record."""
+        return ChaosObservation(
+            month=self.month,
+            probe_id=self.probe_id,
+            probe_country=self.probe_country,
+            letter=self.root_letter,
+            answer=self.answer,
+        )
+
+    def to_json(self) -> str:
+        """Serialise in an Atlas-like DNS result layout."""
+        return json.dumps(
+            {
+                "prb_id": self.probe_id,
+                "probe_cc": self.probe_country,
+                "target": f"{self.root_letter.lower()}.root-servers.net",
+                "month": str(self.month),
+                "result": {"answers": [{"TYPE": "TXT", "RDATA": [self.answer]}]},
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DNSBuiltinResult":
+        """Parse the layout produced by :meth:`to_json`."""
+        try:
+            row = json.loads(text)
+            letter = row["target"].split(".")[0].upper()
+            answer = row["result"]["answers"][0]["RDATA"][0]
+            return cls(
+                probe_id=int(row["prb_id"]),
+                probe_country=row["probe_cc"].upper(),
+                root_letter=letter,
+                answer=answer,
+                month=Month.parse(row["month"]),
+            )
+        except (KeyError, TypeError, ValueError, IndexError, json.JSONDecodeError) as exc:
+            raise DNSResultParseError(f"bad DNS result row: {exc}") from None

@@ -1,0 +1,137 @@
+"""Google Public DNS frontend inference from traceroute paths.
+
+Appendix J concludes "no GPDNS server is currently deployed within
+Venezuelan territory" from latency geography.  This module adds the
+path-based cross-check: Google's edge routers answer from city-specific
+address blocks, so the penultimate hop of a traceroute to 8.8.8.8
+identifies the serving frontend.  The synthetic campaign embeds these
+edge addresses, and the analysis recovers each country's serving city.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.atlas.traceroute import TracerouteResult
+
+
+@dataclass(frozen=True, slots=True)
+class GPDNSFrontend:
+    """One Google edge location."""
+
+    city: str
+    country: str
+    prefix: ipaddress.IPv4Network
+
+
+def _fe(city: str, cc: str, cidr: str) -> GPDNSFrontend:
+    return GPDNSFrontend(city, cc, ipaddress.ip_network(cidr))
+
+
+#: The regional edge deployment: every LACNIC comparator has a frontend
+#: except Venezuela, whose traffic exits to Bogota.
+FRONTENDS: tuple[GPDNSFrontend, ...] = (
+    _fe("Bogota", "CO", "72.14.192.0/24"),
+    _fe("Sao Paulo", "BR", "72.14.193.0/24"),
+    _fe("Buenos Aires", "AR", "72.14.194.0/24"),
+    _fe("Santiago", "CL", "72.14.195.0/24"),
+    _fe("Mexico City", "MX", "72.14.196.0/24"),
+    _fe("Miami", "US", "72.14.197.0/24"),
+    _fe("Lima", "PE", "72.14.198.0/24"),
+)
+
+#: Which frontend serves each probe country (everything not listed exits
+#: through Miami, the Caribbean default).
+SERVING_FRONTEND: dict[str, str] = {
+    "VE": "Bogota",
+    "CO": "Bogota",
+    "BR": "Sao Paulo",
+    "AR": "Buenos Aires",
+    "UY": "Buenos Aires",
+    "PY": "Buenos Aires",
+    "CL": "Santiago",
+    "BO": "Santiago",
+    "MX": "Mexico City",
+    "PE": "Lima",
+    "EC": "Lima",
+}
+
+_DEFAULT_FRONTEND = "Miami"
+
+
+def frontend_named(city: str) -> GPDNSFrontend:
+    """The frontend with the given city name.
+
+    Raises:
+        KeyError: for cities without a frontend.
+    """
+    for frontend in FRONTENDS:
+        if frontend.city == city:
+            return frontend
+    raise KeyError(f"no GPDNS frontend in {city!r}")
+
+
+def frontend_for_country(probe_country: str) -> GPDNSFrontend:
+    """The frontend that serves probes in *probe_country*."""
+    return frontend_named(SERVING_FRONTEND.get(probe_country.upper(), _DEFAULT_FRONTEND))
+
+
+def edge_address(probe_country: str, probe_id: int) -> str:
+    """A concrete edge-router address inside the serving frontend block."""
+    frontend = frontend_for_country(probe_country)
+    host = 1 + probe_id % 250
+    return str(frontend.prefix.network_address + host)
+
+
+def infer_frontend(result: TracerouteResult) -> GPDNSFrontend | None:
+    """The frontend whose block appears on the path, or None.
+
+    Scans hops from the destination backwards so the edge closest to the
+    answering frontend wins.
+    """
+    for hop in reversed(result.hops):
+        for ip_text, _rtt in hop.replies:
+            try:
+                address = ipaddress.ip_address(ip_text)
+            except ValueError:
+                continue
+            for frontend in FRONTENDS:
+                if address in frontend.prefix:
+                    return frontend
+    return None
+
+
+def serving_cities_by_country(
+    results: Iterable[TracerouteResult],
+    probe_countries: dict[int, str],
+) -> dict[str, dict[str, int]]:
+    """Per probe country: how many traceroutes each frontend city served."""
+    out: dict[str, dict[str, int]] = {}
+    for result in results:
+        frontend = infer_frontend(result)
+        if frontend is None:
+            continue
+        cc = probe_countries.get(result.probe_id)
+        if cc is None:
+            continue
+        cities = out.setdefault(cc, {})
+        cities[frontend.city] = cities.get(frontend.city, 0) + 1
+    return out
+
+
+def countries_without_domestic_frontend(
+    results: Iterable[TracerouteResult],
+    probe_countries: dict[int, str],
+) -> set[str]:
+    """Probe countries never served by a frontend on their own soil."""
+    by_country = serving_cities_by_country(results, probe_countries)
+    out = set()
+    for cc, cities in by_country.items():
+        domestic = any(
+            frontend_named(city).country == cc for city in cities
+        )
+        if not domestic:
+            out.add(cc)
+    return out

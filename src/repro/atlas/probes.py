@@ -1,0 +1,132 @@
+"""RIPE Atlas probe registry."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+
+
+@dataclass(frozen=True, slots=True)
+class Probe:
+    """One Atlas probe.
+
+    Attributes:
+        probe_id: Platform-wide identifier.
+        country: Hosting country (ISO alpha-2).
+        asn: Hosting network.
+        lat: Probe latitude.
+        lon: Probe longitude.
+        start: First month connected.
+        end: Last month connected (None = still active).
+    """
+
+    probe_id: int
+    country: str
+    asn: int
+    lat: float
+    lon: float
+    start: Month
+    end: Month | None = None
+
+    def active_in(self, month: Month) -> bool:
+        """Whether the probe is connected during *month*."""
+        if month < self.start:
+            return False
+        return self.end is None or month <= self.end
+
+
+@dataclass
+class ProbeRegistry:
+    """The full probe population."""
+
+    probes: list[Probe] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    def by_id(self, probe_id: int) -> Probe:
+        """Probe with the given id; raises KeyError when absent."""
+        for probe in self.probes:
+            if probe.probe_id == probe_id:
+                return probe
+        raise KeyError(f"unknown probe {probe_id}")
+
+    def active(self, month: Month, country: str | None = None) -> list[Probe]:
+        """Probes connected during *month*, optionally in one country."""
+        cc = country.upper() if country else None
+        return [
+            p
+            for p in self.probes
+            if p.active_in(month) and (cc is None or p.country == cc)
+        ]
+
+    def countries(self) -> list[str]:
+        """All countries with at least one probe, sorted."""
+        return sorted({p.country for p in self.probes})
+
+    def count_panel(self, months: Iterable[Month]) -> CountryPanel:
+        """Active probe counts per country over the given months."""
+        records = []
+        for month in months:
+            counts: dict[str, int] = {}
+            for probe in self.probes:
+                if probe.active_in(month):
+                    counts[probe.country] = counts.get(probe.country, 0) + 1
+            records.extend((cc, month, float(n)) for cc, n in counts.items())
+        return CountryPanel.from_records(records)
+
+    # -- serialisation (Atlas API v2-like probe objects) ---------------------
+
+    def to_json(self) -> str:
+        """Serialise in an Atlas-API-like probe list."""
+        return json.dumps(
+            {
+                "probes": [
+                    {
+                        "id": p.probe_id,
+                        "country_code": p.country,
+                        "asn_v4": p.asn,
+                        "latitude": p.lat,
+                        "longitude": p.lon,
+                        "first_connected": str(p.start),
+                        "last_connected": str(p.end) if p.end else None,
+                    }
+                    for p in self.probes
+                ]
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProbeRegistry":
+        """Parse the layout produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        probes = [
+            Probe(
+                probe_id=int(row["id"]),
+                country=row["country_code"].upper(),
+                asn=int(row["asn_v4"]),
+                lat=float(row["latitude"]),
+                lon=float(row["longitude"]),
+                start=Month.parse(row["first_connected"]),
+                end=Month.parse(row["last_connected"])
+                if row.get("last_connected")
+                else None,
+            )
+            for row in payload["probes"]
+        ]
+        return cls(probes)
+
+    def save(self, path: Path | str) -> None:
+        """Write the JSON form to *path*."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ProbeRegistry":
+        """Read the JSON form from *path*."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,326 @@
+"""Synthetic probe registry and measurement campaigns.
+
+The probe fleet is calibrated to Fig. 17: roughly 300 regional probes in
+2016 growing to 450 by 2024, with Venezuela rising from 10 to 30 (ranked
+6th in the region at the end) and CANTV hosting exactly 8 of them.
+
+Two campaign generators replay the paper's data collection:
+
+* :func:`synthesize_gpdns_campaign` -- the platform-wide traceroutes to
+  8.8.8.8 (Fig. 12 / Fig. 20), with per-probe RTTs from
+  :mod:`repro.atlas.rttmodel`.
+* :func:`synthesize_chaos_campaign` -- the built-in CHAOS TXT queries to
+  the 13 roots (Fig. 6 / 16 / 17), with anycast site selection modelled
+  as domestic-first round-robin, a pre-2021 US/EU routing policy for
+  probes lacking domestic sites, and a post-2020 regional shift to
+  Brazil, Colombia and Panama (the Fig. 16 transition).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Iterator, Sequence
+
+from repro.atlas.dnsbuiltin import DNSBuiltinResult
+from repro.atlas.probes import Probe, ProbeRegistry
+from repro.atlas.rttmodel import (
+    CAMPAIGN_END,
+    CAMPAIGN_START,
+    GPDNS_MSM_ID,
+    gpdns_probe_rtt,
+)
+from repro.atlas.traceroute import Hop, TracerouteResult
+from repro.geo.countries import country as geo_country
+from repro.geo.venezuela import VE_CITIES
+from repro.rootdns.deployment import RootDeployment, RootSite
+from repro.rootdns.naming import ROOT_LETTERS
+from repro.timeseries.month import Month, month_range
+
+#: cc -> (active probes at 2016-01, active probes at 2024-01).
+_PROBE_TARGETS: dict[str, tuple[int, int]] = {
+    "BR": (108, 120),
+    "AR": (40, 55),
+    "MX": (30, 42),
+    "CL": (27, 38),
+    "CO": (20, 35),
+    "UY": (8, 15),
+    "PE": (10, 20),
+    "EC": (6, 12),
+    "PA": (5, 10),
+    "CR": (5, 10),
+    "DO": (4, 8),
+    "GT": (3, 6),
+    "PY": (3, 6),
+    "BO": (3, 6),
+    "HN": (2, 4),
+    "NI": (2, 4),
+    "SV": (2, 4),
+    "TT": (2, 4),
+    "CU": (1, 2),
+    "HT": (1, 2),
+    "GY": (1, 2),
+    "SR": (1, 2),
+    "BZ": (1, 2),
+    "CW": (2, 4),
+    "AW": (1, 2),
+    "GF": (2, 3),
+    "BQ": (1, 2),
+}
+
+#: The Venezuelan fleet: (city name, asn, first month).  Eight probes sit
+#: in CANTV (AS8048); the lowest-latency ones are on small western access
+#: networks that do not use CANTV as upstream (Section 7.2 / Appendix J).
+_VE_PROBES: tuple[tuple[str, int, str], ...] = (
+    ("Caracas", 8048, "2014-03"),
+    ("Caracas", 8048, "2014-03"),
+    ("Caracas", 8048, "2015-01"),
+    ("Caracas", 8048, "2015-06"),
+    ("Caracas", 8048, "2016-01"),
+    ("Caracas", 8048, "2016-01"),
+    ("Valencia", 8048, "2015-03"),
+    ("Barquisimeto", 8048, "2015-09"),
+    ("Maracaibo", 61461, "2015-01"),
+    ("San Cristobal", 274010, "2015-06"),
+    ("Caracas", 21826, "2017-01"),
+    ("Maracay", 21826, "2017-06"),
+    ("Caracas", 264628, "2018-01"),
+    ("Maracaibo", 61461, "2018-06"),
+    ("Merida", 274011, "2019-01"),
+    ("Caracas", 11562, "2019-06"),
+    ("Barcelona", 263703, "2020-01"),
+    ("Ciudad Guayana", 264731, "2020-06"),
+    ("Maturin", 264731, "2021-01"),
+    ("Cabimas", 61461, "2021-06"),
+    ("San Antonio del Tachira", 274012, "2022-01"),
+    ("San Cristobal", 274013, "2022-03"),
+    ("Maracaibo", 274014, "2022-06"),
+    ("Caracas", 264628, "2022-09"),
+    ("Valencia", 272809, "2022-12"),
+    ("Caracas", 274015, "2023-02"),
+    ("Merida", 274016, "2023-04"),
+    ("Caracas", 21826, "2023-06"),
+    ("Barquisimeto", 274017, "2023-08"),
+    ("Caracas", 274018, "2023-10"),
+)
+
+_EXPANSION_START = Month(2016, 7)
+_EXPANSION_END = Month(2023, 6)
+
+
+def _ve_probes() -> list[Probe]:
+    cities = {c.name: c for c in VE_CITIES}
+    probes = []
+    for i, (city_name, asn, start) in enumerate(_VE_PROBES):
+        city = cities[city_name]
+        probes.append(
+            Probe(
+                probe_id=1000 + i,
+                country="VE",
+                asn=asn,
+                lat=city.lat + (i % 5) * 0.01,
+                lon=city.lon - (i % 3) * 0.01,
+                start=Month.parse(start),
+            )
+        )
+    return probes
+
+
+def synthesize_probe_registry() -> ProbeRegistry:
+    """Build the calibrated regional probe fleet."""
+    probes = _ve_probes()
+    expansion_months = _EXPANSION_START.months_until(_EXPANSION_END)
+    for index, cc in enumerate(sorted(_PROBE_TARGETS)):
+        start_count, end_count = _PROBE_TARGETS[cc]
+        home = geo_country(cc)
+        base_id = 10_000 + index * 500
+        total_new = end_count - start_count
+        for i in range(end_count):
+            if i < start_count:
+                start = CAMPAIGN_START
+            else:
+                step = (i - start_count) / max(1, total_new - 1) if total_new > 1 else 0.0
+                start = _EXPANSION_START.plus(round(step * expansion_months))
+            probes.append(
+                Probe(
+                    probe_id=base_id + i,
+                    country=cc,
+                    asn=0,
+                    lat=home.lat + (i % 7) * 0.05,
+                    lon=home.lon - (i % 5) * 0.05,
+                    start=start,
+                )
+            )
+    return ProbeRegistry(probes)
+
+
+# ---------------------------------------------------------------------------
+# GPDNS traceroute campaign
+# ---------------------------------------------------------------------------
+
+GPDNS_ADDR = "8.8.8.8"
+
+
+def _traceroute(probe: Probe, month: Month, sample: int, final_rtt: float) -> TracerouteResult:
+    """One synthetic traceroute with a plausible hop structure.
+
+    The penultimate hop carries the serving GPDNS frontend's edge address
+    (see :mod:`repro.atlas.frontends`), so path-based frontend inference
+    works on the synthetic campaign.
+    """
+    from repro.atlas.frontends import edge_address
+
+    timestamp = int(
+        _dt.datetime(
+            month.year, month.month, 1 + sample, 6 * (sample % 4),
+            tzinfo=_dt.timezone.utc,
+        ).timestamp()
+    )
+    hops = (
+        Hop(1, (("192.168.1.1", 1.4),)),
+        Hop(2, ((f"10.{probe.probe_id % 200}.0.1", final_rtt * 0.3),)),
+        Hop(3, ((edge_address(probe.country, probe.probe_id), final_rtt * 0.9),)),
+        Hop(4, ((GPDNS_ADDR, final_rtt),)),
+    )
+    return TracerouteResult(
+        probe_id=probe.probe_id,
+        msm_id=GPDNS_MSM_ID,
+        timestamp=timestamp,
+        dst_addr=GPDNS_ADDR,
+        hops=hops,
+    )
+
+
+def synthesize_gpdns_campaign(
+    registry: ProbeRegistry,
+    start: Month = CAMPAIGN_START,
+    end: Month = CAMPAIGN_END,
+    samples_per_month: int = 2,
+    countries: Sequence[str] | None = None,
+) -> Iterator[TracerouteResult]:
+    """Replay the monthly 5-day windows of the GPDNS campaign.
+
+    The first sample of each probe-month carries the model's minimum RTT;
+    later samples add congestion, so per-probe monthly minima recover the
+    model exactly.
+    """
+    wanted = {c.upper() for c in countries} if countries else None
+    for month in month_range(start, end):
+        for probe in registry.active(month):
+            if wanted is not None and probe.country not in wanted:
+                continue
+            base = gpdns_probe_rtt(probe, month)
+            for sample in range(samples_per_month):
+                congestion = 1.0 + 0.08 * sample
+                yield _traceroute(probe, month, sample, base * congestion)
+
+
+# ---------------------------------------------------------------------------
+# CHAOS campaign
+# ---------------------------------------------------------------------------
+
+#: Pre-transition routing for probes without a domestic site: a handful of
+#: letters resolve to European instances, the rest to the US.
+_EU_POLICY: dict[str, str] = {"K": "GB", "D": "DE", "F": "FR", "I": "SE", "L": "NL", "E": "NL"}
+#: After the regional shift, these letters serve from Latin American hubs.
+_REGIONAL_POLICY: dict[str, tuple[str, ...]] = {
+    "L": ("BR", "US"),
+    "F": ("BR", "US"),
+    "I": ("BR", "US"),
+    "D": ("BR", "US"),
+    "K": ("CO", "US"),
+    "J": ("PA", "US"),
+    "E": ("PA", "US"),
+}
+#: Month at which anycast routing shifts from US/EU to regional hubs.
+REGIONAL_SHIFT = Month(2020, 7)
+
+
+def _index_sites(
+    deployment: RootDeployment, month: Month, letters: list[str]
+) -> dict[str, tuple[list[RootSite], dict[str, list[RootSite]]]]:
+    """Per letter: (all active sites, active sites grouped by country)."""
+    index: dict[str, tuple[list[RootSite], dict[str, list[RootSite]]]] = {}
+    for letter in letters:
+        active = deployment.active_sites(month, letter)
+        by_country: dict[str, list[RootSite]] = {}
+        for site in active:
+            by_country.setdefault(site.country, []).append(site)
+        index[letter] = (active, by_country)
+    return index
+
+
+def _serving_site(
+    probe: Probe, letter: str, month: Month, deployment: RootDeployment
+) -> RootSite | None:
+    active = deployment.active_sites(month, letter)
+    if not active:
+        return None
+    domestic = [s for s in active if s.country == probe.country]
+    if domestic:
+        return domestic[probe.probe_id % len(domestic)]
+    if month < REGIONAL_SHIFT:
+        preference: tuple[str, ...] = (_EU_POLICY.get(letter, "US"), "US")
+    else:
+        preference = _REGIONAL_POLICY.get(letter, ("US",))
+    for cc in preference:
+        candidates = [s for s in active if s.country == cc]
+        if candidates:
+            return candidates[probe.probe_id % len(candidates)]
+    return active[probe.probe_id % len(active)]
+
+
+def synthesize_chaos_campaign(
+    registry: ProbeRegistry,
+    deployment: RootDeployment,
+    start: Month = Month(2016, 1),
+    end: Month = Month(2024, 1),
+    letters: Iterable[str] = ROOT_LETTERS,
+    countries: Sequence[str] | None = None,
+) -> Iterator[DNSBuiltinResult]:
+    """Replay the monthly built-in CHAOS snapshots.
+
+    One representative answer per (probe, letter, month) stands in for
+    the 5-day batch the paper keeps.
+    """
+    wanted = {c.upper() for c in countries} if countries else None
+    letter_list = [letter.upper() for letter in letters]
+    chaos_cache: dict[int, str] = {}
+    for month in month_range(start, end):
+        index = _index_sites(deployment, month, letter_list)
+        for probe in registry.active(month):
+            if wanted is not None and probe.country not in wanted:
+                continue
+            for letter in letter_list:
+                active, by_country = index[letter]
+                if not active:
+                    continue
+                domestic = by_country.get(probe.country)
+                if domestic:
+                    site = domestic[probe.probe_id % len(domestic)]
+                else:
+                    if month < REGIONAL_SHIFT:
+                        preference: tuple[str, ...] = (
+                            _EU_POLICY.get(letter, "US"), "US",
+                        )
+                    else:
+                        preference = _REGIONAL_POLICY.get(letter, ("US",))
+                    site = None
+                    for cc in preference:
+                        candidates = by_country.get(cc)
+                        if candidates:
+                            site = candidates[probe.probe_id % len(candidates)]
+                            break
+                    if site is None:
+                        site = active[probe.probe_id % len(active)]
+                key = id(site)
+                answer = chaos_cache.get(key)
+                if answer is None:
+                    answer = site.chaos_string()
+                    chaos_cache[key] = answer
+                yield DNSBuiltinResult(
+                    probe_id=probe.probe_id,
+                    probe_country=probe.country,
+                    root_letter=letter,
+                    answer=answer,
+                    month=month,
+                )

@@ -1,0 +1,134 @@
+"""Atlas-style traceroute results.
+
+The JSON layout follows RIPE Atlas result objects: ``prb_id``, ``msm_id``,
+``timestamp``, ``dst_addr`` and a ``result`` array of per-hop objects,
+each with a list of reply records carrying ``from`` and ``rtt``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.timeseries.month import Month
+
+
+class TracerouteParseError(ValueError):
+    """Raised when a result object cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Hop:
+    """One traceroute hop: replies as (source ip, rtt ms) pairs."""
+
+    hop: int
+    replies: tuple[tuple[str, float], ...]
+
+    def min_rtt(self) -> float | None:
+        """Minimum reply RTT at this hop, or None when all timed out."""
+        rtts = [rtt for _ip, rtt in self.replies]
+        return min(rtts) if rtts else None
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteResult:
+    """One traceroute from one probe."""
+
+    probe_id: int
+    msm_id: int
+    timestamp: int
+    dst_addr: str
+    hops: tuple[Hop, ...]
+
+    @property
+    def month(self) -> Month:
+        """Calendar month of the measurement (UTC)."""
+        days = self.timestamp // 86_400
+        year = 1970
+        # Walk years; measurement timestamps span ~1970..2100 so this stays cheap.
+        import datetime as _dt
+
+        date = _dt.date(1970, 1, 1) + _dt.timedelta(days=days)
+        del year
+        return Month(date.year, date.month)
+
+    def destination_rtt(self) -> float | None:
+        """Minimum RTT at the final hop if it answered from dst_addr."""
+        if not self.hops:
+            return None
+        final = self.hops[-1]
+        rtts = [rtt for ip, rtt in final.replies if ip == self.dst_addr]
+        return min(rtts) if rtts else None
+
+    def reached_destination(self) -> bool:
+        """Whether any final-hop reply came from the destination."""
+        return self.destination_rtt() is not None
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise in the Atlas result layout."""
+        return json.dumps(
+            {
+                "prb_id": self.probe_id,
+                "msm_id": self.msm_id,
+                "timestamp": self.timestamp,
+                "dst_addr": self.dst_addr,
+                "result": [
+                    {
+                        "hop": h.hop,
+                        "result": [
+                            {"from": ip, "rtt": round(rtt, 3)} for ip, rtt in h.replies
+                        ],
+                    }
+                    for h in self.hops
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TracerouteResult":
+        """Parse the Atlas result layout."""
+        try:
+            row = json.loads(text)
+            hops = tuple(
+                Hop(
+                    hop=int(h["hop"]),
+                    replies=tuple(
+                        (r["from"], float(r["rtt"]))
+                        for r in h.get("result", [])
+                        if "rtt" in r and "from" in r
+                    ),
+                )
+                for h in row["result"]
+            )
+            return cls(
+                probe_id=int(row["prb_id"]),
+                msm_id=int(row["msm_id"]),
+                timestamp=int(row["timestamp"]),
+                dst_addr=row["dst_addr"],
+                hops=hops,
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise TracerouteParseError(f"bad traceroute row: {exc}") from None
+
+
+def min_rtt_per_probe_month(
+    results: Iterable[TracerouteResult],
+) -> dict[tuple[int, Month], float]:
+    """The paper's per-probe monthly minimum destination RTT.
+
+    Taking the monthly minimum strips transient noise such as diurnal
+    congestion (Section 7.2).  Unreached traceroutes are ignored.
+    """
+    best: dict[tuple[int, Month], float] = {}
+    for result in results:
+        rtt = result.destination_rtt()
+        if rtt is None:
+            continue
+        key = (result.probe_id, result.month)
+        if key not in best or rtt < best[key]:
+            best[key] = rtt
+    return best

@@ -1,0 +1,49 @@
+"""BGP interdomain-topology substrate.
+
+Implements the two CAIDA data products the paper's Section 4/6 analyses
+consume, plus an AS-graph layer and the scripted synthetic histories:
+
+* :mod:`repro.bgp.asrel` -- the AS-relationship *serial-1* text format
+  (``<as1>|<as2>|<relationship>``) and per-snapshot neighbour queries.
+* :mod:`repro.bgp.archive` -- monthly archives of snapshots with the
+  longitudinal queries behind Fig. 8 (degree series) and Fig. 9 (transit
+  provider heatmap).
+* :mod:`repro.bgp.prefix2as` -- the RouteViews prefix-to-AS format, origin
+  lookups, announced-address accounting and the visibility matrix behind
+  Fig. 14.
+* :mod:`repro.bgp.graph` -- customer-cone / provider-path queries.
+* :mod:`repro.bgp.synthetic` -- the scripted CANTV and Telefonica
+  histories calibrated to the paper.
+"""
+
+from repro.bgp.archive import ASRelArchive, Prefix2ASArchive
+from repro.bgp.asrel import (
+    P2C,
+    P2P,
+    ASRelationshipSnapshot,
+    Relationship,
+    parse_asrel,
+)
+from repro.bgp.graph import ASGraph
+from repro.bgp.prefix2as import Prefix2ASSnapshot, parse_prefix2as
+from repro.bgp.synthetic import (
+    CANTV_TRANSIT_INTERVALS,
+    synthesize_asrel_archive,
+    synthesize_prefix2as_archive,
+)
+
+__all__ = [
+    "ASGraph",
+    "ASRelArchive",
+    "ASRelationshipSnapshot",
+    "CANTV_TRANSIT_INTERVALS",
+    "P2C",
+    "P2P",
+    "Prefix2ASArchive",
+    "Prefix2ASSnapshot",
+    "Relationship",
+    "parse_asrel",
+    "parse_prefix2as",
+    "synthesize_asrel_archive",
+    "synthesize_prefix2as_archive",
+]

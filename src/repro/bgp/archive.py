@@ -1,0 +1,153 @@
+"""Monthly archives of BGP snapshots and their longitudinal queries.
+
+Two archive types wrap ``Month -> snapshot`` mappings:
+
+* :class:`ASRelArchive` answers the Fig. 8 / Fig. 9 questions -- how many
+  upstreams and downstreams an AS had per month, and which providers served
+  it for more than N months.
+* :class:`Prefix2ASArchive` answers the Fig. 2 / Fig. 14 questions --
+  announced address space per origin over time, and per-prefix visibility.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterable, Iterator, Mapping
+
+from repro.bgp.asrel import ASRelationshipSnapshot
+from repro.bgp.prefix2as import Prefix2ASSnapshot
+from repro.timeseries.month import Month
+from repro.timeseries.series import MonthlySeries
+
+
+class ASRelArchive:
+    """Monthly AS-relationship snapshots."""
+
+    def __init__(self, snapshots: Mapping[Month, ASRelationshipSnapshot]):
+        self._snapshots = dict(snapshots)
+
+    def months(self) -> list[Month]:
+        """All snapshot months, ascending."""
+        return sorted(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __getitem__(self, month: Month) -> ASRelationshipSnapshot:
+        return self._snapshots[month]
+
+    def __contains__(self, month: Month) -> bool:
+        return month in self._snapshots
+
+    def items(self) -> Iterator[tuple[Month, ASRelationshipSnapshot]]:
+        """(month, snapshot) pairs in month order."""
+        for m in self.months():
+            yield m, self._snapshots[m]
+
+    # -- Fig. 8: degree series -----------------------------------------------
+
+    def upstream_count_series(self, asn: int) -> MonthlySeries:
+        """Number of transit providers of *asn* per month."""
+        return MonthlySeries(
+            {m: float(len(s.upstreams_of(asn))) for m, s in self.items()}
+        )
+
+    def downstream_count_series(self, asn: int) -> MonthlySeries:
+        """Number of transit customers of *asn* per month."""
+        return MonthlySeries(
+            {m: float(len(s.downstreams_of(asn))) for m, s in self.items()}
+        )
+
+    # -- Fig. 9: transit heatmap ------------------------------------------------
+
+    def transit_matrix(self, asn: int) -> dict[int, set[Month]]:
+        """For each provider that ever served *asn*, the months it did."""
+        matrix: dict[int, set[Month]] = {}
+        for month, snapshot in self.items():
+            for provider in snapshot.upstreams_of(asn):
+                matrix.setdefault(provider, set()).add(month)
+        return matrix
+
+    def providers_serving(self, asn: int, min_months: int = 1) -> list[int]:
+        """Providers that served *asn* for at least *min_months* snapshots."""
+        matrix = self.transit_matrix(asn)
+        return sorted(p for p, months in matrix.items() if len(months) >= min_months)
+
+    def provider_intervals(self, asn: int, provider: int) -> list[tuple[Month, Month]]:
+        """Contiguous service intervals of *provider* for *asn*.
+
+        Contiguity is relative to the archive's snapshot months: an interval
+        breaks when a snapshot exists in which the provider is absent.
+        """
+        intervals: list[tuple[Month, Month]] = []
+        run_start: Month | None = None
+        prev: Month | None = None
+        for month, snapshot in self.items():
+            if provider in snapshot.upstreams_of(asn):
+                if run_start is None:
+                    run_start = month
+                prev = month
+            else:
+                if run_start is not None and prev is not None:
+                    intervals.append((run_start, prev))
+                run_start = None
+        if run_start is not None and prev is not None:
+            intervals.append((run_start, prev))
+        return intervals
+
+
+class Prefix2ASArchive:
+    """Monthly prefix-to-AS snapshots."""
+
+    def __init__(self, snapshots: Mapping[Month, Prefix2ASSnapshot]):
+        self._snapshots = dict(snapshots)
+
+    def months(self) -> list[Month]:
+        """All snapshot months, ascending."""
+        return sorted(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __getitem__(self, month: Month) -> Prefix2ASSnapshot:
+        return self._snapshots[month]
+
+    def items(self) -> Iterator[tuple[Month, Prefix2ASSnapshot]]:
+        """(month, snapshot) pairs in month order."""
+        for m in self.months():
+            yield m, self._snapshots[m]
+
+    # -- Fig. 2: announced space -------------------------------------------------
+
+    def announced_series(self, asn: int) -> MonthlySeries:
+        """Announced (collapsed) address count of *asn* per month."""
+        return MonthlySeries(
+            {m: float(s.announced_addresses(asn)) for m, s in self.items()}
+        )
+
+    # -- Fig. 14: visibility matrix ------------------------------------------------
+
+    def visibility_matrix(
+        self, asn: int, prefixes: Iterable[str] | None = None
+    ) -> dict[str, set[Month]]:
+        """Months each prefix of *asn* was routed.
+
+        Args:
+            asn: Origin AS whose prefixes are tracked.
+            prefixes: Optional explicit prefix list (CIDR strings).  When
+                omitted, every prefix the AS ever originated in the archive
+                is tracked.
+        """
+        if prefixes is None:
+            wanted: set[ipaddress.IPv4Network] = set()
+            for _m, snapshot in self.items():
+                wanted.update(snapshot.prefixes_of(asn))
+        else:
+            wanted = {ipaddress.ip_network(p) for p in prefixes}
+        matrix: dict[str, set[Month]] = {str(net): set() for net in wanted}
+        for month, snapshot in self.items():
+            routed = set(snapshot.prefixes_of(asn))
+            for net in wanted:
+                if net in routed:
+                    matrix[str(net)].add(month)
+        return matrix

@@ -1,0 +1,130 @@
+"""Multi-collector BGP visibility.
+
+The paper speaks of prefixes "visible on BGP collectors": real pipelines
+combine several vantage points (RouteViews and RIS collectors) because a
+single collector's view is partial.  This module models that: a set of
+named collectors, each holding its own prefix table, and visibility
+queries that require a prefix to be seen by at least *k* collectors.
+
+The synthetic view derives per-collector tables from a base snapshot with
+deterministic per-collector dropouts (distant collectors miss more), which
+is what the quorum ablation benchmark sweeps over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import ipaddress
+
+from repro.bgp.prefix2as import OriginEntry, Prefix2ASSnapshot
+
+
+@dataclass(frozen=True, slots=True)
+class Collector:
+    """One route collector.
+
+    Attributes:
+        name: Collector identifier (e.g. ``"route-views2"``).
+        country: Hosting country.
+        miss_rate: Fraction of prefixes this collector fails to observe
+            (path filtering, session resets, distance from the origin).
+    """
+
+    name: str
+    country: str
+    miss_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_rate < 1.0:
+            raise ValueError(f"miss rate out of range: {self.miss_rate}")
+
+
+#: The default collector fleet, miss rates growing with distance from
+#: Latin America.
+DEFAULT_COLLECTORS: tuple[Collector, ...] = (
+    Collector("saopaulo", "BR", 0.02),
+    Collector("route-views2", "US", 0.05),
+    Collector("eqix-ashburn", "US", 0.06),
+    Collector("rrc00-amsterdam", "NL", 0.10),
+    Collector("rrc06-otemachi", "JP", 0.14),
+)
+
+
+def _stable_hash(text: str) -> int:
+    acc = 0
+    for ch in text:
+        acc = (acc * 131 + ord(ch)) % 1_000_003
+    return acc
+
+
+class MultiCollectorView:
+    """Per-collector prefix tables with quorum visibility queries."""
+
+    def __init__(self, tables: Mapping[str, Prefix2ASSnapshot]):
+        if not tables:
+            raise ValueError("need at least one collector table")
+        self._tables = dict(tables)
+
+    @classmethod
+    def from_base_snapshot(
+        cls,
+        base: Prefix2ASSnapshot,
+        collectors: Iterable[Collector] = DEFAULT_COLLECTORS,
+    ) -> "MultiCollectorView":
+        """Derive per-collector tables with deterministic dropouts."""
+        tables: dict[str, Prefix2ASSnapshot] = {}
+        for collector in collectors:
+            entries = []
+            for entry in base.entries:
+                token = f"{collector.name}|{entry.network}"
+                if _stable_hash(token) / 1_000_003 >= collector.miss_rate:
+                    entries.append(OriginEntry(entry.network, entry.origins))
+            tables[collector.name] = Prefix2ASSnapshot(entries)
+        return cls(tables)
+
+    def collectors(self) -> list[str]:
+        """All collector names, sorted."""
+        return sorted(self._tables)
+
+    def table(self, name: str) -> Prefix2ASSnapshot:
+        """One collector's prefix table."""
+        return self._tables[name]
+
+    def seen_by(self, cidr: str) -> list[str]:
+        """Collectors observing an exact prefix."""
+        network = ipaddress.ip_network(cidr)
+        return sorted(
+            name
+            for name, table in self._tables.items()
+            if network in table.routed_prefixes()
+        )
+
+    def visibility(self, cidr: str) -> float:
+        """Fraction of collectors observing the prefix."""
+        return len(self.seen_by(cidr)) / len(self._tables)
+
+    def visible_prefixes(self, min_collectors: int = 1) -> set[ipaddress.IPv4Network]:
+        """Prefixes seen by at least *min_collectors* collectors."""
+        if min_collectors < 1:
+            raise ValueError("min_collectors must be >= 1")
+        counts: dict[ipaddress.IPv4Network, int] = {}
+        for table in self._tables.values():
+            for network in table.routed_prefixes():
+                counts[network] = counts.get(network, 0) + 1
+        return {net for net, count in counts.items() if count >= min_collectors}
+
+    def announced_addresses(self, asn: int, min_collectors: int = 1) -> int:
+        """Quorum-filtered announced address count for one origin.
+
+        A prefix contributes only when at least *min_collectors*
+        collectors see it originated by *asn*; overlaps are collapsed.
+        """
+        counts: dict[ipaddress.IPv4Network, int] = {}
+        for table in self._tables.values():
+            for network in table.prefixes_of(asn):
+                counts[network] = counts.get(network, 0) + 1
+        accepted = [n for n, c in counts.items() if c >= min_collectors]
+        collapsed = ipaddress.collapse_addresses(accepted)
+        return sum(net.num_addresses for net in collapsed)

@@ -1,0 +1,85 @@
+"""Sanctions-era transit geography (quantifying the Fig. 9 narrative).
+
+The paper reads the provider heatmap qualitatively: US carriers leave
+between 2013 and 2018 until only Columbus Networks remains.  This module
+computes that as a time series -- the share and count of an AS's transit
+providers registered in each country -- using the provider nationality
+table from the synthetic roster (or any caller-supplied mapping).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.bgp.archive import ASRelArchive
+from repro.bgp.synthetic import CANTV_TRANSIT_INTERVALS
+from repro.timeseries.series import MonthlySeries
+
+#: Default provider-ASN -> registration country mapping (the Fig. 9 roster).
+PROVIDER_COUNTRIES: dict[int, str] = {
+    p.asn: p.country for p in CANTV_TRANSIT_INTERVALS
+}
+
+
+def provider_country_counts(
+    archive: ASRelArchive,
+    asn: int,
+    nationalities: Mapping[int, str] | None = None,
+) -> dict[str, MonthlySeries]:
+    """Per-country transit-provider counts of *asn* over time.
+
+    Providers absent from *nationalities* are grouped under ``"??"``.
+    """
+    table = PROVIDER_COUNTRIES if nationalities is None else nationalities
+    acc: dict[str, dict] = {}
+    for month, snapshot in archive.items():
+        for provider in snapshot.upstreams_of(asn):
+            cc = table.get(provider, "??")
+            acc.setdefault(cc, {})[month] = acc.get(cc, {}).get(month, 0.0) + 1.0
+    return {cc: MonthlySeries(values) for cc, values in acc.items()}
+
+
+def us_transit_share_series(
+    archive: ASRelArchive,
+    asn: int,
+    nationalities: Mapping[int, str] | None = None,
+) -> MonthlySeries:
+    """Fraction of *asn*'s transit providers registered in the US.
+
+    Months in which the AS has no providers at all are absent.
+    """
+    table = PROVIDER_COUNTRIES if nationalities is None else nationalities
+    values = {}
+    for month, snapshot in archive.items():
+        providers = snapshot.upstreams_of(asn)
+        if not providers:
+            continue
+        us = sum(1 for p in providers if table.get(p) == "US")
+        values[month] = us / len(providers)
+    return MonthlySeries(values)
+
+
+def departures_by_year(
+    archive: ASRelArchive,
+    asn: int,
+    country: str,
+    nationalities: Mapping[int, str] | None = None,
+) -> dict[int, list[int]]:
+    """Providers of one nationality, grouped by the year they stop serving.
+
+    Providers still active in the archive's final month are excluded --
+    they have not departed.
+    """
+    table = PROVIDER_COUNTRIES if nationalities is None else nationalities
+    cc = country.upper()
+    final_month = archive.months()[-1]
+    out: dict[int, list[int]] = {}
+    for provider in archive.providers_serving(asn):
+        if table.get(provider) != cc:
+            continue
+        intervals = archive.provider_intervals(asn, provider)
+        last = intervals[-1][1]
+        if last == final_month:
+            continue
+        out.setdefault(last.year, []).append(provider)
+    return {year: sorted(providers) for year, providers in sorted(out.items())}

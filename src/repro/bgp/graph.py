@@ -1,0 +1,89 @@
+"""AS-graph queries over one relationship snapshot.
+
+Customer cones are the standard measure of a transit provider's market
+footprint; the paper's Section 6 narrative ("CANTV significantly expanded
+its presence in the domestic transit market") is quantified here.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.asrel import ASRelationshipSnapshot
+
+
+class ASGraph:
+    """Adjacency-indexed view of an AS-relationship snapshot."""
+
+    def __init__(self, snapshot: ASRelationshipSnapshot):
+        self._providers: dict[int, set[int]] = {}
+        self._customers: dict[int, set[int]] = {}
+        self._peers: dict[int, set[int]] = {}
+        for rel in snapshot.relationships:
+            if rel.kind == -1:
+                self._customers.setdefault(rel.a, set()).add(rel.b)
+                self._providers.setdefault(rel.b, set()).add(rel.a)
+            else:
+                self._peers.setdefault(rel.a, set()).add(rel.b)
+                self._peers.setdefault(rel.b, set()).add(rel.a)
+
+    def providers(self, asn: int) -> set[int]:
+        """Direct transit providers of *asn*."""
+        return set(self._providers.get(asn, ()))
+
+    def customers(self, asn: int) -> set[int]:
+        """Direct transit customers of *asn*."""
+        return set(self._customers.get(asn, ()))
+
+    def peers(self, asn: int) -> set[int]:
+        """Settlement-free peers of *asn*."""
+        return set(self._peers.get(asn, ()))
+
+    def ases(self) -> set[int]:
+        """All ASes with at least one edge."""
+        out: set[int] = set()
+        out.update(self._providers, self._customers, self._peers)
+        return out
+
+    def customer_cone(self, asn: int) -> set[int]:
+        """All ASes reachable from *asn* by only following p2c edges down.
+
+        The cone includes *asn* itself, matching CAIDA's convention.  Cycles
+        (which appear in inferred data) are handled by the visited set.
+        """
+        cone: set[int] = set()
+        stack = [asn]
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            stack.extend(self._customers.get(current, ()))
+        return cone
+
+    def is_transit_free(self, asn: int) -> bool:
+        """True when *asn* has no providers (a tier-1 candidate)."""
+        return not self._providers.get(asn)
+
+    def provider_paths_to_clique(self, asn: int, max_depth: int = 10) -> list[list[int]]:
+        """All provider chains from *asn* up to transit-free ASes.
+
+        Returns paths as lists starting at *asn* and ending at a
+        transit-free AS, bounded by *max_depth* to defuse inference cycles.
+        """
+        paths: list[list[int]] = []
+
+        def walk(path: list[int]) -> None:
+            current = path[-1]
+            ups = self._providers.get(current, set())
+            if not ups:
+                paths.append(list(path))
+                return
+            if len(path) > max_depth:
+                return
+            for up in sorted(ups):
+                if up not in path:
+                    path.append(up)
+                    walk(path)
+                    path.pop()
+
+        walk([asn])
+        return paths

@@ -1,0 +1,96 @@
+"""Valley-free AS path inference (Gao-Rexford routing).
+
+Section 6 frames user experience as "partially dependent on the quality
+of the path to the content".  This module computes policy-compliant AS
+paths on a relationship snapshot: a valid path climbs customer-to-provider
+edges, crosses at most one peer edge, then descends provider-to-customer
+-- the standard valley-free model.
+
+The headline use is longitudinal: CANTV's shortest valley-free path to
+the content ASes lengthens as its US transits depart.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.bgp.archive import ASRelArchive
+from repro.bgp.graph import ASGraph
+from repro.timeseries.series import MonthlySeries
+
+#: Well-known content ASNs used by the synthetic topology.
+AS_GOOGLE = 15_169
+AS_META = 32_934
+AS_NETFLIX = 2_906
+
+
+def shortest_valley_free_length(graph: ASGraph, src: int, dst: int) -> int | None:
+    """AS-hop count of the shortest valley-free path from *src* to *dst*.
+
+    Returns the number of inter-AS hops (a direct relationship = 1), or
+    None when no policy-compliant path exists.  States are (AS, phase)
+    with phases up (0), peered (1) and down (2); allowed transitions are
+    up->up, up->peer, up/peer/any->down and down->down.
+    """
+    if src == dst:
+        return 0
+    UP, PEER, DOWN = 0, 1, 2
+    start = (src, UP)
+    distances: dict[tuple[int, int], int] = {start: 0}
+    queue: deque[tuple[int, int]] = deque([start])
+    best: int | None = None
+    while queue:
+        state = queue.popleft()
+        asn, phase = state
+        distance = distances[state]
+        if best is not None and distance >= best:
+            continue
+        neighbours: list[tuple[int, int]] = []
+        if phase == UP:
+            neighbours.extend((p, UP) for p in graph.providers(asn))
+            neighbours.extend((p, PEER) for p in graph.peers(asn))
+        if phase in (UP, PEER, DOWN):
+            neighbours.extend((c, DOWN) for c in graph.customers(asn))
+        for nxt in neighbours:
+            if nxt in distances:
+                continue
+            distances[nxt] = distance + 1
+            if nxt[0] == dst:
+                candidate = distance + 1
+                best = candidate if best is None else min(best, candidate)
+            else:
+                queue.append(nxt)
+    return best
+
+
+def path_length_series(archive: ASRelArchive, src: int, dst: int) -> MonthlySeries:
+    """Shortest valley-free path length per month; unreachable months absent."""
+    values = {}
+    for month, snapshot in archive.items():
+        length = shortest_valley_free_length(ASGraph(snapshot), src, dst)
+        if length is not None:
+            values[month] = float(length)
+    return MonthlySeries(values)
+
+
+def reachable_ases(graph: ASGraph, src: int) -> set[int]:
+    """All ASes reachable from *src* over valley-free paths (excluding src)."""
+    UP, PEER, DOWN = 0, 1, 2
+    seen_states: set[tuple[int, int]] = {(src, UP)}
+    reached: set[int] = set()
+    queue: deque[tuple[int, int]] = deque([(src, UP)])
+    while queue:
+        asn, phase = queue.popleft()
+        neighbours: list[tuple[int, int]] = []
+        if phase == UP:
+            neighbours.extend((p, UP) for p in graph.providers(asn))
+            neighbours.extend((p, PEER) for p in graph.peers(asn))
+        neighbours.extend((c, DOWN) for c in graph.customers(asn))
+        for state in neighbours:
+            if state in seen_states:
+                continue
+            seen_states.add(state)
+            reached.add(state[0])
+            queue.append(state)
+    reached.discard(src)
+    return reached

@@ -1,0 +1,80 @@
+"""Interdomain resilience and market-structure metrics.
+
+Quantifies two claims the paper makes qualitatively: that Venezuela's
+ecosystem is "concentrated ... dominated by CANTV", and that CANTV's
+domestic transit expansion created a single point of failure for much of
+the country.
+
+* :func:`market_hhi` -- the Herfindahl-Hirschman concentration index of a
+  country's eyeball market.
+* :func:`transit_dependence` -- the share of a country's users in ASes
+  whose every path to the transit-free clique crosses a given AS.
+* :func:`single_homed_share` -- the share of users behind single-homed
+  ASes.
+"""
+
+from __future__ import annotations
+
+from repro.apnic.model import APNICEstimates
+from repro.bgp.graph import ASGraph
+
+
+def market_hhi(estimates: APNICEstimates, country: str) -> float:
+    """Herfindahl-Hirschman index of a country's eyeball market.
+
+    Computed over market shares expressed as fractions, so the index lies
+    in (0, 1]; 1.0 is a pure monopoly.  Regulators' usual thresholds map
+    to 0.15 (moderately concentrated) and 0.25 (highly concentrated).
+    """
+    entries = estimates.country_entries(country)
+    total = sum(e.users for e in entries)
+    if total == 0:
+        raise ValueError(f"no population data for {country!r}")
+    return sum((e.users / total) ** 2 for e in entries)
+
+
+def depends_on(graph: ASGraph, asn: int, chokepoint: int, max_depth: int = 10) -> bool:
+    """Whether every provider path of *asn* crosses *chokepoint*.
+
+    An AS trivially depends on itself.  ASes with no providers at all
+    (no visible transit) depend on nothing but themselves.
+    """
+    if asn == chokepoint:
+        return True
+    paths = graph.provider_paths_to_clique(asn, max_depth=max_depth)
+    if not paths or paths == [[asn]]:
+        return False
+    return all(chokepoint in path for path in paths)
+
+
+def transit_dependence(
+    graph: ASGraph,
+    estimates: APNICEstimates,
+    country: str,
+    chokepoint: int,
+) -> float:
+    """Share of *country*'s users fully dependent on *chokepoint*.
+
+    A user counts as dependent when its access network either is the
+    chokepoint or reaches the global Internet only through it.
+    """
+    cc = country.upper()
+    dependent = [
+        e.asn
+        for e in estimates.country_entries(cc)
+        if depends_on(graph, e.asn, chokepoint)
+    ]
+    return estimates.share_of_group(dependent, cc)
+
+
+def single_homed_share(
+    graph: ASGraph, estimates: APNICEstimates, country: str
+) -> float:
+    """Share of *country*'s users behind ASes with exactly one provider."""
+    cc = country.upper()
+    single = [
+        e.asn
+        for e in estimates.country_entries(cc)
+        if len(graph.providers(e.asn)) == 1
+    ]
+    return estimates.share_of_group(single, cc)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``            -- run every exhibit and print the full report.
+* ``exhibit <id>...``   -- run selected exhibits (``fig01``..``table2``).
+* ``list``              -- list exhibit ids with their titles.
+* ``scorecard <cc>``    -- regional scorecard for one LACNIC country.
+* ``export <dir>``      -- write every dataset in its wire format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import Scenario, exhibit_ids, get_exhibit, run_exhibit
+from repro.core.report import render_report
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    print(render_report(Scenario()))
+    return 0
+
+
+def _cmd_exhibit(args: argparse.Namespace) -> int:
+    known = exhibit_ids()
+    unknown = [e for e in args.ids if e not in known]
+    if unknown:
+        print(f"unknown exhibit(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(known)}", file=sys.stderr)
+        return 2
+    scenario = Scenario()
+    for exhibit_id in args.ids:
+        print(run_exhibit(scenario, exhibit_id).render())
+        print()
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    scenario_free_titles = {}
+    for exhibit_id in exhibit_ids():
+        fn = get_exhibit(exhibit_id)
+        doc = (fn.__doc__ or "").strip().splitlines()
+        scenario_free_titles[exhibit_id] = doc[0] if doc else ""
+    width = max(len(e) for e in scenario_free_titles)
+    for exhibit_id, title in scenario_free_titles.items():
+        print(f"{exhibit_id:<{width}}  {title}")
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.geo.countries import UnknownCountryError, country, is_lacnic
+
+    code = args.country.upper()
+    try:
+        home = country(code)
+    except UnknownCountryError:
+        print(f"unknown country code: {code}", file=sys.stderr)
+        return 2
+    if not is_lacnic(code):
+        print(f"{home.name} is outside the LACNIC region", file=sys.stderr)
+        return 2
+
+    from repro.mlab.aggregate import median_download_panel
+    from repro.rootdns.analysis import replica_count_panel
+
+    scenario = Scenario()
+    panels = [
+        ("peering facilities", scenario.peeringdb.facility_count_panel()),
+        ("submarine cables", scenario.cables.count_panel(2000, 2024)),
+        ("IPv6 adoption (%)", scenario.ipv6.panel()),
+        ("root DNS replicas", replica_count_panel(scenario.chaos_observations)),
+        ("download speed (Mbps)", median_download_panel(scenario.ndt_tests)),
+    ]
+    print(f"{home.name} ({code}) — latest snapshot")
+    for name, panel in panels:
+        series = panel.get(code)
+        if series is None or not series:
+            print(f"  {name:<24} none")
+            continue
+        month = series.last_month()
+        value = series.last_value()
+        rank = panel.rank_in_month(code, month)
+        print(f"  {name:<24} {value:>9.2f}   rank {rank}/{len(panel)}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.timeseries.month import Month
+
+    out = Path(args.directory)
+    out.mkdir(parents=True, exist_ok=True)
+    scenario = Scenario(ndt_tests_per_month=args.ndt_tests_per_month)
+    month = Month(2023, 12)
+
+    scenario.delegations.save(out / "delegated-lacnic-extended-latest")
+    scenario.asrel[month].save(out / f"{month}.as-rel.txt")
+    scenario.prefix2as[month].save(out / f"routeviews-rv2-{month}.pfx2as")
+    scenario.peeringdb.latest().save(out / "peeringdb_dump.json")
+    scenario.cables.save(out / "submarine_cables.json")
+    scenario.macro.save(out / "imf_indicators.csv")
+    scenario.populations.save(out / "apnic_populations.csv")
+    scenario.offnets.save(out / "offnets_artifacts.csv")
+    scenario.ipv6.save(out / "ipv6_adoption.csv")
+    scenario.site_survey.save(out / "webdeps_survey.csv")
+
+    from repro.mlab.ndt import write_ndt_jsonl
+
+    write_ndt_jsonl(scenario.ndt_tests, out / "ndt_downloads.jsonl")
+    print(f"exported 11 datasets to {out}/")
+    return 0
+
+
+def _cmd_narrative(_args: argparse.Namespace) -> int:
+    from repro.core.narrative import render_findings
+
+    print(render_findings(Scenario()))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core.figures import THREE_PANEL_FIGURES
+    from repro.core.plotting import render_three_panel
+
+    wanted = args.ids or sorted(THREE_PANEL_FIGURES)
+    unknown = [f for f in wanted if f not in THREE_PANEL_FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(THREE_PANEL_FIGURES))}", file=sys.stderr)
+        return 2
+    scenario = Scenario()
+    for figure_id in wanted:
+        print(render_three_panel(THREE_PANEL_FIGURES[figure_id](scenario)))
+        print()
+    return 0
+
+
+def _cmd_outages(_args: argparse.Namespace) -> int:
+    from repro.outages import OutageDetector, severity_ranking, synthesize_connectivity
+    from repro.outages.synthetic import signal_countries
+
+    detector = OutageDetector()
+    per_country = {
+        cc: detector.detect(synthesize_connectivity(cc))
+        for cc in signal_countries()
+    }
+    for cc, episodes in sorted(per_country.items()):
+        for episode in episodes:
+            print(
+                f"{cc}  {episode.start} .. {episode.end}  "
+                f"({episode.duration_days}d, severity {episode.severity:.2f})"
+            )
+    print()
+    for cc, hours in severity_ranking(per_country):
+        print(f"{cc}: {hours:7.1f} severity-weighted outage hours")
+    return 0
+
+
+def _cmd_validate(_args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_scenario
+
+    issues = validate_scenario(Scenario())
+    if not issues:
+        print("all consistency checks passed")
+        return 0
+    for issue in issues:
+        print(f"[{issue.severity}] {issue.check}: {issue.detail}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Ten years of the Venezuelan crisis - An "
+        "Internet perspective' (SIGCOMM 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="run every exhibit")
+    report.set_defaults(fn=_cmd_report)
+
+    exhibit = sub.add_parser("exhibit", help="run selected exhibits")
+    exhibit.add_argument("ids", nargs="+", metavar="ID")
+    exhibit.set_defaults(fn=_cmd_exhibit)
+
+    listing = sub.add_parser("list", help="list exhibit ids")
+    listing.set_defaults(fn=_cmd_list)
+
+    scorecard = sub.add_parser("scorecard", help="regional scorecard for a country")
+    scorecard.add_argument("country", metavar="CC")
+    scorecard.set_defaults(fn=_cmd_scorecard)
+
+    export = sub.add_parser("export", help="export datasets in wire formats")
+    export.add_argument("directory")
+    export.add_argument("--ndt-tests-per-month", type=int, default=5)
+    export.set_defaults(fn=_cmd_export)
+
+    narrative = sub.add_parser("narrative", help="the computed headline findings")
+    narrative.set_defaults(fn=_cmd_narrative)
+
+    figures = sub.add_parser("figures", help="ASCII three-panel figures")
+    figures.add_argument("ids", nargs="*", metavar="ID")
+    figures.set_defaults(fn=_cmd_figures)
+
+    outages = sub.add_parser("outages", help="detect the scripted blackouts")
+    outages.set_defaults(fn=_cmd_outages)
+
+    validate = sub.add_parser("validate", help="cross-dataset consistency checks")
+    validate.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Recovery counterfactuals (extension of the paper's Section 10).
+
+The paper closes by arguing that understanding the crisis's impact on the
+network is "vital for charting a path to recovery".  This module makes
+that quantitative in two directions:
+
+* :func:`counterfactual_series` -- where a country's metric would be had
+  it tracked the regional trend from a pivot month onward (the "no-crisis"
+  path);
+* :func:`years_to_catch_up` -- how long closing the gap to the regional
+  mean takes under an assumed compound growth rate (the "recovery" path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+from repro.timeseries.series import MonthlySeries
+
+
+@dataclass(frozen=True, slots=True)
+class CounterfactualGap:
+    """Summary of an actual-vs-counterfactual comparison.
+
+    Attributes:
+        pivot: Month at which the paths diverge.
+        final_actual: Actual value at the last common month.
+        final_counterfactual: Counterfactual value at that month.
+        shortfall_ratio: ``1 - actual/counterfactual`` (0.8 = the metric is
+            80% below its no-crisis path).
+    """
+
+    pivot: Month
+    final_actual: float
+    final_counterfactual: float
+    shortfall_ratio: float
+
+
+def counterfactual_series(
+    panel: CountryPanel, country: str, pivot: Month
+) -> MonthlySeries:
+    """The country's no-crisis path: pivot value scaled by regional growth.
+
+    From *pivot* onward, the country's value is carried along the regional
+    mean's month-over-month growth, computed over the other countries (the
+    target is excluded so its own collapse cannot drag the baseline).
+
+    Raises:
+        KeyError: when the country lacks an observation at *pivot*.
+    """
+    cc = country.upper()
+    actual = panel[cc]
+    if pivot not in actual:
+        raise KeyError(f"{cc} has no observation at {pivot}")
+    others = panel.filter_countries(lambda code: code != cc)
+    regional = others.regional_mean()
+    if pivot not in regional:
+        raise KeyError(f"regional mean has no observation at {pivot}")
+    base_value = actual[pivot]
+    base_regional = regional[pivot]
+    out: dict[Month, float] = {pivot: base_value}
+    for month in regional.months():
+        if month > pivot:
+            out[month] = base_value * regional[month] / base_regional
+    return MonthlySeries(out)
+
+
+def gap_summary(
+    panel: CountryPanel, country: str, pivot: Month
+) -> CounterfactualGap:
+    """Summarise the actual-vs-counterfactual divergence for one country."""
+    cc = country.upper()
+    actual = panel[cc]
+    counterfactual = counterfactual_series(panel, cc, pivot)
+    last_common = max(set(actual.months()) & set(counterfactual.months()))
+    final_actual = actual[last_common]
+    final_cf = counterfactual[last_common]
+    shortfall = 1.0 - final_actual / final_cf if final_cf > 0 else 0.0
+    return CounterfactualGap(
+        pivot=pivot,
+        final_actual=final_actual,
+        final_counterfactual=final_cf,
+        shortfall_ratio=max(0.0, shortfall),
+    )
+
+
+def years_to_catch_up(
+    current: float,
+    target: float,
+    growth_rate: float,
+    target_growth_rate: float = 0.0,
+) -> float:
+    """Years until *current* reaches *target* under compound growth.
+
+    Args:
+        current: The country's current value (must be positive).
+        target: The benchmark to reach (e.g. the regional mean), positive.
+        growth_rate: The country's assumed annual growth (0.25 = +25%/yr).
+        target_growth_rate: Benchmark's own annual growth (a moving target).
+
+    Returns:
+        Years (possibly fractional); 0.0 when already at or above target;
+        ``math.inf`` when the growth differential cannot close the gap.
+    """
+    if current <= 0 or target <= 0:
+        raise ValueError("values must be positive")
+    if current >= target:
+        return 0.0
+    differential = (1 + growth_rate) / (1 + target_growth_rate)
+    if differential <= 1.0:
+        return math.inf
+    return math.log(target / current) / math.log(differential)

@@ -1,0 +1,25 @@
+"""Exhibit functions, one per paper figure/table.
+
+Importing this package registers every exhibit with the registry in
+:mod:`repro.core.exhibit`.  Exhibits return paper-vs-measured metric rows
+(the same numbers the paper's prose and panels report), which are what
+the tests assert on, the benchmarks print, and EXPERIMENTS.md records.
+"""
+
+from repro.core.exhibits import (  # noqa: F401  (registration side effects)
+    addressing,
+    content,
+    infrastructure,
+    interdomain,
+    macro,
+    performance,
+)
+
+__all__ = [
+    "addressing",
+    "content",
+    "infrastructure",
+    "interdomain",
+    "macro",
+    "performance",
+]

@@ -1,0 +1,52 @@
+"""Tidy CSV export of figure series, for external plotting tools.
+
+Each three-panel figure flattens to one long-format CSV::
+
+    figure,series,month,value
+    fig11,AR,2007-07,0.55
+    fig11,__zoom__,2007-07,0.52
+    fig11,__aggregate__,2007-07,0.58
+
+``series`` is a country code for the top panel, ``__zoom__`` for the
+Venezuela panel and ``__aggregate__`` for the regional one -- exactly the
+three panels a plotting script needs to redraw the paper's layout.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.core.figures import THREE_PANEL_FIGURES, ThreePanelFigure
+from repro.core.scenario import Scenario
+
+ZOOM_SERIES = "__zoom__"
+AGGREGATE_SERIES = "__aggregate__"
+
+
+def figure_to_csv(figure: ThreePanelFigure) -> str:
+    """Flatten one figure to the long format."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["figure", "series", "month", "value"])
+    for cc, series in figure.panel.items():
+        for month, value in series.items():
+            writer.writerow([figure.figure_id, cc, str(month), repr(value)])
+    for month, value in figure.zoom.items():
+        writer.writerow([figure.figure_id, ZOOM_SERIES, str(month), repr(value)])
+    for month, value in figure.aggregate.items():
+        writer.writerow([figure.figure_id, AGGREGATE_SERIES, str(month), repr(value)])
+    return out.getvalue()
+
+
+def export_all_figures(scenario: Scenario, directory: Path | str) -> list[Path]:
+    """Write every three-panel figure's CSV under *directory*."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for figure_id, build in sorted(THREE_PANEL_FIGURES.items()):
+        path = root / f"{figure_id}.csv"
+        path.write_text(figure_to_csv(build(scenario)), encoding="utf-8")
+        written.append(path)
+    return written

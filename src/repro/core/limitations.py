@@ -1,0 +1,112 @@
+"""The paper's Section 8 (Limitations), computed.
+
+Each limitation the paper discusses qualitatively becomes a measurable
+coverage statistic on the scenario's own data: platform coverage of
+Venezuela (RIPE Atlas), crowd-sourced test volume skew (M-Lab), and the
+breadth of PeeringDB registration.  A downstream user swapping in real
+archives gets the same report about *their* data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scenario import Scenario
+from repro.timeseries.month import Month
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageStat:
+    """One coverage/limitation statistic."""
+
+    name: str
+    value: float
+    comment: str
+
+
+def atlas_coverage(scenario: Scenario, month: Month | None = None) -> list[CoverageStat]:
+    """RIPE Atlas coverage of Venezuela relative to the region."""
+    months = [Month(2024, 1)] if month is None else [month]
+    panel = scenario.probes.count_panel(months)
+    target = months[0]
+    ve = panel["VE"][target]
+    rank = panel.rank_in_month("VE", target)
+    total = panel.regional_sum()[target]
+    return [
+        CoverageStat("ve_probes", ve, "active Venezuelan probes"),
+        CoverageStat(
+            "ve_probe_rank", float(rank),
+            "Venezuela's probe-count rank in the region (1 = best covered)",
+        ),
+        CoverageStat(
+            "ve_probe_share", ve / total,
+            "share of the regional probe fleet in Venezuela",
+        ),
+    ]
+
+
+def mlab_volume_skew(scenario: Scenario) -> list[CoverageStat]:
+    """Crowd-sourced test-volume skew across countries.
+
+    The paper warns that "the number of tests per country ... may vary";
+    this reports the max/min monthly-volume ratio and Venezuela's share.
+    """
+    from repro.mlab.aggregate import measurement_count_panel
+
+    counts = measurement_count_panel(scenario.ndt_tests)
+    latest = counts.months()[-1]
+    per_country = {
+        cc: counts[cc].get(latest, 0.0) for cc in counts.countries()
+    }
+    values = [v for v in per_country.values() if v > 0]
+    total = sum(values)
+    return [
+        CoverageStat(
+            "volume_max_min_ratio", max(values) / min(values),
+            "largest / smallest per-country monthly test volume",
+        ),
+        CoverageStat(
+            "ve_volume_share", per_country.get("VE", 0.0) / total,
+            "Venezuela's share of the latest month's tests",
+        ),
+    ]
+
+
+def peeringdb_breadth(scenario: Scenario) -> list[CoverageStat]:
+    """Breadth of PeeringDB registration the analyses can see."""
+    snapshot = scenario.peeringdb.latest()
+    countries = len(snapshot.facility_count_by_country())
+    ve_members = {
+        nf.net_id
+        for f in snapshot.facilities_in("VE")
+        for nf in snapshot.netfacs
+        if nf.fac_id == f.id
+    }
+    return [
+        CoverageStat(
+            "facility_countries", float(countries),
+            "countries with at least one registered facility",
+        ),
+        CoverageStat(
+            "ve_networks_at_facilities", float(len(ve_members)),
+            "distinct Venezuelan networks registered at any facility",
+        ),
+    ]
+
+
+def limitations_report(scenario: Scenario) -> list[CoverageStat]:
+    """Every limitation statistic, in the paper's Section 8 order."""
+    return (
+        atlas_coverage(scenario)
+        + mlab_volume_skew(scenario)
+        + peeringdb_breadth(scenario)
+    )
+
+
+def render_limitations(scenario: Scenario) -> str:
+    """The limitations report as aligned text."""
+    stats = limitations_report(scenario)
+    width = max(len(s.name) for s in stats)
+    return "\n".join(
+        f"{s.name:<{width}}  {s.value:>10.3f}  {s.comment}" for s in stats
+    )

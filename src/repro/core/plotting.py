@@ -1,0 +1,70 @@
+"""Terminal plotting: ASCII sparklines and three-panel figure rendering.
+
+No plotting dependency is assumed; the renderer produces compact text
+charts good enough to eyeball every trajectory the paper plots.
+"""
+
+from __future__ import annotations
+
+from repro.core.figures import ThreePanelFigure
+from repro.timeseries.series import MonthlySeries
+
+_TICKS = " .:-=+*#%@"
+
+
+def sparkline(series: MonthlySeries, width: int = 60) -> str:
+    """A one-line amplitude chart of a series.
+
+    Values are resampled to *width* columns (by bucketing months) and
+    mapped onto a ten-level character ramp scaled to the series range.
+    """
+    if not series:
+        return "(empty)"
+    months = series.months()
+    values = series.values()
+    low, high = min(values), max(values)
+    span = high - low
+    buckets: list[list[float]] = [[] for _ in range(min(width, len(months)))]
+    for index, value in enumerate(values):
+        buckets[index * len(buckets) // len(values)].append(value)
+    chars = []
+    for bucket in buckets:
+        if not bucket:
+            chars.append(" ")
+            continue
+        mean = sum(bucket) / len(bucket)
+        level = 0 if span == 0 else round((mean - low) / span * (len(_TICKS) - 1))
+        chars.append(_TICKS[level])
+    return "".join(chars)
+
+
+def render_series(name: str, series: MonthlySeries, width: int = 60) -> str:
+    """One labelled sparkline with its range annotation."""
+    if not series:
+        return f"{name:<6} (no data)"
+    return (
+        f"{name:<6} {sparkline(series, width)}  "
+        f"[{series.min():.2f} .. {series.max():.2f}]"
+    )
+
+
+def render_three_panel(figure: ThreePanelFigure, width: int = 60) -> str:
+    """Render a three-panel figure as text.
+
+    Highlighted countries get one sparkline each; the Venezuela zoom and
+    the regional aggregate follow, mirroring the paper's layout.
+    """
+    lines = [f"{figure.figure_id.upper()}: {figure.title} ({figure.unit})"]
+    months = figure.panel.months()
+    if months:
+        lines.append(f"window: {months[0]} .. {months[-1]}")
+    for cc in figure.highlight:
+        series = figure.panel.get(cc)
+        if series:
+            lines.append(render_series(cc, series, width))
+    lines.append(render_series("VE*", figure.zoom, width))
+    lines.append(
+        render_series(f"{figure.aggregate_mode.value}", figure.aggregate, width)
+    )
+    lines.append("(* = the paper's lower-left Venezuela zoom)")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Run exhibits and render the paper-vs-measured report."""
+
+from __future__ import annotations
+
+from repro.core.exhibit import Exhibit, exhibit_ids, get_exhibit
+from repro.core.scenario import Scenario
+
+
+def run_exhibit(scenario: Scenario, exhibit_id: str) -> Exhibit:
+    """Run one exhibit against a scenario."""
+    return get_exhibit(exhibit_id)(scenario)
+
+
+def run_all(scenario: Scenario) -> list[Exhibit]:
+    """Run every registered exhibit, in id order."""
+    return [run_exhibit(scenario, exhibit_id) for exhibit_id in exhibit_ids()]
+
+
+def render_report(scenario: Scenario) -> str:
+    """The full text report: every exhibit's table, separated by rules."""
+    parts = [exhibit.render() for exhibit in run_all(scenario)]
+    rule = "\n" + "=" * 72 + "\n"
+    return rule.join(parts)

@@ -1,0 +1,169 @@
+"""The deterministic synthetic world behind every exhibit.
+
+A :class:`Scenario` materialises each dataset lazily and caches it, so a
+test session or benchmark run pays each generation cost once.  Everything
+is seeded: two scenarios built with the same parameters are identical.
+
+Swapping in real data: every property returns the parsed-data type of its
+substrate (archives, datasets, registries), so a pipeline over real
+archives only needs a Scenario subclass whose properties load from disk
+instead of the synthetic generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.apnic.model import APNICEstimates
+from repro.apnic.synthetic import synthesize_populations
+from repro.atlas.probes import ProbeRegistry
+from repro.atlas.synthetic import (
+    synthesize_chaos_campaign,
+    synthesize_gpdns_campaign,
+    synthesize_probe_registry,
+)
+from repro.atlas.traceroute import TracerouteResult
+from repro.bgp.archive import ASRelArchive, Prefix2ASArchive
+from repro.bgp.synthetic import synthesize_asrel_archive, synthesize_prefix2as_archive
+from repro.ipv6.model import AdoptionDataset
+from repro.ipv6.synthetic import synthesize_ipv6_adoption
+from repro.macro.store import IndicatorStore
+from repro.macro.synthetic import synthesize_macro
+from repro.mlab.ndt import NDTResult
+from repro.mlab.synthetic import NDTLoadModel, synthesize_ndt_tests
+from repro.offnets.as2org import OrgMap
+from repro.offnets.records import OffnetArchive
+from repro.offnets.synthetic import synthesize_offnets, synthesize_org_map
+from repro.peeringdb.archive import PeeringDBArchive
+from repro.peeringdb.synthetic import synthesize_peeringdb_archive
+from repro.registry.delegation import DelegationFile
+from repro.registry.synthetic import synthesize_ve_delegations
+from repro.rootdns.analysis import ChaosObservation
+from repro.rootdns.deployment import RootDeployment
+from repro.rootdns.synthetic import synthesize_root_deployment
+from repro.telegeography.model import CableMap
+from repro.telegeography.synthetic import synthesize_cable_map
+from repro.webdeps.model import SiteSurvey
+from repro.webdeps.synthetic import synthesize_site_survey
+
+
+@dataclass
+class Scenario:
+    """Lazily-built bundle of every dataset the exhibits read.
+
+    Attributes:
+        ndt_tests_per_month: Sample count per country-month for the
+            synthetic M-Lab load (larger = tighter medians, slower build).
+        gpdns_samples_per_month: Traceroutes per probe-month in the GPDNS
+            campaign.
+        seed: Seed of the stochastic (M-Lab) generator; all other
+            generators are fully scripted.
+    """
+
+    ndt_tests_per_month: int = 40
+    gpdns_samples_per_month: int = 2
+    seed: int = 20_240_804
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    # -- Section 2: macro ---------------------------------------------------
+
+    @cached_property
+    def macro(self) -> IndicatorStore:
+        """IMF/OECD indicator store (Fig. 1 / Fig. 13)."""
+        return synthesize_macro()
+
+    # -- Section 4: address space -------------------------------------------
+
+    @cached_property
+    def delegations(self) -> DelegationFile:
+        """LACNIC delegation file for Venezuela (Fig. 2 denominator)."""
+        return synthesize_ve_delegations()
+
+    @cached_property
+    def prefix2as(self) -> Prefix2ASArchive:
+        """Monthly RouteViews prefix2as archive (Fig. 2 / Fig. 14)."""
+        return synthesize_prefix2as_archive()
+
+    # -- Section 5: infrastructure ---------------------------------------------
+
+    @cached_property
+    def peeringdb(self) -> PeeringDBArchive:
+        """Monthly PeeringDB archive (Figs. 3, 10, 15, 21; Table 2)."""
+        return synthesize_peeringdb_archive()
+
+    @cached_property
+    def cables(self) -> CableMap:
+        """Submarine cable map (Fig. 4)."""
+        return synthesize_cable_map()
+
+    @cached_property
+    def ipv6(self) -> AdoptionDataset:
+        """Meta IPv6 adoption dataset (Fig. 5)."""
+        return synthesize_ipv6_adoption()
+
+    @cached_property
+    def root_deployment(self) -> RootDeployment:
+        """Root server site schedule (ground truth behind Fig. 6)."""
+        return synthesize_root_deployment()
+
+    @cached_property
+    def probes(self) -> ProbeRegistry:
+        """RIPE Atlas probe fleet (Figs. 12, 17, 20)."""
+        return synthesize_probe_registry()
+
+    @cached_property
+    def chaos_observations(self) -> list[ChaosObservation]:
+        """Parsed CHAOS TXT answers (Figs. 6, 16, 17)."""
+        return [
+            r.to_observation()
+            for r in synthesize_chaos_campaign(self.probes, self.root_deployment)
+        ]
+
+    # -- Sections 5.5 / App. G-H: content infrastructure -------------------------
+
+    @cached_property
+    def populations(self) -> APNICEstimates:
+        """APNIC per-AS population estimates (Table 1 and weighting)."""
+        return synthesize_populations()
+
+    @cached_property
+    def offnets(self) -> OffnetArchive:
+        """Hypergiant off-net archive (Figs. 7, 18)."""
+        return synthesize_offnets(self.populations)
+
+    @cached_property
+    def orgmap(self) -> OrgMap:
+        """as2org+ organisation map."""
+        return synthesize_org_map()
+
+    @cached_property
+    def site_survey(self) -> SiteSurvey:
+        """Third-party dependency survey (Fig. 19)."""
+        return synthesize_site_survey()
+
+    # -- Section 6: interdomain --------------------------------------------------
+
+    @cached_property
+    def asrel(self) -> ASRelArchive:
+        """CAIDA AS-relationship archive (Figs. 8, 9)."""
+        return synthesize_asrel_archive()
+
+    # -- Section 7: performance ----------------------------------------------------
+
+    @cached_property
+    def ndt_tests(self) -> list[NDTResult]:
+        """Synthetic M-Lab NDT test load (Fig. 11)."""
+        model = NDTLoadModel(
+            seed=self.seed, tests_per_month=self.ndt_tests_per_month
+        )
+        return list(synthesize_ndt_tests(model))
+
+    @cached_property
+    def gpdns_traceroutes(self) -> list[TracerouteResult]:
+        """GPDNS traceroute campaign results (Figs. 12, 20)."""
+        return list(
+            synthesize_gpdns_campaign(
+                self.probes, samples_per_month=self.gpdns_samples_per_month
+            )
+        )

@@ -1,0 +1,212 @@
+"""Scenario persistence: write every dataset in its wire format, load back.
+
+This is the swap-in-real-data path made concrete.  ``ScenarioStore.save``
+materialises a scenario into a directory laid out like a mirror of the
+original archives (monthly snapshot files for the longitudinal sources,
+single files for the rest); ``ScenarioStore.load`` returns a
+:class:`StoredScenario` whose datasets come from that directory.  Replace
+any file with a real archive download in the same format and the whole
+pipeline runs on it.
+
+Directory layout::
+
+    <root>/
+      imf_indicators.csv            delegated-lacnic-extended-latest
+      apnic_populations.csv         submarine_cables.json
+      ipv6_adoption.csv             offnets_artifacts.csv
+      orgmap.json                   webdeps_survey.csv
+      probes.json                   root_deployment.json
+      ndt_downloads.jsonl           chaos_results.jsonl
+      gpdns_traceroutes.jsonl
+      asrel/<YYYY-MM>.as-rel.txt
+      prefix2as/<YYYY-MM>.pfx2as
+      peeringdb/<YYYY-MM>.json
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from pathlib import Path
+
+from repro.apnic.model import APNICEstimates
+from repro.atlas.dnsbuiltin import DNSBuiltinResult
+from repro.atlas.probes import ProbeRegistry
+from repro.atlas.traceroute import TracerouteResult
+from repro.bgp.archive import ASRelArchive, Prefix2ASArchive
+from repro.bgp.asrel import parse_asrel
+from repro.bgp.prefix2as import parse_prefix2as
+from repro.core.scenario import Scenario
+from repro.ipv6.model import AdoptionDataset
+from repro.macro.store import IndicatorStore
+from repro.mlab.ndt import parse_ndt_jsonl, write_ndt_jsonl
+from repro.offnets.as2org import OrgMap
+from repro.offnets.records import OffnetArchive
+from repro.peeringdb.archive import PeeringDBArchive
+from repro.peeringdb.schema import PeeringDBSnapshot
+from repro.registry.delegation import parse_delegation_file
+from repro.rootdns.deployment import RootDeployment
+from repro.telegeography.model import CableMap
+from repro.timeseries.month import Month
+from repro.webdeps.model import SiteSurvey
+
+
+class ScenarioStore:
+    """Save/load scenarios under one directory."""
+
+    def __init__(self, directory: Path | str):
+        self.root = Path(directory)
+
+    # -- saving ------------------------------------------------------------
+
+    def save(self, scenario: Scenario) -> None:
+        """Materialise every dataset of *scenario* under the root."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        scenario.macro.save(self.root / "imf_indicators.csv")
+        scenario.delegations.save(self.root / "delegated-lacnic-extended-latest")
+        scenario.populations.save(self.root / "apnic_populations.csv")
+        scenario.ipv6.save(self.root / "ipv6_adoption.csv")
+        scenario.offnets.save(self.root / "offnets_artifacts.csv")
+        scenario.orgmap.save(self.root / "orgmap.json")
+        scenario.site_survey.save(self.root / "webdeps_survey.csv")
+        scenario.cables.save(self.root / "submarine_cables.json")
+        scenario.probes.save(self.root / "probes.json")
+        scenario.root_deployment.save(self.root / "root_deployment.json")
+
+        asrel_dir = self.root / "asrel"
+        asrel_dir.mkdir(exist_ok=True)
+        for month, snapshot in scenario.asrel.items():
+            snapshot.save(asrel_dir / f"{month}.as-rel.txt")
+
+        p2as_dir = self.root / "prefix2as"
+        p2as_dir.mkdir(exist_ok=True)
+        for month, snapshot in scenario.prefix2as.items():
+            snapshot.save(p2as_dir / f"{month}.pfx2as")
+
+        pdb_dir = self.root / "peeringdb"
+        pdb_dir.mkdir(exist_ok=True)
+        for month, snapshot in scenario.peeringdb.items():
+            snapshot.save(pdb_dir / f"{month}.json")
+
+        write_ndt_jsonl(scenario.ndt_tests, self.root / "ndt_downloads.jsonl")
+        with open(self.root / "gpdns_traceroutes.jsonl", "w", encoding="utf-8") as f:
+            for result in scenario.gpdns_traceroutes:
+                f.write(result.to_json())
+                f.write("\n")
+        with open(self.root / "chaos_results.jsonl", "w", encoding="utf-8") as f:
+            for obs in scenario.chaos_observations:
+                result = DNSBuiltinResult(
+                    probe_id=obs.probe_id,
+                    probe_country=obs.probe_country,
+                    root_letter=obs.letter,
+                    answer=obs.answer,
+                    month=obs.month,
+                )
+                f.write(result.to_json())
+                f.write("\n")
+
+    # -- loading ------------------------------------------------------------
+
+    def load(self) -> "StoredScenario":
+        """A scenario view over the stored files."""
+        return StoredScenario(self.root)
+
+
+def _monthly_files(directory: Path, suffix: str) -> dict[Month, Path]:
+    return {
+        Month.parse(path.name[: len("YYYY-MM")]): path
+        for path in sorted(directory.glob(f"*{suffix}"))
+    }
+
+
+class StoredScenario(Scenario):
+    """A Scenario whose datasets are read from a ScenarioStore directory.
+
+    Inherits every analysis-facing property name from :class:`Scenario`,
+    so exhibits and examples run unchanged on stored (or real) data.
+    """
+
+    def __init__(self, root: Path | str):
+        super().__init__()
+        self.root = Path(root)
+
+    def _read(self, name: str) -> str:
+        return (self.root / name).read_text(encoding="utf-8")
+
+    @cached_property
+    def macro(self) -> IndicatorStore:
+        return IndicatorStore.from_csv(self._read("imf_indicators.csv"))
+
+    @cached_property
+    def delegations(self):
+        return parse_delegation_file(self._read("delegated-lacnic-extended-latest"))
+
+    @cached_property
+    def populations(self) -> APNICEstimates:
+        return APNICEstimates.from_csv(self._read("apnic_populations.csv"))
+
+    @cached_property
+    def ipv6(self) -> AdoptionDataset:
+        return AdoptionDataset.from_csv(self._read("ipv6_adoption.csv"))
+
+    @cached_property
+    def offnets(self) -> OffnetArchive:
+        return OffnetArchive.from_csv(self._read("offnets_artifacts.csv"))
+
+    @cached_property
+    def orgmap(self) -> OrgMap:
+        return OrgMap.from_json(self._read("orgmap.json"))
+
+    @cached_property
+    def site_survey(self) -> SiteSurvey:
+        return SiteSurvey.from_csv(self._read("webdeps_survey.csv"))
+
+    @cached_property
+    def cables(self) -> CableMap:
+        return CableMap.from_json(self._read("submarine_cables.json"))
+
+    @cached_property
+    def probes(self) -> ProbeRegistry:
+        return ProbeRegistry.from_json(self._read("probes.json"))
+
+    @cached_property
+    def root_deployment(self) -> RootDeployment:
+        return RootDeployment.from_json(self._read("root_deployment.json"))
+
+    @cached_property
+    def asrel(self) -> ASRelArchive:
+        files = _monthly_files(self.root / "asrel", ".as-rel.txt")
+        return ASRelArchive(
+            {m: parse_asrel(p.read_text(encoding="utf-8")) for m, p in files.items()}
+        )
+
+    @cached_property
+    def prefix2as(self) -> Prefix2ASArchive:
+        files = _monthly_files(self.root / "prefix2as", ".pfx2as")
+        return Prefix2ASArchive(
+            {m: parse_prefix2as(p.read_text(encoding="utf-8")) for m, p in files.items()}
+        )
+
+    @cached_property
+    def peeringdb(self) -> PeeringDBArchive:
+        files = _monthly_files(self.root / "peeringdb", ".json")
+        return PeeringDBArchive(
+            {m: PeeringDBSnapshot.load(p) for m, p in files.items()}
+        )
+
+    @cached_property
+    def ndt_tests(self) -> list:
+        return list(parse_ndt_jsonl(self.root / "ndt_downloads.jsonl"))
+
+    @cached_property
+    def gpdns_traceroutes(self) -> list:
+        with open(self.root / "gpdns_traceroutes.jsonl", encoding="utf-8") as f:
+            return [TracerouteResult.from_json(line) for line in f if line.strip()]
+
+    @cached_property
+    def chaos_observations(self) -> list:
+        with open(self.root / "chaos_results.jsonl", encoding="utf-8") as f:
+            return [
+                DNSBuiltinResult.from_json(line).to_observation()
+                for line in f
+                if line.strip()
+            ]

@@ -1,0 +1,175 @@
+"""Cross-dataset consistency validation.
+
+A scenario combines a dozen datasets that must agree with each other
+(announced prefixes must be allocated, facility members must be
+registered networks, CHAOS answers must parse, ...).  The validator
+checks those invariants and reports violations -- its real purpose is
+guarding imports of *real* archive data, where such inconsistencies are
+routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scenario import Scenario
+
+
+@dataclass(frozen=True, slots=True)
+class Issue:
+    """One detected inconsistency."""
+
+    check: str
+    severity: str  # "error" | "warning"
+    detail: str
+
+
+def _announced_within_allocations(scenario: Scenario) -> list[Issue]:
+    """Every Venezuelan-origin announcement sits inside an allocation."""
+    import ipaddress
+
+    issues: list[Issue] = []
+    allocated = []
+    for record in scenario.delegations.ipv4_records("VE"):
+        size = record.value
+        prefixlen = 32 - (size - 1).bit_length() if size > 1 else 32
+        allocated.append(ipaddress.ip_network(f"{record.start}/{prefixlen}"))
+    ve_asns = {e.asn for e in scenario.populations.country_entries("VE")}
+    final = scenario.prefix2as[scenario.prefix2as.months()[-1]]
+    for entry in final.entries:
+        if not any(origin in ve_asns for origin in entry.origins):
+            continue
+        if not any(entry.network.subnet_of(block) for block in allocated):
+            issues.append(
+                Issue(
+                    "announced_within_allocations",
+                    "error",
+                    f"{entry.network} (origin {entry.origins}) outside VE allocations",
+                )
+            )
+    return issues
+
+
+def _facility_members_registered(scenario: Scenario) -> list[Issue]:
+    """Every netfac row points at existing facility and network rows."""
+    issues: list[Issue] = []
+    snapshot = scenario.peeringdb.latest()
+    net_ids = {n.id for n in snapshot.networks}
+    fac_ids = {f.id for f in snapshot.facilities}
+    for netfac in snapshot.netfacs:
+        if netfac.net_id not in net_ids:
+            issues.append(
+                Issue("facility_members_registered", "error",
+                      f"netfac references unknown network {netfac.net_id}")
+            )
+        if netfac.fac_id not in fac_ids:
+            issues.append(
+                Issue("facility_members_registered", "error",
+                      f"netfac references unknown facility {netfac.fac_id}")
+            )
+    return issues
+
+
+def _exchange_ports_registered(scenario: Scenario) -> list[Issue]:
+    """Every netixlan row points at existing exchange and network rows."""
+    issues: list[Issue] = []
+    snapshot = scenario.peeringdb.latest()
+    net_ids = {n.id for n in snapshot.networks}
+    ix_ids = {x.id for x in snapshot.exchanges}
+    for port in snapshot.netixlans:
+        if port.net_id not in net_ids:
+            issues.append(
+                Issue("exchange_ports_registered", "error",
+                      f"netixlan references unknown network {port.net_id}")
+            )
+        if port.ix_id not in ix_ids:
+            issues.append(
+                Issue("exchange_ports_registered", "error",
+                      f"netixlan references unknown exchange {port.ix_id}")
+            )
+    return issues
+
+
+def _chaos_answers_parse(scenario: Scenario, sample: int = 5000) -> list[Issue]:
+    """CHAOS answers must match their letter's grammar."""
+    from repro.rootdns.naming import ChaosParseError, parse_chaos_string
+
+    issues: list[Issue] = []
+    failures = 0
+    observations = scenario.chaos_observations
+    step = max(1, len(observations) // sample)
+    for obs in observations[::step]:
+        try:
+            parse_chaos_string(obs.letter, obs.answer)
+        except ChaosParseError:
+            failures += 1
+    if failures:
+        issues.append(
+            Issue("chaos_answers_parse", "warning",
+                  f"{failures} sampled CHAOS answers failed their grammar")
+        )
+    return issues
+
+
+def _offnet_asns_have_population(scenario: Scenario) -> list[Issue]:
+    """Off-net host ASes should appear in the population estimates."""
+    known = {e.asn for e in scenario.populations}
+    unknown = set()
+    for record in scenario.offnets:
+        if record.asn not in known:
+            unknown.add(record.asn)
+    if unknown:
+        return [
+            Issue("offnet_asns_have_population", "warning",
+                  f"{len(unknown)} off-net ASes lack population data")
+        ]
+    return []
+
+
+def _probe_months_within_campaigns(scenario: Scenario) -> list[Issue]:
+    """Traceroutes must come from probes active in their month."""
+    issues: list[Issue] = []
+    probes = {p.probe_id: p for p in scenario.probes.probes}
+    bad = 0
+    for result in scenario.gpdns_traceroutes[:: max(1, len(scenario.gpdns_traceroutes) // 5000)]:
+        probe = probes.get(result.probe_id)
+        if probe is None or not probe.active_in(result.month):
+            bad += 1
+    if bad:
+        issues.append(
+            Issue("probe_months_within_campaigns", "error",
+                  f"{bad} sampled traceroutes from inactive/unknown probes")
+        )
+    return issues
+
+
+def _population_totals_positive(scenario: Scenario) -> list[Issue]:
+    """Every surveyed country needs a positive user total."""
+    issues = []
+    for cc in scenario.populations.countries():
+        if scenario.populations.country_users(cc) <= 0:
+            issues.append(
+                Issue("population_totals_positive", "error",
+                      f"{cc} has a non-positive user total")
+            )
+    return issues
+
+
+#: All checks in execution order.
+_CHECKS = (
+    _announced_within_allocations,
+    _facility_members_registered,
+    _exchange_ports_registered,
+    _chaos_answers_parse,
+    _offnet_asns_have_population,
+    _probe_months_within_campaigns,
+    _population_totals_positive,
+)
+
+
+def validate_scenario(scenario: Scenario) -> list[Issue]:
+    """Run every consistency check; an empty list means all-clear."""
+    issues: list[Issue] = []
+    for check in _CHECKS:
+        issues.extend(check(scenario))
+    return issues

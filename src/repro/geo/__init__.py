@@ -1,0 +1,54 @@
+"""Geographic reference data for country-level Internet analysis.
+
+This subpackage provides the static geography the rest of the library
+leans on:
+
+* :mod:`repro.geo.countries` -- the LACNIC country registry plus the
+  comparator sets used throughout the paper (Venezuela vs. AR/BR/CL/CO/MX/UY).
+* :mod:`repro.geo.airports` -- IATA airport codes with coordinates, used to
+  geolocate root DNS anycast instances from CHAOS TXT site identifiers.
+* :mod:`repro.geo.distance` -- great-circle distance helpers.
+* :mod:`repro.geo.venezuela` -- Venezuelan cities and the Colombian-border
+  geography used in the Appendix J probe-map analysis.
+"""
+
+from repro.geo.airports import Airport, airport, airports_in_country, iter_airports
+from repro.geo.countries import (
+    COMPARATOR_CODES,
+    LACNIC_CODES,
+    VENEZUELA,
+    Country,
+    country,
+    is_lacnic,
+    iter_countries,
+    lacnic_countries,
+)
+from repro.geo.distance import haversine_km
+from repro.geo.venezuela import (
+    COLOMBIAN_BORDER_LON,
+    VE_CITIES,
+    City,
+    distance_to_colombian_border_km,
+    nearest_city,
+)
+
+__all__ = [
+    "Airport",
+    "COLOMBIAN_BORDER_LON",
+    "COMPARATOR_CODES",
+    "City",
+    "Country",
+    "LACNIC_CODES",
+    "VENEZUELA",
+    "VE_CITIES",
+    "airport",
+    "airports_in_country",
+    "country",
+    "distance_to_colombian_border_km",
+    "haversine_km",
+    "is_lacnic",
+    "iter_airports",
+    "iter_countries",
+    "lacnic_countries",
+    "nearest_city",
+]

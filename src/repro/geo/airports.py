@@ -1,0 +1,154 @@
+"""IATA airport codes used to geolocate anycast root DNS instances.
+
+Root server operators conventionally embed an IATA airport code in the
+CHAOS ``hostname.bind`` / ``id.server`` identifier of each site (e.g.
+``ccs`` for Caracas in ``ccs01.l.root-servers.org``).  The paper extracts
+those codes with per-letter regular expressions and maps them to a country
+and city; this module is that mapping.
+
+The table covers every airport code emitted by the synthetic root-server
+world plus the major international hubs that appear when Venezuelan probes
+are served from abroad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Airport:
+    """An IATA location identifier.
+
+    Attributes:
+        iata: Three-letter IATA code, upper case.
+        city: City the airport serves.
+        country_code: ISO 3166-1 alpha-2 country code.
+        lat: Airport latitude.
+        lon: Airport longitude.
+    """
+
+    iata: str
+    city: str
+    country_code: str
+    lat: float
+    lon: float
+
+
+def _a(iata, city, cc, lat, lon):
+    return Airport(iata, city, cc, lat, lon)
+
+
+_AIRPORTS: dict[str, Airport] = {
+    a.iata: a
+    for a in [
+        # Venezuela
+        _a("CCS", "Caracas", "VE", 10.60, -66.99),
+        _a("MAR", "Maracaibo", "VE", 10.56, -71.73),
+        _a("VLN", "Valencia", "VE", 10.15, -67.93),
+        _a("BRM", "Barquisimeto", "VE", 10.04, -69.36),
+        # Latin America
+        _a("EZE", "Buenos Aires", "AR", -34.82, -58.54),
+        _a("AEP", "Buenos Aires", "AR", -34.56, -58.42),
+        _a("COR", "Cordoba", "AR", -31.31, -64.21),
+        _a("GRU", "Sao Paulo", "BR", -23.44, -46.47),
+        _a("GIG", "Rio de Janeiro", "BR", -22.81, -43.25),
+        _a("BSB", "Brasilia", "BR", -15.87, -47.92),
+        _a("CNF", "Belo Horizonte", "BR", -19.62, -43.97),
+        _a("POA", "Porto Alegre", "BR", -29.99, -51.17),
+        _a("REC", "Recife", "BR", -8.13, -34.92),
+        _a("FOR", "Fortaleza", "BR", -3.78, -38.53),
+        _a("SSA", "Salvador", "BR", -12.91, -38.33),
+        _a("CWB", "Curitiba", "BR", -25.53, -49.18),
+        _a("SCL", "Santiago", "CL", -33.39, -70.79),
+        _a("ARI", "Arica", "CL", -18.35, -70.34),
+        _a("CCP", "Concepcion", "CL", -36.77, -73.06),
+        _a("BOG", "Bogota", "CO", 4.70, -74.15),
+        _a("MDE", "Medellin", "CO", 6.16, -75.42),
+        _a("CLO", "Cali", "CO", 3.54, -76.38),
+        _a("CUC", "Cucuta", "CO", 7.93, -72.51),
+        _a("MEX", "Mexico City", "MX", 19.44, -99.07),
+        _a("MTY", "Monterrey", "MX", 25.78, -100.11),
+        _a("GDL", "Guadalajara", "MX", 20.52, -103.31),
+        _a("QRO", "Queretaro", "MX", 20.62, -100.19),
+        _a("MVD", "Montevideo", "UY", -34.84, -56.03),
+        _a("PTY", "Panama City", "PA", 9.07, -79.38),
+        _a("UIO", "Quito", "EC", -0.13, -78.36),
+        _a("GYE", "Guayaquil", "EC", -2.16, -79.88),
+        _a("LIM", "Lima", "PE", -12.02, -77.11),
+        _a("ASU", "Asuncion", "PY", -25.24, -57.52),
+        _a("LPB", "La Paz", "BO", -16.51, -68.19),
+        _a("SJO", "San Jose", "CR", 9.99, -84.20),
+        _a("SDQ", "Santo Domingo", "DO", 18.43, -69.67),
+        _a("HAV", "Havana", "CU", 22.99, -82.41),
+        _a("POS", "Port of Spain", "TT", 10.60, -61.34),
+        _a("CUR", "Willemstad", "CW", 12.19, -68.96),
+        _a("GUA", "Guatemala City", "GT", 14.58, -90.53),
+        _a("TGU", "Tegucigalpa", "HN", 14.06, -87.22),
+        _a("MGA", "Managua", "NI", 12.14, -86.17),
+        _a("SAL", "San Salvador", "SV", 13.44, -89.06),
+        # North America / Europe / rest of world
+        _a("IAD", "Washington", "US", 38.94, -77.46),
+        _a("JFK", "New York", "US", 40.64, -73.78),
+        _a("LGA", "New York", "US", 40.78, -73.87),
+        _a("MIA", "Miami", "US", 25.79, -80.29),
+        _a("ATL", "Atlanta", "US", 33.64, -84.43),
+        _a("ORD", "Chicago", "US", 41.97, -87.91),
+        _a("DFW", "Dallas", "US", 32.90, -97.04),
+        _a("LAX", "Los Angeles", "US", 33.94, -118.41),
+        _a("SJC", "San Jose", "US", 37.36, -121.93),
+        _a("SEA", "Seattle", "US", 47.45, -122.31),
+        _a("PAO", "Palo Alto", "US", 37.46, -122.11),
+        _a("YYZ", "Toronto", "CA", 43.68, -79.63),
+        _a("YUL", "Montreal", "CA", 45.47, -73.74),
+        _a("LHR", "London", "GB", 51.47, -0.45),
+        _a("FRA", "Frankfurt", "DE", 50.03, 8.56),
+        _a("MUC", "Munich", "DE", 48.35, 11.79),
+        _a("CDG", "Paris", "FR", 49.01, 2.55),
+        _a("AMS", "Amsterdam", "NL", 52.31, 4.76),
+        _a("ARN", "Stockholm", "SE", 59.65, 17.92),
+        _a("ZRH", "Zurich", "CH", 47.46, 8.55),
+        _a("MAD", "Madrid", "ES", 40.47, -3.56),
+        _a("MXP", "Milan", "IT", 45.63, 8.72),
+        _a("NRT", "Tokyo", "JP", 35.77, 140.39),
+        _a("HND", "Tokyo", "JP", 35.55, 139.78),
+        _a("SVO", "Moscow", "RU", 55.97, 37.41),
+        _a("JNB", "Johannesburg", "ZA", -26.14, 28.25),
+        _a("SJU", "San Juan", "PR", 18.44, -66.00),
+        _a("SOF", "Sofia", "BG", 42.70, 23.41),
+        _a("BAH", "Manama", "BH", 26.27, 50.63),
+        _a("SJJ", "Sarajevo", "BA", 43.82, 18.33),
+        _a("RIX", "Riga", "LV", 56.92, 23.97),
+        _a("LJU", "Ljubljana", "SI", 46.22, 14.46),
+        _a("KBP", "Kyiv", "UA", 50.34, 30.89),
+    ]
+}
+
+
+class UnknownAirportError(KeyError):
+    """Raised when an IATA code is not present in the registry."""
+
+
+def airport(iata: str) -> Airport:
+    """Look up an airport by IATA code (case-insensitive).
+
+    Raises:
+        UnknownAirportError: if the code is not in the registry.
+    """
+    try:
+        return _AIRPORTS[iata.upper()]
+    except KeyError:
+        raise UnknownAirportError(iata) from None
+
+
+def airports_in_country(country_code: str) -> list[Airport]:
+    """Return all registered airports located in *country_code*."""
+    cc = country_code.upper()
+    return [a for a in _AIRPORTS.values() if a.country_code == cc]
+
+
+def iter_airports() -> Iterator[Airport]:
+    """Iterate over all registered airports in IATA-code order."""
+    for iata in sorted(_AIRPORTS):
+        yield _AIRPORTS[iata]

@@ -1,0 +1,148 @@
+"""Country registry for the LACNIC region and external reference countries.
+
+The paper compares Venezuela against the whole LACNIC service region and
+against a recurring set of peer economies (Argentina, Brazil, Chile,
+Colombia, Mexico, Uruguay).  This module provides a small immutable registry
+keyed by ISO 3166-1 alpha-2 code, covering every LACNIC economy that appears
+in the paper's figures plus the non-LACNIC countries that show up as hosts of
+root DNS instances (e.g. US, DE, GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """A single economy in the registry.
+
+    Attributes:
+        code: ISO 3166-1 alpha-2 code, upper case (e.g. ``"VE"``).
+        name: Human-readable English short name.
+        lacnic: Whether the economy is served by LACNIC.
+        lat: Latitude of a representative point (capital city).
+        lon: Longitude of a representative point (capital city).
+        population_millions: Approximate 2023 population, for context only.
+    """
+
+    code: str
+    name: str
+    lacnic: bool
+    lat: float
+    lon: float
+    population_millions: float
+
+
+def _c(code, name, lacnic, lat, lon, pop):
+    return Country(code, name, lacnic, lat, lon, pop)
+
+
+# LACNIC service region (the 33 economies the paper's "LACNIC" aggregates
+# draw from) followed by external economies referenced by the root-DNS and
+# transit analyses.
+_REGISTRY: dict[str, Country] = {
+    c.code: c
+    for c in [
+        _c("AR", "Argentina", True, -34.60, -58.38, 46.2),
+        _c("AW", "Aruba", True, 12.52, -70.03, 0.11),
+        _c("BO", "Bolivia", True, -16.50, -68.15, 12.2),
+        _c("BQ", "Bonaire, Sint Eustatius and Saba", True, 12.18, -68.26, 0.03),
+        _c("BR", "Brazil", True, -15.79, -47.88, 214.3),
+        _c("BZ", "Belize", True, 17.25, -88.77, 0.4),
+        _c("CL", "Chile", True, -33.45, -70.67, 19.6),
+        _c("CO", "Colombia", True, 4.71, -74.07, 51.9),
+        _c("CR", "Costa Rica", True, 9.93, -84.08, 5.2),
+        _c("CU", "Cuba", True, 23.11, -82.37, 11.2),
+        _c("CW", "Curacao", True, 12.11, -68.93, 0.16),
+        _c("DO", "Dominican Republic", True, 18.47, -69.89, 11.2),
+        _c("EC", "Ecuador", True, -0.18, -78.47, 18.0),
+        _c("GF", "French Guiana", True, 4.92, -52.31, 0.3),
+        _c("GT", "Guatemala", True, 14.63, -90.51, 17.6),
+        _c("GY", "Guyana", True, 6.80, -58.16, 0.8),
+        _c("HN", "Honduras", True, 14.07, -87.19, 10.4),
+        _c("HT", "Haiti", True, 18.54, -72.34, 11.6),
+        _c("MX", "Mexico", True, 19.43, -99.13, 127.5),
+        _c("NI", "Nicaragua", True, 12.13, -86.25, 6.9),
+        _c("PA", "Panama", True, 8.98, -79.52, 4.4),
+        _c("PE", "Peru", True, -12.05, -77.04, 34.0),
+        _c("PY", "Paraguay", True, -25.26, -57.58, 6.8),
+        _c("SR", "Suriname", True, 5.87, -55.17, 0.6),
+        _c("SV", "El Salvador", True, 13.69, -89.22, 6.3),
+        _c("SX", "Sint Maarten", True, 18.04, -63.05, 0.04),
+        _c("TT", "Trinidad and Tobago", True, 10.65, -61.50, 1.5),
+        _c("UY", "Uruguay", True, -34.90, -56.19, 3.4),
+        _c("VE", "Venezuela", True, 10.49, -66.88, 28.3),
+        # Additional LACNIC economies that appear only in aggregates.
+        _c("BS", "Bahamas", True, 25.04, -77.35, 0.4),
+        _c("JM", "Jamaica", True, 17.98, -76.79, 2.8),
+        _c("BB", "Barbados", True, 13.10, -59.61, 0.28),
+        _c("DM", "Dominica", True, 15.30, -61.39, 0.07),
+        # Non-LACNIC economies referenced by root-DNS / transit analyses.
+        _c("US", "United States", False, 38.91, -77.04, 333.3),
+        _c("CA", "Canada", False, 45.42, -75.70, 38.9),
+        _c("GB", "United Kingdom", False, 51.51, -0.13, 67.0),
+        _c("DE", "Germany", False, 52.52, 13.41, 83.2),
+        _c("FR", "France", False, 48.86, 2.35, 67.8),
+        _c("NL", "Netherlands", False, 52.37, 4.90, 17.6),
+        _c("SE", "Sweden", False, 59.33, 18.07, 10.4),
+        _c("CH", "Switzerland", False, 46.95, 7.45, 8.7),
+        _c("ES", "Spain", False, 40.42, -3.70, 47.4),
+        _c("IT", "Italy", False, 41.90, 12.50, 59.0),
+        _c("JP", "Japan", False, 35.68, 139.69, 125.7),
+        _c("RU", "Russia", False, 55.76, 37.62, 143.4),
+        _c("ZA", "South Africa", False, -25.75, 28.19, 59.9),
+        _c("PR", "Puerto Rico", False, 18.47, -66.11, 3.3),
+        _c("BG", "Bulgaria", False, 42.70, 23.32, 6.9),
+        _c("BH", "Bahrain", False, 26.23, 50.59, 1.5),
+        _c("BA", "Bosnia and Herzegovina", False, 43.86, 18.41, 3.2),
+        _c("LV", "Latvia", False, 56.95, 24.11, 1.9),
+        _c("SI", "Slovenia", False, 46.06, 14.51, 2.1),
+        _c("UA", "Ukraine", False, 50.45, 30.52, 43.8),
+    ]
+}
+
+#: All ISO codes in the LACNIC service region, sorted.
+LACNIC_CODES: tuple[str, ...] = tuple(
+    sorted(c.code for c in _REGISTRY.values() if c.lacnic)
+)
+
+#: The recurring peer set the paper highlights against Venezuela.
+COMPARATOR_CODES: tuple[str, ...] = ("AR", "BR", "CL", "CO", "MX", "UY")
+
+#: Venezuela's registry entry, exported for convenience.
+VENEZUELA: Country = _REGISTRY["VE"]
+
+
+class UnknownCountryError(KeyError):
+    """Raised when a country code is not present in the registry."""
+
+
+def country(code: str) -> Country:
+    """Look up a country by ISO alpha-2 code (case-insensitive).
+
+    Raises:
+        UnknownCountryError: if the code is not in the registry.
+    """
+    try:
+        return _REGISTRY[code.upper()]
+    except KeyError:
+        raise UnknownCountryError(code) from None
+
+
+def is_lacnic(code: str) -> bool:
+    """Return True if *code* belongs to the LACNIC service region."""
+    entry = _REGISTRY.get(code.upper())
+    return entry is not None and entry.lacnic
+
+
+def iter_countries() -> Iterator[Country]:
+    """Iterate over every registered country, in code order."""
+    for code in sorted(_REGISTRY):
+        yield _REGISTRY[code]
+
+
+def lacnic_countries() -> list[Country]:
+    """Return the LACNIC member economies, in code order."""
+    return [_REGISTRY[code] for code in LACNIC_CODES]

@@ -1,0 +1,26 @@
+"""Great-circle distance helpers."""
+
+from __future__ import annotations
+
+import math
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two points, in kilometres.
+
+    Uses the haversine formula on a spherical Earth, accurate to ~0.5% which
+    is ample for geolocating measurement infrastructure.
+
+    Args:
+        lat1, lon1: First point, decimal degrees.
+        lat2, lon2: Second point, decimal degrees.
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))

@@ -1,0 +1,70 @@
+"""Venezuelan city geography for the Appendix J probe-map analysis.
+
+The paper observes that the only Venezuelan RIPE Atlas probes reaching
+Google Public DNS in under 10 ms sit on the Colombian border, that
+Maracaibo-area probes land in 10-20 ms, and that latency grows with distance
+from the border (all Venezuelan traffic exits westwards through Colombia).
+This module provides the city table and the border-distance helper that the
+synthetic RTT model and the probe-map exhibit both use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.distance import haversine_km
+
+
+@dataclass(frozen=True, slots=True)
+class City:
+    """A Venezuelan population centre.
+
+    Attributes:
+        name: City name.
+        lat: Latitude in decimal degrees.
+        lon: Longitude in decimal degrees.
+        population_thousands: Approximate metro population.
+    """
+
+    name: str
+    lat: float
+    lon: float
+    population_thousands: float
+
+
+#: Cities hosting synthetic RIPE Atlas probes, west to east.
+VE_CITIES: tuple[City, ...] = (
+    City("San Antonio del Tachira", 7.81, -72.44, 62),
+    City("San Cristobal", 7.77, -72.22, 263),
+    City("Maracaibo", 10.64, -71.61, 2658),
+    City("Cabimas", 10.40, -71.45, 200),
+    City("Merida", 8.58, -71.15, 300),
+    City("Barquisimeto", 10.06, -69.35, 1240),
+    City("Valencia", 10.16, -68.00, 1900),
+    City("Maracay", 10.24, -67.59, 1300),
+    City("Caracas", 10.49, -66.88, 2900),
+    City("Barcelona", 10.13, -64.69, 500),
+    City("Ciudad Guayana", 8.35, -62.65, 900),
+    City("Maturin", 9.75, -63.18, 410),
+)
+
+#: Longitude of the main VE/CO border crossing (Cucuta / San Antonio).
+COLOMBIAN_BORDER_LON = -72.44
+#: Latitude of the main VE/CO border crossing.
+COLOMBIAN_BORDER_LAT = 7.81
+
+
+def distance_to_colombian_border_km(lat: float, lon: float) -> float:
+    """Distance from a point to the main Venezuelan-Colombian crossing.
+
+    The paper's Appendix J uses proximity to the Colombian border as the
+    explanatory variable for probe RTT to Google Public DNS; we reduce
+    "the border" to the San Antonio del Tachira / Cucuta crossing, where the
+    transit fibre actually crosses.
+    """
+    return haversine_km(lat, lon, COLOMBIAN_BORDER_LAT, COLOMBIAN_BORDER_LON)
+
+
+def nearest_city(lat: float, lon: float) -> City:
+    """Return the registered Venezuelan city closest to the given point."""
+    return min(VE_CITIES, key=lambda c: haversine_km(lat, lon, c.lat, c.lon))

@@ -1,0 +1,14 @@
+"""IPv6 adoption dataset (Meta/Facebook per-country substitute).
+
+The paper reads Meta's public per-country IPv6 request shares to produce
+Fig. 5.  :mod:`repro.ipv6.model` holds the dataset with a CSV round-trip;
+:mod:`repro.ipv6.synthetic` generates logistic adoption curves calibrated
+to the paper (Mexico/Brazil past 40%, Argentina/Chile/Colombia near 20%
+with Chile's 2022 surge, Venezuela near zero until 2021 and only 1.5% by
+mid-2023).
+"""
+
+from repro.ipv6.model import AdoptionDataset
+from repro.ipv6.synthetic import synthesize_ipv6_adoption
+
+__all__ = ["AdoptionDataset", "synthesize_ipv6_adoption"]

@@ -1,0 +1,85 @@
+"""Per-country IPv6 adoption time series.
+
+The on-disk layout flattens Meta's dashboard export to monthly samples::
+
+    country,month,ipv6_pct
+    VE,2023-06,1.5
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+from repro.timeseries.series import MonthlySeries
+
+
+class AdoptionDataset:
+    """Monthly IPv6 request-share percentages per country."""
+
+    def __init__(self, records: Iterable[tuple[str, Month, float]] = ()):
+        self._values: dict[tuple[str, Month], float] = {}
+        for cc, month, pct in records:
+            self.add(cc, month, pct)
+
+    def add(self, country: str, month: Month, pct: float) -> None:
+        """Insert or replace one observation (percent, 0-100)."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"adoption percent out of range: {pct}")
+        self._values[(country.upper(), month)] = float(pct)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, country: str, month: Month) -> float | None:
+        """One observation, or None."""
+        return self._values.get((country.upper(), month))
+
+    def series(self, country: str) -> MonthlySeries:
+        """All observations of one country."""
+        cc = country.upper()
+        return MonthlySeries(
+            {m: pct for (c, m), pct in self._values.items() if c == cc}
+        )
+
+    def panel(self) -> CountryPanel:
+        """Every country as a CountryPanel."""
+        return CountryPanel.from_records(
+            (cc, month, pct) for (cc, month), pct in self._values.items()
+        )
+
+    def countries(self) -> list[str]:
+        """All countries with observations, sorted."""
+        return sorted({cc for cc, _m in self._values})
+
+    # -- CSV round-trip --------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialise in the flattened-dashboard layout."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["country", "month", "ipv6_pct"])
+        for (cc, month) in sorted(self._values, key=lambda k: (k[0], k[1])):
+            writer.writerow([cc, str(month), repr(self._values[(cc, month)])])
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "AdoptionDataset":
+        """Parse the layout produced by :meth:`to_csv`."""
+        dataset = cls()
+        for row in csv.DictReader(io.StringIO(text)):
+            dataset.add(row["country"], Month.parse(row["month"]), float(row["ipv6_pct"]))
+        return dataset
+
+    def save(self, path: Path | str) -> None:
+        """Write the CSV form to *path*."""
+        Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "AdoptionDataset":
+        """Read the CSV form from *path*."""
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,80 @@
+"""Synthetic IPv6 adoption curves calibrated to Fig. 5.
+
+Each country follows a logistic uptake curve parameterised by its ceiling,
+inflection month and steepness; Venezuela instead follows the paper's
+scripted trajectory (near zero until 2021, creeping to 1.5% by mid-2023
+and holding).  The window matches the figure (January 2018 to July 2023).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ipv6.model import AdoptionDataset
+from repro.timeseries.month import Month, month_range
+
+WINDOW_START = Month(2018, 1)
+WINDOW_END = Month(2023, 7)
+
+#: cc -> (ceiling percent, inflection month, steepness per month).
+#: Chile's late inflection with high steepness is its 2022 surge.
+_LOGISTIC_PARAMS: dict[str, tuple[float, Month, float]] = {
+    "MX": (45.0, Month(2019, 6), 0.09),
+    "BR": (43.0, Month(2019, 10), 0.08),
+    "UY": (32.0, Month(2020, 6), 0.09),
+    "EC": (29.0, Month(2021, 1), 0.10),
+    "PE": (26.0, Month(2020, 9), 0.09),
+    "GT": (26.0, Month(2021, 3), 0.10),
+    "CR": (25.0, Month(2021, 1), 0.09),
+    "CL": (24.0, Month(2022, 3), 0.22),
+    "BO": (23.0, Month(2021, 6), 0.10),
+    "CO": (21.0, Month(2020, 12), 0.09),
+    "TT": (21.0, Month(2021, 2), 0.09),
+    "DO": (20.0, Month(2021, 4), 0.09),
+    "AR": (20.0, Month(2020, 6), 0.08),
+    "PY": (18.0, Month(2021, 8), 0.10),
+    "SV": (16.0, Month(2021, 9), 0.10),
+    "PA": (15.0, Month(2021, 6), 0.09),
+    "HN": (12.0, Month(2021, 10), 0.10),
+    "NI": (8.0, Month(2022, 1), 0.10),
+    "HT": (3.0, Month(2022, 3), 0.10),
+    "CU": (2.0, Month(2022, 6), 0.10),
+}
+
+#: Venezuela's scripted trajectory: (month, percent) anchors, linearly
+#: interpolated; flat at 0.02% before the first anchor.
+_VE_ANCHORS: tuple[tuple[Month, float], ...] = (
+    (Month(2021, 1), 0.02),
+    (Month(2021, 7), 0.15),
+    (Month(2022, 1), 0.40),
+    (Month(2022, 7), 0.80),
+    (Month(2023, 1), 1.20),
+    (Month(2023, 7), 1.50),
+)
+
+
+def _logistic(month: Month, ceiling: float, inflection: Month, steepness: float) -> float:
+    elapsed = inflection.months_until(month)
+    return ceiling / (1.0 + math.exp(-steepness * elapsed))
+
+
+def _ve_value(month: Month) -> float:
+    if month <= _VE_ANCHORS[0][0]:
+        return _VE_ANCHORS[0][1]
+    for (m0, v0), (m1, v1) in zip(_VE_ANCHORS, _VE_ANCHORS[1:]):
+        if m0 <= month <= m1:
+            frac = m0.months_until(month) / m0.months_until(m1)
+            return v0 + frac * (v1 - v0)
+    return _VE_ANCHORS[-1][1]
+
+
+def synthesize_ipv6_adoption(
+    start: Month = WINDOW_START, end: Month = WINDOW_END
+) -> AdoptionDataset:
+    """Build the calibrated regional adoption dataset."""
+    dataset = AdoptionDataset()
+    for month in month_range(start, end):
+        for cc, (ceiling, inflection, steepness) in _LOGISTIC_PARAMS.items():
+            dataset.add(cc, month, round(_logistic(month, ceiling, inflection, steepness), 3))
+        dataset.add("VE", month, round(_ve_value(month), 3))
+    return dataset

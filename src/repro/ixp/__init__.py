@@ -1,0 +1,36 @@
+"""IXP eyeball-coverage analysis (Figs. 10 and 21).
+
+Combines PeeringDB exchange memberships with APNIC population estimates to
+answer the paper's two IXP questions: what share of each country's
+Internet population is behind networks peering at each Latin American
+exchange (Fig. 10), and how much of it reaches exchanges in the United
+States (Fig. 21 / Appendix I).
+"""
+
+from repro.ixp.coverage import (
+    CountryAtIXP,
+    country_us_presence,
+    eyeball_coverage_pct,
+    ixp_coverage_heatmap,
+    largest_ixp_per_country,
+    member_asns,
+    us_presence_heatmap,
+)
+from repro.ixp.opportunity import (
+    NearbyExchange,
+    local_exchange_potential,
+    nearest_exchanges,
+)
+
+__all__ = [
+    "CountryAtIXP",
+    "NearbyExchange",
+    "country_us_presence",
+    "eyeball_coverage_pct",
+    "ixp_coverage_heatmap",
+    "largest_ixp_per_country",
+    "local_exchange_potential",
+    "member_asns",
+    "nearest_exchanges",
+    "us_presence_heatmap",
+]

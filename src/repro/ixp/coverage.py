@@ -1,0 +1,145 @@
+"""Eyeball coverage of IXP memberships.
+
+All functions take one PeeringDB snapshot (memberships) plus APNIC
+estimates (eyeballs per AS per country).  A network "serves" a country
+when APNIC attributes users to it there; the coverage of an exchange for a
+country is the summed user share of its member networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apnic.model import APNICEstimates
+from repro.geo.countries import is_lacnic
+from repro.peeringdb.schema import PeeringDBSnapshot
+
+
+@dataclass(frozen=True, slots=True)
+class CountryAtIXP:
+    """One country's presence at one exchange."""
+
+    country: str
+    ixp: str
+    networks: int
+    eyeball_pct: float
+
+
+def member_asns(snapshot: PeeringDBSnapshot, ix_name: str) -> set[int]:
+    """ASNs with a port at the named exchange.
+
+    Raises:
+        KeyError: when the exchange is not registered in the snapshot.
+    """
+    ix = snapshot.exchange_by_name(ix_name)
+    if ix is None:
+        raise KeyError(f"unknown exchange: {ix_name!r}")
+    return {n.asn for n in snapshot.networks_at_exchange(ix.id)}
+
+
+def eyeball_coverage_pct(
+    snapshot: PeeringDBSnapshot,
+    estimates: APNICEstimates,
+    ix_name: str,
+    country: str,
+) -> float:
+    """Percent of *country*'s users behind networks peering at *ix_name*."""
+    members = member_asns(snapshot, ix_name)
+    return estimates.share_of_group(members, country) * 100.0
+
+
+def largest_ixp_per_country(
+    snapshot: PeeringDBSnapshot, estimates: APNICEstimates
+) -> dict[str, str]:
+    """For each LACNIC country with exchanges, its highest-coverage one.
+
+    "Largest" follows the paper's framing: the exchange connecting the
+    biggest share of the *domestic* Internet population.
+    """
+    best: dict[str, tuple[float, str]] = {}
+    for ix in snapshot.exchanges:
+        if not is_lacnic(ix.country):
+            continue
+        coverage = eyeball_coverage_pct(snapshot, estimates, ix.name, ix.country)
+        current = best.get(ix.country)
+        if current is None or coverage > current[0]:
+            best[ix.country] = (coverage, ix.name)
+    return {cc: name for cc, (_cov, name) in sorted(best.items())}
+
+
+def ixp_coverage_heatmap(
+    snapshot: PeeringDBSnapshot,
+    estimates: APNICEstimates,
+    ix_names: list[str] | None = None,
+    countries: list[str] | None = None,
+) -> dict[tuple[str, str], float]:
+    """The Fig. 10 heatmap: (country, exchange) -> eyeball percent.
+
+    Cells are included only when at least one member network serves the
+    country (matching the figure, which leaves absent combinations blank;
+    this is why Venezuela's row does not exist for its largest-IXP set).
+
+    Args:
+        snapshot: PeeringDB snapshot supplying memberships.
+        estimates: APNIC population estimates.
+        ix_names: Exchanges to include; defaults to each country's largest.
+        countries: Countries to include; defaults to every LACNIC economy
+            present in the estimates.
+    """
+    if ix_names is None:
+        ix_names = sorted(largest_ixp_per_country(snapshot, estimates).values())
+    if countries is None:
+        countries = [cc for cc in estimates.countries() if is_lacnic(cc)]
+    heatmap: dict[tuple[str, str], float] = {}
+    for ix_name in ix_names:
+        members = member_asns(snapshot, ix_name)
+        for cc in countries:
+            pct = estimates.share_of_group(members, cc) * 100.0
+            if pct > 0:
+                heatmap[(cc, ix_name)] = pct
+    return heatmap
+
+
+def us_presence_heatmap(
+    snapshot: PeeringDBSnapshot, estimates: APNICEstimates
+) -> dict[tuple[str, str], CountryAtIXP]:
+    """The Fig. 21 heatmap: LACNIC countries at exchanges in the US.
+
+    Returns per (country, exchange): the number of that country's networks
+    present and the share of its users they carry.
+    """
+    out: dict[tuple[str, str], CountryAtIXP] = {}
+    us_exchanges = [ix for ix in snapshot.exchanges if ix.country == "US"]
+    for ix in us_exchanges:
+        members = {n.asn for n in snapshot.networks_at_exchange(ix.id)}
+        for cc in estimates.countries():
+            if not is_lacnic(cc):
+                continue
+            serving = [a for a in members if estimates.users_of(a, cc) > 0]
+            if not serving:
+                continue
+            pct = estimates.share_of_group(serving, cc) * 100.0
+            out[(cc, ix.name)] = CountryAtIXP(
+                country=cc, ixp=ix.name, networks=len(serving), eyeball_pct=pct
+            )
+    return out
+
+
+def country_us_presence(
+    snapshot: PeeringDBSnapshot, estimates: APNICEstimates, country: str
+) -> tuple[int, float]:
+    """Distinct networks of *country* at US exchanges and their user share.
+
+    This is the paper's "seven networks contributing a mere 7% of
+    Venezuela's Internet population" summary: networks are deduplicated
+    across exchanges before the share is computed.
+    """
+    cc = country.upper()
+    serving: set[int] = set()
+    for ix in snapshot.exchanges:
+        if ix.country != "US":
+            continue
+        for net in snapshot.networks_at_exchange(ix.id):
+            if estimates.users_of(net.asn, cc) > 0:
+                serving.add(net.asn)
+    return len(serving), estimates.share_of_group(serving, cc) * 100.0

@@ -1,0 +1,80 @@
+"""IXP opportunity analysis: what Venezuela could gain from peering.
+
+The paper notes Venezuela could reach AMS-IX Curacao "only 295 km from
+Caracas" or regional exchanges, yet no Venezuelan network does.  This
+module quantifies the opportunity: the nearest exchanges by distance, and
+the share of domestic traffic that could be exchanged locally if a
+country's top networks peered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apnic.model import APNICEstimates
+from repro.geo.countries import country as geo_country
+from repro.geo.distance import haversine_km
+from repro.peeringdb.schema import PeeringDBSnapshot
+
+#: Representative exchange coordinates (city-level).
+_IX_COORDS: dict[str, tuple[float, float]] = {
+    "AMS-IX (CW)": (12.11, -68.93),
+    "Equinix Bogota": (4.71, -74.07),
+    "NAP.CO": (4.71, -74.07),
+    "InteRed (PA)": (8.98, -79.52),
+    "IX.br (SP)": (-23.55, -46.63),
+    "AR-IX": (-34.60, -58.38),
+    "PIT Chile (SCL)": (-33.45, -70.67),
+    "FL-IX": (25.79, -80.29),
+    "Equinix Miami": (25.79, -80.29),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class NearbyExchange:
+    """One candidate exchange for a country's networks."""
+
+    name: str
+    country: str
+    distance_km: float
+
+
+def nearest_exchanges(
+    snapshot: PeeringDBSnapshot, country_code: str, limit: int = 5
+) -> list[NearbyExchange]:
+    """Exchanges ordered by distance from the country's capital.
+
+    Only exchanges with known coordinates are ranked; domestic exchanges
+    (distance ~0) naturally come first when they exist.
+    """
+    home = geo_country(country_code)
+    candidates = []
+    for ix in snapshot.exchanges:
+        coords = _IX_COORDS.get(ix.name)
+        if coords is None:
+            continue
+        distance = haversine_km(home.lat, home.lon, coords[0], coords[1])
+        candidates.append(NearbyExchange(ix.name, ix.country, distance))
+    candidates.sort(key=lambda c: c.distance_km)
+    return candidates[:limit]
+
+
+def local_exchange_potential(
+    estimates: APNICEstimates, country_code: str, top_n: int = 5
+) -> float:
+    """Share of domestic traffic exchangeable locally if top-N nets peered.
+
+    Under the standard gravity assumption (traffic between two networks is
+    proportional to the product of their user shares), the fraction of
+    domestic traffic kept local when a set S of networks peers is
+    ``(sum of S's shares)^2 - sum of squared shares`` renormalised over
+    all domestic pairs; this returns the simpler upper bound
+    ``(sum of S's shares)^2`` -- the probability both endpoints of a
+    random domestic flow sit inside the peering set.
+    """
+    entries = estimates.top_networks(country_code, top_n)
+    total = estimates.country_users(country_code)
+    if total == 0:
+        raise ValueError(f"no population data for {country_code!r}")
+    covered = sum(e.users for e in entries) / total
+    return covered**2

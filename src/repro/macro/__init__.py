@@ -1,0 +1,29 @@
+"""Macroeconomic indicators (IMF / OECD substitutes).
+
+The paper's Section 2 frames the crisis with four indicators sourced from
+the IMF and OECD: crude oil production, GDP per capita, inflation and
+population (Fig. 1), plus a region-wide GDP-per-capita rank analysis
+(Fig. 13 / Appendix B).  This subpackage provides:
+
+* :mod:`repro.macro.store` -- a CSV-backed indicator store in the shape of
+  an IMF DataMapper export (indicator, country, year, value).
+* :mod:`repro.macro.synthetic` -- deterministic crisis trajectories
+  calibrated to the paper's annotations (oil -81.49%, GDP pc -70.90%,
+  inflation peak 32,000%, population -13.85%, and Venezuela's GDP rank path
+  3, 2, 8, 9, 7, 6, 6, 18, 23 at five-year marks).
+
+Annual data is keyed at January of each year throughout
+(``Month(year, 1)``), which lets the generic monthly machinery in
+:mod:`repro.timeseries` handle annual indicators unchanged.
+"""
+
+from repro.macro.store import Indicator, IndicatorStore, annual
+from repro.macro.synthetic import MacroCalibration, synthesize_macro
+
+__all__ = [
+    "Indicator",
+    "IndicatorStore",
+    "MacroCalibration",
+    "annual",
+    "synthesize_macro",
+]

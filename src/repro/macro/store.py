@@ -1,0 +1,125 @@
+"""CSV-backed store of annual macroeconomic indicators.
+
+The on-disk format mirrors a flattened IMF DataMapper / OECD export::
+
+    indicator,country,year,value
+    gdp_per_capita,VE,2013,12237.5
+
+Annual values are keyed at January (``Month(year, 1)``) so that the monthly
+time-series machinery applies directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import enum
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+from repro.timeseries.series import MonthlySeries
+
+
+class Indicator(str, enum.Enum):
+    """The macro indicators used by the paper's Section 2 / Appendix B."""
+
+    OIL_PRODUCTION = "oil_production"
+    GDP_PER_CAPITA = "gdp_per_capita"
+    INFLATION = "inflation"
+    POPULATION = "population"
+
+
+def annual(year: int) -> Month:
+    """The canonical Month key for an annual observation."""
+    return Month(year, 1)
+
+
+class IndicatorStore:
+    """In-memory collection of (indicator, country, year) -> value."""
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[Indicator, str, int], float] = {}
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, indicator: Indicator, country: str, year: int, value: float) -> None:
+        """Insert or overwrite one observation."""
+        self._data[(indicator, country.upper(), year)] = float(value)
+
+    def add_series(
+        self, indicator: Indicator, country: str, values: Iterable[tuple[int, float]]
+    ) -> None:
+        """Insert (year, value) pairs for one country."""
+        for year, value in values:
+            self.add(indicator, country, year, value)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def value(self, indicator: Indicator, country: str, year: int) -> float:
+        """One observation; raises KeyError when absent."""
+        return self._data[(indicator, country.upper(), year)]
+
+    def series(self, indicator: Indicator, country: str) -> MonthlySeries:
+        """All years of one indicator for one country, annual-keyed."""
+        cc = country.upper()
+        return MonthlySeries(
+            {
+                annual(year): value
+                for (ind, c, year), value in self._data.items()
+                if ind is indicator and c == cc
+            }
+        )
+
+    def panel(self, indicator: Indicator) -> CountryPanel:
+        """All countries for one indicator as a CountryPanel."""
+        acc: dict[str, dict[Month, float]] = {}
+        for (ind, country, year), value in self._data.items():
+            if ind is indicator:
+                acc.setdefault(country, {})[annual(year)] = value
+        return CountryPanel({c: MonthlySeries(v) for c, v in acc.items()})
+
+    def countries(self, indicator: Indicator) -> list[str]:
+        """Countries with at least one observation of *indicator*."""
+        return sorted({c for (ind, c, _y) in self._data if ind is indicator})
+
+    # -- CSV round-trip --------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialise to the DataMapper-style CSV format."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["indicator", "country", "year", "value"])
+        for (indicator, country, year) in sorted(
+            self._data, key=lambda k: (k[0].value, k[1], k[2])
+        ):
+            value = self._data[(indicator, country, year)]
+            writer.writerow([indicator.value, country, year, repr(value)])
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "IndicatorStore":
+        """Parse the CSV format produced by :meth:`to_csv`."""
+        store = cls()
+        reader = csv.DictReader(io.StringIO(text))
+        for row in reader:
+            store.add(
+                Indicator(row["indicator"]),
+                row["country"],
+                int(row["year"]),
+                float(row["value"]),
+            )
+        return store
+
+    def save(self, path: Path | str) -> None:
+        """Write the CSV format to *path*."""
+        Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "IndicatorStore":
+        """Read the CSV format from *path*."""
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))

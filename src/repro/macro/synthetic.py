@@ -1,0 +1,237 @@
+"""Deterministic synthetic macro trajectories calibrated to the paper.
+
+The generator reproduces, by construction, the headline annotations of
+Fig. 1 and the rank path of Fig. 13:
+
+* oil production: -81.49% from the historical maximum, -77% from 2013;
+* GDP per capita: -70.90% from peak (peak 2012, trough at the end);
+* inflation: peaking at 32,000%;
+* population: -13.85% from peak;
+* Venezuela's regional GDP-per-capita rank at five-year marks:
+  3 (1980), 2 (1985), 8, 9, 7, 6, 6, 18, 23 (2020).
+
+Construction of the rank path
+-----------------------------
+Venezuela's *absolute* GDP curve is specified directly (so Fig. 1b is exact).
+A regional "base" curve is then derived as ``base(t) = VE(t) / u(t)`` where
+``u(t)`` is Venezuela's strength relative to the region, anchored at the
+five-year marks.  Every other economy ``i`` is assigned a fixed strength
+factor ``f_i`` and follows ``f_i * base(t)`` (plus a sub-percent wiggle).
+Venezuela's rank at an anchor year is therefore ``1 + #{i : f_i > u(t)}``,
+and the ``u`` anchors are placed in the gaps between consecutive ``f_i``
+so the required count holds exactly.  The wiggle amplitude (0.8%) is kept
+below half the narrowest ``u``-to-``f`` margin so it can never flip a rank
+at an anchor year.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.macro.store import Indicator, IndicatorStore
+
+
+@dataclass(frozen=True)
+class MacroCalibration:
+    """Headline targets the synthetic macro world is built to reproduce."""
+
+    oil_decline_from_peak_pct: float = 81.49
+    oil_decline_since_2013_pct: float = 77.0
+    gdp_decline_from_peak_pct: float = 70.90
+    inflation_peak_pct: float = 32_000.0
+    population_decline_from_peak_pct: float = 13.85
+    #: Venezuela's GDP-per-capita rank at 1980, 1985, ..., 2020.
+    gdp_rank_path: tuple[int, ...] = (3, 2, 8, 9, 7, 6, 6, 18, 23)
+
+
+#: Fixed relative-strength factors for the 27 non-Venezuelan economies.
+#: Ordered groups correspond to the gaps the ``u`` anchors must fall into.
+_GDP_FACTORS: dict[str, float] = {
+    "TT": 2.30,
+    "AR": 1.90,
+    "UY": 1.65, "CL": 1.50, "MX": 1.35,
+    "BR": 1.15,
+    "PA": 1.05,
+    "CR": 0.975,
+    "CO": 0.88, "DO": 0.84, "PE": 0.80, "EC": 0.74, "PY": 0.68,
+    "SR": 0.64, "BZ": 0.60, "SV": 0.56, "GT": 0.52,
+    "BO": 0.42, "HN": 0.39, "NI": 0.36, "GY": 0.33, "CU": 0.31,
+    "JM": 0.25, "DM": 0.23, "BS": 0.21, "BB": 0.19, "HT": 0.16,
+}
+
+#: Venezuela-over-base strength at the five-year anchors (and 2024).
+#: Each value sits strictly inside a gap between consecutive factors above,
+#: chosen so that "1 + number of factors above u" equals the paper's rank.
+_U_ANCHORS: list[tuple[int, float]] = [
+    (1980, 1.80),   # rank 3  (TT, AR above)
+    (1985, 2.05),   # rank 2  (TT above)
+    (1990, 1.01),   # rank 8
+    (1995, 0.93),   # rank 9
+    (2000, 1.10),   # rank 7
+    (2005, 1.25),   # rank 6
+    (2010, 1.22),   # rank 6
+    (2015, 0.47),   # rank 18
+    (2020, 0.28),   # rank 23
+    (2024, 0.27),   # rank 23
+]
+
+#: Venezuela's absolute GDP per capita (current USD), hand-anchored.  The
+#: 2012 value is the peak; the 2024 value is set below to make the decline
+#: from peak exactly 70.90%.
+_VE_GDP_PEAK = 12_237.0
+_VE_GDP_ANCHORS: list[tuple[int, float]] = [
+    (1980, 9_500.0),
+    (1985, 9_200.0),
+    (1988, 7_500.0),
+    (1990, 5_200.0),
+    (1995, 4_800.0),
+    (2000, 6_200.0),
+    (2005, 7_800.0),
+    (2010, 11_000.0),
+    (2012, _VE_GDP_PEAK),
+    (2013, 12_100.0),
+    (2015, 7_000.0),
+    (2017, 5_200.0),
+    (2018, 4_300.0),
+    (2019, 3_900.0),
+    (2020, 3_800.0),
+    (2022, 3_650.0),
+    (2024, _VE_GDP_PEAK * (1 - 70.90 / 100.0)),
+]
+
+#: Oil production (thousand barrels-equivalent, the paper's axis units).
+#: Max is 1973; the 2013 value makes the post-2013 drop exactly 77%, and the
+#: final value makes the from-max decline exactly 81.49%.
+_OIL_MAX = 200_000.0
+_OIL_FINAL = _OIL_MAX * (1 - 81.49 / 100.0)
+_OIL_2013 = _OIL_FINAL / (1 - 77.0 / 100.0)
+_OIL_ANCHORS: list[tuple[int, float]] = [
+    (1965, 150_000.0),
+    (1970, 185_000.0),
+    (1973, _OIL_MAX),
+    (1980, 125_000.0),
+    (1985, 105_000.0),
+    (1990, 125_000.0),
+    (1995, 150_000.0),
+    (2000, 155_000.0),
+    (2005, 158_000.0),
+    (2010, 159_000.0),
+    (2013, _OIL_2013),
+    (2015, 140_000.0),
+    (2016, 120_000.0),
+    (2017, 100_000.0),
+    (2018, 75_000.0),
+    (2019, 50_000.0),
+    (2020, 38_000.0),
+    (2023, _OIL_FINAL),
+]
+
+#: Annual inflation rate, percent.  Peak is 32,000% in 2019.
+_INFLATION_ANCHORS: list[tuple[int, float]] = [
+    (1980, 20.0),
+    (1985, 10.0),
+    (1990, 35.0),
+    (1995, 60.0),
+    (2000, 16.0),
+    (2005, 16.0),
+    (2010, 28.0),
+    (2013, 40.0),
+    (2014, 62.0),
+    (2015, 120.0),
+    (2016, 255.0),
+    (2017, 438.0),
+    (2018, 9_000.0),
+    (2019, 32_000.0),
+    (2020, 2_355.0),
+    (2021, 686.0),
+    (2022, 234.0),
+    (2023, 190.0),
+]
+
+#: Population in millions.  Peak 2015; final value makes the decline from
+#: peak exactly 13.85%.
+_POP_PEAK = 30.08
+_POP_ANCHORS: list[tuple[int, float]] = [
+    (1980, 15.0),
+    (1990, 19.8),
+    (2000, 24.5),
+    (2010, 28.4),
+    (2013, 30.0),
+    (2015, _POP_PEAK),
+    (2016, 29.8),
+    (2017, 29.0),
+    (2018, 27.6),
+    (2019, 26.5),
+    (2020, 26.1),
+    (2022, 26.0),
+    (2023, _POP_PEAK * (1 - 13.85 / 100.0)),
+]
+
+
+def _interp_yearly(anchors: list[tuple[int, float]]) -> dict[int, float]:
+    """Linear interpolation of (year, value) anchors at yearly resolution."""
+    if len(anchors) < 2:
+        raise ValueError("need at least two anchors")
+    years = [y for y, _ in anchors]
+    if years != sorted(set(years)):
+        raise ValueError("anchor years must be strictly increasing")
+    out: dict[int, float] = {}
+    for (y0, v0), (y1, v1) in zip(anchors, anchors[1:]):
+        for year in range(y0, y1):
+            frac = (year - y0) / (y1 - y0)
+            out[year] = v0 + frac * (v1 - v0)
+    out[anchors[-1][0]] = anchors[-1][1]
+    return out
+
+
+def _wiggle(country: str, year: int) -> float:
+    """Deterministic sub-percent multiplicative wiggle per country-year.
+
+    Amplitude 0.8%, below half the narrowest margin between the ``u``
+    anchors and the neighbouring strength factors, so anchor-year ranks are
+    never affected.
+    """
+    phase = (sum(ord(ch) for ch in country) % 17) / 17.0
+    rate = 0.13 + (hash_stable(country) % 7) / 100.0
+    return 1.0 + 0.008 * math.sin(2 * math.pi * (year * rate + phase))
+
+
+def hash_stable(text: str) -> int:
+    """A small stable string hash (Python's builtin hash is salted)."""
+    acc = 0
+    for ch in text:
+        acc = (acc * 131 + ord(ch)) % 1_000_003
+    return acc
+
+
+def synthesize_macro() -> IndicatorStore:
+    """Build the full synthetic macro indicator store.
+
+    Returns a store with Venezuela-only series for oil production,
+    inflation and population, and a 28-economy GDP-per-capita panel whose
+    Venezuelan rank trajectory matches the paper's Fig. 13 annotations.
+    """
+    store = IndicatorStore()
+
+    for year, value in _interp_yearly(_OIL_ANCHORS).items():
+        store.add(Indicator.OIL_PRODUCTION, "VE", year, value)
+    for year, value in _interp_yearly(_INFLATION_ANCHORS).items():
+        store.add(Indicator.INFLATION, "VE", year, value)
+    for year, value in _interp_yearly(_POP_ANCHORS).items():
+        store.add(Indicator.POPULATION, "VE", year, value)
+
+    ve_gdp = _interp_yearly(_VE_GDP_ANCHORS)
+    strength = _interp_yearly(_U_ANCHORS)
+    for year, value in ve_gdp.items():
+        store.add(Indicator.GDP_PER_CAPITA, "VE", year, value)
+    for year in ve_gdp:
+        base = ve_gdp[year] / strength[year]
+        for code, factor in _GDP_FACTORS.items():
+            store.add(
+                Indicator.GDP_PER_CAPITA,
+                code,
+                year,
+                factor * base * _wiggle(code, year),
+            )
+    return store

@@ -1,0 +1,80 @@
+"""Month x country aggregation of NDT tests.
+
+The paper aggregates the raw crowd-sourced tests to monthly per-country
+medians; the mean variant exists for the ablation benchmark that shows why
+the median is the right choice for heavy-tailed speed-test data.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable
+
+from repro.mlab.ndt import NDTResult
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+from repro.timeseries.series import MonthlySeries
+
+
+def _group(results: Iterable[NDTResult]) -> dict[tuple[str, Month], list[float]]:
+    groups: dict[tuple[str, Month], list[float]] = {}
+    for r in results:
+        groups.setdefault((r.country, r.month), []).append(r.download_mbps)
+    return groups
+
+
+def median_download_panel(results: Iterable[NDTResult]) -> CountryPanel:
+    """Median download speed per (country, month)."""
+    return CountryPanel.from_records(
+        (cc, month, statistics.median(values))
+        for (cc, month), values in _group(results).items()
+    )
+
+
+def mean_download_panel(results: Iterable[NDTResult]) -> CountryPanel:
+    """Mean download speed per (country, month) -- the ablation variant."""
+    return CountryPanel.from_records(
+        (cc, month, statistics.fmean(values))
+        for (cc, month), values in _group(results).items()
+    )
+
+
+def median_download_series(results: Iterable[NDTResult], country: str) -> MonthlySeries:
+    """Median download speed of one country over months."""
+    cc = country.upper()
+    return MonthlySeries(
+        {
+            month: statistics.median(values)
+            for (c, month), values in _group(results).items()
+            if c == cc
+        }
+    )
+
+
+def measurement_count_panel(results: Iterable[NDTResult]) -> CountryPanel:
+    """Number of tests per (country, month) -- the coverage view."""
+    return CountryPanel.from_records(
+        (cc, month, float(len(values)))
+        for (cc, month), values in _group(results).items()
+    )
+
+
+def median_download_by_asn(
+    results: Iterable[NDTResult], country: str, start: Month, end: Month
+) -> dict[int, float]:
+    """Per-access-network median download speed over a month window.
+
+    The network-level view behind Section 7.1's observations (CANTV's
+    plans vs the fibre newcomers).  Networks with fewer than five tests
+    in the window are dropped as statistically meaningless.
+    """
+    cc = country.upper()
+    by_asn: dict[int, list[float]] = {}
+    for r in results:
+        if r.country == cc and start <= r.month <= end:
+            by_asn.setdefault(r.asn, []).append(r.download_mbps)
+    return {
+        asn: statistics.median(values)
+        for asn, values in by_asn.items()
+        if len(values) >= 5
+    }

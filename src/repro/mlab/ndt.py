@@ -1,0 +1,97 @@
+"""NDT test records with a JSONL round-trip.
+
+Field names follow M-Lab's unified downloads view (flattened): test date,
+client country and AS, measured throughputs, minimum RTT and loss rate.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.timeseries.month import Month
+
+
+class NDTParseError(ValueError):
+    """Raised when a JSONL row cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class NDTResult:
+    """One NDT downstream measurement."""
+
+    date: _dt.date
+    country: str
+    asn: int
+    download_mbps: float
+    upload_mbps: float
+    min_rtt_ms: float
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        if self.download_mbps < 0 or self.upload_mbps < 0:
+            raise ValueError("throughput cannot be negative")
+        if self.min_rtt_ms < 0:
+            raise ValueError("RTT cannot be negative")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss rate must be within [0, 1]")
+
+    @property
+    def month(self) -> Month:
+        """The calendar month of the test."""
+        return Month.from_date(self.date)
+
+    def to_json(self) -> str:
+        """Serialise one row."""
+        return json.dumps(
+            {
+                "date": self.date.isoformat(),
+                "client_country": self.country,
+                "client_asn": self.asn,
+                "download_mbps": round(self.download_mbps, 4),
+                "upload_mbps": round(self.upload_mbps, 4),
+                "min_rtt_ms": round(self.min_rtt_ms, 3),
+                "loss_rate": round(self.loss_rate, 6),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "NDTResult":
+        """Parse one row; raises NDTParseError on malformed input."""
+        try:
+            row = json.loads(text)
+            return cls(
+                date=_dt.date.fromisoformat(row["date"]),
+                country=row["client_country"].upper(),
+                asn=int(row["client_asn"]),
+                download_mbps=float(row["download_mbps"]),
+                upload_mbps=float(row["upload_mbps"]),
+                min_rtt_ms=float(row["min_rtt_ms"]),
+                loss_rate=float(row["loss_rate"]),
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise NDTParseError(f"bad NDT row: {exc}") from None
+
+
+def write_ndt_jsonl(results: Iterable[NDTResult], path: Path | str) -> int:
+    """Write results as JSON Lines; returns the number of rows written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(result.to_json())
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def parse_ndt_jsonl(path: Path | str) -> Iterator[NDTResult]:
+    """Stream results back from a JSON Lines file."""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield NDTResult.from_json(line)

@@ -1,0 +1,111 @@
+"""M-Lab server sites and test-to-server assignment.
+
+Section 8 notes that speed-test platforms introduce bias through server
+placement: "for countries without local servers, the region's
+geographical proximity enables testing against servers in neighboring
+countries".  This module makes that concrete: the platform's regional
+site roster, the nearest-site assignment a test resolves to, and the
+per-country share of tests served domestically.
+
+Venezuela has no M-Lab site; its tests run against Bogota or Miami, which
+adds path length to every Venezuelan measurement -- a bias the paper's
+cross-country comparisons inherit and this module quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geo.countries import country as geo_country
+from repro.geo.distance import haversine_km
+from repro.mlab.ndt import NDTResult
+from repro.timeseries.month import Month
+
+
+@dataclass(frozen=True, slots=True)
+class MLabSite:
+    """One M-Lab server pod."""
+
+    name: str
+    country: str
+    lat: float
+    lon: float
+    since: Month
+
+    def active_in(self, month: Month) -> bool:
+        """Whether the pod serves tests in *month*."""
+        return month >= self.since
+
+
+#: The regional pod roster (plus the Miami overflow site).
+SERVER_SITES: tuple[MLabSite, ...] = (
+    MLabSite("mia01", "US", 25.79, -80.29, Month(2007, 1)),
+    MLabSite("gru01", "BR", -23.44, -46.47, Month(2012, 6)),
+    MLabSite("eze01", "AR", -34.82, -58.54, Month(2013, 3)),
+    MLabSite("scl01", "CL", -33.39, -70.79, Month(2014, 9)),
+    MLabSite("bog01", "CO", 4.70, -74.15, Month(2015, 5)),
+    MLabSite("mex01", "MX", 19.44, -99.07, Month(2014, 2)),
+    MLabSite("lim01", "PE", -12.02, -77.11, Month(2018, 8)),
+)
+
+
+def assigned_site(country_code: str, month: Month) -> MLabSite:
+    """The pod a test from *country_code* resolves to in *month*.
+
+    Assignment is nearest-active-site by great-circle distance from the
+    country's representative point, matching the platform's
+    locate-service behaviour.
+
+    Raises:
+        ValueError: when no pod is active yet.
+    """
+    home = geo_country(country_code)
+    active = [site for site in SERVER_SITES if site.active_in(month)]
+    if not active:
+        raise ValueError(f"no M-Lab site active in {month}")
+    return min(
+        active,
+        key=lambda site: haversine_km(home.lat, home.lon, site.lat, site.lon),
+    )
+
+
+def server_distance_km(country_code: str, month: Month) -> float:
+    """Distance from the country's representative point to its pod."""
+    home = geo_country(country_code)
+    site = assigned_site(country_code, month)
+    return haversine_km(home.lat, home.lon, site.lat, site.lon)
+
+
+def domestic_server_share(
+    results: Iterable[NDTResult], country_code: str
+) -> float:
+    """Fraction of a country's tests that ran against a domestic pod.
+
+    Raises:
+        ValueError: when the country has no tests in *results*.
+    """
+    cc = country_code.upper()
+    total = 0
+    domestic = 0
+    for result in results:
+        if result.country != cc:
+            continue
+        total += 1
+        if assigned_site(cc, result.month).country == cc:
+            domestic += 1
+    if total == 0:
+        raise ValueError(f"no tests for {cc}")
+    return domestic / total
+
+
+def placement_bias_report(
+    countries: Iterable[str], month: Month
+) -> list[tuple[str, str, float]]:
+    """(country, serving pod, distance km) for each country in *month*."""
+    rows = []
+    for cc in countries:
+        site = assigned_site(cc, month)
+        rows.append((cc.upper(), site.name, server_distance_km(cc, month)))
+    rows.sort(key=lambda row: row[2])
+    return rows

@@ -1,0 +1,39 @@
+"""Hypergiant off-net deployments (Gigis et al. artifact substitute).
+
+The paper reuses the artifacts of "Seven years in the life of Hypergiants'
+off-nets" (SIGCOMM'21) -- yearly lists of (hypergiant, hosting AS) pairs
+derived from TLS certificate scans -- and combines them with as2org+
+organisation grouping and APNIC populations to chart the share of each
+country's users behind networks hosting off-nets (Fig. 7 for
+Google/Akamai/Facebook/Netflix, Fig. 18 for all ten hypergiants).
+
+* :mod:`repro.offnets.records` -- the artifact record model + CSV.
+* :mod:`repro.offnets.as2org` -- the organisation map (as2org+ substitute).
+* :mod:`repro.offnets.analysis` -- population-weighted coverage, both
+  org-level (the paper's method) and AS-level (the ablation baseline).
+* :mod:`repro.offnets.synthetic` -- deployment schedules calibrated to the
+  paper's Venezuelan narrative and rankings.
+"""
+
+from repro.offnets.analysis import (
+    average_coverage,
+    coverage_panel,
+    coverage_pct,
+    country_rank,
+)
+from repro.offnets.as2org import OrgMap
+from repro.offnets.records import HYPERGIANTS, OffnetRecord, OffnetArchive
+from repro.offnets.synthetic import synthesize_offnets, synthesize_org_map
+
+__all__ = [
+    "HYPERGIANTS",
+    "OffnetArchive",
+    "OffnetRecord",
+    "OrgMap",
+    "average_coverage",
+    "coverage_panel",
+    "coverage_pct",
+    "country_rank",
+    "synthesize_offnets",
+    "synthesize_org_map",
+]

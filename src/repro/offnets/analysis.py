@@ -1,0 +1,109 @@
+"""Population-weighted off-net coverage.
+
+Coverage of a hypergiant in a country-year is the share of the country's
+Internet users behind organisations with at least one off-net AS there.
+Organisation expansion happens within the country's own AS population, so
+a deployment in one country never credits a multinational's subsidiaries
+elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.apnic.model import APNICEstimates
+from repro.offnets.as2org import OrgMap
+from repro.offnets.records import OffnetArchive
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+
+
+def coverage_pct(
+    archive: OffnetArchive,
+    estimates: APNICEstimates,
+    orgmap: OrgMap | None,
+    hypergiant: str,
+    country: str,
+    year: int,
+) -> float:
+    """Percent of *country*'s users covered by *hypergiant* in *year*.
+
+    With ``orgmap=None`` the computation stays at the AS level (the
+    ablation baseline); otherwise sibling ASes of hosting organisations
+    are counted as covered too (the paper's method).
+    """
+    cc = country.upper()
+    hosting = archive.hosting_asns(hypergiant, year)
+    country_asns = {e.asn for e in estimates.country_entries(cc)}
+    hosting_here = hosting & country_asns
+    if orgmap is not None:
+        covered = orgmap.expand(hosting_here) & country_asns
+    else:
+        covered = hosting_here
+    return estimates.share_of_group(covered, cc) * 100.0
+
+
+def coverage_panel(
+    archive: OffnetArchive,
+    estimates: APNICEstimates,
+    orgmap: OrgMap | None,
+    hypergiant: str,
+    countries: list[str] | None = None,
+) -> CountryPanel:
+    """Fig. 7/18 series: yearly coverage per country (annual-keyed)."""
+    if countries is None:
+        countries = estimates.countries()
+    records = []
+    for cc in countries:
+        for year in archive.years():
+            records.append(
+                (
+                    cc,
+                    Month(year, 1),
+                    coverage_pct(archive, estimates, orgmap, hypergiant, cc, year),
+                )
+            )
+    return CountryPanel.from_records(records)
+
+
+def average_coverage(
+    archive: OffnetArchive,
+    estimates: APNICEstimates,
+    orgmap: OrgMap | None,
+    hypergiant: str,
+) -> dict[str, float]:
+    """Mean coverage over the whole observation window, per country.
+
+    Countries never covered by the hypergiant are omitted, matching the
+    paper's per-provider rank denominators (19/27, 18/22, ...).
+    """
+    years = archive.years()
+    averages: dict[str, float] = {}
+    for cc in estimates.countries():
+        values = [
+            coverage_pct(archive, estimates, orgmap, hypergiant, cc, year)
+            for year in years
+        ]
+        mean = sum(values) / len(values) if values else 0.0
+        if any(v > 0 for v in values):
+            averages[cc] = mean
+    return averages
+
+
+def country_rank(
+    archive: OffnetArchive,
+    estimates: APNICEstimates,
+    orgmap: OrgMap | None,
+    hypergiant: str,
+    country: str,
+) -> tuple[int, int, float]:
+    """(rank, population size, average) of *country* for one hypergiant.
+
+    Rank 1 is the best-covered country.  A country with no coverage at
+    all ranks last among the countries with presence plus itself.
+    """
+    cc = country.upper()
+    averages = average_coverage(archive, estimates, orgmap, hypergiant)
+    own = averages.get(cc, 0.0)
+    pool = dict(averages)
+    pool.setdefault(cc, own)
+    rank = 1 + sum(1 for other, v in pool.items() if other != cc and v > own)
+    return rank, len(pool), own

@@ -1,0 +1,75 @@
+"""AS-to-organisation mapping (as2org+ substitute).
+
+The paper aggregates sibling ASes of one organisation before population
+weighting so that an off-net moving between siblings does not register as
+churn.  The map defaults to the identity (each AS its own org) with
+explicit sibling groups layered on top.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+
+class OrgMap:
+    """ASN -> organisation identifier."""
+
+    def __init__(self, sibling_groups: Iterable[Iterable[int]] = ()):
+        self._org_of: dict[int, str] = {}
+        for group in sibling_groups:
+            members = sorted(set(group))
+            if not members:
+                continue
+            org_id = f"org-{members[0]}"
+            for asn in members:
+                if asn in self._org_of and self._org_of[asn] != org_id:
+                    raise ValueError(f"AS{asn} assigned to two organisations")
+                self._org_of[asn] = org_id
+
+    def org_of(self, asn: int) -> str:
+        """Organisation of *asn*; singleton ASes map to themselves."""
+        return self._org_of.get(asn, f"org-{asn}")
+
+    def siblings_of(self, asn: int) -> set[int]:
+        """All ASes in *asn*'s organisation (at least ``{asn}``)."""
+        org = self.org_of(asn)
+        group = {a for a, o in self._org_of.items() if o == org}
+        group.add(asn)
+        return group
+
+    def expand(self, asns: Iterable[int]) -> set[int]:
+        """Union of the sibling sets of all given ASes."""
+        out: set[int] = set()
+        for asn in asns:
+            out.update(self.siblings_of(asn))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._org_of)
+
+    def sibling_groups(self) -> list[list[int]]:
+        """The explicit sibling groups, each sorted, ordered by first ASN."""
+        groups: dict[str, list[int]] = {}
+        for asn, org in self._org_of.items():
+            groups.setdefault(org, []).append(asn)
+        return sorted((sorted(g) for g in groups.values()), key=lambda g: g[0])
+
+    def to_json(self) -> str:
+        """Serialise the sibling groups (singletons are implicit)."""
+        return json.dumps({"groups": self.sibling_groups()}, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OrgMap":
+        """Parse the layout produced by :meth:`to_json`."""
+        return cls(sibling_groups=json.loads(text)["groups"])
+
+    def save(self, path: Path | str) -> None:
+        """Write the JSON form to *path*."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "OrgMap":
+        """Read the JSON form from *path*."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

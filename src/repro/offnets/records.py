@@ -1,0 +1,107 @@
+"""Off-net artifact records.
+
+One record states that a hypergiant had at least one off-net server
+inside an AS during a calendar year, the granularity of the published
+artifacts the paper consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: The ten hypergiants covered by Fig. 18 (first four are Fig. 7).
+HYPERGIANTS: tuple[str, ...] = (
+    "google",
+    "akamai",
+    "facebook",
+    "netflix",
+    "microsoft",
+    "limelight",
+    "cdnetworks",
+    "alibaba",
+    "amazon",
+    "cloudflare",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class OffnetRecord:
+    """One (year, hypergiant, hosting AS) observation."""
+
+    year: int
+    hypergiant: str
+    asn: int
+
+    def __post_init__(self) -> None:
+        if self.hypergiant not in HYPERGIANTS:
+            raise ValueError(f"unknown hypergiant: {self.hypergiant!r}")
+
+
+class OffnetArchive:
+    """A queryable collection of off-net records."""
+
+    def __init__(self, records: Iterable[OffnetRecord] = ()):
+        self._records: set[OffnetRecord] = set(records)
+
+    def add(self, record: OffnetRecord) -> None:
+        """Insert one record (duplicates are idempotent)."""
+        self._records.add(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[OffnetRecord]:
+        return iter(
+            sorted(self._records, key=lambda r: (r.year, r.hypergiant, r.asn))
+        )
+
+    def hosting_asns(self, hypergiant: str, year: int) -> set[int]:
+        """ASes hosting *hypergiant* off-nets during *year*."""
+        return {
+            r.asn
+            for r in self._records
+            if r.hypergiant == hypergiant and r.year == year
+        }
+
+    def years(self) -> list[int]:
+        """All observed years, ascending."""
+        return sorted({r.year for r in self._records})
+
+    def hypergiants_seen(self) -> list[str]:
+        """Hypergiants with at least one record, in canonical order."""
+        seen = {r.hypergiant for r in self._records}
+        return [hg for hg in HYPERGIANTS if hg in seen]
+
+    # -- CSV round-trip --------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialise as ``year,hypergiant,asn`` rows."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["year", "hypergiant", "asn"])
+        for record in self:
+            writer.writerow([record.year, record.hypergiant, record.asn])
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "OffnetArchive":
+        """Parse the layout produced by :meth:`to_csv`."""
+        archive = cls()
+        for row in csv.DictReader(io.StringIO(text)):
+            archive.add(
+                OffnetRecord(int(row["year"]), row["hypergiant"], int(row["asn"]))
+            )
+        return archive
+
+    def save(self, path: Path | str) -> None:
+        """Write the CSV form to *path*."""
+        Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "OffnetArchive":
+        """Read the CSV form from *path*."""
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))

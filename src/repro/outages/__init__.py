@@ -1,0 +1,37 @@
+"""Country-level outage detection (extension).
+
+The paper's introduction highlights Venezuela's electricity crisis
+(">100-hour" supply failures) and its related work surveys outage and
+shutdown detection (Bischof et al. 2023, Padmanabhan et al. 2021), but
+leaves network-outage analysis of the crisis itself to future work.  This
+extension builds it on the same substrates: a daily country-level
+connectivity signal (the fraction of a country's vantage points that
+respond), a robust MAD-based anomaly detector, and a synthetic signal
+generator with the 2019 Venezuelan blackouts scripted in.
+
+* :mod:`repro.outages.signal` -- the daily connectivity signal.
+* :mod:`repro.outages.detector` -- robust detection of outage episodes.
+* :mod:`repro.outages.synthetic` -- calibrated signal with ground truth.
+* :mod:`repro.outages.analysis` -- per-country outage burden statistics.
+"""
+
+from repro.outages.analysis import outage_days_by_year, outage_hours, severity_ranking
+from repro.outages.detector import DetectedOutage, OutageDetector
+from repro.outages.signal import DailySignal
+from repro.outages.synthetic import (
+    BLACKOUT_SCHEDULE,
+    ScriptedBlackout,
+    synthesize_connectivity,
+)
+
+__all__ = [
+    "BLACKOUT_SCHEDULE",
+    "DailySignal",
+    "DetectedOutage",
+    "OutageDetector",
+    "ScriptedBlackout",
+    "outage_days_by_year",
+    "outage_hours",
+    "severity_ranking",
+    "synthesize_connectivity",
+]

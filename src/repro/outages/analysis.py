@@ -1,0 +1,38 @@
+"""Outage burden statistics over detected episodes."""
+
+from __future__ import annotations
+
+from repro.outages.detector import DetectedOutage
+
+
+def outage_days_by_year(episodes: list[DetectedOutage]) -> dict[int, int]:
+    """Total outage days per calendar year (episodes split across years)."""
+    days: dict[int, int] = {}
+    for episode in episodes:
+        day = episode.start
+        while day <= episode.end:
+            days[day.year] = days.get(day.year, 0) + 1
+            import datetime as _dt
+
+            day += _dt.timedelta(days=1)
+    return days
+
+
+def outage_hours(episodes: list[DetectedOutage]) -> float:
+    """Severity-weighted outage hours across all episodes.
+
+    A day with 80% of vantage points dark contributes 0.8 * 24 hours;
+    this is the metric behind claims like ">100 hours without supply".
+    """
+    return sum(e.severity * e.duration_days * 24.0 for e in episodes)
+
+
+def severity_ranking(
+    per_country: dict[str, list[DetectedOutage]],
+) -> list[tuple[str, float]]:
+    """Countries ordered by descending severity-weighted outage hours."""
+    ranked = [
+        (cc, outage_hours(episodes)) for cc, episodes in per_country.items()
+    ]
+    ranked.sort(key=lambda item: (-item[1], item[0]))
+    return ranked

@@ -1,0 +1,141 @@
+"""Robust outage detection over daily connectivity signals.
+
+The detector follows the standard playbook of country-level outage
+studies: establish a rolling baseline with robust statistics (median and
+MAD over a trailing window, so that the outage itself does not poison the
+baseline), flag days whose connectivity drops far below it, and merge
+consecutive flagged days into episodes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import statistics
+from dataclasses import dataclass
+
+from repro.outages.signal import DailySignal
+
+
+@dataclass(frozen=True, slots=True)
+class DetectedOutage:
+    """One detected outage episode.
+
+    Attributes:
+        start: First anomalous day.
+        end: Last anomalous day (inclusive).
+        severity: Mean connectivity *loss* relative to baseline over the
+            episode (0.4 means 40% of vantage points dark on average).
+        trough: Lowest connectivity observed during the episode.
+    """
+
+    start: _dt.date
+    end: _dt.date
+    severity: float
+    trough: float
+
+    @property
+    def duration_days(self) -> int:
+        """Episode length in days, inclusive."""
+        return (self.end - self.start).days + 1
+
+
+@dataclass(frozen=True)
+class OutageDetector:
+    """MAD-based daily anomaly detector.
+
+    Attributes:
+        baseline_window: Trailing days used for the robust baseline.
+        mad_threshold: How many scaled MADs below baseline counts as
+            anomalous.
+        min_drop: Absolute connectivity drop required as well, so a
+            perfectly flat baseline (MAD ~ 0) does not flag noise.
+    """
+
+    baseline_window: int = 14
+    mad_threshold: float = 5.0
+    min_drop: float = 0.10
+
+    def is_anomalous(self, baseline: list[float], value: float) -> bool:
+        """Whether *value* is an outage-grade drop below *baseline*."""
+        if len(baseline) < 3:
+            return False
+        med = statistics.median(baseline)
+        mad = statistics.median(abs(v - med) for v in baseline)
+        scaled_mad = 1.4826 * mad  # consistent with sigma for normal noise
+        drop = med - value
+        if drop < self.min_drop:
+            return False
+        return drop > self.mad_threshold * max(scaled_mad, 1e-6)
+
+    def detect(self, signal: DailySignal) -> list[DetectedOutage]:
+        """All outage episodes in *signal*, in chronological order."""
+        days = signal.days()
+        anomalies: list[tuple[_dt.date, float, float]] = []  # (day, value, baseline)
+        recent: list[float] = []
+        for day in days:
+            value = signal[day]
+            if self.is_anomalous(recent, value):
+                med = statistics.median(recent)
+                anomalies.append((day, value, med))
+                # Do not feed outage days into the baseline.
+            else:
+                recent.append(value)
+                if len(recent) > self.baseline_window:
+                    recent.pop(0)
+        return self._merge(anomalies)
+
+    @staticmethod
+    def _merge(
+        anomalies: list[tuple[_dt.date, float, float]],
+    ) -> list[DetectedOutage]:
+        episodes: list[DetectedOutage] = []
+        group: list[tuple[_dt.date, float, float]] = []
+
+        def flush() -> None:
+            if not group:
+                return
+            losses = [baseline - value for _d, value, baseline in group]
+            episodes.append(
+                DetectedOutage(
+                    start=group[0][0],
+                    end=group[-1][0],
+                    severity=sum(losses) / len(losses),
+                    trough=min(value for _d, value, _b in group),
+                )
+            )
+            group.clear()
+
+        for anomaly in anomalies:
+            if group and (anomaly[0] - group[-1][0]).days > 1:
+                flush()
+            group.append(anomaly)
+        flush()
+        return episodes
+
+
+def episodes_to_csv(episodes: list[DetectedOutage]) -> str:
+    """Serialise episodes as ``start,end,severity,trough`` rows."""
+    lines = ["start,end,severity,trough"]
+    lines.extend(
+        f"{e.start.isoformat()},{e.end.isoformat()},{e.severity!r},{e.trough!r}"
+        for e in episodes
+    )
+    return "\n".join(lines) + "\n"
+
+
+def episodes_from_csv(text: str) -> list[DetectedOutage]:
+    """Parse the layout produced by :func:`episodes_to_csv`."""
+    episodes = []
+    for line_no, line in enumerate(text.strip().splitlines()):
+        if line_no == 0:
+            continue
+        start, end, severity, trough = line.split(",")
+        episodes.append(
+            DetectedOutage(
+                start=_dt.date.fromisoformat(start),
+                end=_dt.date.fromisoformat(end),
+                severity=float(severity),
+                trough=float(trough),
+            )
+        )
+    return episodes

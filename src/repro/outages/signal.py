@@ -1,0 +1,97 @@
+"""Daily country-level connectivity signal.
+
+The signal value for a (country, day) is the fraction of the country's
+vantage points (Atlas probes, in the synthetic world) that completed
+measurements that day -- 1.0 is full connectivity, 0.0 a total blackout.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Iterator, Mapping
+
+
+class DailySignal:
+    """An ordered mapping from :class:`datetime.date` to a [0, 1] value."""
+
+    def __init__(
+        self,
+        values: Mapping[_dt.date, float] | Iterable[tuple[_dt.date, float]] = (),
+    ):
+        if isinstance(values, Mapping):
+            items = values.items()
+        else:
+            items = values
+        self._values: dict[_dt.date, float] = {}
+        for day, value in items:
+            self._check(value)
+            self._values[day] = float(value)
+
+    @staticmethod
+    def _check(value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"connectivity must be within [0, 1]: {value}")
+
+    def set(self, day: _dt.date, value: float) -> None:
+        """Insert or replace one observation."""
+        self._check(value)
+        self._values[day] = float(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, day: _dt.date) -> bool:
+        return day in self._values
+
+    def __getitem__(self, day: _dt.date) -> float:
+        return self._values[day]
+
+    def get(self, day: _dt.date, default: float | None = None) -> float | None:
+        """Value at *day*, or *default* when absent."""
+        return self._values.get(day, default)
+
+    def days(self) -> list[_dt.date]:
+        """All observed days, ascending."""
+        return sorted(self._values)
+
+    def items(self) -> Iterator[tuple[_dt.date, float]]:
+        """(day, value) pairs in ascending day order."""
+        for day in self.days():
+            yield day, self._values[day]
+
+    def window(self, start: _dt.date, end: _dt.date) -> "DailySignal":
+        """Restrict to days in [start, end]."""
+        return DailySignal(
+            {d: v for d, v in self._values.items() if start <= d <= end}
+        )
+
+    def mean(self) -> float:
+        """Mean connectivity over observed days."""
+        if not self._values:
+            raise ValueError("empty signal")
+        return sum(self._values.values()) / len(self._values)
+
+    def min_day(self) -> _dt.date:
+        """Day of minimum connectivity (earliest on ties)."""
+        if not self._values:
+            raise ValueError("empty signal")
+        lowest = min(self._values.values())
+        return min(d for d, v in self._values.items() if v == lowest)
+
+
+def signal_to_csv(signal: "DailySignal") -> str:
+    """Serialise a signal as ``date,connectivity`` rows."""
+    lines = ["date,connectivity"]
+    lines.extend(f"{day.isoformat()},{value!r}" for day, value in signal.items())
+    return "\n".join(lines) + "\n"
+
+
+def signal_from_csv(text: str) -> "DailySignal":
+    """Parse the layout produced by :func:`signal_to_csv`."""
+    signal = DailySignal()
+    for line_no, line in enumerate(text.strip().splitlines()):
+        if line_no == 0:
+            continue
+        day_text, value_text = line.split(",", 1)
+        signal.set(_dt.date.fromisoformat(day_text), float(value_text))
+    return signal

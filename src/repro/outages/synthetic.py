@@ -1,0 +1,116 @@
+"""Synthetic connectivity signals with the 2019 blackouts scripted in.
+
+The schedule encodes documented events: the nationwide Venezuelan
+blackouts of March 2019 (the 7th-14th collapse and the 25th-28th relapse),
+the July 2019 blackout, the Argentina/Uruguay grid failure of June 16
+2019, plus recurring regional load-shedding in western Venezuela through
+2019-2020.  Everything else is a high, gently-noisy baseline.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from dataclasses import dataclass
+
+from repro.outages.signal import DailySignal
+
+#: Default signal window.
+WINDOW_START = _dt.date(2018, 1, 1)
+WINDOW_END = _dt.date(2020, 12, 31)
+
+
+@dataclass(frozen=True, slots=True)
+class ScriptedBlackout:
+    """One injected outage: ground truth for detector evaluation.
+
+    Attributes:
+        country: Affected country.
+        start: First affected day.
+        end: Last affected day (inclusive).
+        depth: Connectivity loss at the event's trough (0.75 = 75% of
+            vantage points dark).
+    """
+
+    country: str
+    start: _dt.date
+    end: _dt.date
+    depth: float
+
+    def loss_on(self, day: _dt.date) -> float:
+        """Connectivity loss on *day* (trough mid-event, shoulders milder)."""
+        if not self.start <= day <= self.end:
+            return 0.0
+        span = (self.end - self.start).days
+        if span == 0:
+            return self.depth
+        position = (day - self.start).days / span
+        # Raised-cosine profile: sharp collapse, gradual restoration.
+        return self.depth * (0.55 + 0.45 * math.sin(math.pi * position))
+
+
+def _d(text: str) -> _dt.date:
+    return _dt.date.fromisoformat(text)
+
+
+#: The documented ground-truth events.
+BLACKOUT_SCHEDULE: tuple[ScriptedBlackout, ...] = (
+    ScriptedBlackout("VE", _d("2019-03-07"), _d("2019-03-14"), 0.80),
+    ScriptedBlackout("VE", _d("2019-03-25"), _d("2019-03-28"), 0.60),
+    ScriptedBlackout("VE", _d("2019-07-22"), _d("2019-07-24"), 0.55),
+    ScriptedBlackout("VE", _d("2019-04-09"), _d("2019-04-10"), 0.40),
+    ScriptedBlackout("VE", _d("2020-05-05"), _d("2020-05-06"), 0.35),
+    ScriptedBlackout("AR", _d("2019-06-16"), _d("2019-06-16"), 0.70),
+    ScriptedBlackout("UY", _d("2019-06-16"), _d("2019-06-16"), 0.65),
+)
+
+#: Baseline connectivity per country (Venezuela's grid keeps it lower and
+#: more jittery even outside headline blackouts).
+_BASELINES: dict[str, tuple[float, float]] = {
+    # cc -> (baseline level, noise amplitude)
+    "VE": (0.93, 0.015),
+    "AR": (0.985, 0.004),
+    "UY": (0.99, 0.003),
+    "BR": (0.985, 0.004),
+    "CL": (0.99, 0.003),
+    "CO": (0.98, 0.005),
+    "MX": (0.985, 0.004),
+}
+
+
+def signal_countries() -> list[str]:
+    """Countries the generator produces signals for."""
+    return sorted(_BASELINES)
+
+
+def synthesize_connectivity(
+    country: str,
+    start: _dt.date = WINDOW_START,
+    end: _dt.date = WINDOW_END,
+) -> DailySignal:
+    """Daily connectivity for one country over [start, end].
+
+    Deterministic: the "noise" is a fixed quasi-periodic texture, so the
+    detector's behaviour is exactly reproducible.
+    """
+    cc = country.upper()
+    try:
+        level, amplitude = _BASELINES[cc]
+    except KeyError:
+        raise KeyError(f"no connectivity model for {cc!r}") from None
+    signal = DailySignal()
+    day = start
+    seed = sum(ord(ch) for ch in cc)
+    while day <= end:
+        ordinal = day.toordinal()
+        noise = amplitude * (
+            math.sin(ordinal * 0.61 + seed) + 0.5 * math.sin(ordinal * 0.173 + seed * 2)
+        )
+        value = level + noise
+        loss = max(
+            (b.loss_on(day) for b in BLACKOUT_SCHEDULE if b.country == cc),
+            default=0.0,
+        )
+        signal.set(day, min(1.0, max(0.0, value - loss)))
+        day += _dt.timedelta(days=1)
+    return signal

@@ -1,0 +1,43 @@
+"""PeeringDB substrate (CAIDA PeeringDB archive substitute).
+
+The paper uses monthly PeeringDB snapshots (schema v2, available since
+April 2018) for three analyses: the growth of peering facilities per
+country (Fig. 3), the networks present at Venezuelan facilities
+(Fig. 15 / Table 2), and IXP memberships (Figs. 10 and 21).  This
+subpackage provides:
+
+* :mod:`repro.peeringdb.schema` -- dataclasses for the PeeringDB tables
+  the paper touches (``org``, ``fac``, ``net``, ``ix``, ``netfac``,
+  ``netixlan``) plus per-snapshot queries, with JSON (de)serialisation in
+  the dump layout (``{"fac": {"data": [...]}, ...}``).
+* :mod:`repro.peeringdb.archive` -- a monthly archive with longitudinal
+  queries (facility-count panels, per-facility membership series).
+* :mod:`repro.peeringdb.synthetic` -- the scripted regional world
+  calibrated to the paper (LACNIC 180 -> 552 facilities, Brazil
+  102 -> 311, Venezuela's four late facilities, the Fig. 15 membership
+  histories, and the IXP rosters behind Figs. 10 and 21).
+"""
+
+from repro.peeringdb.archive import PeeringDBArchive
+from repro.peeringdb.schema import (
+    Facility,
+    InternetExchange,
+    NetFac,
+    NetIXLan,
+    Network,
+    Organization,
+    PeeringDBSnapshot,
+)
+from repro.peeringdb.synthetic import synthesize_peeringdb_archive
+
+__all__ = [
+    "Facility",
+    "InternetExchange",
+    "NetFac",
+    "NetIXLan",
+    "Network",
+    "Organization",
+    "PeeringDBArchive",
+    "PeeringDBSnapshot",
+    "synthesize_peeringdb_archive",
+]

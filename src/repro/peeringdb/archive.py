@@ -1,0 +1,83 @@
+"""Monthly PeeringDB archive and its longitudinal queries."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.peeringdb.schema import PeeringDBSnapshot
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+from repro.timeseries.series import MonthlySeries
+
+
+class PeeringDBArchive:
+    """Month -> snapshot mapping with the paper's longitudinal queries."""
+
+    def __init__(self, snapshots: Mapping[Month, PeeringDBSnapshot]):
+        self._snapshots = dict(snapshots)
+
+    def months(self) -> list[Month]:
+        """All snapshot months, ascending."""
+        return sorted(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __getitem__(self, month: Month) -> PeeringDBSnapshot:
+        return self._snapshots[month]
+
+    def __contains__(self, month: Month) -> bool:
+        return month in self._snapshots
+
+    def items(self) -> Iterator[tuple[Month, PeeringDBSnapshot]]:
+        """(month, snapshot) pairs in month order."""
+        for m in self.months():
+            yield m, self._snapshots[m]
+
+    def latest(self) -> PeeringDBSnapshot:
+        """The most recent snapshot."""
+        return self._snapshots[self.months()[-1]]
+
+    # -- Fig. 3 ------------------------------------------------------------
+
+    def facility_count_panel(self) -> CountryPanel:
+        """Per-country facility counts over time."""
+        records = []
+        for month, snapshot in self.items():
+            for cc, count in snapshot.facility_count_by_country().items():
+                records.append((cc, month, float(count)))
+        return CountryPanel.from_records(records)
+
+    # -- Fig. 15 ------------------------------------------------------------
+
+    def facility_membership_series(self, facility_name: str) -> MonthlySeries:
+        """Networks present at the named facility, per month.
+
+        Months in which the facility is not registered are absent from the
+        series (distinct from registered-with-zero-members months).
+        """
+        values: dict[Month, float] = {}
+        for month, snapshot in self.items():
+            for facility in snapshot.facilities:
+                if facility.name == facility_name:
+                    members = snapshot.networks_at_facility(facility.id)
+                    values[month] = float(len(members))
+                    break
+        return MonthlySeries(values)
+
+    def facility_names_in(self, country: str) -> list[str]:
+        """Every facility name ever registered in *country*, sorted."""
+        names: set[str] = set()
+        for _month, snapshot in self.items():
+            names.update(f.name for f in snapshot.facilities_in(country))
+        return sorted(names)
+
+    def facility_members_ever(self, facility_name: str) -> dict[int, str]:
+        """ASN -> network name for every network ever at the facility."""
+        members: dict[int, str] = {}
+        for _month, snapshot in self.items():
+            for facility in snapshot.facilities:
+                if facility.name == facility_name:
+                    for net in snapshot.networks_at_facility(facility.id):
+                        members[net.asn] = net.name
+        return members

@@ -1,0 +1,245 @@
+"""PeeringDB schema-v2 tables and per-snapshot queries.
+
+Only the columns the paper's analyses read are modelled; the JSON
+(de)serialisation follows the public dump layout so a real archive
+snapshot can be loaded with :meth:`PeeringDBSnapshot.from_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class PeeringDBParseError(ValueError):
+    """Raised when a dump cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Organization:
+    """An ``org`` row: the owning organisation of networks/facilities."""
+
+    id: int
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Facility:
+    """A ``fac`` row: a colocation / peering facility."""
+
+    id: int
+    org_id: int
+    name: str
+    city: str
+    country: str
+
+
+@dataclass(frozen=True, slots=True)
+class Network:
+    """A ``net`` row: an autonomous system registered in PeeringDB."""
+
+    id: int
+    org_id: int
+    asn: int
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class InternetExchange:
+    """An ``ix`` row: an Internet exchange point."""
+
+    id: int
+    org_id: int
+    name: str
+    city: str
+    country: str
+
+
+@dataclass(frozen=True, slots=True)
+class NetFac:
+    """A ``netfac`` row: a network's presence at a facility."""
+
+    net_id: int
+    fac_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class NetIXLan:
+    """A ``netixlan`` row: a network's port at an exchange."""
+
+    net_id: int
+    ix_id: int
+
+
+@dataclass
+class PeeringDBSnapshot:
+    """One dated dump of the six tables used by the paper."""
+
+    orgs: list[Organization] = field(default_factory=list)
+    facilities: list[Facility] = field(default_factory=list)
+    networks: list[Network] = field(default_factory=list)
+    exchanges: list[InternetExchange] = field(default_factory=list)
+    netfacs: list[NetFac] = field(default_factory=list)
+    netixlans: list[NetIXLan] = field(default_factory=list)
+
+    # -- queries -----------------------------------------------------------
+
+    def facilities_in(self, country: str) -> list[Facility]:
+        """Facilities located in *country*."""
+        cc = country.upper()
+        return [f for f in self.facilities if f.country == cc]
+
+    def facility_count_by_country(self) -> dict[str, int]:
+        """Number of facilities per country code."""
+        counts: dict[str, int] = {}
+        for f in self.facilities:
+            counts[f.country] = counts.get(f.country, 0) + 1
+        return counts
+
+    def network_by_asn(self, asn: int) -> Network | None:
+        """The ``net`` row for an ASN, or None."""
+        for n in self.networks:
+            if n.asn == asn:
+                return n
+        return None
+
+    def networks_at_facility(self, fac_id: int) -> list[Network]:
+        """Networks with a ``netfac`` entry at the given facility."""
+        net_ids = {nf.net_id for nf in self.netfacs if nf.fac_id == fac_id}
+        return [n for n in self.networks if n.id in net_ids]
+
+    def facilities_of_network(self, asn: int) -> list[Facility]:
+        """Facilities at which the network with *asn* is present."""
+        net = self.network_by_asn(asn)
+        if net is None:
+            return []
+        fac_ids = {nf.fac_id for nf in self.netfacs if nf.net_id == net.id}
+        return [f for f in self.facilities if f.id in fac_ids]
+
+    def exchanges_in(self, country: str) -> list[InternetExchange]:
+        """Exchanges located in *country*."""
+        cc = country.upper()
+        return [ix for ix in self.exchanges if ix.country == cc]
+
+    def exchange_by_name(self, name: str) -> InternetExchange | None:
+        """The ``ix`` row with the given display name, or None."""
+        for ix in self.exchanges:
+            if ix.name == name:
+                return ix
+        return None
+
+    def networks_at_exchange(self, ix_id: int) -> list[Network]:
+        """Networks with a port at the given exchange."""
+        net_ids = {nl.net_id for nl in self.netixlans if nl.ix_id == ix_id}
+        return [n for n in self.networks if n.id in net_ids]
+
+    def exchanges_of_network(self, asn: int) -> list[InternetExchange]:
+        """Exchanges at which the network with *asn* has a port."""
+        net = self.network_by_asn(asn)
+        if net is None:
+            return []
+        ix_ids = {nl.ix_id for nl in self.netixlans if nl.net_id == net.id}
+        return [ix for ix in self.exchanges if ix.id in ix_ids]
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise in the public-dump layout."""
+        payload = {
+            "org": {"data": [{"id": o.id, "name": o.name} for o in self.orgs]},
+            "fac": {
+                "data": [
+                    {
+                        "id": f.id,
+                        "org_id": f.org_id,
+                        "name": f.name,
+                        "city": f.city,
+                        "country": f.country,
+                    }
+                    for f in self.facilities
+                ]
+            },
+            "net": {
+                "data": [
+                    {"id": n.id, "org_id": n.org_id, "asn": n.asn, "name": n.name}
+                    for n in self.networks
+                ]
+            },
+            "ix": {
+                "data": [
+                    {
+                        "id": x.id,
+                        "org_id": x.org_id,
+                        "name": x.name,
+                        "city": x.city,
+                        "country": x.country,
+                    }
+                    for x in self.exchanges
+                ]
+            },
+            "netfac": {
+                "data": [
+                    {"net_id": nf.net_id, "fac_id": nf.fac_id} for nf in self.netfacs
+                ]
+            },
+            "netixlan": {
+                "data": [
+                    {"net_id": nl.net_id, "ix_id": nl.ix_id} for nl in self.netixlans
+                ]
+            },
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PeeringDBSnapshot":
+        """Parse the public-dump layout produced by :meth:`to_json`.
+
+        Raises:
+            PeeringDBParseError: on malformed JSON or missing columns.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PeeringDBParseError(f"not JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise PeeringDBParseError("top level must be an object")
+
+        def rows(table: str) -> list[dict]:
+            return payload.get(table, {}).get("data", [])
+
+        try:
+            return cls._from_rows(rows)
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            raise PeeringDBParseError(f"malformed dump row: {exc}") from None
+
+    @classmethod
+    def _from_rows(cls, rows) -> "PeeringDBSnapshot":
+        return cls(
+            orgs=[Organization(r["id"], r["name"]) for r in rows("org")],
+            facilities=[
+                Facility(r["id"], r["org_id"], r["name"], r["city"], r["country"])
+                for r in rows("fac")
+            ],
+            networks=[
+                Network(r["id"], r["org_id"], r["asn"], r["name"])
+                for r in rows("net")
+            ],
+            exchanges=[
+                InternetExchange(
+                    r["id"], r["org_id"], r["name"], r["city"], r["country"]
+                )
+                for r in rows("ix")
+            ],
+            netfacs=[NetFac(r["net_id"], r["fac_id"]) for r in rows("netfac")],
+            netixlans=[NetIXLan(r["net_id"], r["ix_id"]) for r in rows("netixlan")],
+        )
+
+    def save(self, path: Path | str) -> None:
+        """Write the JSON dump to *path*."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "PeeringDBSnapshot":
+        """Read a JSON dump from *path*."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

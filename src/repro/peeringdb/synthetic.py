@@ -1,0 +1,341 @@
+"""Scripted synthetic PeeringDB world calibrated to the paper.
+
+Facility growth (Fig. 3)
+    Per-country facility counts interpolate between April-2018 and
+    January-2024 anchors chosen so the regional total grows 180 -> 552,
+    Brazil 102 -> 311, Mexico 11 -> 45, Chile 18 -> 45 and Costa Rica
+    3 -> 8.  Venezuela is scripted: two facilities registered in November
+    2021 (Lumen La Urbina, Daycohost) and two in 2023 (GigaPOP Maracaibo,
+    Globenet Maiquetia), with the Lumen record renamed to Cirion after
+    Lumen's Latin American sale.
+
+Venezuelan facility membership (Fig. 15 / Table 2)
+    Join/leave schedules reproduce the paper's rosters: Cirion La Urbina
+    peaks at 11 networks in the latest snapshot, Daycohost at 3 (one later
+    leaving), GigaPOP stays empty, Globenet reaches 2.
+
+IXP rosters (Figs. 10 and 21)
+    Static member lists per exchange, designed together with
+    :mod:`repro.apnic.synthetic` so the headline coverage cells come out:
+    AR-IX 62.4% of Argentina, IX.br 45.53% of Brazil, PIT Chile 49.57% of
+    Chile, Venezuela present only at Equinix Bogota (~4% via Net Uno) and
+    at US exchanges via seven networks worth ~7% of its users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apnic.synthetic import synthesize_populations
+from repro.peeringdb.archive import PeeringDBArchive
+from repro.peeringdb.schema import (
+    Facility,
+    InternetExchange,
+    NetFac,
+    NetIXLan,
+    Network,
+    Organization,
+    PeeringDBSnapshot,
+)
+from repro.timeseries.month import Month, month_range
+
+#: Default archive window (PeeringDB schema v2 era, as in the paper).
+ARCHIVE_START = Month(2018, 4)
+ARCHIVE_END = Month(2024, 1)
+
+#: Per-country facility counts at the window edges: cc -> (2018-04, 2024-01).
+#: Venezuela is handled by the explicit script below.
+_FACILITY_ANCHORS: dict[str, tuple[int, int]] = {
+    "BR": (102, 311),
+    "MX": (11, 45),
+    "CL": (18, 45),
+    "AR": (12, 25),
+    "CO": (8, 25),
+    "PE": (6, 18),
+    "EC": (3, 12),
+    "UY": (4, 10),
+    "CR": (3, 8),
+    "PA": (4, 14),
+    "DO": (2, 8),
+    "GT": (1, 5),
+    "BO": (1, 4),
+    "PY": (1, 4),
+    "TT": (1, 3),
+    "SV": (1, 3),
+    "CW": (1, 3),
+    "GF": (1, 2),
+    "HN": (0, 2),
+    "NI": (0, 1),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class _VEFacility:
+    """One scripted Venezuelan facility."""
+
+    fac_id: int
+    name: str
+    city: str
+    registered: Month
+    removed: Month | None  # exclusive upper bound (the rename month)
+    #: (asn, join month, leave month or None)
+    members: tuple[tuple[int, str, str | None], ...]
+
+
+def _m(text: str) -> Month:
+    return Month.parse(text)
+
+
+#: The Lumen-era membership schedule, inherited verbatim by Cirion.
+_LA_URBINA_MEMBERS: tuple[tuple[int, str, str | None], ...] = (
+    (8053, "2021-11", None),
+    (265641, "2022-01", None),
+    (269832, "2022-08", None),
+    (23379, "2022-11", None),
+    (270042, "2022-11", None),
+    (269738, "2023-01", None),
+    (267809, "2023-02", None),
+)
+
+_VE_FACILITIES: tuple[_VEFacility, ...] = (
+    _VEFacility(
+        fac_id=9001,
+        name="Lumen La Urbina",
+        city="Caracas",
+        registered=_m("2021-11"),
+        removed=_m("2023-05"),
+        members=_LA_URBINA_MEMBERS,
+    ),
+    _VEFacility(
+        fac_id=9002,
+        name="Cirion La Urbina",
+        city="Caracas",
+        registered=_m("2023-05"),
+        removed=None,
+        members=_LA_URBINA_MEMBERS
+        + (
+            (19978, "2023-05", None),
+            (21826, "2023-11", None),
+            (21980, "2023-11", None),
+            (269918, "2023-11", None),
+        ),
+    ),
+    _VEFacility(
+        fac_id=9003,
+        name="Daycohost - Caracas",
+        city="Caracas",
+        registered=_m("2021-11"),
+        removed=None,
+        members=(
+            (8053, "2021-11", None),
+            (269832, "2022-03", None),
+            (270042, "2022-06", "2023-02"),
+        ),
+    ),
+    _VEFacility(
+        fac_id=9004,
+        name="GigaPOP Maracaibo",
+        city="Maracaibo",
+        registered=_m("2023-02"),
+        removed=None,
+        members=(),
+    ),
+    _VEFacility(
+        fac_id=9005,
+        name="Globenet Maiquetia",
+        city="Maiquetia",
+        registered=_m("2023-03"),
+        removed=None,
+        members=(
+            (272102, "2023-06", None),
+            (21826, "2023-11", None),
+        ),
+    ),
+)
+
+#: Display names for the Venezuelan facility members (Table 2 rows).
+VE_MEMBER_NAMES: dict[int, str] = {
+    8053: "IFX Venezuela",
+    265641: "CIX BROADBAND",
+    269832: "MDSTELECOM",
+    23379: "Blackburn Technologies II",
+    270042: "RED DOT TECHNOLOGIES",
+    269738: "Chircalnet Telecom",
+    267809: "360NET",
+    19978: "Cirion - VE",
+    21826: "Corporacion Telemic Network",
+    21980: "Dayco Telecom",
+    269918: "SISTEMAS TELCORP, C.A.",
+    272102: "BESSER SOLUTIONS",
+}
+
+#: Venezuelan tail ASNs that appear at US exchanges (with Thundernet they
+#: are the paper's "seven networks serving a mere 7%").
+VE_US_PEERING_ASNS: tuple[int, ...] = (
+    272809, 274000, 274001, 274002, 274003, 274004,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _IXDefinition:
+    """One exchange and its static member roster."""
+
+    ix_id: int
+    name: str
+    country: str
+    city: str
+    members: tuple[int, ...]
+
+
+#: The largest exchange per Latin American country (Fig. 10 columns) plus
+#: Equinix Bogota (where Venezuela's single regional presence sits).
+LATAM_IX_DEFINITIONS: tuple[_IXDefinition, ...] = (
+    _IXDefinition(101, "AR-IX", "AR", "Buenos Aires",
+                  (7303, 10318, 27747, 11664, 52367, 6057, 23201)),
+    _IXDefinition(102, "IX.br (SP)", "BR", "Sao Paulo",
+                  (26599, 7738, 61573, 28220, 52871, 263237, 28343, 53062,
+                   268699, 262272, 6057, 7303, 10318, 11664, 27768)),
+    _IXDefinition(103, "PIT Chile (SCL)", "CL", "Santiago",
+                  (27651, 22047, 14259, 27678, 263702, 6057, 52367, 11664)),
+    _IXDefinition(104, "NAP.CO", "CO", "Bogota",
+                  (10620, 13489, 19429, 262186)),
+    _IXDefinition(105, "IXpy", "PY", "Asuncion", (23201, 27768, 6057)),
+    _IXDefinition(106, "CRIX", "CR", "San Jose", (11830, 14340, 27742)),
+    _IXDefinition(107, "PIT.BO", "BO", "La Paz", (6568, 26210)),
+    _IXDefinition(108, "Peru IX", "PE", "Lima", (12252,)),
+    _IXDefinition(109, "NAP.EC - UIO", "EC", "Quito", (14420, 27947)),
+    _IXDefinition(110, "InteRed (PA)", "PA", "Panama City", (18809, 11556)),
+    _IXDefinition(111, "AMS-IX (CW)", "CW", "Willemstad", (52233, 27781)),
+    _IXDefinition(112, "GTIX", "GT", "Guatemala City", (14754,)),
+    _IXDefinition(113, "SUR-IX", "SR", "Paramaribo", (27775,)),
+    _IXDefinition(114, "TTIX", "TT", "Port of Spain", (27665, 5639)),
+    _IXDefinition(115, "IXP-HN", "HN", "Tegucigalpa", (27884,)),
+    _IXDefinition(116, "Guyanix", "GY", "Georgetown", (19863,)),
+    _IXDefinition(117, "Equinix Bogota", "CO", "Bogota", (27951, 11562)),
+)
+
+#: US exchanges (Fig. 21 columns).
+US_IX_DEFINITIONS: tuple[_IXDefinition, ...] = (
+    _IXDefinition(201, "FL-IX", "US", "Miami",
+                  (28573, 8151, 6057, 10620, 5639, 6400, 272809, 274000, 274001)),
+    _IXDefinition(202, "Equinix Miami", "US", "Miami",
+                  (27699, 28573, 6057, 13489, 6147, 27947, 14340, 18809,
+                   274002, 274003)),
+    _IXDefinition(203, "DE-CIX New York", "US", "New York",
+                  (28573, 26599, 13999, 7303, 274004, 274005)),
+    _IXDefinition(204, "Equinix Ashburn", "US", "Ashburn",
+                  (6057, 27699, 28573, 8151)),
+    _IXDefinition(205, "Equinix Dallas", "US", "Dallas", (8151, 13999)),
+    _IXDefinition(206, "MEX-IX McAllen", "US", "McAllen", (8151, 22884)),
+    _IXDefinition(207, "Equinix Los Angeles", "US", "Los Angeles", (8151,)),
+    _IXDefinition(208, "NYIIX New York", "US", "New York", (26599, 28118)),
+    _IXDefinition(209, "Equinix Chicago", "US", "Chicago", (13999,)),
+    _IXDefinition(210, "Any2East", "US", "Ashburn", (28573,)),
+)
+
+_ALL_IX_DEFINITIONS = LATAM_IX_DEFINITIONS + US_IX_DEFINITIONS
+
+#: Cities cycled through for generated (non-Venezuelan) facilities.
+_GENERIC_CITIES = ("Capital", "Norte", "Sur", "Centro", "Este", "Oeste")
+
+
+def _facility_count(cc: str, month: Month) -> int:
+    """Interpolated facility count for a scripted country at *month*."""
+    start_count, end_count = _FACILITY_ANCHORS[cc]
+    total_months = ARCHIVE_START.months_until(ARCHIVE_END)
+    elapsed = max(0, min(total_months, ARCHIVE_START.months_until(month)))
+    frac = elapsed / total_months
+    return round(start_count + frac * (end_count - start_count))
+
+
+def _network_names() -> dict[int, str]:
+    """ASN -> display name, drawn from the population roster + Table 2."""
+    names = dict(VE_MEMBER_NAMES)
+    for entry in synthesize_populations():
+        names.setdefault(entry.asn, entry.name)
+    return names
+
+
+def _build_networks() -> list[Network]:
+    """Network rows for every ASN referenced by facilities or exchanges."""
+    names = _network_names()
+    asns: set[int] = set()
+    for facility in _VE_FACILITIES:
+        asns.update(asn for asn, _j, _l in facility.members)
+    for ix in _ALL_IX_DEFINITIONS:
+        asns.update(ix.members)
+    return [
+        Network(id=asn, org_id=asn, asn=asn, name=names.get(asn, f"AS{asn}"))
+        for asn in sorted(asns)
+    ]
+
+
+def _snapshot_for(month: Month, networks: list[Network]) -> PeeringDBSnapshot:
+    """Build the full PeeringDB snapshot for one month."""
+    orgs = [Organization(id=1, name="Synthetic region operators")]
+    facilities: list[Facility] = []
+    netfacs: list[NetFac] = []
+
+    fac_id = 1
+    for cc in sorted(_FACILITY_ANCHORS):
+        for i in range(_facility_count(cc, month)):
+            facilities.append(
+                Facility(
+                    id=fac_id + i,
+                    org_id=1,
+                    name=f"{cc} Facility {i + 1}",
+                    city=f"{_GENERIC_CITIES[i % len(_GENERIC_CITIES)]} {cc}",
+                    country=cc,
+                )
+            )
+        fac_id += 1000
+
+    for facility in _VE_FACILITIES:
+        if month < facility.registered:
+            continue
+        if facility.removed is not None and month >= facility.removed:
+            continue
+        facilities.append(
+            Facility(
+                id=facility.fac_id,
+                org_id=1,
+                name=facility.name,
+                city=facility.city,
+                country="VE",
+            )
+        )
+        for asn, join, leave in facility.members:
+            joined = _m(join) <= month
+            left = leave is not None and month >= _m(leave)
+            if joined and not left:
+                netfacs.append(NetFac(net_id=asn, fac_id=facility.fac_id))
+
+    exchanges = [
+        InternetExchange(
+            id=ix.ix_id, org_id=1, name=ix.name, city=ix.city, country=ix.country
+        )
+        for ix in _ALL_IX_DEFINITIONS
+    ]
+    netixlans = [
+        NetIXLan(net_id=asn, ix_id=ix.ix_id)
+        for ix in _ALL_IX_DEFINITIONS
+        for asn in ix.members
+    ]
+    return PeeringDBSnapshot(
+        orgs=orgs,
+        facilities=facilities,
+        networks=networks,
+        exchanges=exchanges,
+        netfacs=netfacs,
+        netixlans=netixlans,
+    )
+
+
+def synthesize_peeringdb_archive(
+    start: Month = ARCHIVE_START, end: Month = ARCHIVE_END
+) -> PeeringDBArchive:
+    """Monthly PeeringDB archive over [start, end]."""
+    networks = _build_networks()
+    return PeeringDBArchive(
+        {m: _snapshot_for(m, networks) for m in month_range(start, end)}
+    )

@@ -1,0 +1,30 @@
+"""RIR delegation files (LACNIC extended-stats substitutes).
+
+The paper downloads LACNIC delegation files from the first of each month
+since 2008 to measure each country's *allocated* address space (Fig. 2's
+denominator).  This subpackage implements:
+
+* :mod:`repro.registry.delegation` -- parser/writer for the RIR
+  extended-stats format used by all five RIRs.
+* :mod:`repro.registry.address_space` -- per-country allocated-address
+  accounting over monthly snapshots.
+* :mod:`repro.registry.synthetic` -- a deterministic Venezuelan allocation
+  history calibrated to Fig. 2.
+"""
+
+from repro.registry.address_space import allocated_addresses, allocation_series
+from repro.registry.delegation import (
+    DelegationFile,
+    DelegationRecord,
+    parse_delegation_file,
+)
+from repro.registry.synthetic import synthesize_ve_delegations
+
+__all__ = [
+    "DelegationFile",
+    "DelegationRecord",
+    "allocated_addresses",
+    "allocation_series",
+    "parse_delegation_file",
+    "synthesize_ve_delegations",
+]

@@ -1,0 +1,141 @@
+"""The synthetic Venezuelan IPv4 address plan.
+
+One shared roster of Venezuelan allocations drives both sides of Fig. 2:
+the registry view (LACNIC delegation files; see
+:mod:`repro.registry.synthetic`) and the routing view (RouteViews
+prefix2as snapshots; see :mod:`repro.bgp.synthetic`).  Keeping the roster
+in one place guarantees the two stay consistent: everything announced is
+also allocated.
+
+The Telefonica block list follows the Appendix C heatmap roster; CANTV and
+the remaining ISPs use plausible LACNIC-region blocks sized so the
+aggregates match Fig. 2 (CANTV ~2.8M addresses by 2014, Telefonica ~1.9M,
+country total ~6.4M with a 2016 plateau at IPv4 exhaustion).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+# Well-known ASNs used throughout the reproduction.
+AS_CANTV = 8048
+AS_TELEFONICA = 6306
+AS_TELEMIC = 21826
+AS_DIGITEL = 264731
+AS_FIBEX = 264628
+AS_AIRTEK = 61461
+AS_VIGINET = 263703
+AS_NETUNO = 11562
+AS_THUNDERNET = 272809
+AS_MOVILNET = 27889
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """One allocated IPv4 block.
+
+    Attributes:
+        prefix: CIDR string, e.g. ``"186.88.0.0/13"``.
+        asn: Autonomous system the block is operated by.
+        year: Allocation year.
+        month: Allocation month.
+    """
+
+    prefix: str
+    asn: int
+    year: int
+    month: int
+
+    @property
+    def network(self) -> ipaddress.IPv4Network:
+        """The block as an :class:`ipaddress.IPv4Network`."""
+        return ipaddress.ip_network(self.prefix)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses in the block."""
+        return self.network.num_addresses
+
+
+def _alloc(prefix: str, asn: int, year: int, month: int = 6) -> Allocation:
+    return Allocation(prefix, asn, year, month)
+
+
+#: CANTV's allocations: ~2.76M addresses accumulated by 2013.
+CANTV_ALLOCATIONS: tuple[Allocation, ...] = (
+    _alloc("200.44.0.0/16", AS_CANTV, 1998, 3),
+    _alloc("200.82.128.0/19", AS_CANTV, 2000, 7),
+    _alloc("200.109.0.0/16", AS_CANTV, 2004, 2),
+    _alloc("201.208.0.0/13", AS_CANTV, 2006, 5),
+    _alloc("190.72.0.0/14", AS_CANTV, 2007, 4),
+    _alloc("190.36.0.0/14", AS_CANTV, 2007, 6),
+    _alloc("190.198.0.0/15", AS_CANTV, 2008, 9),
+    _alloc("186.88.0.0/13", AS_CANTV, 2009, 6),
+    _alloc("190.200.0.0/14", AS_CANTV, 2010, 8),
+    _alloc("190.76.0.0/15", AS_CANTV, 2011, 3),
+    _alloc("200.8.0.0/16", AS_CANTV, 2012, 2),
+    _alloc("200.93.0.0/16", AS_CANTV, 2013, 1),
+    _alloc("201.216.0.0/15", AS_CANTV, 2013, 7),
+)
+
+#: Telefonica de Venezuela's allocations, following the Appendix C roster.
+TELEFONICA_ALLOCATIONS: tuple[Allocation, ...] = (
+    _alloc("200.31.128.0/19", AS_TELEFONICA, 2005, 4),
+    _alloc("161.140.0.0/16", AS_TELEFONICA, 2005, 10),
+    _alloc("200.35.64.0/18", AS_TELEFONICA, 2006, 3),
+    _alloc("161.212.0.0/16", AS_TELEFONICA, 2006, 9),
+    _alloc("200.71.128.0/20", AS_TELEFONICA, 2007, 2),
+    _alloc("161.234.0.0/16", AS_TELEFONICA, 2007, 8),
+    _alloc("161.255.0.0/16", AS_TELEFONICA, 2008, 5),
+    _alloc("200.124.121.0/24", AS_TELEFONICA, 2008, 11),
+    _alloc("186.24.0.0/17", AS_TELEFONICA, 2009, 4),
+    _alloc("186.25.0.0/16", AS_TELEFONICA, 2009, 10),
+    _alloc("186.164.0.0/15", AS_TELEFONICA, 2010, 3),
+    _alloc("186.166.0.0/16", AS_TELEFONICA, 2010, 9),
+    _alloc("179.20.0.0/14", AS_TELEFONICA, 2011, 2),
+    _alloc("186.184.0.0/15", AS_TELEFONICA, 2011, 8),
+    _alloc("186.186.0.0/15", AS_TELEFONICA, 2011, 11),
+    _alloc("179.44.0.0/14", AS_TELEFONICA, 2012, 6),
+    _alloc("181.180.0.0/14", AS_TELEFONICA, 2012, 10),
+    _alloc("181.184.0.0/14", AS_TELEFONICA, 2013, 5),
+    _alloc("186.24.128.0/17", AS_TELEFONICA, 2013, 9),
+)
+
+#: Blocks held by the rest of the Venezuelan market (Table 1 players and a
+#: long tail of universities, banks and regional ISPs).
+OTHER_VE_ALLOCATIONS: tuple[Allocation, ...] = (
+    _alloc("200.6.128.0/19", 27717, 1995, 6),       # university network
+    _alloc("200.11.128.0/17", 27718, 1998, 2),      # government network
+    _alloc("200.74.0.0/17", 14317, 2002, 5),        # Inter-era cable ISP
+    _alloc("200.105.0.0/16", 14318, 2003, 9),
+    _alloc("201.232.0.0/15", AS_NETUNO, 2006, 7),
+    _alloc("190.120.0.0/16", AS_TELEMIC, 2008, 4),
+    _alloc("201.248.0.0/14", AS_MOVILNET, 2009, 8),
+    _alloc("190.121.0.0/16", AS_TELEMIC, 2010, 6),
+    _alloc("186.148.0.0/15", AS_DIGITEL, 2011, 5),
+    _alloc("190.160.0.0/14", AS_MOVILNET, 2012, 7),
+    _alloc("186.150.0.0/15", AS_DIGITEL, 2013, 3),
+    _alloc("181.208.0.0/14", AS_FIBEX, 2014, 4),
+    _alloc("190.96.0.0/17", AS_THUNDERNET, 2014, 10),
+    _alloc("179.60.0.0/15", AS_AIRTEK, 2015, 6),
+    _alloc("179.62.0.0/15", AS_VIGINET, 2016, 2),
+)
+
+#: Every Venezuelan allocation, by date.
+ALL_VE_ALLOCATIONS: tuple[Allocation, ...] = tuple(
+    sorted(
+        CANTV_ALLOCATIONS + TELEFONICA_ALLOCATIONS + OTHER_VE_ALLOCATIONS,
+        key=lambda a: (a.year, a.month, a.prefix),
+    )
+)
+
+
+def allocations_for_asn(asn: int) -> list[Allocation]:
+    """All Venezuelan allocations operated by *asn*."""
+    return [a for a in ALL_VE_ALLOCATIONS if a.asn == asn]
+
+
+def total_addresses(allocations: tuple[Allocation, ...] | list[Allocation]) -> int:
+    """Sum of addresses across the given allocations."""
+    return sum(a.num_addresses for a in allocations)

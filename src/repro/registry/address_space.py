@@ -1,0 +1,36 @@
+"""Allocated-address accounting over delegation snapshots.
+
+The paper's Fig. 2 denominator is the total IPv4 address space allocated to
+Venezuela in each monthly LACNIC delegation snapshot.  Because delegation
+files are cumulative (every record carries its delegation date), one full
+file per analysis is enough: the per-month total is the sum of records
+dated on or before that month.
+"""
+
+from __future__ import annotations
+
+from repro.registry.delegation import DelegationFile
+from repro.timeseries.month import Month, month_range
+from repro.timeseries.series import MonthlySeries
+
+
+def allocated_addresses(delegations: DelegationFile, cc: str, as_of: Month) -> int:
+    """IPv4 addresses allocated to *cc* on or before *as_of*."""
+    cutoff = as_of.plus(1).first_day()
+    return sum(
+        r.value
+        for r in delegations.ipv4_records(cc)
+        if r.date < cutoff
+    )
+
+
+def allocation_series(
+    delegations: DelegationFile, cc: str, start: Month, end: Month
+) -> MonthlySeries:
+    """Monthly cumulative allocated-address series for *cc* in [start, end]."""
+    return MonthlySeries(
+        {
+            m: float(allocated_addresses(delegations, cc, m))
+            for m in month_range(start, end)
+        }
+    )

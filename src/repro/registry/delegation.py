@@ -1,0 +1,179 @@
+"""Parser and writer for the RIR extended delegation statistics format.
+
+The format is line-oriented, pipe-separated, shared by all five RIRs::
+
+    2|lacnic|20240101|3|19870101|20240101|-0500      <- version header
+    lacnic|*|ipv4|*|2|summary                        <- per-type summaries
+    lacnic|VE|ipv4|200.44.32.0|8192|20001208|allocated
+    lacnic|VE|asn|8048|1|19970101|allocated
+
+Record fields: ``registry|cc|type|start|value|date|status[|opaque-id]``.
+For ``ipv4`` records *value* is the number of addresses; for ``asn``
+records it is the number of consecutive AS numbers; for ``ipv6`` it is the
+prefix length.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from pathlib import Path
+
+_VALID_TYPES = {"ipv4", "ipv6", "asn"}
+_VALID_STATUSES = {"allocated", "assigned", "available", "reserved"}
+
+
+class DelegationParseError(ValueError):
+    """Raised when a delegation file line cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class DelegationRecord:
+    """One delegation line.
+
+    Attributes:
+        registry: RIR name, e.g. ``"lacnic"``.
+        cc: ISO country code, upper case.
+        rectype: ``"ipv4"``, ``"ipv6"`` or ``"asn"``.
+        start: First address / first ASN / prefix, as a string.
+        value: Address count (ipv4), prefix length (ipv6) or ASN count (asn).
+        date: Delegation date.
+        status: ``allocated`` / ``assigned`` / ``available`` / ``reserved``.
+    """
+
+    registry: str
+    cc: str
+    rectype: str
+    start: str
+    value: int
+    date: _dt.date
+    status: str
+
+    def to_line(self) -> str:
+        """Serialise back to the pipe-separated wire form."""
+        return "|".join(
+            [
+                self.registry,
+                self.cc,
+                self.rectype,
+                self.start,
+                str(self.value),
+                self.date.strftime("%Y%m%d"),
+                self.status,
+            ]
+        )
+
+
+@dataclass
+class DelegationFile:
+    """A parsed delegation file: header metadata plus records."""
+
+    registry: str
+    snapshot_date: _dt.date
+    records: list[DelegationRecord]
+
+    def ipv4_records(self, cc: str | None = None) -> list[DelegationRecord]:
+        """IPv4 allocation/assignment records, optionally for one country."""
+        return self._select("ipv4", cc)
+
+    def asn_records(self, cc: str | None = None) -> list[DelegationRecord]:
+        """ASN records, optionally for one country."""
+        return self._select("asn", cc)
+
+    def _select(self, rectype: str, cc: str | None) -> list[DelegationRecord]:
+        wanted_cc = cc.upper() if cc else None
+        return [
+            r
+            for r in self.records
+            if r.rectype == rectype
+            and r.status in ("allocated", "assigned")
+            and (wanted_cc is None or r.cc == wanted_cc)
+        ]
+
+    def to_text(self) -> str:
+        """Serialise the whole file, regenerating header and summaries."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.rectype] = counts.get(record.rectype, 0) + 1
+        date_str = self.snapshot_date.strftime("%Y%m%d")
+        lines = [
+            f"2|{self.registry}|{date_str}|{len(self.records)}|19870101|{date_str}|-0500"
+        ]
+        for rectype in sorted(counts):
+            lines.append(f"{self.registry}|*|{rectype}|*|{counts[rectype]}|summary")
+        lines.extend(r.to_line() for r in self.records)
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: Path | str) -> None:
+        """Write the serialised file to *path*."""
+        Path(path).write_text(self.to_text(), encoding="utf-8")
+
+
+def _parse_date(text: str, line_no: int) -> _dt.date:
+    if len(text) != 8 or not text.isdigit():
+        raise DelegationParseError(f"line {line_no}: bad date {text!r}")
+    return _dt.date(int(text[:4]), int(text[4:6]), int(text[6:8]))
+
+
+def parse_delegation_file(text: str) -> DelegationFile:
+    """Parse the extended-stats format.
+
+    Summary lines and comments are skipped; the version header supplies the
+    registry name and snapshot date.
+
+    Raises:
+        DelegationParseError: on malformed headers or records.
+    """
+    registry = ""
+    snapshot_date = _dt.date(1970, 1, 1)
+    records: list[DelegationRecord] = []
+    saw_header = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if not saw_header and fields[0] in ("2", "2.3"):
+            if len(fields) < 4:
+                raise DelegationParseError(f"line {line_no}: short header")
+            registry = fields[1]
+            snapshot_date = _parse_date(fields[2], line_no)
+            saw_header = True
+            continue
+        if len(fields) >= 6 and fields[5] == "summary":
+            continue
+        if len(fields) < 7:
+            raise DelegationParseError(f"line {line_no}: short record: {line!r}")
+        rectype = fields[2]
+        if rectype not in _VALID_TYPES:
+            raise DelegationParseError(f"line {line_no}: bad type {rectype!r}")
+        status = fields[6]
+        if status not in _VALID_STATUSES:
+            raise DelegationParseError(f"line {line_no}: bad status {status!r}")
+        try:
+            value = int(fields[4])
+        except ValueError:
+            raise DelegationParseError(
+                f"line {line_no}: bad value {fields[4]!r}"
+            ) from None
+        date_field = fields[5]
+        # 'available'/'reserved' records may carry an empty date.
+        date = (
+            _parse_date(date_field, line_no)
+            if date_field
+            else _dt.date(1970, 1, 1)
+        )
+        records.append(
+            DelegationRecord(
+                registry=fields[0],
+                cc=fields[1].upper(),
+                rectype=rectype,
+                start=fields[3],
+                value=value,
+                date=date,
+                status=status,
+            )
+        )
+    if not saw_header:
+        raise DelegationParseError("missing version header")
+    return DelegationFile(registry=registry, snapshot_date=snapshot_date, records=records)

@@ -1,0 +1,73 @@
+"""Synthetic LACNIC delegation file for Venezuela.
+
+Materialises the shared address plan
+(:mod:`repro.registry.address_plan`) as an extended-stats delegation file,
+together with ASN records for the Venezuelan operators that appear in the
+paper's analyses.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.registry import address_plan
+from repro.registry.delegation import DelegationFile, DelegationRecord
+
+#: ASN delegations for the operators in Table 1 plus the historical networks.
+_VE_ASN_DELEGATIONS: tuple[tuple[int, int], ...] = (
+    # (asn, allocation year)
+    (address_plan.AS_CANTV, 1997),
+    (address_plan.AS_TELEFONICA, 2005),
+    (address_plan.AS_NETUNO, 2001),
+    (14317, 2002),
+    (14318, 2003),
+    (address_plan.AS_TELEMIC, 2004),
+    (27717, 1996),
+    (27718, 1997),
+    (address_plan.AS_MOVILNET, 2006),
+    (address_plan.AS_AIRTEK, 2013),
+    (address_plan.AS_VIGINET, 2014),
+    (address_plan.AS_FIBEX, 2014),
+    (address_plan.AS_DIGITEL, 2014),
+    (address_plan.AS_THUNDERNET, 2016),
+)
+
+
+def synthesize_ve_delegations(
+    snapshot_date: _dt.date = _dt.date(2024, 1, 1),
+) -> DelegationFile:
+    """Build the cumulative Venezuelan delegation file.
+
+    Because the extended-stats format dates every record, a single file
+    generated "as of" the end of the study window is sufficient for every
+    monthly accounting query.
+    """
+    records: list[DelegationRecord] = []
+    for alloc in address_plan.ALL_VE_ALLOCATIONS:
+        network = alloc.network
+        records.append(
+            DelegationRecord(
+                registry="lacnic",
+                cc="VE",
+                rectype="ipv4",
+                start=str(network.network_address),
+                value=network.num_addresses,
+                date=_dt.date(alloc.year, alloc.month, 1),
+                status="allocated",
+            )
+        )
+    for asn, year in _VE_ASN_DELEGATIONS:
+        records.append(
+            DelegationRecord(
+                registry="lacnic",
+                cc="VE",
+                rectype="asn",
+                start=str(asn),
+                value=1,
+                date=_dt.date(year, 1, 15),
+                status="allocated",
+            )
+        )
+    return DelegationFile(
+        registry="lacnic", snapshot_date=snapshot_date, records=records
+    )

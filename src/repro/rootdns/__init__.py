@@ -1,0 +1,40 @@
+"""Root DNS CHAOS-record analysis.
+
+Root server operators answer ``CHAOS TXT hostname.bind`` queries with
+site identifiers that embed a location code, each operator using its own
+naming convention.  The paper develops one extraction regex per root
+letter, maps the embedded codes to countries/cities, and counts the
+replicas hosted per country (Fig. 6), the countries serving Venezuela
+(Fig. 16 / Appendix E) and RIPE Atlas coverage (Fig. 17 / Appendix F).
+
+* :mod:`repro.rootdns.naming` -- the 13 per-letter grammars (generate and
+  parse site identifiers) and the geolocation of extracted codes.
+* :mod:`repro.rootdns.deployment` -- the site schedule model: which sites
+  of which letters exist where, and when.
+* :mod:`repro.rootdns.analysis` -- replica counting over CHAOS responses.
+"""
+
+from repro.rootdns.analysis import (
+    replica_count_panel,
+    sites_by_country,
+    sites_seen_from_country,
+)
+from repro.rootdns.deployment import RootDeployment, RootSite
+from repro.rootdns.naming import (
+    ROOT_LETTERS,
+    SiteLocation,
+    make_chaos_string,
+    parse_chaos_string,
+)
+
+__all__ = [
+    "ROOT_LETTERS",
+    "RootDeployment",
+    "RootSite",
+    "SiteLocation",
+    "make_chaos_string",
+    "parse_chaos_string",
+    "replica_count_panel",
+    "sites_by_country",
+    "sites_seen_from_country",
+]

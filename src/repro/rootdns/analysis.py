@@ -1,0 +1,84 @@
+"""Replica counting over CHAOS observations.
+
+The analyses operate on :class:`ChaosObservation` records -- one parsed
+CHAOS TXT answer per (probe, letter, month) -- produced by the Atlas
+substrate.  Following the paper, a "replica hosted in country X" in a
+month is a unique CHAOS string geolocating to X observed by any regional
+probe that month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geo.countries import is_lacnic
+from repro.rootdns.naming import ChaosParseError, parse_chaos_string
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosObservation:
+    """One CHAOS TXT answer collected by one probe."""
+
+    month: Month
+    probe_id: int
+    probe_country: str
+    letter: str
+    answer: str
+
+
+def sites_by_country(
+    observations: Iterable[ChaosObservation],
+) -> dict[tuple[str, Month], set[str]]:
+    """Unique geolocated CHAOS strings per (host country, month).
+
+    Unparseable answers are skipped, mirroring the paper's treatment of
+    identifiers without a recognisable location tag.
+    """
+    seen: dict[tuple[str, Month], set[str]] = {}
+    for obs in observations:
+        try:
+            location = parse_chaos_string(obs.letter, obs.answer)
+        except ChaosParseError:
+            continue
+        seen.setdefault((location.country, obs.month), set()).add(obs.answer)
+    return seen
+
+
+def replica_count_panel(
+    observations: Iterable[ChaosObservation], lacnic_only: bool = True
+) -> CountryPanel:
+    """Fig. 6: number of root replicas hosted per country per month."""
+    records = []
+    for (cc, month), strings in sites_by_country(observations).items():
+        if lacnic_only and not is_lacnic(cc):
+            continue
+        records.append((cc, month, float(len(strings))))
+    return CountryPanel.from_records(records)
+
+
+def sites_seen_from_country(
+    observations: Iterable[ChaosObservation], probe_country: str
+) -> dict[tuple[str, Month], int]:
+    """Fig. 16: host-country -> replica counts seen by one country's probes.
+
+    Returns (host country, month) -> number of unique sites that served
+    probes located in *probe_country* that month.
+    """
+    cc = probe_country.upper()
+    filtered = [o for o in observations if o.probe_country == cc]
+    return {
+        key: len(strings) for key, strings in sites_by_country(filtered).items()
+    }
+
+
+def probe_count_panel(observations: Iterable[ChaosObservation]) -> CountryPanel:
+    """Fig. 17: probes participating in the measurements, per country."""
+    seen: dict[tuple[str, Month], set[int]] = {}
+    for obs in observations:
+        seen.setdefault((obs.probe_country, obs.month), set()).add(obs.probe_id)
+    return CountryPanel.from_records(
+        (cc, month, float(len(ids))) for (cc, month), ids in seen.items()
+    )

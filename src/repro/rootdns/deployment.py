@@ -1,0 +1,130 @@
+"""Root server site deployment model.
+
+A :class:`RootSite` is one anycast instance location of one root letter;
+a :class:`RootDeployment` is the full schedule, answering "which sites of
+letter X existed in month M" -- the ground truth the synthetic CHAOS
+measurements are generated from, and the reference the analyses are
+validated against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.geo.airports import airport
+from repro.rootdns.naming import make_chaos_string
+from repro.timeseries.month import Month
+
+
+@dataclass(frozen=True, slots=True)
+class RootSite:
+    """One root server instance site.
+
+    Attributes:
+        letter: Root letter (``"A"``..``"M"``).
+        airport_code: IATA code of the hosting city.
+        instance: 1-based instance number at that city.
+        start: First month in service.
+        end: Last month in service (None = still active).
+    """
+
+    letter: str
+    airport_code: str
+    instance: int
+    start: Month
+    end: Month | None = None
+
+    @property
+    def country(self) -> str:
+        """Hosting country, via the airport registry."""
+        return airport(self.airport_code).country_code
+
+    @property
+    def city(self) -> str:
+        """Hosting city, via the airport registry."""
+        return airport(self.airport_code).city
+
+    def active_in(self, month: Month) -> bool:
+        """Whether the site serves in *month*."""
+        if month < self.start:
+            return False
+        return self.end is None or month <= self.end
+
+    def chaos_string(self) -> str:
+        """The site's CHAOS TXT identifier in its operator's grammar."""
+        return make_chaos_string(self.letter, self.airport_code, self.instance)
+
+
+@dataclass
+class RootDeployment:
+    """The full site schedule."""
+
+    sites: list[RootSite] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def active_sites(self, month: Month, letter: str | None = None) -> list[RootSite]:
+        """Sites in service during *month*, optionally of one letter."""
+        wanted = letter.upper() if letter else None
+        return [
+            s
+            for s in self.sites
+            if s.active_in(month) and (wanted is None or s.letter == wanted)
+        ]
+
+    def sites_in(self, country: str, month: Month) -> list[RootSite]:
+        """Active sites hosted in *country* during *month*."""
+        cc = country.upper()
+        return [s for s in self.active_sites(month) if s.country == cc]
+
+    def countries_with_sites(self, month: Month) -> set[str]:
+        """Countries hosting at least one active site in *month*."""
+        return {s.country for s in self.active_sites(month)}
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the site schedule."""
+        return json.dumps(
+            {
+                "sites": [
+                    {
+                        "letter": s.letter,
+                        "airport": s.airport_code,
+                        "instance": s.instance,
+                        "start": str(s.start),
+                        "end": str(s.end) if s.end else None,
+                    }
+                    for s in self.sites
+                ]
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RootDeployment":
+        """Parse the layout produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        sites = [
+            RootSite(
+                letter=row["letter"],
+                airport_code=row["airport"],
+                instance=int(row["instance"]),
+                start=Month.parse(row["start"]),
+                end=Month.parse(row["end"]) if row.get("end") else None,
+            )
+            for row in payload["sites"]
+        ]
+        return cls(sites)
+
+    def save(self, path: Path | str) -> None:
+        """Write the JSON form to *path*."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "RootDeployment":
+        """Read the JSON form from *path*."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

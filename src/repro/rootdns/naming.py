@@ -1,0 +1,128 @@
+"""Per-letter CHAOS TXT naming grammars.
+
+Each of the 13 root operators codifies the serving site differently.  The
+grammars below generate identifiers in each operator's style and parse
+them back with one regular expression per letter, mirroring the paper's
+methodology ("we develop regular expressions to extract these codes from
+each of the 13 different types of responses").
+
+Two locator styles exist:
+
+* airport style -- an IATA code is embedded (A-K and M); geolocation goes
+  through :mod:`repro.geo.airports`.
+* country-city style -- the L root embeds ``<cc>-<citycode>`` directly
+  (e.g. the paper's ``aa.ve-mai.l.root`` for Maracaibo), so the country
+  needs no airport lookup.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.geo.airports import UnknownAirportError, airport
+
+#: The thirteen root letters.
+ROOT_LETTERS: tuple[str, ...] = tuple("ABCDEFGHIJKLM")
+
+
+@dataclass(frozen=True, slots=True)
+class SiteLocation:
+    """A geolocated CHAOS site identifier."""
+
+    letter: str
+    country: str
+    city: str
+    raw: str
+
+
+class ChaosParseError(ValueError):
+    """Raised when a CHAOS string does not match its letter's grammar."""
+
+
+#: letter -> (format template, extraction regex).  Templates take the
+#: lower-cased airport code and a 1-based instance number.
+_AIRPORT_GRAMMARS: dict[str, tuple[str, re.Pattern[str]]] = {
+    "A": ("nnn1-{code}{n}", re.compile(r"^nnn1-([a-z]{3})(\d+)$")),
+    "B": ("b{n}-{code}", re.compile(r"^b(\d+)-([a-z]{3})$")),
+    "C": ("{code}{n}b.c.root-servers.org", re.compile(r"^([a-z]{3})(\d+)b\.c\.root-servers\.org$")),
+    "D": ("{code}{n}.droot.maxgigapop.net", re.compile(r"^([a-z]{3})(\d+)\.droot\.maxgigapop\.net$")),
+    "E": ("e{n}.{code}.eroot", re.compile(r"^e(\d+)\.([a-z]{3})\.eroot$")),
+    "F": ("{code}{n}a.f.root-servers.org", re.compile(r"^([a-z]{3})(\d+)a\.f\.root-servers\.org$")),
+    "G": ("groot-{code}-{n}", re.compile(r"^groot-([a-z]{3})-(\d+)$")),
+    "H": ("{n:03d}.hroot-{code}", re.compile(r"^(\d{3})\.hroot-([a-z]{3})$")),
+    "I": ("s{n}.{code}", re.compile(r"^s(\d+)\.([a-z]{3})$")),
+    "J": ("jns{n}-{code}", re.compile(r"^jns(\d+)-([a-z]{3})$")),
+    "K": ("ns{n}.{code}.k.ripe.net", re.compile(r"^ns(\d+)\.([a-z]{3})\.k\.ripe\.net$")),
+    "M": ("m-{code}-{n}", re.compile(r"^m-([a-z]{3})-(\d+)$")),
+}
+
+#: The L root embeds country and city directly: ``aa.<cc>-<citycode>.l.root``.
+_L_TEMPLATE = "{inst}.{cc}-{citycode}.l.root"
+_L_RE = re.compile(r"^([a-z]{2})\.([a-z]{2})-([a-z]{3})\.l\.root$")
+
+#: Which capture group holds the airport code in each airport grammar.
+_CODE_GROUP: dict[str, int] = {
+    "A": 1, "B": 2, "C": 1, "D": 1, "E": 2, "F": 1,
+    "G": 1, "H": 2, "I": 2, "J": 2, "K": 2, "M": 1,
+}
+
+
+def make_chaos_string(letter: str, airport_code: str, instance: int = 1) -> str:
+    """Generate the CHAOS identifier of a site in the operator's style.
+
+    Args:
+        letter: Root letter, ``"A"`` through ``"M"``.
+        airport_code: IATA code of the site (must be registered).
+        instance: 1-based instance number at the site.
+    """
+    letter = letter.upper()
+    location = airport(airport_code)
+    code = location.iata.lower()
+    if letter == "L":
+        inst = chr(ord("a") + (instance - 1) % 26) * 2
+        # The city code is the IATA code itself (the paper's example is
+        # "aa.ve-mai.l.root"); using the airport code keeps identifiers
+        # unique for cities served by several airports.
+        return _L_TEMPLATE.format(
+            inst=inst,
+            cc=location.country_code.lower(),
+            citycode=code,
+        )
+    try:
+        template, _pattern = _AIRPORT_GRAMMARS[letter]
+    except KeyError:
+        raise ValueError(f"unknown root letter: {letter!r}") from None
+    return template.format(code=code, n=instance)
+
+
+def parse_chaos_string(letter: str, text: str) -> SiteLocation:
+    """Extract and geolocate the site from a CHAOS identifier.
+
+    Raises:
+        ChaosParseError: when the text does not match the letter's grammar
+            or the embedded location code is unknown.
+    """
+    letter = letter.upper()
+    raw = text.strip().lower()
+    if letter == "L":
+        match = _L_RE.match(raw)
+        if match is None:
+            raise ChaosParseError(f"L grammar mismatch: {text!r}")
+        cc = match.group(2).upper()
+        return SiteLocation(letter="L", country=cc, city=match.group(3), raw=raw)
+    try:
+        _template, pattern = _AIRPORT_GRAMMARS[letter]
+    except KeyError:
+        raise ChaosParseError(f"unknown root letter: {letter!r}") from None
+    match = pattern.match(raw)
+    if match is None:
+        raise ChaosParseError(f"{letter} grammar mismatch: {text!r}")
+    code = match.group(_CODE_GROUP[letter])
+    try:
+        location = airport(code)
+    except UnknownAirportError:
+        raise ChaosParseError(f"unknown location code {code!r} in {text!r}") from None
+    return SiteLocation(
+        letter=letter, country=location.country_code, city=location.city, raw=raw
+    )

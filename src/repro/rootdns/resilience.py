@@ -1,0 +1,77 @@
+"""DNS resolution proximity: the user-facing cost of replica placement.
+
+The paper argues proximity to root servers is "key in enhancing user
+experience by minimizing DNS resolution times".  This module turns the
+deployment schedule into that user-facing number: the expected
+round-trip distance from a country's population centre to the nearest
+active replica, letter by letter.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.geo.airports import airport
+from repro.geo.countries import country as geo_country
+from repro.geo.distance import haversine_km
+from repro.rootdns.deployment import RootDeployment
+from repro.rootdns.naming import ROOT_LETTERS
+from repro.timeseries.month import Month
+from repro.timeseries.series import MonthlySeries
+
+#: Rough great-circle-to-RTT conversion for long-haul paths: fibre detours
+#: and refraction make ~100 km of distance cost ~1 ms of RTT.
+MS_PER_100KM = 1.0
+#: Floor for in-metro resolution.
+MIN_RTT_MS = 2.0
+
+
+def nearest_site_km(
+    deployment: RootDeployment, country_code: str, letter: str, month: Month
+) -> float | None:
+    """Distance to the nearest active site of one letter, or None."""
+    home = geo_country(country_code)
+    sites = deployment.active_sites(month, letter)
+    if not sites:
+        return None
+    return min(
+        haversine_km(home.lat, home.lon, airport(s.airport_code).lat, airport(s.airport_code).lon)
+        for s in sites
+    )
+
+
+def expected_resolution_rtt_ms(
+    deployment: RootDeployment, country_code: str, month: Month
+) -> float:
+    """Expected RTT to the root system from *country_code* in *month*.
+
+    Averages the nearest-replica RTT across the 13 letters (resolvers
+    spread queries over all roots), with a metro floor.
+    """
+    rtts = []
+    for letter in ROOT_LETTERS:
+        km = nearest_site_km(deployment, country_code, letter, month)
+        if km is None:
+            continue
+        rtts.append(max(MIN_RTT_MS, km / 100.0 * MS_PER_100KM))
+    if not rtts:
+        raise ValueError(f"no active root sites anywhere in {month}")
+    return statistics.fmean(rtts)
+
+
+def resolution_rtt_series(
+    deployment: RootDeployment,
+    country_code: str,
+    start: Month,
+    end: Month,
+    step: int = 6,
+) -> MonthlySeries:
+    """Expected resolution RTT over time for one country."""
+    from repro.timeseries.month import month_range
+
+    return MonthlySeries(
+        {
+            m: expected_resolution_rtt_ms(deployment, country_code, m)
+            for m in month_range(start, end, step=step)
+        }
+    )

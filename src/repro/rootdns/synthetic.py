@@ -1,0 +1,102 @@
+"""Synthetic root-server deployment schedule calibrated to Fig. 6.
+
+Regional replica counts grow 59 -> 138 between 2016 and 2024, with
+Brazil 18 -> 41, Mexico 4 -> 16, Chile 5 -> 20 and Argentina 14 -> 15.
+Venezuela regresses: an F site and an L site in Caracas disappear in
+2018/2019, a replacement L site in Maracaibo serves until mid-2021, and
+nothing remains afterwards -- exactly the paper's narrative.
+
+A static overseas tier (US, GB, DE, FR, NL plus regional hubs) provides
+the sites that serve Venezuelan probes once the domestic ones vanish
+(Fig. 16 / Appendix E).
+"""
+
+from __future__ import annotations
+
+from repro.geo.airports import airports_in_country
+from repro.rootdns.deployment import RootDeployment, RootSite
+from repro.timeseries.month import Month
+
+#: Letter assignment order for generated sites (L and F dominate real
+#: regional deployments, matching the +Raices programme).
+_LETTER_CYCLE = ("L", "F", "K", "J", "E", "I", "D", "C", "A", "B", "G", "H", "M")
+
+#: cc -> (sites active at 2016-01, sites active at 2024-01).
+_LACNIC_TARGETS: dict[str, tuple[int, int]] = {
+    "BR": (18, 41),
+    "AR": (14, 15),
+    "CL": (5, 20),
+    "MX": (4, 16),
+    "CO": (4, 10),
+    "PA": (3, 6),
+    "EC": (2, 5),
+    "PE": (2, 6),
+    "UY": (2, 4),
+    "CR": (1, 4),
+    "TT": (1, 2),
+    "DO": (1, 3),
+    "GT": (0, 2),
+    "PY": (0, 2),
+    "BO": (0, 1),
+    "HN": (0, 1),
+}
+
+#: Venezuela's scripted trajectory (the Fig. 6 regression).
+_VE_SITES: tuple[RootSite, ...] = (
+    RootSite("F", "CCS", 1, Month(2014, 1), Month(2018, 6)),
+    RootSite("L", "CCS", 1, Month(2014, 1), Month(2019, 3)),
+    RootSite("L", "MAR", 1, Month(2019, 4), Month(2021, 6)),
+)
+
+#: Static overseas tier: (letter, airport) pairs, always active.
+_OVERSEAS_SITES: tuple[tuple[str, str], ...] = tuple(
+    (letter, code)
+    for code in ("IAD", "LAX", "MIA")
+    for letter in _LETTER_CYCLE
+) + (
+    ("K", "LHR"), ("F", "LHR"), ("I", "ARN"),
+    ("K", "FRA"), ("L", "FRA"), ("D", "FRA"),
+    ("K", "CDG"), ("F", "CDG"),
+    ("K", "AMS"), ("L", "AMS"), ("E", "AMS"),
+    ("J", "YYZ"), ("L", "JNB"), ("M", "NRT"), ("K", "SVO"),
+)
+
+_OVERSEAS_START = Month(2010, 1)
+_EXPANSION_START = Month(2016, 7)
+_EXPANSION_END = Month(2023, 6)
+
+
+def _country_sites(cc: str, start_count: int, end_count: int) -> list[RootSite]:
+    """Generate one country's site schedule meeting the target counts."""
+    codes = [a.iata for a in airports_in_country(cc)]
+    if not codes:
+        raise ValueError(f"no registered airports for {cc}")
+    sites: list[RootSite] = []
+    instance_counter: dict[tuple[str, str], int] = {}
+    total_new = end_count - start_count
+    expansion_months = _EXPANSION_START.months_until(_EXPANSION_END)
+    for i in range(end_count):
+        letter = _LETTER_CYCLE[i % len(_LETTER_CYCLE)]
+        code = codes[i % len(codes)]
+        key = (letter, code)
+        instance_counter[key] = instance_counter.get(key, 0) + 1
+        if i < start_count:
+            start = Month(2015, 1)
+        else:
+            step = (i - start_count) / max(1, total_new - 1) if total_new > 1 else 0.0
+            start = _EXPANSION_START.plus(round(step * expansion_months))
+        sites.append(RootSite(letter, code, instance_counter[key], start))
+    return sites
+
+
+def synthesize_root_deployment() -> RootDeployment:
+    """Build the calibrated global deployment schedule."""
+    sites: list[RootSite] = list(_VE_SITES)
+    for cc, (start_count, end_count) in sorted(_LACNIC_TARGETS.items()):
+        sites.extend(_country_sites(cc, start_count, end_count))
+    overseas_counter: dict[tuple[str, str], int] = {}
+    for letter, code in _OVERSEAS_SITES:
+        key = (letter, code)
+        overseas_counter[key] = overseas_counter.get(key, 0) + 1
+        sites.append(RootSite(letter, code, overseas_counter[key], _OVERSEAS_START))
+    return RootDeployment(sites)

@@ -1,0 +1,14 @@
+"""Submarine cable map (Telegeography substitute).
+
+The paper reads Telegeography's Submarine Cable Map and counts, per
+country, the cables in service by each year (using ready-for-service
+dates) to produce Fig. 4.  This subpackage provides the cable-map model
+with a JSON round-trip (:mod:`repro.telegeography.model`) and a synthetic
+regional map calibrated to the paper (region 13 -> 54 cables between 2000
+and 2024; Venezuela adds only the ALBA-1 cable to Cuba, in 2011).
+"""
+
+from repro.telegeography.model import CableMap, LandingPoint, SubmarineCable
+from repro.telegeography.synthetic import synthesize_cable_map
+
+__all__ = ["CableMap", "LandingPoint", "SubmarineCable", "synthesize_cable_map"]

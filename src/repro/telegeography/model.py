@@ -1,0 +1,167 @@
+"""Submarine cable map model with Telegeography-style JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.geo.countries import is_lacnic
+from repro.timeseries.month import Month
+from repro.timeseries.panel import CountryPanel
+from repro.timeseries.series import MonthlySeries
+
+
+class CableMapParseError(ValueError):
+    """Raised when a cable map cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class LandingPoint:
+    """One cable landing: a city on some country's shore."""
+
+    city: str
+    country: str
+
+
+@dataclass(frozen=True, slots=True)
+class SubmarineCable:
+    """One cable system.
+
+    Attributes:
+        name: System name (e.g. ``"ALBA-1"``).
+        rfs_year: Ready-for-service year.
+        landing_points: All landings of the system.
+    """
+
+    name: str
+    rfs_year: int
+    landing_points: tuple[LandingPoint, ...]
+
+    def countries(self) -> set[str]:
+        """Countries in which the cable lands."""
+        return {lp.country for lp in self.landing_points}
+
+    def touches(self, country: str) -> bool:
+        """Whether the cable lands in *country*."""
+        return country.upper() in self.countries()
+
+
+@dataclass
+class CableMap:
+    """A collection of cable systems with per-country counting queries."""
+
+    cables: list[SubmarineCable] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cables)
+
+    def cable_by_name(self, name: str) -> SubmarineCable | None:
+        """The cable with the given name, or None."""
+        for cable in self.cables:
+            if cable.name == name:
+                return cable
+        return None
+
+    def cables_touching(self, country: str, as_of_year: int | None = None) -> list[SubmarineCable]:
+        """Cables landing in *country*, optionally only those in service."""
+        return [
+            c
+            for c in self.cables
+            if c.touches(country)
+            and (as_of_year is None or c.rfs_year <= as_of_year)
+        ]
+
+    def count_in_year(self, country: str, year: int) -> int:
+        """Number of cables serving *country* in *year*."""
+        return len(self.cables_touching(country, as_of_year=year))
+
+    def regional_cables(self, as_of_year: int | None = None) -> list[SubmarineCable]:
+        """Cables with at least one LACNIC landing (counted once each)."""
+        return [
+            c
+            for c in self.cables
+            if any(is_lacnic(cc) for cc in c.countries())
+            and (as_of_year is None or c.rfs_year <= as_of_year)
+        ]
+
+    def count_panel(self, first_year: int, last_year: int) -> CountryPanel:
+        """Per-country cumulative cable counts, annual-keyed (January).
+
+        Only countries with at least one cable by *last_year* appear.
+        """
+        countries: set[str] = set()
+        for cable in self.cables:
+            countries.update(cable.countries())
+        records = []
+        for cc in sorted(countries):
+            for year in range(first_year, last_year + 1):
+                records.append((cc, Month(year, 1), float(self.count_in_year(cc, year))))
+        return CountryPanel.from_records(records)
+
+    def regional_count_series(self, first_year: int, last_year: int) -> MonthlySeries:
+        """Cumulative regional cable count (each cable once), annual-keyed."""
+        return MonthlySeries(
+            {
+                Month(year, 1): float(len(self.regional_cables(as_of_year=year)))
+                for year in range(first_year, last_year + 1)
+            }
+        )
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise in a Telegeography-like layout."""
+        payload = {
+            "cables": [
+                {
+                    "name": c.name,
+                    "rfs": str(c.rfs_year),
+                    "landing_points": [
+                        {"name": lp.city, "country": lp.country}
+                        for lp in c.landing_points
+                    ],
+                }
+                for c in self.cables
+            ]
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CableMap":
+        """Parse the layout produced by :meth:`to_json`.
+
+        Raises:
+            CableMapParseError: on malformed JSON or missing fields.
+        """
+        try:
+            payload = json.loads(text)
+            return cls._from_payload(payload)
+        except json.JSONDecodeError as exc:
+            raise CableMapParseError(f"not JSON: {exc}") from None
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            raise CableMapParseError(f"malformed cable entry: {exc}") from None
+
+    @classmethod
+    def _from_payload(cls, payload) -> "CableMap":
+        cables = [
+            SubmarineCable(
+                name=c["name"],
+                rfs_year=int(c["rfs"]),
+                landing_points=tuple(
+                    LandingPoint(lp["name"], lp["country"].upper())
+                    for lp in c["landing_points"]
+                ),
+            )
+            for c in payload["cables"]
+        ]
+        return cls(cables)
+
+    def save(self, path: Path | str) -> None:
+        """Write the JSON form to *path*."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "CableMap":
+        """Read the JSON form from *path*."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,103 @@
+"""Synthetic regional submarine cable map calibrated to Fig. 4.
+
+The roster mixes real system names with synthetic fill-ins; landings are
+arranged so the paper's counts come out exactly:
+
+* regional total: 13 cables in service by 2000, 54 by 2024;
+* Brazil 5 -> 17, Colombia 5 -> 13, Chile 2 -> 9, Argentina 3 -> 9;
+* Venezuela: four cables by 2000 (PAN-AM, Americas-II, SAC, GlobeNet) and
+  exactly one addition afterwards -- ALBA-1 to Cuba in 2011;
+* Nicaragua and Haiti add nothing after 2000; Honduras, Aruba and Belize
+  add exactly one cable each.
+"""
+
+from __future__ import annotations
+
+from repro.telegeography.model import CableMap, LandingPoint, SubmarineCable
+
+
+def _cable(name: str, rfs: int, *landings: tuple[str, str]) -> SubmarineCable:
+    return SubmarineCable(
+        name=name,
+        rfs_year=rfs,
+        landing_points=tuple(LandingPoint(city, cc) for city, cc in landings),
+    )
+
+
+_CABLES: tuple[SubmarineCable, ...] = (
+    # -- in service by 2000 (the regional baseline of 13) -------------------
+    _cable("Columbus-II", 1994, ("Cancun", "MX"), ("Cartagena", "CO"), ("West Palm Beach", "US")),
+    _cable("Americas-I", 1994, ("Port of Spain", "TT"), ("St. Thomas", "VI"), ("Vero Beach", "US")),
+    _cable("Unisur", 1995, ("Las Toninas", "AR"), ("Maldonado", "UY"), ("Florianopolis", "BR")),
+    _cable("ECFS", 1995, ("Port of Spain", "TT"), ("Road Town", "VG")),
+    _cable("Bahamas-II", 1997, ("Nassau", "BS"), ("Vero Beach", "US")),
+    _cable("Antillas-1", 1997, ("Santo Domingo", "DO"), ("Port-au-Prince", "HT"), ("San Juan", "PR")),
+    _cable("PAN-AM", 1999, ("Punto Fijo", "VE"), ("Arica", "CL"), ("Lurin", "PE"),
+           ("Punta Carnero", "EC"), ("Panama City", "PA"), ("Barranquilla", "CO"),
+           ("Baby Beach", "AW"), ("St. Thomas", "VI")),
+    _cable("Atlantis-2", 2000, ("Las Toninas", "AR"), ("Rio de Janeiro", "BR"), ("Lisbon", "PT")),
+    _cable("Americas-II", 2000, ("Fortaleza", "BR"), ("Camuri", "VE"), ("Port of Spain", "TT"),
+           ("Cayenne", "GF"), ("Willemstad", "CW"), ("Hollywood", "US")),
+    _cable("South American Crossing (SAC)", 2000, ("Santos", "BR"), ("Las Toninas", "AR"),
+           ("Valparaiso", "CL"), ("Lurin", "PE"), ("Buenaventura", "CO"),
+           ("Fort Amador", "PA"), ("Camuri", "VE"), ("St. Croix", "VI")),
+    _cable("Maya-1", 2000, ("Cancun", "MX"), ("Puerto Cortes", "HN"), ("Puerto Limon", "CR"),
+           ("Tolu", "CO"), ("Colon", "PA"), ("Bluefields", "NI"), ("Hollywood", "US")),
+    _cable("GlobeNet", 2000, ("Fortaleza", "BR"), ("Maiquetia", "VE"), ("Barranquilla", "CO"),
+           ("Boca Raton", "US")),
+    _cable("Pan-American Crossing (PAC)", 2000, ("Mazatlan", "MX"), ("Fort Amador", "PA"),
+           ("Esterillos", "CR"), ("Grover Beach", "US")),
+    # -- the post-2000 expansion wave ---------------------------------------
+    _cable("SAm-1", 2001, ("Santos", "BR"), ("Las Toninas", "AR"), ("Valparaiso", "CL"),
+           ("Lurin", "PE"), ("Punta Carnero", "EC"), ("Barranquilla", "CO"),
+           ("Puerto San Jose", "GT")),
+    _cable("ARCOS-1", 2001, ("Cancun", "MX"), ("Belize City", "BZ"), ("Puerto Barrios", "GT"),
+           ("Trujillo", "HN"), ("Puerto Limon", "CR"), ("Colon", "PA"),
+           ("Cartagena", "CO"), ("Puerto Plata", "DO"), ("Nassau", "BS")),
+    _cable("Fibralink", 2006, ("Santo Domingo", "DO"), ("Kingston", "JM")),
+    _cable("Mesoamerica-1", 2008, ("Puerto Limon", "CR"), ("La Libertad", "SV")),
+    _cable("CFX-1", 2008, ("Cartagena", "CO"), ("Kingston", "JM"), ("Boca Raton", "US")),
+    _cable("SG-SCS", 2010, ("Paramaribo", "SR"), ("Georgetown", "GY"), ("Port of Spain", "TT")),
+    _cable("ALBA-1", 2011, ("Camuri", "VE"), ("Siboney", "CU")),
+    _cable("East-West", 2011, ("Puerto Plata", "DO"), ("Kingston", "JM")),
+    _cable("Taino Express", 2012, ("Santo Domingo", "DO"), ("San Juan", "PR")),
+    _cable("Cruz del Sur", 2012, ("Las Toninas", "AR"), ("Maldonado", "UY")),
+    _cable("SAIT", 2013, ("Tolu", "CO"), ("San Andres", "CO")),
+    _cable("AMX-1", 2014, ("Fortaleza", "BR"), ("Cartagena", "CO"), ("Cancun", "MX"),
+           ("Puerto Plata", "DO"), ("Puerto Barrios", "GT"), ("San Juan", "PR")),
+    _cable("Amerigo Vespucci", 2014, ("Willemstad", "CW"), ("Kralendijk", "BQ")),
+    _cable("Desierto Norte", 2015, ("Arica", "CL"), ("Ilo", "PE")),
+    _cable("PCCS", 2015, ("Punta Carnero", "EC"), ("Balboa", "PA"), ("Cartagena", "CO"),
+           ("Baby Beach", "AW"), ("Jacksonville", "US")),
+    _cable("Southern Caribbean Fiber", 2016, ("Port of Spain", "TT"), ("Roseau", "DM")),
+    _cable("Prat", 2016, ("Valparaiso", "CL"), ("Arica", "CL")),
+    _cable("Quito Express", 2016, ("Punta Carnero", "EC"), ("Manta", "EC")),
+    _cable("Istmo Link", 2016, ("Colon", "PA"), ("Puerto Barrios", "GT")),
+    _cable("Caribe Sur", 2017, ("Cartagena", "CO"), ("Colon", "PA")),
+    _cable("Monet", 2017, ("Fortaleza", "BR"), ("Boca Raton", "US")),
+    _cable("Seabras-1", 2017, ("Santos", "BR"), ("New York", "US")),
+    _cable("BRUSA", 2018, ("Rio de Janeiro", "BR"), ("Virginia Beach", "US")),
+    _cable("Tannat", 2018, ("Santos", "BR"), ("Maldonado", "UY")),
+    _cable("Junior", 2018, ("Rio de Janeiro", "BR"), ("Santos", "BR")),
+    _cable("SACS", 2018, ("Fortaleza", "BR"), ("Luanda", "AO")),
+    _cable("Patagonia Link", 2018, ("Las Toninas", "AR"), ("Puerto Montt", "CL")),
+    _cable("Pacific Caribbean Express", 2018, ("Balboa", "PA"), ("Esterillos", "CR")),
+    _cable("Kanawa", 2019, ("Kourou", "GF"), ("Fort-de-France", "MQ")),
+    _cable("FOS", 2019, ("Puerto Montt", "CL"), ("Punta Arenas", "CL")),
+    _cable("Curie", 2020, ("Valparaiso", "CL"), ("Balboa", "PA"), ("Hermosa Beach", "US")),
+    _cable("SAIL", 2020, ("Fortaleza", "BR"), ("Kribi", "CM")),
+    _cable("Deep Blue", 2020, ("Cartagena", "CO"), ("Port of Spain", "TT")),
+    _cable("EllaLink", 2021, ("Fortaleza", "BR"), ("Sines", "PT")),
+    _cable("Malbec", 2021, ("Las Toninas", "AR"), ("Rio de Janeiro", "BR")),
+    _cable("Mistral", 2021, ("Valparaiso", "CL"), ("Lurin", "PE"), ("Punta Carnero", "EC")),
+    _cable("GigNet-1", 2021, ("Cancun", "MX"), ("Boca Raton", "US")),
+    _cable("Andes Submarino", 2022, ("Ilo", "PE"), ("Manta", "EC")),
+    _cable("Rio de la Plata Express", 2023, ("Las Toninas", "AR"), ("Montevideo", "UY")),
+    _cable("Nazca", 2023, ("Lurin", "PE"), ("Paita", "PE")),
+    _cable("Firmina", 2024, ("Praia Grande", "BR"), ("Las Toninas", "AR"), ("Punta del Este", "UY")),
+)
+
+
+def synthesize_cable_map() -> CableMap:
+    """Build the calibrated regional cable map."""
+    return CableMap(list(_CABLES))

@@ -1,0 +1,36 @@
+"""Longitudinal time-series primitives.
+
+Every analysis in the paper follows the same skeleton: take monthly
+snapshots of some metric per country, then compare Venezuela against named
+peers and against the LACNIC aggregate.  This subpackage provides the three
+layers of that skeleton:
+
+* :class:`repro.timeseries.month.Month` -- a calendar-month index with
+  arithmetic, parsing and range iteration.
+* :class:`repro.timeseries.series.MonthlySeries` -- one metric over months.
+* :class:`repro.timeseries.panel.CountryPanel` -- the same metric across
+  countries, with regional aggregation, normalisation and rank trajectories.
+"""
+
+from repro.timeseries.month import Month, month_range
+from repro.timeseries.panel import CountryPanel
+from repro.timeseries.series import MonthlySeries
+from repro.timeseries.stats import (
+    cagr,
+    growth_factor,
+    half_year_value,
+    peak_decline_pct,
+    stagnation_months,
+)
+
+__all__ = [
+    "CountryPanel",
+    "Month",
+    "MonthlySeries",
+    "cagr",
+    "growth_factor",
+    "half_year_value",
+    "month_range",
+    "peak_decline_pct",
+    "stagnation_months",
+]

@@ -1,0 +1,103 @@
+"""A calendar-month index type.
+
+The paper's pipelines all operate on monthly snapshots (PeeringDB on the
+first of each month, Atlas built-ins over the first five days, M-Lab
+aggregated month x country, ...).  ``Month`` is a small totally-ordered
+value type that makes "first snapshot of each month since 2008" trivial to
+express without dragging in day-of-month semantics.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterator
+
+_MONTH_RE = re.compile(r"^(\d{4})-(\d{2})$")
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class Month:
+    """A specific calendar month, e.g. ``Month(2018, 4)`` for April 2018.
+
+    Supports ordering, integer offset arithmetic, and conversion to/from
+    ``"YYYY-MM"`` strings and :class:`datetime.date`.
+    """
+
+    year: int
+    month: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month out of range: {self.month}")
+        if not 1 <= self.year <= 9999:
+            raise ValueError(f"year out of range: {self.year}")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Month":
+        """Parse a ``"YYYY-MM"`` string."""
+        match = _MONTH_RE.match(text.strip())
+        if match is None:
+            raise ValueError(f"not a YYYY-MM month: {text!r}")
+        return cls(int(match.group(1)), int(match.group(2)))
+
+    @classmethod
+    def from_date(cls, date: _dt.date) -> "Month":
+        """The month containing *date*."""
+        return cls(date.year, date.month)
+
+    # -- conversion --------------------------------------------------------
+
+    def first_day(self) -> _dt.date:
+        """The first calendar day of the month."""
+        return _dt.date(self.year, self.month, 1)
+
+    def ordinal(self) -> int:
+        """Months since year 0; the canonical integer encoding."""
+        return self.year * 12 + (self.month - 1)
+
+    @classmethod
+    def from_ordinal(cls, ordinal: int) -> "Month":
+        """Inverse of :meth:`ordinal`."""
+        return cls(ordinal // 12, ordinal % 12 + 1)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def plus(self, months: int) -> "Month":
+        """The month *months* after this one (negative for earlier)."""
+        return Month.from_ordinal(self.ordinal() + months)
+
+    def months_until(self, other: "Month") -> int:
+        """Number of months from self to *other* (positive if other later)."""
+        return other.ordinal() - self.ordinal()
+
+    # -- protocol ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Month):
+            return NotImplemented
+        return self.ordinal() < other.ordinal()
+
+
+def month_range(start: Month, end: Month, step: int = 1) -> Iterator[Month]:
+    """Iterate months from *start* to *end* inclusive.
+
+    Args:
+        start: First month yielded.
+        end: Last month yielded (if reachable from start by *step*).
+        step: Stride in months, must be positive.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    current = start
+    while current <= end:
+        yield current
+        current = current.plus(step)

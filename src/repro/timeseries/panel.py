@@ -1,0 +1,185 @@
+"""One metric across countries: the paper's three-panel comparison unit.
+
+Every figure in the paper shows (i) per-country series with Venezuela and a
+handful of peers highlighted, (ii) a Venezuela-only zoom, and (iii) a
+regional aggregate.  :class:`CountryPanel` is the data structure behind
+those three views: a mapping from country code to
+:class:`~repro.timeseries.series.MonthlySeries`, with regional sums/means
+and rank trajectories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.timeseries.month import Month
+from repro.timeseries.series import MonthlySeries
+
+
+class CountryPanel:
+    """A per-country collection of monthly series of the same metric."""
+
+    def __init__(self, series: Mapping[str, MonthlySeries] | None = None):
+        self._series: dict[str, MonthlySeries] = {}
+        if series:
+            for code, s in series.items():
+                self._series[code.upper()] = s
+
+    # -- container -----------------------------------------------------
+
+    def __contains__(self, code: str) -> bool:
+        return code.upper() in self._series
+
+    def __getitem__(self, code: str) -> MonthlySeries:
+        return self._series[code.upper()]
+
+    def get(self, code: str, default: MonthlySeries | None = None) -> MonthlySeries | None:
+        """Series for *code*, or *default* when the country is absent."""
+        return self._series.get(code.upper(), default)
+
+    def set(self, code: str, series: MonthlySeries) -> None:
+        """Insert or replace the series for *code*."""
+        self._series[code.upper()] = series
+
+    def countries(self) -> list[str]:
+        """All country codes, sorted."""
+        return sorted(self._series)
+
+    def items(self) -> Iterator[tuple[str, MonthlySeries]]:
+        """(code, series) pairs in code order."""
+        for code in self.countries():
+            yield code, self._series[code]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __repr__(self) -> str:
+        return f"CountryPanel(countries={len(self._series)})"
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[tuple[str, Month, float]]
+    ) -> "CountryPanel":
+        """Build a panel from (country, month, value) triples.
+
+        Later duplicates of the same (country, month) overwrite earlier ones.
+        """
+        acc: dict[str, dict[Month, float]] = {}
+        for code, month, value in records:
+            acc.setdefault(code.upper(), {})[month] = float(value)
+        return cls({code: MonthlySeries(vals) for code, vals in acc.items()})
+
+    def subset(self, codes: Iterable[str]) -> "CountryPanel":
+        """Panel restricted to the given countries (missing ones skipped)."""
+        wanted = {c.upper() for c in codes}
+        return CountryPanel(
+            {c: s for c, s in self._series.items() if c in wanted}
+        )
+
+    def filter_countries(self, keep: Callable[[str], bool]) -> "CountryPanel":
+        """Panel restricted to countries for which *keep(code)* is true."""
+        return CountryPanel(
+            {c: s for c, s in self._series.items() if keep(c)}
+        )
+
+    def map_series(
+        self, fn: Callable[[MonthlySeries], MonthlySeries]
+    ) -> "CountryPanel":
+        """Apply a series transform to every country."""
+        return CountryPanel({c: fn(s) for c, s in self._series.items()})
+
+    # -- aggregation -----------------------------------------------------------
+
+    def months(self) -> list[Month]:
+        """Union of observed months across countries, ascending."""
+        seen: set[Month] = set()
+        for s in self._series.values():
+            seen.update(s.months())
+        return sorted(seen)
+
+    def regional_sum(self) -> MonthlySeries:
+        """Sum across countries per month (e.g. total LACNIC facilities)."""
+        totals: dict[Month, float] = {}
+        for s in self._series.values():
+            for m, v in s.items():
+                totals[m] = totals.get(m, 0.0) + v
+        return MonthlySeries(totals)
+
+    def regional_mean(self) -> MonthlySeries:
+        """Mean across countries observed in each month."""
+        totals: dict[Month, float] = {}
+        counts: dict[Month, int] = {}
+        for s in self._series.values():
+            for m, v in s.items():
+                totals[m] = totals.get(m, 0.0) + v
+                counts[m] = counts.get(m, 0) + 1
+        return MonthlySeries({m: totals[m] / counts[m] for m in totals})
+
+    def regional_median(self) -> MonthlySeries:
+        """Median across countries observed in each month."""
+        per_month: dict[Month, list[float]] = {}
+        for s in self._series.values():
+            for m, v in s.items():
+                per_month.setdefault(m, []).append(v)
+        out: dict[Month, float] = {}
+        for m, vals in per_month.items():
+            vals.sort()
+            n = len(vals)
+            mid = n // 2
+            out[m] = vals[mid] if n % 2 else (vals[mid - 1] + vals[mid]) / 2
+        return MonthlySeries(out)
+
+    def normalised_against_regional_mean(self, code: str) -> MonthlySeries:
+        """*code*'s series divided by the regional mean, month by month.
+
+        This is the paper's "Venezuela normalised by the LACNIC mean" panel
+        (Fig. 11, lower right).  Months where either side is missing, or the
+        regional mean is zero, are dropped.
+        """
+        target = self[code]
+        mean = self.regional_mean()
+        out: dict[Month, float] = {}
+        for m, v in target.items():
+            denom = mean.get(m)
+            if denom:
+                out[m] = v / denom
+        return MonthlySeries(out)
+
+    # -- ranking ------------------------------------------------------------------
+
+    def rank_in_month(self, code: str, month: Month, descending: bool = True) -> int:
+        """1-based rank of *code* among countries observed in *month*.
+
+        Args:
+            code: Country being ranked.
+            month: Month of the ranking.
+            descending: True ranks the largest value first (rank 1 = top).
+
+        Raises:
+            KeyError: if *code* has no observation in *month*.
+        """
+        values = {
+            c: s.get(month)
+            for c, s in self._series.items()
+            if s.get(month) is not None
+        }
+        if code.upper() not in values:
+            raise KeyError(f"{code} has no observation in {month}")
+        target = values[code.upper()]
+        if descending:
+            better = sum(1 for v in values.values() if v > target)
+        else:
+            better = sum(1 for v in values.values() if v < target)
+        return better + 1
+
+    def rank_trajectory(self, code: str, descending: bool = True) -> MonthlySeries:
+        """Per-month rank of *code* across its observed months."""
+        target = self._series[code.upper()]
+        return MonthlySeries(
+            {
+                m: float(self.rank_in_month(code, m, descending=descending))
+                for m in target.months()
+            }
+        )

@@ -1,0 +1,207 @@
+"""A single metric sampled at monthly granularity."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.timeseries.month import Month, month_range
+
+
+class MonthlySeries:
+    """An ordered mapping from :class:`Month` to float.
+
+    The series is sparse: months with no observation are simply absent.
+    All transformation methods return new series; instances are treated as
+    immutable after construction.
+    """
+
+    def __init__(self, values: Mapping[Month, float] | Iterable[tuple[Month, float]] = ()):
+        if isinstance(values, Mapping):
+            items = values.items()
+        else:
+            items = values
+        self._values: dict[Month, float] = {m: float(v) for m, v in items}
+
+    # -- basics ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    def __contains__(self, month: Month) -> bool:
+        return month in self._values
+
+    def __getitem__(self, month: Month) -> float:
+        return self._values[month]
+
+    def get(self, month: Month, default: float | None = None) -> float | None:
+        """Value at *month*, or *default* when absent."""
+        return self._values.get(month, default)
+
+    def months(self) -> list[Month]:
+        """All observed months, ascending."""
+        return sorted(self._values)
+
+    def items(self) -> Iterator[tuple[Month, float]]:
+        """(month, value) pairs in ascending month order."""
+        for m in self.months():
+            yield m, self._values[m]
+
+    def values(self) -> list[float]:
+        """Values in ascending month order."""
+        return [self._values[m] for m in self.months()]
+
+    def first_month(self) -> Month:
+        """Earliest observed month; raises ValueError when empty."""
+        if not self._values:
+            raise ValueError("empty series")
+        return min(self._values)
+
+    def last_month(self) -> Month:
+        """Latest observed month; raises ValueError when empty."""
+        if not self._values:
+            raise ValueError("empty series")
+        return max(self._values)
+
+    def first_value(self) -> float:
+        """Value at the earliest month."""
+        return self._values[self.first_month()]
+
+    def last_value(self) -> float:
+        """Value at the latest month."""
+        return self._values[self.last_month()]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MonthlySeries):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        if not self._values:
+            return "MonthlySeries(empty)"
+        return (
+            f"MonthlySeries({self.first_month()}..{self.last_month()}, "
+            f"n={len(self)})"
+        )
+
+    # -- transforms ---------------------------------------------------------
+
+    def clip_range(self, start: Month, end: Month) -> "MonthlySeries":
+        """Restrict to months in [start, end]."""
+        return MonthlySeries(
+            {m: v for m, v in self._values.items() if start <= m <= end}
+        )
+
+    def map(self, fn: Callable[[float], float]) -> "MonthlySeries":
+        """Apply *fn* to every value."""
+        return MonthlySeries({m: fn(v) for m, v in self._values.items()})
+
+    def scale(self, factor: float) -> "MonthlySeries":
+        """Multiply every value by *factor*."""
+        return self.map(lambda v: v * factor)
+
+    def normalised_by_max(self) -> "MonthlySeries":
+        """Divide by the series maximum (the paper's `X / max(X)` panels)."""
+        if not self._values:
+            return MonthlySeries()
+        peak = max(self._values.values())
+        if peak == 0:
+            raise ValueError("cannot normalise a series whose max is 0")
+        return self.map(lambda v: v / peak)
+
+    def diff(self) -> "MonthlySeries":
+        """Month-over-observed-month differences, keyed by the later month."""
+        months = self.months()
+        return MonthlySeries(
+            {
+                later: self._values[later] - self._values[earlier]
+                for earlier, later in zip(months, months[1:])
+            }
+        )
+
+    def forward_fill(self, through: Month | None = None) -> "MonthlySeries":
+        """Densify to every month, carrying the last observation forward.
+
+        Args:
+            through: Final month of the filled series; defaults to the last
+                observed month.
+        """
+        if not self._values:
+            return MonthlySeries()
+        end = through if through is not None else self.last_month()
+        filled: dict[Month, float] = {}
+        last: float | None = None
+        for m in month_range(self.first_month(), end):
+            if m in self._values:
+                last = self._values[m]
+            if last is not None:
+                filled[m] = last
+        return MonthlySeries(filled)
+
+    def rolling_mean(self, window: int) -> "MonthlySeries":
+        """Trailing mean over the last *window* observations."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        months = self.months()
+        out: dict[Month, float] = {}
+        for i, m in enumerate(months):
+            chunk = months[max(0, i - window + 1) : i + 1]
+            out[m] = sum(self._values[c] for c in chunk) / len(chunk)
+        return MonthlySeries(out)
+
+    def yearly_last(self) -> "MonthlySeries":
+        """Keep only the last observation of each calendar year."""
+        by_year: dict[int, Month] = {}
+        for m in self.months():
+            by_year[m.year] = m
+        return MonthlySeries({m: self._values[m] for m in by_year.values()})
+
+    # -- reductions -----------------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean over observed months."""
+        if not self._values:
+            raise ValueError("empty series")
+        return sum(self._values.values()) / len(self._values)
+
+    def median(self) -> float:
+        """Median over observed months."""
+        if not self._values:
+            raise ValueError("empty series")
+        ordered = sorted(self._values.values())
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    def max(self) -> float:
+        """Maximum over observed months."""
+        if not self._values:
+            raise ValueError("empty series")
+        return max(self._values.values())
+
+    def min(self) -> float:
+        """Minimum over observed months."""
+        if not self._values:
+            raise ValueError("empty series")
+        return min(self._values.values())
+
+    def argmax(self) -> Month:
+        """Month of the maximum value (earliest on ties)."""
+        if not self._values:
+            raise ValueError("empty series")
+        peak = self.max()
+        return min(m for m, v in self._values.items() if v == peak)
+
+    def window_mean(self, start: Month, end: Month) -> float:
+        """Mean over observations within [start, end]."""
+        window = self.clip_range(start, end)
+        return window.mean()
+
+    def is_finite(self) -> bool:
+        """True when every value is finite (no NaN / inf)."""
+        return all(math.isfinite(v) for v in self._values.values())

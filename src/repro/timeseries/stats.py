@@ -1,0 +1,99 @@
+"""Summary statistics used by the paper's narrative claims.
+
+These helpers turn series into the headline numbers the paper reports:
+"production plummeted by 77%", "stagnated below 1 Mbps for over a decade",
+"2.06x the LACNIC average", and so on.
+"""
+
+from __future__ import annotations
+
+from repro.timeseries.month import Month
+from repro.timeseries.series import MonthlySeries
+
+
+def peak_decline_pct(series: MonthlySeries, since: Month | None = None) -> float:
+    """Percentage decline from the series peak to the final value.
+
+    This is the paper's Fig. 1 annotation style (oil -81.49%, GDP -70.90%).
+    A positive return value means decline; 0 means the series ends at or
+    above its peak.
+
+    Args:
+        series: Input series; must be non-empty with a positive peak.
+        since: Optional month restricting the peak search window start.
+    """
+    window = series if since is None else series.clip_range(since, series.last_month())
+    if not window:
+        raise ValueError("no observations in requested window")
+    peak = window.max()
+    if peak <= 0:
+        raise ValueError("peak must be positive to express a percent decline")
+    decline = (peak - window.last_value()) / peak * 100.0
+    return max(decline, 0.0)
+
+
+def growth_factor(series: MonthlySeries) -> float:
+    """Last value divided by the first value (e.g. "a 2.34-fold rise")."""
+    first = series.first_value()
+    if first == 0:
+        raise ValueError("cannot compute growth factor from a zero start")
+    return series.last_value() / first
+
+
+def cagr(series: MonthlySeries) -> float:
+    """Compound annual growth rate between first and last observation.
+
+    Returns a fraction (0.19 means +19%/yr).  Requires positive endpoint
+    values and at least one month of elapsed time.
+    """
+    first, last = series.first_value(), series.last_value()
+    if first <= 0 or last <= 0:
+        raise ValueError("CAGR requires positive endpoints")
+    months = series.first_month().months_until(series.last_month())
+    if months <= 0:
+        raise ValueError("CAGR requires an elapsed interval")
+    years = months / 12.0
+    return (last / first) ** (1.0 / years) - 1.0
+
+
+def stagnation_months(series: MonthlySeries, threshold: float) -> int:
+    """Length in months of the longest run of observations below *threshold*.
+
+    Measures claims like "download speed remained below 1 Mbps for over a
+    decade".  The run length is measured in calendar months between the
+    first and last observation of the run, inclusive, so sparse series are
+    handled naturally.
+    """
+    run_start: Month | None = None
+    prev: Month | None = None
+    best = 0
+    for month, value in series.items():
+        if value < threshold:
+            if run_start is None:
+                run_start = month
+            prev = month
+        else:
+            if run_start is not None and prev is not None:
+                best = max(best, run_start.months_until(prev) + 1)
+            run_start = None
+    if run_start is not None and prev is not None:
+        best = max(best, run_start.months_until(prev) + 1)
+    return best
+
+
+def half_year_value(series: MonthlySeries, year: int, half: int) -> float:
+    """Mean of a series over one calendar half-year (H1 or H2).
+
+    The paper compares "the first half of 2016" with "the latter half of
+    2023"; this helper standardises that aggregation.
+
+    Args:
+        series: Input series.
+        year: Calendar year.
+        half: 1 for Jan-Jun, 2 for Jul-Dec.
+    """
+    if half not in (1, 2):
+        raise ValueError("half must be 1 or 2")
+    start = Month(year, 1 if half == 1 else 7)
+    end = Month(year, 6 if half == 1 else 12)
+    return series.window_mean(start, end)

@@ -1,0 +1,133 @@
+"""Trend estimation and changepoint detection.
+
+The paper repeatedly dates Venezuela's break to "around 2013" by eye;
+these helpers make that dating algorithmic: least-squares slopes for
+"growing vs stagnant" claims, and a single-changepoint detector (optimal
+two-segment piecewise-linear fit) for "when did the trajectory break".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timeseries.month import Month
+from repro.timeseries.series import MonthlySeries
+
+
+@dataclass(frozen=True, slots=True)
+class TrendLine:
+    """A least-squares linear fit over a series.
+
+    Attributes:
+        slope_per_year: Change in the metric per year.
+        intercept: Fitted value at the first observed month.
+        r_squared: Goodness of fit in [0, 1].
+    """
+
+    slope_per_year: float
+    intercept: float
+    r_squared: float
+
+
+def _fit(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
+    """Least squares fit returning (slope, intercept, sse)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        sse = sum((y - mean_y) ** 2 for y in ys)
+        return 0.0, mean_y, sse
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    sse = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    return slope, intercept, sse
+
+
+def linear_trend(series: MonthlySeries) -> TrendLine:
+    """Least-squares trend of a series.
+
+    The x axis is years since the first observation, so the slope reads
+    directly as "per year".
+
+    Raises:
+        ValueError: for series with fewer than two observations.
+    """
+    if len(series) < 2:
+        raise ValueError("need at least two observations")
+    first = series.first_month()
+    xs = [first.months_until(m) / 12.0 for m in series.months()]
+    ys = series.values()
+    slope, intercept_at_mean, sse = _fit(xs, ys)
+    mean_y = sum(ys) / len(ys)
+    sst = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - sse / sst if sst > 0 else 1.0
+    return TrendLine(
+        slope_per_year=slope, intercept=intercept_at_mean, r_squared=r_squared
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Changepoint:
+    """The best single break of a series into two linear segments.
+
+    Attributes:
+        month: First month of the second segment.
+        before: Trend of the first segment.
+        after: Trend of the second segment.
+        sse_reduction: Fraction of the single-line SSE removed by the
+            two-segment fit (0.9 = the break explains 90% of the
+            single-line misfit); low values mean "no real break".
+    """
+
+    month: Month
+    before: TrendLine
+    after: TrendLine
+    sse_reduction: float
+
+
+def detect_changepoint(
+    series: MonthlySeries, min_segment: int = 6
+) -> Changepoint:
+    """The SSE-optimal single changepoint of a series.
+
+    Args:
+        series: Input series (needs at least ``2 * min_segment`` points).
+        min_segment: Minimum observations on each side of the break.
+
+    Raises:
+        ValueError: when the series is too short.
+    """
+    months = series.months()
+    if len(months) < 2 * min_segment:
+        raise ValueError("series too short for changepoint detection")
+    first = months[0]
+    xs = [first.months_until(m) / 12.0 for m in months]
+    ys = series.values()
+
+    _s, _i, total_sse = _fit(xs, ys)
+    best_index = min_segment
+    best_sse = float("inf")
+    for index in range(min_segment, len(months) - min_segment + 1):
+        _s1, _i1, sse1 = _fit(xs[:index], ys[:index])
+        _s2, _i2, sse2 = _fit(xs[index:], ys[index:])
+        if sse1 + sse2 < best_sse:
+            best_sse = sse1 + sse2
+            best_index = index
+
+    before = MonthlySeries(dict(zip(months[:best_index], ys[:best_index])))
+    after = MonthlySeries(dict(zip(months[best_index:], ys[best_index:])))
+    # A numerically-perfect single line has SSE at machine-epsilon scale;
+    # report "no break" rather than a ratio of rounding noise.
+    scale = sum(y * y for y in ys) / len(ys)
+    if total_sse <= 1e-12 * max(1.0, scale) * len(ys):
+        reduction = 0.0
+    else:
+        reduction = 1.0 - best_sse / total_sse
+    return Changepoint(
+        month=months[best_index],
+        before=linear_trend(before),
+        after=linear_trend(after),
+        sse_reduction=max(0.0, reduction),
+    )

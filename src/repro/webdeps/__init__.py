@@ -1,0 +1,28 @@
+"""Third-party web dependency analysis (Kumar et al. substitute).
+
+The paper scrapes each country's 1,000 most popular websites (Google CrUX,
+viewed through an in-country VPN), keeps the sites unique to a single
+country, and classifies each site's serving infrastructure: HTTPS
+adoption and reliance on third-party DNS, certificate authorities and
+CDNs (Fig. 19 / Appendix H).
+
+* :mod:`repro.webdeps.model` -- site observations with a CSV round-trip.
+* :mod:`repro.webdeps.analysis` -- per-country adoption fractions and
+  regional means.
+* :mod:`repro.webdeps.synthetic` -- a scripted scrape whose fractions are
+  the paper's exactly (Venezuela: DNS 0.29, CA 0.22, CDN 0.37,
+  HTTPS 0.58; only Bolivia lower across DNS/CA/CDN).
+"""
+
+from repro.webdeps.analysis import AdoptionSummary, adoption_summary, regional_mean
+from repro.webdeps.model import SiteObservation, SiteSurvey
+from repro.webdeps.synthetic import synthesize_site_survey
+
+__all__ = [
+    "AdoptionSummary",
+    "SiteObservation",
+    "SiteSurvey",
+    "adoption_summary",
+    "regional_mean",
+    "synthesize_site_survey",
+]

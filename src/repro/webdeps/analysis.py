@@ -1,0 +1,58 @@
+"""Adoption fractions over site surveys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.webdeps.model import SiteSurvey
+
+
+@dataclass(frozen=True, slots=True)
+class AdoptionSummary:
+    """Per-country adoption fractions of the four Fig. 19 variables."""
+
+    country: str
+    sites: int
+    https: float
+    dns: float
+    ca: float
+    cdn: float
+
+    def metric(self, name: str) -> float:
+        """Fetch one adoption fraction by metric name."""
+        try:
+            return {"https": self.https, "dns": self.dns, "ca": self.ca, "cdn": self.cdn}[name]
+        except KeyError:
+            raise ValueError(f"unknown metric {name!r}") from None
+
+
+def adoption_summary(survey: SiteSurvey, country: str) -> AdoptionSummary:
+    """Adoption fractions for one country.
+
+    Raises:
+        ValueError: when the country has no surveyed sites.
+    """
+    sites = survey.for_country(country)
+    if not sites:
+        raise ValueError(f"no sites surveyed for {country!r}")
+    n = len(sites)
+    return AdoptionSummary(
+        country=country.upper(),
+        sites=n,
+        https=sum(o.https for o in sites) / n,
+        dns=sum(o.third_party_dns for o in sites) / n,
+        ca=sum(o.third_party_ca for o in sites) / n,
+        cdn=sum(o.third_party_cdn for o in sites) / n,
+    )
+
+
+def regional_mean(survey: SiteSurvey, metric: str) -> float:
+    """Mean adoption of one metric across surveyed countries."""
+    summaries = [adoption_summary(survey, cc) for cc in survey.countries()]
+    return sum(s.metric(metric) for s in summaries) / len(summaries)
+
+
+def country_order(survey: SiteSurvey, metric: str) -> list[str]:
+    """Countries ordered by ascending adoption of *metric* (Fig. 19 bars)."""
+    summaries = [adoption_summary(survey, cc) for cc in survey.countries()]
+    return [s.country for s in sorted(summaries, key=lambda s: s.metric(metric))]

@@ -1,0 +1,86 @@
+"""Centralization metrics over the dependency survey.
+
+Kumar et al. (the methodology the paper reuses in Appendix H) is a study
+of *centralization*: not just whether sites outsource DNS/CA/CDN, but how
+concentrated the chosen providers are.  These metrics quantify that for
+any survey: the top provider's share of each service and the provider
+HHI, per country.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.webdeps.model import SiteSurvey
+
+_PROVIDER_FIELDS = {
+    "dns": "dns_provider",
+    "ca": "ca_provider",
+    "cdn": "cdn_provider",
+}
+
+
+def provider_shares(survey: SiteSurvey, country: str, service: str) -> dict[str, float]:
+    """Share of each third-party provider among outsourced sites.
+
+    Shares are over the sites that *do* use a third-party provider for
+    the service (an empty dict when none do).
+
+    Raises:
+        ValueError: for unknown services.
+    """
+    try:
+        field = _PROVIDER_FIELDS[service]
+    except KeyError:
+        raise ValueError(f"unknown service {service!r}") from None
+    counts: dict[str, int] = {}
+    for observation in survey.for_country(country):
+        provider = getattr(observation, field)
+        if provider:
+            counts[provider] = counts.get(provider, 0) + 1
+    total = sum(counts.values())
+    return {p: n / total for p, n in counts.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class CentralizationStat:
+    """Concentration of one service's providers in one country."""
+
+    country: str
+    service: str
+    providers: int
+    top_provider: str
+    top_share: float
+    hhi: float
+
+
+def centralization(survey: SiteSurvey, country: str, service: str) -> CentralizationStat:
+    """Concentration statistics for one (country, service).
+
+    Raises:
+        ValueError: when no site in the country outsources the service.
+    """
+    shares = provider_shares(survey, country, service)
+    if not shares:
+        raise ValueError(f"no third-party {service} usage in {country!r}")
+    top_provider = max(shares, key=lambda p: shares[p])
+    return CentralizationStat(
+        country=country.upper(),
+        service=service,
+        providers=len(shares),
+        top_provider=top_provider,
+        top_share=shares[top_provider],
+        hhi=sum(share**2 for share in shares.values()),
+    )
+
+
+def centralization_table(survey: SiteSurvey, service: str) -> list[CentralizationStat]:
+    """Concentration of one service across all surveyed countries."""
+    rows = []
+    for cc in survey.countries():
+        try:
+            rows.append(centralization(survey, cc, service))
+        except ValueError:
+            continue
+    rows.sort(key=lambda row: -row.hhi)
+    return rows

@@ -1,0 +1,113 @@
+"""Per-site dependency observations."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class SiteObservation:
+    """One country-unique popular site and its serving infrastructure.
+
+    Attributes:
+        country: Country whose toplist the site is unique to.
+        site: Hostname.
+        https: Whether the site serves over HTTPS.
+        third_party_dns: Authoritative DNS outsourced to a provider.
+        third_party_ca: Certificate issued by a third-party CA.
+        third_party_cdn: Content served through a third-party CDN.
+        dns_provider: Name of the DNS provider ("" when in-house).
+        ca_provider: Name of the CA ("" when none / self-signed).
+        cdn_provider: Name of the CDN ("" when in-house).
+    """
+
+    country: str
+    site: str
+    https: bool
+    third_party_dns: bool
+    third_party_ca: bool
+    third_party_cdn: bool
+    dns_provider: str = ""
+    ca_provider: str = ""
+    cdn_provider: str = ""
+
+
+class SiteSurvey:
+    """A collection of site observations with per-country queries."""
+
+    def __init__(self, observations: Iterable[SiteObservation] = ()):
+        self._observations: list[SiteObservation] = list(observations)
+
+    def add(self, observation: SiteObservation) -> None:
+        """Append one observation."""
+        self._observations.append(observation)
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[SiteObservation]:
+        return iter(self._observations)
+
+    def countries(self) -> list[str]:
+        """All surveyed countries, sorted."""
+        return sorted({o.country for o in self._observations})
+
+    def for_country(self, country: str) -> list[SiteObservation]:
+        """Observations for one country."""
+        cc = country.upper()
+        return [o for o in self._observations if o.country == cc]
+
+    # -- CSV round-trip --------------------------------------------------------
+
+    _FIELDS = (
+        "country", "site", "https", "third_party_dns", "third_party_ca",
+        "third_party_cdn", "dns_provider", "ca_provider", "cdn_provider",
+    )
+
+    def to_csv(self) -> str:
+        """Serialise all observations."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(self._FIELDS)
+        for o in sorted(self._observations, key=lambda o: (o.country, o.site)):
+            writer.writerow(
+                [
+                    o.country, o.site, int(o.https), int(o.third_party_dns),
+                    int(o.third_party_ca), int(o.third_party_cdn),
+                    o.dns_provider, o.ca_provider, o.cdn_provider,
+                ]
+            )
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "SiteSurvey":
+        """Parse the layout produced by :meth:`to_csv`."""
+        survey = cls()
+        for row in csv.DictReader(io.StringIO(text)):
+            survey.add(
+                SiteObservation(
+                    country=row["country"].upper(),
+                    site=row["site"],
+                    https=bool(int(row["https"])),
+                    third_party_dns=bool(int(row["third_party_dns"])),
+                    third_party_ca=bool(int(row["third_party_ca"])),
+                    third_party_cdn=bool(int(row["third_party_cdn"])),
+                    dns_provider=row["dns_provider"],
+                    ca_provider=row["ca_provider"],
+                    cdn_provider=row["cdn_provider"],
+                )
+            )
+        return survey
+
+    def save(self, path: Path | str) -> None:
+        """Write the CSV form to *path*."""
+        Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "SiteSurvey":
+        """Read the CSV form from *path*."""
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))

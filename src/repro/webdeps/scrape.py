@@ -1,0 +1,115 @@
+"""Scrape-level site observations and their classification.
+
+The paper (via Kumar et al.) scrapes each site through an in-country VPN
+and derives the third-party flags from serving infrastructure: the
+authoritative NS records (DNS provider), the TLS certificate issuer (CA)
+and the hosts serving page resources (CDN).  This module models that raw
+layer -- :class:`ScrapedSite` -- and the classifier that reduces it to a
+:class:`~repro.webdeps.model.SiteObservation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.webdeps.model import SiteObservation
+
+#: NS-record suffix -> third-party DNS provider name.
+DNS_PROVIDER_SUFFIXES: dict[str, str] = {
+    ".ns.cloudflare.com": "cloudflare-dns",
+    ".awsdns.com": "route53",
+    ".domaincontrol.com": "godaddy-dns",
+    ".akam.net": "akamai-dns",
+}
+
+#: TLS issuer organisation -> third-party CA name.
+THIRD_PARTY_CAS: dict[str, str] = {
+    "Let's Encrypt": "lets-encrypt",
+    "DigiCert Inc": "digicert",
+    "Sectigo Limited": "sectigo",
+    "GlobalSign": "globalsign",
+}
+
+#: Resource-host suffix -> third-party CDN name.
+CDN_HOST_SUFFIXES: dict[str, str] = {
+    ".cdn.cloudflare.net": "cloudflare",
+    ".akamaiedge.net": "akamai",
+    ".fastly.net": "fastly",
+    ".cloudfront.net": "cloudfront",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ScrapedResource:
+    """One page resource fetched during the scrape."""
+
+    host: str
+    kind: str  # "script" | "image" | "font" | "stylesheet" | "document"
+
+
+@dataclass(frozen=True, slots=True)
+class ScrapedSite:
+    """The raw scrape of one country-unique popular site.
+
+    Attributes:
+        country: Country whose toplist the site is unique to.
+        site: Hostname.
+        https: Whether the landing page was served over HTTPS.
+        nameservers: The site's authoritative NS hostnames.
+        tls_issuer: Certificate issuer organisation ("" when no TLS).
+        resources: Hosts serving the page's resources.
+    """
+
+    country: str
+    site: str
+    https: bool
+    nameservers: tuple[str, ...]
+    tls_issuer: str
+    resources: tuple[ScrapedResource, ...] = field(default=())
+
+
+def classify_dns(scraped: ScrapedSite) -> str:
+    """The third-party DNS provider of a scrape, or '' for in-house NS."""
+    for ns in scraped.nameservers:
+        for suffix, provider in DNS_PROVIDER_SUFFIXES.items():
+            if ns.lower().endswith(suffix):
+                return provider
+    return ""
+
+
+def classify_ca(scraped: ScrapedSite) -> str:
+    """The third-party CA of a scrape, or '' for in-house/no TLS."""
+    return THIRD_PARTY_CAS.get(scraped.tls_issuer, "")
+
+
+def classify_cdn(scraped: ScrapedSite) -> str:
+    """The third-party CDN serving the page's document, or ''.
+
+    Following the paper's methodology, a site counts as CDN-served when
+    its primary document resource comes from a known CDN host.
+    """
+    for resource in scraped.resources:
+        if resource.kind != "document":
+            continue
+        for suffix, provider in CDN_HOST_SUFFIXES.items():
+            if resource.host.lower().endswith(suffix):
+                return provider
+    return ""
+
+
+def classify(scraped: ScrapedSite) -> SiteObservation:
+    """Reduce one scrape to the Fig. 19 observation flags."""
+    dns_provider = classify_dns(scraped)
+    ca_provider = classify_ca(scraped)
+    cdn_provider = classify_cdn(scraped)
+    return SiteObservation(
+        country=scraped.country.upper(),
+        site=scraped.site,
+        https=scraped.https,
+        third_party_dns=bool(dns_provider),
+        third_party_ca=bool(ca_provider),
+        third_party_cdn=bool(cdn_provider),
+        dns_provider=dns_provider,
+        ca_provider=ca_provider,
+        cdn_provider=cdn_provider,
+    )

@@ -1,0 +1,68 @@
+"""Tests for the APNIC estimate collection."""
+
+from repro.apnic import APNICEstimates, ASPopulation
+
+
+def _estimates():
+    return APNICEstimates(
+        [
+            ASPopulation(8048, "VE", "CANTV", 600),
+            ASPopulation(21826, "VE", "Telemic", 300),
+            ASPopulation(11562, "VE", "NetUno", 100),
+            ASPopulation(7303, "AR", "Telecom AR", 500),
+        ]
+    )
+
+
+def test_users_of():
+    e = _estimates()
+    assert e.users_of(8048, "ve") == 600
+    assert e.users_of(8048, "AR") == 0
+    assert e.users_of(9999, "VE") == 0
+
+
+def test_country_users_and_share():
+    e = _estimates()
+    assert e.country_users("VE") == 1000
+    assert e.share_of(8048, "VE") == 0.6
+    assert e.share_of(7303, "AR") == 1.0
+    assert e.share_of(8048, "XX") == 0.0
+
+
+def test_share_of_group_deduplicates():
+    e = _estimates()
+    assert e.share_of_group([8048, 8048, 21826], "VE") == 0.9
+    assert e.share_of_group([], "VE") == 0.0
+
+
+def test_top_networks_order():
+    e = _estimates()
+    top = e.top_networks("VE", 2)
+    assert [t.asn for t in top] == [8048, 21826]
+
+
+def test_countries_and_countries_of():
+    e = _estimates()
+    assert e.countries() == ["AR", "VE"]
+    assert e.countries_of(8048) == ["VE"]
+
+
+def test_add_replaces():
+    e = _estimates()
+    e.add(ASPopulation(8048, "VE", "CANTV", 700))
+    assert e.users_of(8048, "VE") == 700
+    assert len(e) == 4
+
+
+def test_csv_roundtrip():
+    e = _estimates()
+    again = APNICEstimates.from_csv(e.to_csv())
+    assert again.country_users("VE") == 1000
+    assert again.to_csv() == e.to_csv()
+
+
+def test_save_load(tmp_path):
+    e = _estimates()
+    path = tmp_path / "apnic.csv"
+    e.save(path)
+    assert APNICEstimates.load(path).country_users("AR") == 500

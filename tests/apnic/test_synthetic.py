@@ -1,0 +1,57 @@
+"""Tests for the synthetic population estimates (Table 1)."""
+
+import pytest
+
+from repro.apnic.synthetic import VE_TOP10
+
+
+@pytest.fixture(scope="module")
+def estimates(scenario):
+    return scenario.populations
+
+
+def test_table1_roster_exact(estimates):
+    top = estimates.top_networks("VE", 10)
+    assert [(t.asn, t.users) for t in top] == [
+        (asn, users) for asn, _name, users in VE_TOP10
+    ]
+
+
+def test_cantv_share(estimates):
+    assert estimates.share_of(8048, "VE") * 100 == pytest.approx(21.50, abs=0.03)
+
+
+def test_top10_share(estimates):
+    share = sum(estimates.share_of(e.asn, "VE") for e in estimates.top_networks("VE", 10))
+    assert share * 100 == pytest.approx(77.18, abs=0.05)
+
+
+def test_movilnet_adds_to_state_portfolio(estimates):
+    assert estimates.share_of(27889, "VE") * 100 == pytest.approx(2.07, abs=0.03)
+
+
+def test_every_country_total_positive(estimates):
+    for cc in estimates.countries():
+        assert estimates.country_users(cc) > 0, cc
+
+
+def test_shares_sum_to_one(estimates):
+    for cc in estimates.countries():
+        total = sum(
+            estimates.share_of(e.asn, cc) for e in estimates.country_entries(cc)
+        )
+        assert total == pytest.approx(1.0, abs=1e-9), cc
+
+
+def test_ixp_calibration_shares(estimates):
+    # The Fig. 10 headline cells depend on these exact market shares.
+    assert estimates.share_of(6057, "UY") == pytest.approx(0.80)
+    assert estimates.share_of(7303, "AR") == pytest.approx(0.33)
+    assert estimates.share_of(11562, "VE") * 100 == pytest.approx(4.45, abs=0.03)
+
+
+def test_venezuela_tail_networks(estimates):
+    entries = estimates.country_entries("VE")
+    assert len(entries) == 40  # top-10 + 30 tail networks
+    tail = [e for e in entries if e.asn >= 274_000]
+    assert len(tail) == 30

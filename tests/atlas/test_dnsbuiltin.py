@@ -1,0 +1,42 @@
+"""Tests for DNS built-in results."""
+
+import pytest
+
+from repro.atlas import DNSBuiltinResult
+from repro.atlas.dnsbuiltin import DNSResultParseError
+from repro.timeseries import Month
+
+
+def _result():
+    return DNSBuiltinResult(
+        probe_id=1000,
+        probe_country="VE",
+        root_letter="F",
+        answer="ccs1a.f.root-servers.org",
+        month=Month(2017, 1),
+    )
+
+
+def test_to_observation():
+    obs = _result().to_observation()
+    assert obs.probe_country == "VE"
+    assert obs.letter == "F"
+    assert obs.answer == "ccs1a.f.root-servers.org"
+    assert obs.month == Month(2017, 1)
+
+
+def test_json_roundtrip():
+    r = _result()
+    again = DNSBuiltinResult.from_json(r.to_json())
+    assert again == r
+
+
+def test_json_carries_target_name():
+    assert '"target": "f.root-servers.net"' in _result().to_json()
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(DNSResultParseError):
+        DNSBuiltinResult.from_json("{}")
+    with pytest.raises(DNSResultParseError):
+        DNSBuiltinResult.from_json("not json")

@@ -1,0 +1,76 @@
+"""Tests for GPDNS frontend inference."""
+
+import pytest
+
+from repro.atlas.frontends import (
+    FRONTENDS,
+    countries_without_domestic_frontend,
+    edge_address,
+    frontend_for_country,
+    frontend_named,
+    infer_frontend,
+    serving_cities_by_country,
+)
+from repro.atlas.traceroute import Hop, TracerouteResult
+
+
+def test_frontend_named():
+    assert frontend_named("Bogota").country == "CO"
+    with pytest.raises(KeyError):
+        frontend_named("Caracas")  # precisely the point
+
+
+def test_no_frontend_in_venezuela():
+    assert all(f.country != "VE" for f in FRONTENDS)
+
+
+def test_serving_assignment():
+    assert frontend_for_country("VE").city == "Bogota"
+    assert frontend_for_country("BR").city == "Sao Paulo"
+    assert frontend_for_country("TT").city == "Miami"  # default
+
+
+def test_edge_address_inside_block():
+    import ipaddress
+
+    address = ipaddress.ip_address(edge_address("VE", 1003))
+    assert address in frontend_named("Bogota").prefix
+
+
+def _traceroute(edge_ip, probe=1):
+    return TracerouteResult(
+        probe_id=probe, msm_id=1, timestamp=0, dst_addr="8.8.8.8",
+        hops=(
+            Hop(1, (("192.168.1.1", 1.0),)),
+            Hop(2, ((edge_ip, 30.0),)),
+            Hop(3, (("8.8.8.8", 33.0),)),
+        ),
+    )
+
+
+def test_infer_frontend():
+    assert infer_frontend(_traceroute("72.14.192.7")).city == "Bogota"
+    assert infer_frontend(_traceroute("72.14.193.9")).city == "Sao Paulo"
+    assert infer_frontend(_traceroute("10.0.0.1")) is None
+
+
+def test_serving_cities_by_country():
+    results = [_traceroute("72.14.192.7", probe=1), _traceroute("72.14.192.8", probe=1)]
+    cities = serving_cities_by_country(results, {1: "VE"})
+    assert cities == {"VE": {"Bogota": 2}}
+
+
+def test_unknown_probe_skipped():
+    results = [_traceroute("72.14.192.7", probe=99)]
+    assert serving_cities_by_country(results, {}) == {}
+
+
+def test_campaign_frontends(scenario):
+    probe_countries = {p.probe_id: p.country for p in scenario.probes.probes}
+    sample = scenario.gpdns_traceroutes[-5000:]
+    cities = serving_cities_by_country(sample, probe_countries)
+    assert set(cities.get("VE", {})) == {"Bogota"}
+    without = countries_without_domestic_frontend(sample, probe_countries)
+    assert "VE" in without
+    assert "BR" not in without
+    assert "CO" not in without

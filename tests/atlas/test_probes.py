@@ -1,0 +1,49 @@
+"""Tests for the probe registry."""
+
+import pytest
+
+from repro.atlas import Probe, ProbeRegistry
+from repro.timeseries import Month
+
+
+def _registry():
+    return ProbeRegistry(
+        [
+            Probe(1, "VE", 8048, 10.5, -66.9, Month(2015, 1)),
+            Probe(2, "VE", 61461, 10.6, -71.6, Month(2020, 1), Month(2021, 6)),
+            Probe(3, "BR", 0, -23.5, -46.6, Month(2014, 3)),
+        ]
+    )
+
+
+def test_active_in():
+    p = Probe(2, "VE", 61461, 10.6, -71.6, Month(2020, 1), Month(2021, 6))
+    assert not p.active_in(Month(2019, 12))
+    assert p.active_in(Month(2020, 1))
+    assert p.active_in(Month(2021, 6))
+    assert not p.active_in(Month(2021, 7))
+
+
+def test_registry_active():
+    reg = _registry()
+    assert {p.probe_id for p in reg.active(Month(2020, 6))} == {1, 2, 3}
+    assert {p.probe_id for p in reg.active(Month(2020, 6), "VE")} == {1, 2}
+    assert {p.probe_id for p in reg.active(Month(2022, 1), "VE")} == {1}
+
+
+def test_by_id():
+    reg = _registry()
+    assert reg.by_id(3).country == "BR"
+    with pytest.raises(KeyError):
+        reg.by_id(99)
+
+
+def test_countries():
+    assert _registry().countries() == ["BR", "VE"]
+
+
+def test_count_panel():
+    reg = _registry()
+    panel = reg.count_panel([Month(2020, 6), Month(2022, 1)])
+    assert panel["VE"].values() == [2.0, 1.0]
+    assert panel["BR"].values() == [1.0, 1.0]

@@ -1,0 +1,86 @@
+"""Tests for the GPDNS RTT model."""
+
+import pytest
+
+from repro.atlas import Probe, gpdns_probe_rtt, gpdns_target_rtt
+from repro.atlas.rttmodel import CAMPAIGN_END, CAMPAIGN_START, rtt_calibrated_countries
+from repro.timeseries import Month
+
+
+def test_target_anchor_values():
+    assert gpdns_target_rtt("VE", Month(2016, 1)) == pytest.approx(45.71)
+    assert gpdns_target_rtt("VE", CAMPAIGN_END) == pytest.approx(36.56)
+    assert gpdns_target_rtt("BR", CAMPAIGN_END) == pytest.approx(7.52)
+    assert gpdns_target_rtt("CO", Month(2016, 1)) == pytest.approx(48.48)
+
+
+def test_target_clamps_outside_window():
+    early = gpdns_target_rtt("VE", Month(2010, 1))
+    assert early == gpdns_target_rtt("VE", CAMPAIGN_START)
+    late = gpdns_target_rtt("VE", Month(2030, 1))
+    assert late == gpdns_target_rtt("VE", CAMPAIGN_END)
+
+
+def test_target_unknown_country():
+    with pytest.raises(KeyError):
+        gpdns_target_rtt("ZZ", Month(2020, 1))
+
+
+def test_colombia_improves_venezuela_stalls():
+    co_drop = gpdns_target_rtt("CO", Month(2016, 1)) - gpdns_target_rtt("CO", CAMPAIGN_END)
+    ve_drop = gpdns_target_rtt("VE", Month(2016, 1)) - gpdns_target_rtt("VE", CAMPAIGN_END)
+    assert co_drop > 30
+    assert ve_drop < 10
+
+
+def test_ve_border_probe_fast():
+    border = Probe(1, "VE", 274012, 7.81, -72.44, Month(2022, 1))
+    rtt = gpdns_probe_rtt(border, Month(2023, 12))
+    assert rtt < 10.0
+
+
+def test_ve_east_probe_slow():
+    east = Probe(2, "VE", 264731, 8.35, -62.65, Month(2020, 6))
+    rtt = gpdns_probe_rtt(east, Month(2023, 12))
+    assert rtt > 40.0
+
+
+def test_ve_caracas_near_country_median():
+    caracas = Probe(3, "VE", 8048, 10.49, -66.88, Month(2014, 3))
+    rtt = gpdns_probe_rtt(caracas, Month(2023, 12))
+    assert rtt == pytest.approx(36.56, rel=0.08)
+
+
+def test_non_ve_probe_spread_bounded():
+    for pid in range(100, 140):
+        probe = Probe(pid, "BR", 0, -15.79, -47.88, Month(2014, 3))
+        rtt = gpdns_probe_rtt(probe, Month(2023, 12))
+        target = gpdns_target_rtt("BR", Month(2023, 12))
+        assert 0.8 * target <= rtt <= 1.25 * target
+
+
+def test_rtt_always_positive():
+    probe = Probe(7, "UY", 0, -34.9, -56.19, Month(2014, 3))
+    for month in (Month(2014, 3), Month(2019, 6), Month(2023, 12)):
+        assert gpdns_probe_rtt(probe, month) > 0
+
+
+def test_calibrated_countries_cover_comparators():
+    countries = rtt_calibrated_countries()
+    for cc in ("AR", "BR", "CL", "CO", "MX", "VE"):
+        assert cc in countries
+
+
+def test_lowest_rtt_networks_avoid_cantv(scenario):
+    """Section 7.2: the fastest VE probes are on small non-CANTV networks."""
+    from repro.atlas.rttmodel import lowest_rtt_networks
+    from repro.atlas.traceroute import min_rtt_per_probe_month
+
+    minima = min_rtt_per_probe_month(scenario.gpdns_traceroutes)
+    fastest = lowest_rtt_networks(minima, scenario.probes, Month(2023, 12))
+    assert len(fastest) == 5
+    assert all(asn != 8048 for _pid, asn, _rtt in fastest)
+    assert fastest[0][2] < 10.0
+    # Ordered ascending by RTT.
+    rtts = [rtt for _p, _a, rtt in fastest]
+    assert rtts == sorted(rtts)

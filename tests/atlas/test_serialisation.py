@@ -1,0 +1,65 @@
+"""Round-trip tests for registry/deployment/orgmap serialisation."""
+
+from repro.atlas.probes import Probe, ProbeRegistry
+from repro.offnets.as2org import OrgMap
+from repro.rootdns.deployment import RootDeployment, RootSite
+from repro.timeseries import Month
+
+
+def test_probe_registry_roundtrip():
+    registry = ProbeRegistry(
+        [
+            Probe(1000, "VE", 8048, 10.49, -66.88, Month(2014, 3)),
+            Probe(1001, "VE", 61461, 10.64, -71.61, Month(2020, 1), Month(2021, 6)),
+        ]
+    )
+    again = ProbeRegistry.from_json(registry.to_json())
+    assert len(again) == 2
+    assert again.by_id(1001).end == Month(2021, 6)
+    assert again.by_id(1000).end is None
+    assert again.by_id(1000).country == "VE"
+
+
+def test_probe_registry_save_load(tmp_path):
+    registry = ProbeRegistry(
+        [Probe(1, "BR", 0, -23.5, -46.6, Month(2014, 3))]
+    )
+    path = tmp_path / "probes.json"
+    registry.save(path)
+    assert len(ProbeRegistry.load(path)) == 1
+
+
+def test_root_deployment_roundtrip():
+    deployment = RootDeployment(
+        [
+            RootSite("F", "CCS", 1, Month(2014, 1), Month(2018, 6)),
+            RootSite("L", "GRU", 2, Month(2015, 1)),
+        ]
+    )
+    again = RootDeployment.from_json(deployment.to_json())
+    assert len(again) == 2
+    assert again.sites[0].end == Month(2018, 6)
+    assert again.sites[1].end is None
+    assert again.sites[1].chaos_string() == deployment.sites[1].chaos_string()
+
+
+def test_root_deployment_save_load(tmp_path):
+    deployment = RootDeployment([RootSite("F", "MIA", 1, Month(2010, 1))])
+    path = tmp_path / "roots.json"
+    deployment.save(path)
+    assert len(RootDeployment.load(path)) == 1
+
+
+def test_orgmap_roundtrip():
+    orgmap = OrgMap([(8048, 27889), (6306, 22927)])
+    again = OrgMap.from_json(orgmap.to_json())
+    assert again.siblings_of(27889) == {8048, 27889}
+    assert again.siblings_of(22927) == {6306, 22927}
+    assert again.sibling_groups() == orgmap.sibling_groups()
+
+
+def test_orgmap_save_load(tmp_path):
+    orgmap = OrgMap([(1, 2)])
+    path = tmp_path / "orgmap.json"
+    orgmap.save(path)
+    assert OrgMap.load(path).org_of(2) == "org-1"

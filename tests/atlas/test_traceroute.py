@@ -1,0 +1,80 @@
+"""Tests for Atlas traceroute results."""
+
+import pytest
+
+from repro.atlas import Hop, TracerouteResult
+from repro.atlas.traceroute import TracerouteParseError, min_rtt_per_probe_month
+from repro.timeseries import Month
+
+
+def _result(rtt=36.5, probe=1001, timestamp=1_700_000_000):
+    return TracerouteResult(
+        probe_id=probe,
+        msm_id=1591146,
+        timestamp=timestamp,
+        dst_addr="8.8.8.8",
+        hops=(
+            Hop(1, (("192.168.1.1", 1.2),)),
+            Hop(2, (("10.0.0.1", 12.0), ("10.0.0.1", 11.5))),
+            Hop(3, (("8.8.8.8", rtt), ("8.8.8.8", rtt + 4.0))),
+        ),
+    )
+
+
+def test_hop_min_rtt():
+    hop = Hop(2, (("10.0.0.1", 12.0), ("10.0.0.1", 11.5)))
+    assert hop.min_rtt() == 11.5
+    assert Hop(3, ()).min_rtt() is None
+
+
+def test_destination_rtt_takes_minimum():
+    assert _result().destination_rtt() == 36.5
+
+
+def test_destination_rtt_requires_dst_reply():
+    r = TracerouteResult(
+        probe_id=1, msm_id=1, timestamp=0, dst_addr="8.8.8.8",
+        hops=(Hop(1, (("10.0.0.1", 5.0),)),),
+    )
+    assert r.destination_rtt() is None
+    assert not r.reached_destination()
+    assert _result().reached_destination()
+
+
+def test_month_from_timestamp():
+    # 2023-11-14T22:13:20Z
+    assert _result(timestamp=1_700_000_000).month == Month(2023, 11)
+
+
+def test_json_roundtrip():
+    r = _result()
+    again = TracerouteResult.from_json(r.to_json())
+    assert again.probe_id == r.probe_id
+    assert again.destination_rtt() == pytest.approx(36.5)
+    assert again.month == r.month
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(TracerouteParseError):
+        TracerouteResult.from_json("nope")
+    with pytest.raises(TracerouteParseError):
+        TracerouteResult.from_json('{"prb_id": 1}')
+
+
+def test_min_rtt_per_probe_month():
+    results = [
+        _result(rtt=40.0, probe=1, timestamp=1_700_000_000),
+        _result(rtt=36.0, probe=1, timestamp=1_700_086_400),
+        _result(rtt=50.0, probe=2, timestamp=1_700_000_000),
+    ]
+    minima = min_rtt_per_probe_month(results)
+    assert minima[(1, Month(2023, 11))] == 36.0
+    assert minima[(2, Month(2023, 11))] == 50.0
+
+
+def test_min_rtt_ignores_unreached():
+    unreached = TracerouteResult(
+        probe_id=1, msm_id=1, timestamp=1_700_000_000, dst_addr="8.8.8.8",
+        hops=(Hop(1, (("10.0.0.1", 5.0),)),),
+    )
+    assert min_rtt_per_probe_month([unreached]) == {}

@@ -1,0 +1,85 @@
+"""Tests for the BGP monthly archives."""
+
+from repro.bgp import ASRelArchive, Prefix2ASArchive, Prefix2ASSnapshot
+from repro.bgp.asrel import build_snapshot
+from repro.timeseries import Month
+
+
+def _asrel_archive():
+    return ASRelArchive(
+        {
+            Month(2013, 1): build_snapshot(p2c=[(701, 8048), (1239, 8048), (8048, 111)]),
+            Month(2013, 2): build_snapshot(p2c=[(701, 8048), (8048, 111), (8048, 222)]),
+            Month(2013, 3): build_snapshot(p2c=[(1239, 8048)]),
+        }
+    )
+
+
+def test_upstream_count_series():
+    series = _asrel_archive().upstream_count_series(8048)
+    assert series.values() == [2.0, 1.0, 1.0]
+
+
+def test_downstream_count_series():
+    series = _asrel_archive().downstream_count_series(8048)
+    assert series.values() == [1.0, 2.0, 0.0]
+
+
+def test_transit_matrix():
+    matrix = _asrel_archive().transit_matrix(8048)
+    assert matrix[701] == {Month(2013, 1), Month(2013, 2)}
+    assert matrix[1239] == {Month(2013, 1), Month(2013, 3)}
+
+
+def test_providers_serving_min_months():
+    archive = _asrel_archive()
+    assert archive.providers_serving(8048) == [701, 1239]
+    assert archive.providers_serving(8048, min_months=2) == [701, 1239]
+    assert archive.providers_serving(8048, min_months=3) == []
+
+
+def test_provider_intervals_detects_gap():
+    intervals = _asrel_archive().provider_intervals(8048, 1239)
+    assert intervals == [
+        (Month(2013, 1), Month(2013, 1)),
+        (Month(2013, 3), Month(2013, 3)),
+    ]
+
+
+def test_provider_intervals_contiguous():
+    intervals = _asrel_archive().provider_intervals(8048, 701)
+    assert intervals == [(Month(2013, 1), Month(2013, 2))]
+
+
+def _p2as_archive():
+    return Prefix2ASArchive(
+        {
+            Month(2016, 5): Prefix2ASSnapshot.from_pairs(
+                [("179.20.0.0/17", 6306), ("179.20.128.0/17", 6306)]
+            ),
+            Month(2016, 6): Prefix2ASSnapshot.from_pairs([("179.20.128.0/17", 6306)]),
+        }
+    )
+
+
+def test_announced_series():
+    series = _p2as_archive().announced_series(6306)
+    assert series.values() == [65536.0, 32768.0]
+
+
+def test_visibility_matrix_auto_prefixes():
+    matrix = _p2as_archive().visibility_matrix(6306)
+    assert matrix["179.20.0.0/17"] == {Month(2016, 5)}
+    assert matrix["179.20.128.0/17"] == {Month(2016, 5), Month(2016, 6)}
+
+
+def test_visibility_matrix_explicit_prefixes():
+    matrix = _p2as_archive().visibility_matrix(6306, prefixes=["179.20.0.0/17"])
+    assert set(matrix) == {"179.20.0.0/17"}
+
+
+def test_archive_month_access():
+    archive = _p2as_archive()
+    assert len(archive) == 2
+    assert archive.months() == [Month(2016, 5), Month(2016, 6)]
+    assert len(archive[Month(2016, 6)]) == 1

@@ -1,0 +1,85 @@
+"""Tests for the serial-1 AS-relationship format."""
+
+import pytest
+
+from repro.bgp import P2C, P2P, ASRelationshipSnapshot, Relationship, parse_asrel
+from repro.bgp.asrel import ASRelParseError, build_snapshot
+
+_SAMPLE = """\
+# inferred relationships
+701|8048|-1
+1239|8048|-1
+8048|27717|-1
+701|1239|0
+"""
+
+
+def test_parse_counts():
+    snap = parse_asrel(_SAMPLE)
+    assert len(snap) == 4
+
+
+def test_neighbour_queries():
+    snap = parse_asrel(_SAMPLE)
+    assert snap.upstreams_of(8048) == {701, 1239}
+    assert snap.downstreams_of(8048) == {27717}
+    assert snap.peers_of(701) == {1239}
+    assert snap.peers_of(1239) == {701}
+    assert snap.upstreams_of(27717) == {8048}
+
+
+def test_ases():
+    snap = parse_asrel(_SAMPLE)
+    assert snap.ases() == {701, 1239, 8048, 27717}
+
+
+def test_roundtrip():
+    snap = parse_asrel(_SAMPLE)
+    again = parse_asrel(snap.to_text())
+    assert sorted(again.relationships, key=lambda r: (r.a, r.b)) == sorted(
+        snap.relationships, key=lambda r: (r.a, r.b)
+    )
+
+
+def test_parse_rejects_short_lines():
+    with pytest.raises(ASRelParseError):
+        parse_asrel("701|8048\n")
+
+
+def test_parse_rejects_bad_kind():
+    with pytest.raises(ASRelParseError):
+        parse_asrel("701|8048|2\n")
+
+
+def test_parse_rejects_non_integer():
+    with pytest.raises(ASRelParseError):
+        parse_asrel("AS701|8048|-1\n")
+
+
+def test_relationship_validates_kind():
+    with pytest.raises(ValueError):
+        Relationship(1, 2, 5)
+
+
+def test_build_snapshot_helper():
+    snap = build_snapshot(p2c=[(701, 8048)], p2p=[(701, 1239)])
+    assert snap.upstreams_of(8048) == {701}
+    assert snap.peers_of(701) == {1239}
+
+
+def test_empty_snapshot():
+    snap = ASRelationshipSnapshot()
+    assert len(snap) == 0
+    assert snap.upstreams_of(8048) == set()
+
+
+def test_save(tmp_path):
+    snap = parse_asrel(_SAMPLE)
+    path = tmp_path / "asrel.txt"
+    snap.save(path)
+    assert len(parse_asrel(path.read_text())) == 4
+
+
+def test_constants():
+    assert P2C == -1
+    assert P2P == 0

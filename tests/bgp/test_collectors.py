@@ -1,0 +1,83 @@
+"""Tests for multi-collector visibility."""
+
+import pytest
+
+from repro.bgp.collectors import (
+    Collector,
+    DEFAULT_COLLECTORS,
+    MultiCollectorView,
+)
+from repro.bgp.prefix2as import Prefix2ASSnapshot
+
+
+def _base():
+    return Prefix2ASSnapshot.from_pairs(
+        [("200.44.0.0/16", 8048), ("186.88.0.0/13", 8048), ("179.20.0.0/14", 6306)]
+    )
+
+
+def test_collector_validates_miss_rate():
+    with pytest.raises(ValueError):
+        Collector("x", "US", 1.0)
+    with pytest.raises(ValueError):
+        Collector("x", "US", -0.1)
+
+
+def test_view_requires_tables():
+    with pytest.raises(ValueError):
+        MultiCollectorView({})
+
+
+def test_zero_miss_rate_sees_everything():
+    view = MultiCollectorView.from_base_snapshot(
+        _base(), [Collector("perfect", "BR", 0.0)]
+    )
+    assert view.visibility("200.44.0.0/16") == 1.0
+    assert len(view.visible_prefixes()) == 3
+
+
+def test_dropouts_are_deterministic():
+    a = MultiCollectorView.from_base_snapshot(_base(), DEFAULT_COLLECTORS)
+    b = MultiCollectorView.from_base_snapshot(_base(), DEFAULT_COLLECTORS)
+    for cidr in ("200.44.0.0/16", "186.88.0.0/13", "179.20.0.0/14"):
+        assert a.seen_by(cidr) == b.seen_by(cidr)
+
+
+def test_high_miss_rate_drops_prefixes(scenario):
+    base = scenario.prefix2as[scenario.prefix2as.months()[-1]]
+    lossy = MultiCollectorView.from_base_snapshot(
+        base, [Collector("lossy", "JP", 0.5)]
+    )
+    assert len(lossy.visible_prefixes()) < len(base.routed_prefixes())
+
+
+def test_quorum_monotone(scenario):
+    base = scenario.prefix2as[scenario.prefix2as.months()[-1]]
+    view = MultiCollectorView.from_base_snapshot(base)
+    previous = None
+    for quorum in range(1, 6):
+        visible = len(view.visible_prefixes(min_collectors=quorum))
+        if previous is not None:
+            assert visible <= previous
+        previous = visible
+
+
+def test_quorum_validates():
+    view = MultiCollectorView.from_base_snapshot(_base())
+    with pytest.raises(ValueError):
+        view.visible_prefixes(min_collectors=0)
+
+
+def test_announced_addresses_quorum(scenario):
+    base = scenario.prefix2as[scenario.prefix2as.months()[-1]]
+    view = MultiCollectorView.from_base_snapshot(base)
+    any_view = view.announced_addresses(8048, min_collectors=1)
+    all_view = view.announced_addresses(8048, min_collectors=len(view.collectors()))
+    true_value = base.announced_addresses(8048)
+    assert all_view <= true_value <= any_view or all_view <= any_view
+
+
+def test_table_access():
+    view = MultiCollectorView.from_base_snapshot(_base())
+    assert view.collectors() == sorted(c.name for c in DEFAULT_COLLECTORS)
+    assert isinstance(view.table("saopaulo"), Prefix2ASSnapshot)

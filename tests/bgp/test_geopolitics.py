@@ -1,0 +1,81 @@
+"""Tests for the sanctions-era transit geography."""
+
+import pytest
+
+from repro.bgp.archive import ASRelArchive
+from repro.bgp.asrel import build_snapshot
+from repro.bgp.geopolitics import (
+    departures_by_year,
+    provider_country_counts,
+    us_transit_share_series,
+)
+from repro.registry.address_plan import AS_CANTV
+from repro.timeseries import Month
+
+
+def _archive():
+    nat = {1: "US", 2: "US", 3: "IT"}
+    archive = ASRelArchive(
+        {
+            Month(2013, 1): build_snapshot(p2c=[(1, 9), (2, 9), (3, 9)]),
+            Month(2014, 1): build_snapshot(p2c=[(2, 9), (3, 9)]),
+            Month(2015, 1): build_snapshot(p2c=[(3, 9)]),
+        }
+    )
+    return archive, nat
+
+
+def test_us_share_series():
+    archive, nat = _archive()
+    share = us_transit_share_series(archive, 9, nat)
+    assert share.values() == [pytest.approx(2 / 3), 0.5, 0.0]
+
+
+def test_us_share_skips_months_without_providers():
+    archive = ASRelArchive(
+        {
+            Month(2013, 1): build_snapshot(p2c=[(1, 9)]),
+            Month(2014, 1): build_snapshot(),
+        }
+    )
+    share = us_transit_share_series(archive, 9, {1: "US"})
+    assert share.months() == [Month(2013, 1)]
+
+
+def test_provider_country_counts():
+    archive, nat = _archive()
+    counts = provider_country_counts(archive, 9, nat)
+    assert counts["US"].values() == [2.0, 1.0]
+    assert counts["IT"].values() == [1.0, 1.0, 1.0]
+
+
+def test_unknown_nationality_bucketed():
+    archive, _ = _archive()
+    counts = provider_country_counts(archive, 9, {3: "IT"})
+    assert "??" in counts
+
+
+def test_departures_by_year():
+    archive, nat = _archive()
+    departures = departures_by_year(archive, 9, "US", nat)
+    assert departures == {2013: [1], 2014: [2]}
+    # AS3 never departs (active in the final month).
+    assert departures_by_year(archive, 9, "IT", nat) == {}
+
+
+def test_cantv_us_share_collapse(scenario):
+    share = us_transit_share_series(scenario.asrel, AS_CANTV)
+    at_peak = share[Month(2013, 1)]
+    at_end = share.last_value()
+    # The paper: most providers were US carriers, then all but Columbus go.
+    assert at_peak > 0.5
+    assert at_end < 0.25
+
+
+def test_cantv_departure_waves(scenario):
+    departures = departures_by_year(scenario.asrel, AS_CANTV, "US")
+    assert set(departures[2013]) == {701, 1239, 7018}
+    assert set(departures[2017]) == {3257, 4436}
+    assert 3356 in departures[2018] and 3549 in departures[2018]
+    # Columbus (23520) never appears: it still serves at the end.
+    assert all(23520 not in asns for asns in departures.values())

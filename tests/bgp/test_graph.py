@@ -1,0 +1,56 @@
+"""Tests for AS-graph queries."""
+
+from repro.bgp import ASGraph
+from repro.bgp.asrel import build_snapshot
+
+
+def _graph():
+    # 1 and 2 are transit-free peers; 1 -> 10 -> 100, 10 -> 200; 2 -> 20.
+    return ASGraph(
+        build_snapshot(
+            p2c=[(1, 10), (10, 100), (10, 200), (2, 20)],
+            p2p=[(1, 2)],
+        )
+    )
+
+
+def test_direct_neighbours():
+    g = _graph()
+    assert g.providers(10) == {1}
+    assert g.customers(10) == {100, 200}
+    assert g.peers(1) == {2}
+
+
+def test_customer_cone_includes_self():
+    g = _graph()
+    assert g.customer_cone(10) == {10, 100, 200}
+    assert g.customer_cone(1) == {1, 10, 100, 200}
+    assert g.customer_cone(100) == {100}
+
+
+def test_customer_cone_handles_cycles():
+    g = ASGraph(build_snapshot(p2c=[(1, 2), (2, 3), (3, 1)]))
+    assert g.customer_cone(1) == {1, 2, 3}
+
+
+def test_is_transit_free():
+    g = _graph()
+    assert g.is_transit_free(1)
+    assert g.is_transit_free(2)
+    assert not g.is_transit_free(10)
+
+
+def test_provider_paths_to_clique():
+    g = _graph()
+    assert g.provider_paths_to_clique(100) == [[100, 10, 1]]
+    assert g.provider_paths_to_clique(1) == [[1]]
+
+
+def test_provider_paths_multiple():
+    g = ASGraph(build_snapshot(p2c=[(1, 10), (2, 10), (10, 100)]))
+    paths = g.provider_paths_to_clique(100)
+    assert sorted(paths) == [[100, 10, 1], [100, 10, 2]]
+
+
+def test_ases():
+    assert _graph().ases() == {1, 2, 10, 20, 100, 200}

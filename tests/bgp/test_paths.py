@@ -1,0 +1,77 @@
+"""Tests for valley-free path inference."""
+
+import pytest
+
+from repro.bgp import ASGraph
+from repro.bgp.asrel import build_snapshot
+from repro.bgp.paths import (
+    AS_GOOGLE,
+    AS_META,
+    AS_NETFLIX,
+    path_length_series,
+    reachable_ases,
+    shortest_valley_free_length,
+)
+from repro.timeseries import Month
+
+
+def _graph():
+    # 1-2 tier-1 peers; 1 sells to 10, 2 sells to 20; 10 sells to 100.
+    return ASGraph(
+        build_snapshot(p2c=[(1, 10), (2, 20), (10, 100)], p2p=[(1, 2)])
+    )
+
+
+def test_zero_and_direct():
+    g = _graph()
+    assert shortest_valley_free_length(g, 10, 10) == 0
+    assert shortest_valley_free_length(g, 100, 10) == 1
+    assert shortest_valley_free_length(g, 10, 100) == 1
+
+
+def test_up_peer_down():
+    # 100 -> 10 -> 1 ~ 2 -> 20: up, up, peer, down = 4 hops.
+    assert shortest_valley_free_length(_graph(), 100, 20) == 4
+
+
+def test_valley_paths_rejected():
+    # 10 and 20 are both customers: 10 -> 1 ~ 2 -> 20 is fine (peer once),
+    # but with the peering removed there is no path (would need two ups
+    # and a down through nothing).
+    g = ASGraph(build_snapshot(p2c=[(1, 10), (2, 20), (10, 100)]))
+    assert shortest_valley_free_length(g, 100, 20) is None
+
+
+def test_single_peer_crossing():
+    # a ~ b ~ c: two peer edges may not be chained.
+    g = ASGraph(build_snapshot(p2p=[(1, 2), (2, 3)]))
+    assert shortest_valley_free_length(g, 1, 2) == 1
+    assert shortest_valley_free_length(g, 1, 3) is None
+
+
+def test_down_then_up_rejected():
+    # provider -> customer -> other provider is a classic valley.
+    g = ASGraph(build_snapshot(p2c=[(1, 10), (2, 10)]))
+    assert shortest_valley_free_length(g, 1, 2) is None
+
+
+def test_reachable_ases():
+    g = _graph()
+    assert reachable_ases(g, 100) == {10, 1, 2, 20}
+    assert reachable_ases(g, 1) == {2, 10, 100, 20}
+
+
+def test_cantv_paths_lengthen(scenario):
+    for content in (AS_GOOGLE, AS_META, AS_NETFLIX):
+        series = path_length_series(scenario.asrel, 8048, content)
+        assert series[Month(2012, 6)] == 2.0, content
+        assert series[Month(2020, 6)] == 3.0, content
+
+
+def test_cantv_never_unreachable(scenario):
+    series = path_length_series(scenario.asrel, 8048, AS_GOOGLE)
+    months = scenario.asrel.months()
+    # Reachable in every month from 2000 on (the roster always includes
+    # at least one provider with a route towards the content peers).
+    covered = [m for m in months if m >= Month(2000, 1)]
+    assert all(m in series for m in covered)

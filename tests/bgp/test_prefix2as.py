@@ -1,0 +1,87 @@
+"""Tests for the RouteViews prefix2as format."""
+
+import ipaddress
+
+import pytest
+
+from repro.bgp import Prefix2ASSnapshot, parse_prefix2as
+from repro.bgp.prefix2as import Prefix2ASParseError
+
+_SAMPLE = "200.44.0.0\t16\t8048\n186.88.0.0\t13\t8048\n179.20.0.0\t17\t6306\n1.2.3.0\t24\t8048_6306\n"
+
+
+def test_parse_counts():
+    snap = parse_prefix2as(_SAMPLE)
+    assert len(snap) == 4
+
+
+def test_prefixes_of():
+    snap = parse_prefix2as(_SAMPLE)
+    assert len(snap.prefixes_of(8048)) == 3  # includes the multi-origin entry
+    assert len(snap.prefixes_of(6306)) == 2
+
+
+def test_origins_of():
+    snap = parse_prefix2as(_SAMPLE)
+    assert snap.origins_of("200.44.0.0/16") == (8048,)
+    assert snap.origins_of("1.2.3.0/24") == (8048, 6306)
+    assert snap.origins_of("9.9.9.0/24") == ()
+
+
+def test_longest_match():
+    snap = Prefix2ASSnapshot.from_pairs(
+        [("200.44.0.0/16", 8048), ("200.44.32.0/19", 9999)]
+    )
+    hit = snap.longest_match("200.44.33.1")
+    assert hit is not None and hit.origins == (9999,)
+    hit = snap.longest_match("200.44.128.1")
+    assert hit is not None and hit.origins == (8048,)
+    assert snap.longest_match("10.0.0.1") is None
+
+
+def test_announced_addresses_collapses_overlaps():
+    snap = Prefix2ASSnapshot.from_pairs(
+        [("200.44.0.0/16", 8048), ("200.44.32.0/19", 8048)]
+    )
+    assert snap.announced_addresses(8048) == 65536
+
+
+def test_announced_addresses_disjoint():
+    snap = Prefix2ASSnapshot.from_pairs(
+        [("200.44.0.0/16", 8048), ("186.88.0.0/13", 8048), ("179.20.0.0/17", 6306)]
+    )
+    assert snap.announced_addresses(8048) == 65536 + 524288
+    assert snap.announced_addresses(6306) == 32768
+    assert snap.announced_addresses(12345) == 0
+
+
+def test_roundtrip():
+    snap = parse_prefix2as(_SAMPLE)
+    again = parse_prefix2as(snap.to_text())
+    assert again.routed_prefixes() == snap.routed_prefixes()
+    assert again.origins_of("1.2.3.0/24") == (8048, 6306)
+
+
+def test_parse_rejects_bad_field_count():
+    with pytest.raises(Prefix2ASParseError):
+        parse_prefix2as("200.44.0.0 16 8048\n")
+
+
+def test_parse_rejects_bad_network():
+    with pytest.raises(Prefix2ASParseError):
+        parse_prefix2as("200.44.0.1\t16\t8048\n")  # host bits set
+
+
+def test_parse_rejects_bad_origin():
+    with pytest.raises(Prefix2ASParseError):
+        parse_prefix2as("200.44.0.0\t16\tAS8048\n")
+
+
+def test_parse_comma_as_sets():
+    snap = parse_prefix2as("10.0.0.0\t8\t1,2,3\n")
+    assert snap.entries[0].origins == (1, 2, 3)
+
+
+def test_from_pairs_builds_networks():
+    snap = Prefix2ASSnapshot.from_pairs([("200.44.0.0/16", 8048)])
+    assert snap.entries[0].network == ipaddress.ip_network("200.44.0.0/16")

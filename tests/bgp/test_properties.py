@@ -1,0 +1,83 @@
+"""Property-based round-trip tests for the BGP wire formats."""
+
+import ipaddress
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.asrel import P2C, P2P, ASRelationshipSnapshot, Relationship, parse_asrel
+from repro.bgp.prefix2as import OriginEntry, Prefix2ASSnapshot, parse_prefix2as
+
+_asn = st.integers(min_value=1, max_value=4_294_967_294)
+
+_relationships = st.lists(
+    st.builds(
+        Relationship,
+        a=_asn,
+        b=_asn,
+        kind=st.sampled_from([P2C, P2P]),
+    ),
+    max_size=60,
+)
+
+
+@given(_relationships)
+def test_asrel_roundtrip(relationships):
+    snapshot = ASRelationshipSnapshot(relationships)
+    again = parse_asrel(snapshot.to_text())
+    assert sorted(again.relationships, key=lambda r: (r.a, r.b, r.kind)) == sorted(
+        relationships, key=lambda r: (r.a, r.b, r.kind)
+    )
+
+
+@given(_relationships)
+def test_asrel_upstreams_downstreams_consistent(relationships):
+    snapshot = ASRelationshipSnapshot(relationships)
+    for asn in list(snapshot.ases())[:10]:
+        for provider in snapshot.upstreams_of(asn):
+            assert asn in snapshot.downstreams_of(provider)
+
+
+_networks = st.builds(
+    lambda value, prefixlen: ipaddress.ip_network((value & ~((1 << (32 - prefixlen)) - 1), prefixlen)),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=8, max_value=28),
+)
+
+_entries = st.lists(
+    st.builds(
+        OriginEntry,
+        network=_networks,
+        origins=st.lists(_asn, min_size=1, max_size=3).map(tuple),
+    ),
+    max_size=40,
+    unique_by=lambda e: e.network,
+)
+
+
+@given(_entries)
+def test_prefix2as_roundtrip(entries):
+    snapshot = Prefix2ASSnapshot(entries)
+    again = parse_prefix2as(snapshot.to_text())
+    assert again.routed_prefixes() == snapshot.routed_prefixes()
+    for entry in entries:
+        assert again.origins_of(str(entry.network)) == entry.origins
+
+
+@given(_entries, _asn)
+def test_announced_addresses_bounded(entries, asn):
+    snapshot = Prefix2ASSnapshot(entries)
+    announced = snapshot.announced_addresses(asn)
+    raw_total = sum(
+        e.network.num_addresses for e in entries if asn in e.origins
+    )
+    assert 0 <= announced <= raw_total
+
+
+@given(_entries)
+def test_longest_match_consistent_with_membership(entries):
+    snapshot = Prefix2ASSnapshot(entries)
+    for entry in entries[:5]:
+        hit = snapshot.longest_match(str(entry.network.network_address))
+        assert hit is not None
+        assert entry.network.prefixlen <= hit.network.prefixlen

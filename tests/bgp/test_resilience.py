@@ -1,0 +1,83 @@
+"""Tests for interdomain resilience metrics."""
+
+import pytest
+
+from repro.apnic import APNICEstimates, ASPopulation
+from repro.bgp import ASGraph
+from repro.bgp.asrel import build_snapshot
+from repro.bgp.resilience import (
+    depends_on,
+    market_hhi,
+    single_homed_share,
+    transit_dependence,
+)
+
+
+def _estimates():
+    return APNICEstimates(
+        [
+            ASPopulation(8048, "VE", "CANTV", 500),
+            ASPopulation(100, "VE", "CustomerOfCantv", 300),
+            ASPopulation(200, "VE", "MultiHomed", 200),
+        ]
+    )
+
+
+def _graph():
+    # 1 is a tier-1; CANTV (8048) buys from 1; 100 is single-homed behind
+    # CANTV; 200 buys from both CANTV and 1 directly.
+    return ASGraph(
+        build_snapshot(p2c=[(1, 8048), (8048, 100), (8048, 200), (1, 200)])
+    )
+
+
+def test_market_hhi_monopoly():
+    estimates = APNICEstimates([ASPopulation(1, "UY", "Antel", 100)])
+    assert market_hhi(estimates, "UY") == 1.0
+
+
+def test_market_hhi_value():
+    assert market_hhi(_estimates(), "VE") == pytest.approx(0.25 + 0.09 + 0.04)
+
+
+def test_market_hhi_missing_country():
+    with pytest.raises(ValueError):
+        market_hhi(_estimates(), "XX")
+
+
+def test_depends_on_self():
+    assert depends_on(_graph(), 8048, 8048)
+
+
+def test_depends_on_chokepoint():
+    g = _graph()
+    assert depends_on(g, 100, 8048)       # single-homed behind CANTV
+    assert not depends_on(g, 200, 8048)   # has a direct alternative
+    assert not depends_on(g, 1, 8048)     # the tier-1 itself
+
+
+def test_depends_on_no_providers():
+    g = ASGraph(build_snapshot(p2c=[(1, 2)]))
+    assert not depends_on(g, 3, 1)  # AS absent from the graph
+
+
+def test_transit_dependence_share():
+    share = transit_dependence(_graph(), _estimates(), "VE", 8048)
+    # CANTV's own users (500) + single-homed customer (300) of 1000.
+    assert share == pytest.approx(0.8)
+
+
+def test_single_homed_share():
+    share = single_homed_share(_graph(), _estimates(), "VE")
+    # CANTV (one provider: AS1) and AS100; AS200 is multi-homed.
+    assert share == pytest.approx(0.8)
+
+
+def test_on_scenario(scenario):
+    graph = ASGraph(scenario.asrel[scenario.asrel.months()[-1]])
+    estimates = scenario.populations
+    hhi = market_hhi(estimates, "VE")
+    assert 0.05 < hhi < 0.25  # concentrated but not a monopoly
+    assert market_hhi(estimates, "UY") > hhi  # Antel dominates Uruguay
+    dependence = transit_dependence(graph, estimates, "VE", 8048)
+    assert dependence >= estimates.share_of(8048, "VE")

@@ -1,0 +1,140 @@
+"""Tests for the scripted CANTV / Telefonica BGP histories."""
+
+import pytest
+
+from repro.bgp import (
+    CANTV_TRANSIT_INTERVALS,
+    synthesize_asrel_archive,
+    synthesize_prefix2as_archive,
+)
+from repro.bgp.synthetic import US_REGISTERED_PROVIDERS, provider_name
+from repro.registry import allocation_series, synthesize_ve_delegations
+from repro.registry.address_plan import AS_CANTV, AS_TELEFONICA
+from repro.timeseries import Month
+
+
+@pytest.fixture(scope="module")
+def asrel():
+    return synthesize_asrel_archive()
+
+
+@pytest.fixture(scope="module")
+def p2as():
+    return synthesize_prefix2as_archive()
+
+
+def test_upstream_peak_is_11_through_2013(asrel):
+    ups = asrel.upstream_count_series(AS_CANTV)
+    assert ups.max() == 11.0
+    assert ups[Month(2013, 1)] == 11.0
+
+
+def test_upstream_trough_is_3_in_2020(asrel):
+    ups = asrel.upstream_count_series(AS_CANTV)
+    assert ups[Month(2020, 6)] == 3.0
+
+
+def test_upstream_rebound_after_2021(asrel):
+    ups = asrel.upstream_count_series(AS_CANTV)
+    assert ups[Month(2023, 12)] >= 5.0
+
+
+def test_columbus_sole_remaining_us_provider(asrel):
+    final = asrel[Month(2023, 12)].upstreams_of(AS_CANTV)
+    us_remaining = final & US_REGISTERED_PROVIDERS
+    assert us_remaining == {23520}
+
+
+def test_us_departures_start_2013(asrel):
+    before = asrel[Month(2013, 1)].upstreams_of(AS_CANTV) & US_REGISTERED_PROVIDERS
+    after = asrel[Month(2014, 6)].upstreams_of(AS_CANTV) & US_REGISTERED_PROVIDERS
+    assert {701, 1239, 7018} <= before
+    assert not {701, 1239, 7018} & after
+
+
+def test_gtt_departure_2017_level3_2018(asrel):
+    assert 3257 in asrel[Month(2017, 4)].upstreams_of(AS_CANTV)
+    assert 3257 not in asrel[Month(2017, 7)].upstreams_of(AS_CANTV)
+    assert 3356 in asrel[Month(2018, 5)].upstreams_of(AS_CANTV)
+    assert 3356 not in asrel[Month(2018, 8)].upstreams_of(AS_CANTV)
+
+
+def test_telecom_italia_longstanding(asrel):
+    matrix = asrel.transit_matrix(AS_CANTV)
+    # Serving continuously from 2001 to the end of the archive.
+    assert len(matrix[6762]) >= 250
+
+
+def test_orange_has_service_gap(asrel):
+    intervals = asrel.provider_intervals(AS_CANTV, 5511)
+    assert len(intervals) == 2
+    assert intervals[0][1] < Month(2013, 1)
+    assert intervals[1][0] >= Month(2021, 1)
+
+
+def test_downstreams_grow_after_nationalisation(asrel):
+    downs = asrel.downstream_count_series(AS_CANTV)
+    assert downs[Month(2000, 6)] == 0.0
+    assert downs[Month(2010, 1)] > 5
+    assert downs[Month(2023, 12)] >= 18
+
+
+def test_fig9_roster_served_more_than_12_months(asrel):
+    providers = asrel.providers_serving(AS_CANTV, min_months=12)
+    assert set(providers) == {p.asn for p in CANTV_TRANSIT_INTERVALS}
+
+
+def test_provider_names():
+    assert provider_name(701) == "Verizon"
+    assert provider_name(99999) == "AS99999"
+
+
+def test_cantv_address_fraction_trajectory(p2as):
+    deleg = synthesize_ve_delegations()
+    allocated = allocation_series(deleg, "VE", Month(2008, 1), Month(2024, 1))
+    cantv = p2as.announced_series(AS_CANTV)
+    first = cantv.first_value() / allocated.first_value()
+    last = cantv.last_value() / allocated.last_value()
+    assert first == pytest.approx(0.69, abs=0.05)   # the Fig. 2 peak
+    assert last == pytest.approx(0.43, abs=0.05)    # the long-run level
+
+
+def test_telefonica_withdrawal_and_reappearance(p2as):
+    tef = p2as.announced_series(AS_TELEFONICA)
+    before = tef[Month(2016, 5)]
+    during = tef[Month(2017, 1)]
+    after = tef[Month(2023, 7)]
+    assert during < before * 0.75
+    assert after == before
+
+
+def test_withdrawn_prefixes_match_appendix_c(p2as):
+    matrix = p2as.visibility_matrix(AS_TELEFONICA)
+    gone = matrix["179.23.128.0/17"]
+    assert Month(2016, 5) in gone
+    assert Month(2016, 6) not in gone
+    assert Month(2023, 7) not in gone  # returns only as the /14 aggregate
+    assert Month(2023, 7) in matrix["179.20.0.0/14"]
+    assert Month(2016, 5) not in matrix["179.20.0.0/14"]
+
+
+def test_everything_announced_is_allocated(p2as):
+    deleg = synthesize_ve_delegations()
+    import ipaddress
+
+    allocated = [
+        ipaddress.ip_network(f"{r.start}/{32 - (r.value - 1).bit_length()}")
+        for r in deleg.ipv4_records("VE")
+    ]
+    last = p2as[p2as.months()[-1]]
+    for asn in (AS_CANTV, AS_TELEFONICA):
+        for prefix in last.prefixes_of(asn):
+            assert any(prefix.subnet_of(a) for a in allocated), prefix
+
+
+def test_prefix2as_roundtrip(p2as):
+    from repro.bgp import parse_prefix2as
+
+    snap = p2as[Month(2020, 1)]
+    again = parse_prefix2as(snap.to_text())
+    assert again.routed_prefixes() == snap.routed_prefixes()

@@ -1,0 +1,14 @@
+"""Shared fixtures: one Scenario per test session.
+
+Scenario properties are lazy and cached, so tests only pay for the
+datasets they actually touch.
+"""
+
+import pytest
+
+from repro.core import Scenario
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return Scenario()

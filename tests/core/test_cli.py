@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig01" in out
+    assert "table2" in out
+    assert len(out.strip().splitlines()) == 23
+
+
+def test_exhibit_command(capsys):
+    assert main(["exhibit", "fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG01" in out
+    assert "81.49" in out
+
+
+def test_exhibit_unknown_id(capsys):
+    assert main(["exhibit", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "fig99" in err
+
+
+def test_scorecard_rejects_unknown_country(capsys):
+    assert main(["scorecard", "XX"]) == 2
+    assert "unknown country" in capsys.readouterr().err
+
+
+def test_scorecard_rejects_non_lacnic(capsys):
+    assert main(["scorecard", "US"]) == 2
+    assert "outside the LACNIC region" in capsys.readouterr().err
+
+
+def test_export_command(tmp_path, capsys):
+    out = tmp_path / "export"
+    assert main(["export", str(out), "--ndt-tests-per-month", "1"]) == 0
+    names = {p.name for p in out.iterdir()}
+    assert "delegated-lacnic-extended-latest" in names
+    assert "peeringdb_dump.json" in names
+    assert "ndt_downloads.jsonl" in names
+    assert len(names) == 11
+
+
+def test_narrative_command(capsys):
+    assert main(["narrative"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("* [") == 4
+    assert "ALBA-1" in out
+
+
+def test_figures_command(capsys):
+    assert main(["figures", "fig03"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG03" in out
+    assert "VE*" in out
+
+
+def test_figures_unknown(capsys):
+    assert main(["figures", "fig99"]) == 2
+    assert "fig99" in capsys.readouterr().err
+
+
+def test_outages_command(capsys):
+    assert main(["outages"]) == 0
+    out = capsys.readouterr().out
+    assert "2019-03-07" in out
+    assert "severity-weighted" in out
+
+
+def test_validate_command(capsys):
+    assert main(["validate"]) == 0
+    assert "all consistency checks passed" in capsys.readouterr().out

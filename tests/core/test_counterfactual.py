@@ -1,0 +1,89 @@
+"""Tests for recovery counterfactuals."""
+
+import math
+
+import pytest
+
+from repro.core.counterfactual import (
+    counterfactual_series,
+    gap_summary,
+    years_to_catch_up,
+)
+from repro.timeseries import CountryPanel, Month, MonthlySeries
+
+
+def _panel():
+    # Region (AR, BR) doubles over two months; VE halves.
+    return CountryPanel(
+        {
+            "VE": MonthlySeries({Month(2013, 1): 10.0, Month(2013, 2): 7.0, Month(2013, 3): 5.0}),
+            "AR": MonthlySeries({Month(2013, 1): 10.0, Month(2013, 2): 15.0, Month(2013, 3): 20.0}),
+            "BR": MonthlySeries({Month(2013, 1): 20.0, Month(2013, 2): 30.0, Month(2013, 3): 40.0}),
+        }
+    )
+
+
+def test_counterfactual_tracks_regional_growth():
+    cf = counterfactual_series(_panel(), "VE", Month(2013, 1))
+    assert cf[Month(2013, 1)] == 10.0
+    assert cf[Month(2013, 2)] == pytest.approx(15.0)
+    assert cf[Month(2013, 3)] == pytest.approx(20.0)
+
+
+def test_counterfactual_excludes_target_from_baseline():
+    # If VE's own collapse entered the regional mean, the counterfactual
+    # would grow slower than 2x.
+    cf = counterfactual_series(_panel(), "VE", Month(2013, 1))
+    assert cf[Month(2013, 3)] == pytest.approx(20.0)
+
+
+def test_counterfactual_requires_pivot_observation():
+    with pytest.raises(KeyError):
+        counterfactual_series(_panel(), "VE", Month(2012, 1))
+
+
+def test_gap_summary():
+    gap = gap_summary(_panel(), "VE", Month(2013, 1))
+    assert gap.final_actual == 5.0
+    assert gap.final_counterfactual == pytest.approx(20.0)
+    assert gap.shortfall_ratio == pytest.approx(0.75)
+
+
+def test_years_to_catch_up_basic():
+    # 2x gap at +41.4%/yr vs flat target: ~2 years.
+    years = years_to_catch_up(1.0, 2.0, growth_rate=math.sqrt(2) - 1)
+    assert years == pytest.approx(2.0, abs=1e-9)
+
+
+def test_years_to_catch_up_already_there():
+    assert years_to_catch_up(5.0, 5.0, 0.5) == 0.0
+    assert years_to_catch_up(6.0, 5.0, 0.5) == 0.0
+
+
+def test_years_to_catch_up_moving_target():
+    static = years_to_catch_up(1.0, 2.0, 0.30)
+    moving = years_to_catch_up(1.0, 2.0, 0.30, target_growth_rate=0.10)
+    assert moving > static
+
+
+def test_years_to_catch_up_unreachable():
+    assert years_to_catch_up(1.0, 2.0, 0.05, target_growth_rate=0.05) == math.inf
+    assert years_to_catch_up(1.0, 2.0, 0.01, target_growth_rate=0.10) == math.inf
+
+
+def test_years_to_catch_up_validates():
+    with pytest.raises(ValueError):
+        years_to_catch_up(0.0, 2.0, 0.5)
+    with pytest.raises(ValueError):
+        years_to_catch_up(1.0, -2.0, 0.5)
+
+
+def test_on_synthetic_bandwidth(scenario):
+    from repro.mlab.aggregate import median_download_panel
+
+    panel = median_download_panel(scenario.ndt_tests)
+    gap = gap_summary(panel, "VE", Month(2013, 1))
+    # Even after the 2022-23 recovery, VE ends far below its no-crisis
+    # path (the regional mean grew ~12x from VE's 2013 pivot).
+    assert gap.shortfall_ratio > 0.5
+    assert gap.final_counterfactual > 2 * gap.final_actual

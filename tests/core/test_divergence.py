@@ -1,0 +1,69 @@
+"""Tests for the divergence dashboard."""
+
+import pytest
+
+from repro.core.divergence import (
+    crisis_dashboard,
+    divergence_summary,
+    percentile_series,
+    zscore_series,
+)
+from repro.timeseries import CountryPanel, Month, MonthlySeries
+
+
+def _panel():
+    months = [Month(2012, 1).plus(i) for i in range(4)]
+    return CountryPanel(
+        {
+            "VE": MonthlySeries(dict(zip(months, [10.0, 10.0, 2.0, 2.0]))),
+            "AR": MonthlySeries(dict(zip(months, [10.0, 11.0, 12.0, 13.0]))),
+            "BR": MonthlySeries(dict(zip(months, [9.0, 10.0, 11.0, 12.0]))),
+            "CL": MonthlySeries(dict(zip(months, [11.0, 12.0, 13.0, 14.0]))),
+        }
+    )
+
+
+def test_zscore_series():
+    z = zscore_series(_panel(), "VE")
+    assert z[Month(2012, 1)] == pytest.approx(0.0)
+    assert z[Month(2012, 3)] < -5.0  # far below the pack
+
+
+def test_zscore_skips_thin_months():
+    panel = CountryPanel(
+        {
+            "VE": MonthlySeries({Month(2012, 1): 1.0}),
+            "AR": MonthlySeries({Month(2012, 1): 2.0}),
+        }
+    )
+    assert len(zscore_series(panel, "VE")) == 0  # fewer than 3 others
+
+
+def test_percentile_series():
+    pct = percentile_series(_panel(), "VE")
+    assert pct[Month(2012, 1)] == pytest.approx(1 / 3)
+    assert pct[Month(2012, 3)] == 0.0
+
+
+def test_summary_short_series_has_no_onset():
+    summary = divergence_summary(_panel(), "VE", "demo")
+    assert summary.onset is None
+    assert summary.latest_percentile == 0.0
+
+
+def test_dashboard_on_scenario(scenario):
+    dashboard = {s.signal: s for s in crisis_dashboard(scenario)}
+    assert set(dashboard) == {
+        "download speed", "IPv6 adoption", "peering facilities", "GPDNS RTT",
+    }
+    speed = dashboard["download speed"]
+    assert speed.onset is not None
+    assert 2010 <= speed.onset.year <= 2018
+    assert speed.z_after < speed.z_before
+    assert speed.latest_percentile < 0.2
+
+    # The RTT panel is inverted (higher RTT = worse), so Venezuela's
+    # z-level must be negative there too.
+    rtt = dashboard["GPDNS RTT"]
+    assert rtt.z_after < 0
+    assert rtt.latest_percentile < 0.35

@@ -1,0 +1,51 @@
+"""Tests for the Exhibit type and registry."""
+
+import pytest
+
+from repro.core import Exhibit, exhibit_ids, get_exhibit
+
+
+def test_columns_first_appearance_order():
+    ex = Exhibit("x", "t", [{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+    assert ex.columns() == ["a", "b", "c"]
+
+
+def test_column_fills_missing_with_none():
+    ex = Exhibit("x", "t", [{"a": 1}, {"b": 2}])
+    assert ex.column("a") == [1, None]
+
+
+def test_render_empty():
+    assert "(no rows)" in Exhibit("x", "t").render()
+
+
+def test_render_alignment_and_notes():
+    ex = Exhibit("fig99", "demo", [{"metric": "m", "paper": 1.0}], notes="hello")
+    text = ex.render()
+    assert text.startswith("FIG99: demo")
+    assert "1.00" in text
+    assert "note: hello" in text
+
+
+def test_render_none_as_dash():
+    ex = Exhibit("x", "t", [{"a": None}])
+    assert "-" in ex.render().splitlines()[-1]
+
+
+def test_registry_contents():
+    ids = exhibit_ids()
+    assert len(ids) == 23
+    expected = {f"fig{i:02d}" for i in range(1, 22)} | {"table1", "table2"}
+    assert set(ids) == expected
+
+
+def test_get_exhibit_unknown():
+    with pytest.raises(KeyError):
+        get_exhibit("fig99")
+
+
+def test_registry_rejects_duplicates():
+    from repro.core.exhibit import register
+
+    with pytest.raises(ValueError):
+        register("fig01")(lambda s: Exhibit("fig01", "dup"))

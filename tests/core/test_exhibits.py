@@ -1,0 +1,222 @@
+"""Paper-vs-measured assertions for every exhibit.
+
+Each test runs one exhibit against the session scenario and checks its
+headline metrics against the paper's reported values (exact where the
+synthesis is scripted, tolerance-based where sampling is involved).
+"""
+
+import pytest
+
+from repro.core import run_exhibit
+
+
+def _metrics(exhibit):
+    return {row["metric"]: row for row in exhibit.rows if "metric" in row}
+
+
+@pytest.fixture(scope="module")
+def ex(scenario):
+    cache = {}
+
+    def run(exhibit_id):
+        if exhibit_id not in cache:
+            cache[exhibit_id] = run_exhibit(scenario, exhibit_id)
+        return cache[exhibit_id]
+
+    return run
+
+
+def test_fig01(ex):
+    m = _metrics(ex("fig01"))
+    assert m["oil production decline from peak (%)"]["measured"] == pytest.approx(81.49, abs=0.01)
+    assert m["GDP per capita decline from peak (%)"]["measured"] == pytest.approx(70.90, abs=0.01)
+    assert m["inflation peak (%)"]["measured"] == 32_000.0
+    assert m["population decline from peak (%)"]["measured"] == pytest.approx(13.85, abs=0.01)
+
+
+def test_fig02(ex):
+    m = _metrics(ex("fig02"))
+    assert m["CANTV peak share of VE space"]["measured"] == pytest.approx(0.69, abs=0.03)
+    assert m["CANTV mean share of VE space"]["measured"] == pytest.approx(0.43, abs=0.05)
+    assert m["Telefonica recovers pre-withdrawal size"]["measured"] == "yes"
+    depth = m["Telefonica contraction depth (fraction)"]["measured"]
+    assert depth < 0.75
+
+
+def test_fig03(ex):
+    m = _metrics(ex("fig03"))
+    assert m["LACNIC facilities 2018"]["measured"] == 180.0
+    assert m["LACNIC facilities 2024"]["measured"] == 552.0
+    assert m["Venezuela facilities (final)"]["measured"] == 4.0
+    assert m["Brazil 2018 -> 2024"]["measured"] == "102 -> 311"
+
+
+def test_fig04(ex):
+    m = _metrics(ex("fig04"))
+    assert m["regional cables in 2000"]["measured"] == 13
+    assert m["regional cables in 2024"]["measured"] == 54
+    assert m["Venezuela cables added after 2000"]["measured"] == 1
+    assert m["ALBA connects to Cuba"]["measured"] == "yes"
+
+
+def test_fig05(ex):
+    m = _metrics(ex("fig05"))
+    assert m["regional mean early 2018 (%)"]["measured"] < 5.0
+    assert m["Venezuela mid-2023 (%)"]["measured"] == pytest.approx(1.5, abs=0.01)
+    assert m["Mexico latest (%)"]["measured"] > 40.0
+    assert m["Brazil latest (%)"]["measured"] > 40.0
+
+
+def test_fig06(ex):
+    m = _metrics(ex("fig06"))
+    assert m["regional replicas 2016"]["measured"] == 59.0
+    assert m["regional replicas 2024"]["measured"] == 138.0
+    assert m["regional growth factor"]["measured"] == pytest.approx(2.34, abs=0.01)
+    assert m["Venezuela replicas latest"]["measured"] == 0.0
+
+
+def test_fig07(ex):
+    m = _metrics(ex("fig07"))
+    assert m["google: VE rank"]["measured"] == "19/27"
+    assert m["akamai: VE rank"]["measured"] == "18/22"
+    assert m["facebook: VE rank"]["measured"] == "21/25"
+    assert m["netflix: VE rank"]["measured"] == "23/25"
+    assert m["facebook ever deployed in CANTV"]["measured"] == "no"
+    assert m["netflix enters CANTV"]["measured"] == 2021
+
+
+def test_fig08(ex):
+    m = _metrics(ex("fig08"))
+    assert m["peak upstream providers"]["measured"] == 11.0
+    assert m["upstream trough (2020)"]["measured"] == 3.0
+    assert m["downstreams at end"]["measured"] >= 18.0
+
+
+def test_fig09(ex):
+    m = _metrics(ex("fig09"))
+    assert m["US providers still serving at end"]["measured"] == 1
+    assert "23520" in m["the remaining US provider"]["measured"]
+    for provider, year in (
+        ("Verizon-701 departs", "2013"),
+        ("GTT-3257 departs", "2017"),
+        ("Level3-3356 departs", "2018"),
+    ):
+        assert m[provider]["measured"] == year
+
+
+def test_fig10(ex):
+    m = _metrics(ex("fig10"))
+    assert m["AR-IX coverage of Argentina (%)"]["measured"] == pytest.approx(62.40, abs=0.01)
+    assert m["IX.br coverage of Brazil (%)"]["measured"] == pytest.approx(45.53, abs=0.01)
+    assert m["PIT Chile coverage of Chile (%)"]["measured"] == pytest.approx(49.57, abs=0.01)
+    assert m["VE rows in the largest-IXP heatmap"]["measured"] == 0
+    assert m["VE coverage via Equinix Bogota (%)"]["measured"] == pytest.approx(4.0, abs=0.6)
+
+
+def test_fig11(ex):
+    m = _metrics(ex("fig11"))
+    assert m["VE months below 1 Mbps (longest run)"]["measured"] > 120
+    assert m["VE median July 2023 (Mbps)"]["measured"] == pytest.approx(2.93, rel=0.25)
+    assert m["UY median July 2023 (Mbps)"]["measured"] == pytest.approx(47.33, rel=0.25)
+    assert m["VE / regional mean, 2023"]["measured"] < 0.3
+    assert m["VE recovers past 1 Mbps after 2021"]["measured"] == "yes"
+
+
+def test_fig12(ex):
+    m = _metrics(ex("fig12"))
+    assert m["VE median RTT 2023 H2 (ms)"]["measured"] == pytest.approx(36.56, rel=0.1)
+    assert m["BR median RTT 2023 H2 (ms)"]["measured"] == pytest.approx(7.52, rel=0.15)
+    assert m["VE / LACNIC ratio"]["measured"] == pytest.approx(2.06, rel=0.15)
+
+
+def test_fig13(ex):
+    rows = ex("fig13").rows
+    rank_rows = [r for r in rows if str(r["metric"]).startswith("VE GDP")]
+    assert all(r["paper"] == r["measured"] for r in rank_rows)
+
+
+def test_fig14(ex):
+    m = _metrics(ex("fig14"))
+    assert m["withdrawal includes 179.23.0.0/17 and 179.23.128.0/17"]["measured"] == "yes"
+    assert m["179.20.0.0/14 reappears in 2023"]["measured"] == "yes"
+    assert m["routed prefixes 2017-01"]["measured"] < m["routed prefixes 2016-05"]["measured"]
+
+
+def test_fig15(ex):
+    m = _metrics(ex("fig15"))
+    assert m["Cirion La Urbina latest members"]["measured"] == 11.0
+    assert m["GigaPOP Maracaibo members"]["measured"] == 0.0
+    assert m["first facility registration"]["measured"] == "2021-11"
+
+
+def test_fig16(ex):
+    m = _metrics(ex("fig16"))
+    assert m["VE domestic source in 2023"]["measured"] == "none"
+    assert m["main source in 2023"]["measured"] == "US"
+    assert m["second source in 2023"]["measured"] == "BR"
+    assert m["regional sources in 2023"]["measured"] == "BR,CO,PA"
+
+
+def test_fig17(ex):
+    m = _metrics(ex("fig17"))
+    assert m["VE probes 2016"]["measured"] == 10.0
+    assert m["VE probes latest"]["measured"] == 30.0
+    assert m["VE rank in region (latest)"]["measured"] == 6
+    assert m["probes hosted by CANTV"]["measured"] == 8.0
+
+
+def test_fig18(ex):
+    for row in ex("fig18").rows:
+        if "VE coverage" in str(row["metric"]):
+            assert row["measured"] == 0.0
+
+
+def test_fig19(ex):
+    m = _metrics(ex("fig19"))
+    assert m["VE third-party DNS adoption"]["measured"] == pytest.approx(0.29)
+    assert m["VE third-party CA adoption"]["measured"] == pytest.approx(0.22)
+    assert m["VE third-party CDN adoption"]["measured"] == pytest.approx(0.37)
+    assert m["VE HTTPS adoption"]["measured"] == pytest.approx(0.58)
+
+
+def test_fig20(ex):
+    m = _metrics(ex("fig20"))
+    assert m["probes on the map"]["measured"] == 30.0
+    assert m["fast probes sit on the Colombian border (max km)"]["measured"] < 100
+    assert m["slow probes sit far east (min km)"]["measured"] > 800
+    assert m["minimum VE RTT (no domestic GPDNS)"]["measured"] > 5.0
+
+
+def test_fig21(ex):
+    m = _metrics(ex("fig21"))
+    assert m["VE networks at US IXPs"]["measured"] == 7
+    assert m["VE eyeballs via US IXPs (%)"]["measured"] == pytest.approx(7.0, abs=0.5)
+
+
+def test_table1(ex):
+    rows = ex("table1").rows
+    cantv = rows[0]
+    assert cantv["asn"] == 8048
+    assert cantv["users"] == 4_330_868
+    assert cantv["share_pct"] == pytest.approx(21.50, abs=0.03)
+    total = rows[-1]
+    assert total["share_pct"] == pytest.approx(77.18, abs=0.05)
+
+
+def test_table2(ex):
+    rows = ex("table2").rows
+    by_facility = {}
+    for row in rows:
+        by_facility.setdefault(row["facility"], []).append(row["asn"])
+    assert len([a for a in by_facility["Cirion La Urbina"] if a]) == 11
+    assert len([a for a in by_facility["Lumen La Urbina"] if a]) == 7
+    assert by_facility["GigaPOP Maracaibo"] == [None]
+
+
+def test_all_exhibits_render(scenario):
+    from repro.core import exhibit_ids, run_exhibit
+
+    for exhibit_id in exhibit_ids():
+        text = run_exhibit(scenario, exhibit_id).render()
+        assert text.startswith(exhibit_id.upper())
+        assert len(text.splitlines()) >= 3

@@ -1,0 +1,53 @@
+"""Tests for the tidy figure-CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.figure_export import (
+    AGGREGATE_SERIES,
+    ZOOM_SERIES,
+    export_all_figures,
+    figure_to_csv,
+)
+from repro.core.figures import fig03_series
+
+
+@pytest.fixture(scope="module")
+def fig03_csv(scenario):
+    return figure_to_csv(fig03_series(scenario))
+
+
+def test_header_and_shape(fig03_csv):
+    rows = list(csv.DictReader(io.StringIO(fig03_csv)))
+    assert set(rows[0]) == {"figure", "series", "month", "value"}
+    assert all(row["figure"] == "fig03" for row in rows)
+
+
+def test_contains_all_three_panels(fig03_csv):
+    rows = list(csv.DictReader(io.StringIO(fig03_csv)))
+    series = {row["series"] for row in rows}
+    assert ZOOM_SERIES in series
+    assert AGGREGATE_SERIES in series
+    assert "BR" in series and "VE" in series
+
+
+def test_values_roundtrip(fig03_csv):
+    rows = list(csv.DictReader(io.StringIO(fig03_csv)))
+    aggregate = {
+        row["month"]: float(row["value"])
+        for row in rows
+        if row["series"] == AGGREGATE_SERIES
+    }
+    assert aggregate["2018-04"] == 180.0
+    assert aggregate["2024-01"] == 552.0
+
+
+def test_export_all(scenario, tmp_path):
+    written = export_all_figures(scenario, tmp_path)
+    assert len(written) == 7
+    names = {p.name for p in written}
+    assert "fig11.csv" in names
+    for path in written:
+        assert path.stat().st_size > 100

@@ -1,0 +1,76 @@
+"""Tests for figure-series extraction and ASCII rendering."""
+
+import pytest
+
+from repro.core.figures import THREE_PANEL_FIGURES, AggregateMode
+from repro.core.plotting import render_series, render_three_panel, sparkline
+from repro.timeseries import Month, MonthlySeries
+
+
+@pytest.fixture(scope="module")
+def figures(scenario):
+    return {fid: build(scenario) for fid, build in THREE_PANEL_FIGURES.items()}
+
+
+def test_all_three_panel_figures_build(figures):
+    assert set(figures) == {"fig03", "fig04", "fig05", "fig06", "fig11", "fig12", "fig17"}
+    for fid, figure in figures.items():
+        assert figure.figure_id == fid
+        assert len(figure.panel) > 5, fid
+        assert figure.aggregate, fid
+
+
+def test_zoom_is_venezuela(figures):
+    fig11 = figures["fig11"]
+    assert fig11.zoom == fig11.panel["VE"]
+
+
+def test_fig03_aggregate_matches_paper(figures):
+    aggregate = figures["fig03"].aggregate
+    assert aggregate[Month(2018, 4)] == 180.0
+    assert aggregate[Month(2024, 1)] == 552.0
+    assert figures["fig03"].aggregate_mode is AggregateMode.SUM
+
+
+def test_fig04_aggregate_counts_cables_once(figures):
+    aggregate = figures["fig04"].aggregate
+    assert aggregate[Month(2000, 1)] == 13.0
+    assert aggregate[Month(2024, 1)] == 54.0
+
+
+def test_fig12_mean_mode(figures):
+    assert figures["fig12"].aggregate_mode is AggregateMode.MEAN
+
+
+def test_panel_excludes_non_lacnic(figures):
+    for figure in figures.values():
+        assert "US" not in figure.panel.countries()
+
+
+def test_sparkline_scaling():
+    flat = MonthlySeries({Month(2020, 1): 5.0, Month(2020, 2): 5.0})
+    assert set(sparkline(flat)) == {" "}
+    rising = MonthlySeries({Month(2020, m): float(m) for m in range(1, 13)})
+    line = sparkline(rising, width=12)
+    assert line[0] == " " and line[-1] == "@"
+    assert len(line) == 12
+
+
+def test_sparkline_empty():
+    assert sparkline(MonthlySeries()) == "(empty)"
+
+
+def test_render_series():
+    series = MonthlySeries({Month(2020, 1): 1.0, Month(2020, 2): 3.0})
+    text = render_series("VE", series, width=10)
+    assert text.startswith("VE")
+    assert "[1.00 .. 3.00]" in text
+    assert render_series("VE", MonthlySeries()) == "VE     (no data)"
+
+
+def test_render_three_panel(figures):
+    text = render_three_panel(figures["fig11"], width=40)
+    assert text.startswith("FIG11")
+    assert "VE*" in text
+    assert "mean" in text
+    assert len(text.splitlines()) >= 10

@@ -1,0 +1,54 @@
+"""Tests for the computed limitations report."""
+
+import pytest
+
+from repro.core.limitations import (
+    atlas_coverage,
+    limitations_report,
+    mlab_volume_skew,
+    peeringdb_breadth,
+    render_limitations,
+)
+
+
+@pytest.fixture(scope="module")
+def stats(scenario):
+    return {s.name: s for s in limitations_report(scenario)}
+
+
+def test_report_names(stats):
+    assert set(stats) == {
+        "ve_probes", "ve_probe_rank", "ve_probe_share",
+        "volume_max_min_ratio", "ve_volume_share",
+        "facility_countries", "ve_networks_at_facilities",
+    }
+
+
+def test_atlas_coverage_matches_paper(stats):
+    # "Venezuela ranks among the best-covered countries in the region."
+    assert stats["ve_probes"].value == 30.0
+    assert stats["ve_probe_rank"].value == 6.0
+    assert 0.05 < stats["ve_probe_share"].value < 0.10
+
+
+def test_volume_skew_positive(stats):
+    assert stats["volume_max_min_ratio"].value >= 1.0
+    assert 0 < stats["ve_volume_share"].value < 1
+
+
+def test_peeringdb_breadth(stats):
+    assert stats["facility_countries"].value >= 20
+    assert stats["ve_networks_at_facilities"].value >= 10
+
+
+def test_components_match_report(scenario, stats):
+    parts = (
+        atlas_coverage(scenario) + mlab_volume_skew(scenario) + peeringdb_breadth(scenario)
+    )
+    assert {s.name for s in parts} == set(stats)
+
+
+def test_render(scenario):
+    text = render_limitations(scenario)
+    assert "ve_probe_rank" in text
+    assert len(text.splitlines()) == 7

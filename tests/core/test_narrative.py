@@ -1,0 +1,61 @@
+"""Tests for the computed findings."""
+
+import pytest
+
+from repro.core.narrative import (
+    all_findings,
+    dns_finding,
+    infrastructure_finding,
+    interdomain_finding,
+    performance_finding,
+    render_findings,
+)
+
+
+@pytest.fixture(scope="module")
+def findings(scenario):
+    return {f.topic: f.text for f in all_findings(scenario)}
+
+
+def test_four_findings(findings):
+    assert set(findings) == {"infrastructure", "interdomain", "performance", "dns"}
+
+
+def test_infrastructure_numbers(findings):
+    text = findings["infrastructure"]
+    assert "13 to 54" in text
+    assert "ALBA-1" in text
+    assert "180" in text and "552" in text
+    assert "just 4" in text
+
+
+def test_interdomain_numbers(findings):
+    text = findings["interdomain"]
+    assert "11 providers" in text
+    assert "1 US-registered" in text
+    assert "no IXP" in text
+    assert "7 of its networks" in text
+
+
+def test_performance_numbers(findings):
+    text = findings["performance"]
+    assert "below 1 Mbps" in text
+    assert "x the regional average" in text
+
+
+def test_dns_numbers(findings):
+    text = findings["dns"]
+    assert "59" in text and "138" in text
+    assert "to none" in text
+
+
+def test_render_block(scenario):
+    block = render_findings(scenario)
+    assert block.count("* [") == 4
+
+
+def test_individual_builders_match(scenario, findings):
+    assert infrastructure_finding(scenario).text == findings["infrastructure"]
+    assert interdomain_finding(scenario).text == findings["interdomain"]
+    assert performance_finding(scenario).text == findings["performance"]
+    assert dns_finding(scenario).text == findings["dns"]

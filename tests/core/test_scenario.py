@@ -1,0 +1,40 @@
+"""Tests for the Scenario container."""
+
+from repro.core import Scenario
+
+
+def test_properties_cached(scenario):
+    assert scenario.macro is scenario.macro
+    assert scenario.peeringdb is scenario.peeringdb
+    assert scenario.populations is scenario.populations
+
+
+def test_every_dataset_materialises(scenario):
+    assert len(scenario.macro) > 0
+    assert len(scenario.delegations.records) > 0
+    assert len(scenario.prefix2as) > 0
+    assert len(scenario.peeringdb) > 0
+    assert len(scenario.cables) == 54
+    assert len(scenario.ipv6) > 0
+    assert len(scenario.root_deployment) > 0
+    assert len(scenario.probes) == 450
+    assert len(scenario.chaos_observations) > 100_000
+    assert len(scenario.populations) > 0
+    assert len(scenario.offnets) > 0
+    assert len(scenario.orgmap) > 0
+    assert len(scenario.site_survey) == 900
+    assert len(scenario.asrel) == 312
+    assert len(scenario.ndt_tests) > 100_000
+    assert len(scenario.gpdns_traceroutes) > 50_000
+
+
+def test_scenarios_share_nothing():
+    a, b = Scenario(), Scenario()
+    assert a.macro is not b.macro
+
+
+def test_parameters_respected():
+    small = Scenario(ndt_tests_per_month=1)
+    default = Scenario(ndt_tests_per_month=2)
+    # Only compare one cheap slice: counts scale with the parameter.
+    assert len(small.ndt_tests) * 2 == len(default.ndt_tests)

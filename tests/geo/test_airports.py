@@ -1,0 +1,49 @@
+"""Tests for the IATA airport registry."""
+
+import pytest
+
+from repro.geo import airport, airports_in_country, iter_airports
+from repro.geo.airports import UnknownAirportError
+from repro.geo.countries import country
+
+
+def test_caracas_airport():
+    ccs = airport("ccs")
+    assert ccs.city == "Caracas"
+    assert ccs.country_code == "VE"
+
+
+def test_unknown_airport_raises():
+    with pytest.raises(UnknownAirportError):
+        airport("ZZZ")
+
+
+def test_airports_in_country():
+    ve = airports_in_country("ve")
+    assert {a.iata for a in ve} >= {"CCS", "MAR"}
+    for a in ve:
+        assert a.country_code == "VE"
+
+
+def test_every_airport_country_is_registered():
+    for a in iter_airports():
+        # Raises if an airport references an unknown country.
+        country(a.country_code)
+
+
+def test_airport_coordinates_near_country_centroid():
+    # Airports should be within a continental-scale radius of their
+    # country's representative point; catches typos in coordinates or
+    # country codes (the US/Brazil span ~4000 km coast to coast).
+    from repro.geo import haversine_km
+
+    for a in iter_airports():
+        c = country(a.country_code)
+        assert haversine_km(a.lat, a.lon, c.lat, c.lon) < 4500, a.iata
+
+
+def test_iata_codes_are_three_upper_letters():
+    for a in iter_airports():
+        assert len(a.iata) == 3
+        assert a.iata.isalpha()
+        assert a.iata.isupper()

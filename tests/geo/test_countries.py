@@ -1,0 +1,67 @@
+"""Tests for the country registry."""
+
+import pytest
+
+from repro.geo import (
+    COMPARATOR_CODES,
+    LACNIC_CODES,
+    VENEZUELA,
+    country,
+    is_lacnic,
+    iter_countries,
+    lacnic_countries,
+)
+from repro.geo.countries import UnknownCountryError
+
+
+def test_venezuela_entry():
+    assert VENEZUELA.code == "VE"
+    assert VENEZUELA.name == "Venezuela"
+    assert VENEZUELA.lacnic
+
+
+def test_lookup_is_case_insensitive():
+    assert country("ve") == VENEZUELA
+    assert country("Ve") == VENEZUELA
+
+
+def test_unknown_country_raises():
+    with pytest.raises(UnknownCountryError):
+        country("XX")
+
+
+def test_comparators_are_lacnic_members():
+    for code in COMPARATOR_CODES:
+        assert is_lacnic(code)
+
+
+def test_lacnic_codes_sorted_and_unique():
+    assert list(LACNIC_CODES) == sorted(set(LACNIC_CODES))
+    assert "VE" in LACNIC_CODES
+    assert "US" not in LACNIC_CODES
+
+
+def test_is_lacnic_external():
+    assert not is_lacnic("US")
+    assert not is_lacnic("DE")
+    assert not is_lacnic("ZZ")  # unknown code is simply not LACNIC
+
+
+def test_lacnic_countries_match_codes():
+    assert [c.code for c in lacnic_countries()] == list(LACNIC_CODES)
+
+
+def test_iter_countries_covers_registry():
+    codes = [c.code for c in iter_countries()]
+    assert codes == sorted(codes)
+    assert len(codes) == len(set(codes))
+    # Every root-DNS host country used by the analyses is present.
+    for code in ("US", "GB", "DE", "FR", "NL", "BR", "CO", "PA"):
+        assert code in codes
+
+
+def test_coordinates_plausible():
+    for c in iter_countries():
+        assert -90 <= c.lat <= 90
+        assert -180 <= c.lon <= 180
+        assert c.population_millions > 0

@@ -1,0 +1,51 @@
+"""Tests for the haversine helper."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import haversine_km
+
+_lat = st.floats(min_value=-90, max_value=90, allow_nan=False)
+_lon = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+def test_zero_distance():
+    assert haversine_km(10.5, -66.9, 10.5, -66.9) == 0.0
+
+
+def test_known_distance_caracas_curacao():
+    # The paper cites Curacao's AMS-IX as ~295 km from Caracas.
+    d = haversine_km(10.49, -66.88, 12.11, -68.93)
+    assert 280 < d < 310
+
+
+def test_quarter_meridian():
+    # Pole to equator along a meridian is ~10,000 km by definition.
+    d = haversine_km(0, 0, 90, 0)
+    assert abs(d - 10_007.5) < 10
+
+
+@given(_lat, _lon, _lat, _lon)
+def test_symmetry(lat1, lon1, lat2, lon2):
+    assert math.isclose(
+        haversine_km(lat1, lon1, lat2, lon2),
+        haversine_km(lat2, lon2, lat1, lon1),
+        rel_tol=1e-12,
+        abs_tol=1e-9,
+    )
+
+
+@given(_lat, _lon, _lat, _lon)
+def test_bounded_by_half_circumference(lat1, lon1, lat2, lon2):
+    d = haversine_km(lat1, lon1, lat2, lon2)
+    assert 0 <= d <= 20_016
+
+
+@given(_lat, _lon, _lat, _lon, _lat, _lon)
+def test_triangle_inequality(lat1, lon1, lat2, lon2, lat3, lon3):
+    d12 = haversine_km(lat1, lon1, lat2, lon2)
+    d23 = haversine_km(lat2, lon2, lat3, lon3)
+    d13 = haversine_km(lat1, lon1, lat3, lon3)
+    assert d13 <= d12 + d23 + 1e-6

@@ -1,0 +1,36 @@
+"""Tests for the Venezuelan city geography."""
+
+from repro.geo import VE_CITIES, distance_to_colombian_border_km, nearest_city
+
+
+def test_border_city_is_on_border():
+    assert distance_to_colombian_border_km(7.81, -72.44) == 0.0
+
+
+def test_caracas_far_from_border():
+    caracas = next(c for c in VE_CITIES if c.name == "Caracas")
+    assert distance_to_colombian_border_km(caracas.lat, caracas.lon) > 500
+
+
+def test_maracaibo_closer_than_caracas():
+    maracaibo = next(c for c in VE_CITIES if c.name == "Maracaibo")
+    caracas = next(c for c in VE_CITIES if c.name == "Caracas")
+    assert distance_to_colombian_border_km(
+        maracaibo.lat, maracaibo.lon
+    ) < distance_to_colombian_border_km(caracas.lat, caracas.lon)
+
+
+def test_nearest_city_identity():
+    for city in VE_CITIES:
+        assert nearest_city(city.lat, city.lon) == city
+
+
+def test_nearest_city_of_offset_point():
+    caracas = next(c for c in VE_CITIES if c.name == "Caracas")
+    assert nearest_city(caracas.lat + 0.1, caracas.lon - 0.1).name == "Caracas"
+
+
+def test_cities_within_venezuela_bounds():
+    for city in VE_CITIES:
+        assert 0.5 < city.lat < 12.5
+        assert -74 < city.lon < -59

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Each example is executed in a subprocess exactly as a user would run it;
+a zero exit status and non-trivial stdout are required.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+_CASES = [
+    ("quickstart.py", ["fig01", "fig04"], "FIG01"),
+    ("ascii_figures.py", ["fig03"], "FIG03"),
+    ("outage_detection.py", [], "recall: 7/7"),
+    ("recovery_gap.py", [], "no-crisis"),
+    ("resilience_analysis.py", [], "AMS-IX (CW)"),
+    ("country_scorecard.py", ["CL"], "Chile"),
+    ("crisis_timeline.py", [], "year by year"),
+    ("divergence_dashboard.py", [], "download speed"),
+]
+
+
+@pytest.mark.parametrize("script,args,expect", _CASES, ids=[c[0] for c in _CASES])
+def test_example_runs(script, args, expect):
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expect in result.stdout
+
+
+def test_raw_formats_roundtrip_example(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / "raw_formats_roundtrip.py"), str(tmp_path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "all formats round-tripped" in result.stdout
+    assert (tmp_path / "peeringdb_dump.json").exists()
+
+
+def test_example_rejects_bad_argument():
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / "quickstart.py"), "fig99"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 1
+    assert "unknown exhibits" in result.stdout

@@ -1,0 +1,98 @@
+"""Failure-injection tests: every parser rejects garbage cleanly.
+
+A pipeline importing real archives must fail loudly and specifically, not
+with stray KeyErrors deep inside analysis code.
+"""
+
+import pytest
+
+from repro.atlas.dnsbuiltin import DNSBuiltinResult, DNSResultParseError
+from repro.atlas.traceroute import TracerouteParseError, TracerouteResult
+from repro.bgp.asrel import ASRelParseError, parse_asrel
+from repro.bgp.prefix2as import Prefix2ASParseError, parse_prefix2as
+from repro.mlab.ndt import NDTParseError, NDTResult
+from repro.peeringdb.schema import PeeringDBParseError, PeeringDBSnapshot
+from repro.registry.delegation import DelegationParseError, parse_delegation_file
+from repro.rootdns.naming import ChaosParseError, parse_chaos_string
+from repro.telegeography.model import CableMap, CableMapParseError
+
+_GARBAGE = ("", "\x00\x01\x02", "null", "[]", "{}", "complete nonsense |||", "{'a': 1}")
+
+
+@pytest.mark.parametrize(
+    "text",
+    ("", "\x00\x01", "null", "[]", "{'a': 1}", '{"fac": {"data": [{"id": 1}]}}'),
+)
+def test_peeringdb_rejects_garbage(text):
+    with pytest.raises(PeeringDBParseError):
+        PeeringDBSnapshot.from_json(text)
+
+
+def test_peeringdb_accepts_empty_dump():
+    snapshot = PeeringDBSnapshot.from_json("{}")
+    assert snapshot.facilities == [] and snapshot.networks == []
+
+
+@pytest.mark.parametrize(
+    "text", ("nope", "{}", '{"cables": [{"name": "x"}]}', '{"cables": [{"name": "x", "rfs": "20xx", "landing_points": []}]}')
+)
+def test_cable_map_rejects_garbage(text):
+    with pytest.raises(CableMapParseError):
+        CableMap.from_json(text)
+
+
+@pytest.mark.parametrize("text", ("1|2", "a|b|c", "1|2|9", "1|2|-1|x|y|z|overflow|||bad"))
+def test_asrel_rejects_bad_lines(text):
+    if text.count("|") >= 2 and text.split("|")[2] in ("-1", "0"):
+        parse_asrel(text)  # trailing fields are tolerated (CAIDA adds some)
+    else:
+        with pytest.raises(ASRelParseError):
+            parse_asrel(text)
+
+
+@pytest.mark.parametrize("text", ("1.2.3.4 24 1", "1.2.3.4\t24", "1.2.3.4\tx\t1", "a.b.c.d\t24\t1"))
+def test_prefix2as_rejects_bad_lines(text):
+    with pytest.raises(Prefix2ASParseError):
+        parse_prefix2as(text)
+
+
+@pytest.mark.parametrize(
+    "text",
+    (
+        "lacnic|VE|ipv4|1.2.3.4|256|20200101|allocated",  # no header
+        "2|lacnic|20240101|1|x|x|x\nlacnic|VE|ipv4|1.2.3.4|abc|20200101|allocated",
+        "2|lacnic|20240101|1|x|x|x\nlacnic|VE|weird|1.2.3.4|256|20200101|allocated",
+    ),
+)
+def test_delegation_rejects_bad_lines(text):
+    with pytest.raises(DelegationParseError):
+        parse_delegation_file(text)
+
+
+@pytest.mark.parametrize("text", _GARBAGE)
+def test_ndt_rejects_garbage(text):
+    with pytest.raises(NDTParseError):
+        NDTResult.from_json(text)
+
+
+@pytest.mark.parametrize("text", _GARBAGE)
+def test_traceroute_rejects_garbage(text):
+    with pytest.raises(TracerouteParseError):
+        TracerouteResult.from_json(text)
+
+
+@pytest.mark.parametrize("text", _GARBAGE)
+def test_dns_result_rejects_garbage(text):
+    with pytest.raises(DNSResultParseError):
+        DNSBuiltinResult.from_json(text)
+
+
+@pytest.mark.parametrize("letter", list("ABCDEFGHIJKLM"))
+def test_chaos_grammars_reject_cross_letter(letter):
+    # Every grammar rejects another letter's canonical string.
+    from repro.rootdns.naming import make_chaos_string
+
+    other = "A" if letter != "A" else "B"
+    text = make_chaos_string(other, "MIA", 1)
+    with pytest.raises(ChaosParseError):
+        parse_chaos_string(letter, text)

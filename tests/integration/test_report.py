@@ -1,0 +1,22 @@
+"""End-to-end report integration tests."""
+
+from repro.core import run_all
+from repro.core.report import render_report
+
+
+def test_run_all_count(scenario):
+    exhibits = run_all(scenario)
+    assert len(exhibits) == 23
+    assert [e.exhibit_id for e in exhibits] == sorted(e.exhibit_id for e in exhibits)
+
+
+def test_report_contains_every_exhibit(scenario):
+    report = render_report(scenario)
+    for exhibit_id in ("FIG01", "FIG12", "FIG21", "TABLE1", "TABLE2"):
+        assert exhibit_id in report
+
+
+def test_paper_columns_present(scenario):
+    for exhibit in run_all(scenario):
+        cols = exhibit.columns()
+        assert cols, exhibit.exhibit_id

@@ -1,0 +1,58 @@
+"""Tests for the IPv6 adoption dataset model."""
+
+import pytest
+
+from repro.ipv6 import AdoptionDataset
+from repro.timeseries import Month
+
+
+def _dataset():
+    d = AdoptionDataset()
+    d.add("ve", Month(2023, 7), 1.5)
+    d.add("BR", Month(2023, 7), 41.0)
+    d.add("BR", Month(2018, 1), 5.0)
+    return d
+
+
+def test_add_and_get():
+    d = _dataset()
+    assert d.get("VE", Month(2023, 7)) == 1.5
+    assert d.get("ve", Month(2023, 7)) == 1.5
+    assert d.get("VE", Month(2020, 1)) is None
+    assert len(d) == 3
+
+
+def test_rejects_out_of_range():
+    d = AdoptionDataset()
+    with pytest.raises(ValueError):
+        d.add("VE", Month(2020, 1), -1.0)
+    with pytest.raises(ValueError):
+        d.add("VE", Month(2020, 1), 101.0)
+
+
+def test_series_and_panel():
+    d = _dataset()
+    br = d.series("BR")
+    assert br.first_value() == 5.0
+    assert br.last_value() == 41.0
+    panel = d.panel()
+    assert panel.countries() == ["BR", "VE"]
+
+
+def test_countries():
+    assert _dataset().countries() == ["BR", "VE"]
+
+
+def test_csv_roundtrip():
+    d = _dataset()
+    again = AdoptionDataset.from_csv(d.to_csv())
+    assert again.get("VE", Month(2023, 7)) == 1.5
+    assert len(again) == 3
+    assert again.to_csv() == d.to_csv()
+
+
+def test_save_load(tmp_path):
+    d = _dataset()
+    path = tmp_path / "ipv6.csv"
+    d.save(path)
+    assert AdoptionDataset.load(path).to_csv() == d.to_csv()

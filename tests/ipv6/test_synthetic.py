@@ -1,0 +1,60 @@
+"""Tests for the synthetic IPv6 adoption curves (Fig. 5)."""
+
+import pytest
+
+from repro.timeseries import Month
+
+
+@pytest.fixture(scope="module")
+def dataset(scenario):
+    return scenario.ipv6
+
+
+def test_venezuela_calibration(dataset):
+    ve = dataset.series("VE")
+    assert ve[Month(2023, 7)] == pytest.approx(1.5, abs=0.01)
+    assert ve[Month(2020, 6)] < 0.1
+    assert ve[Month(2018, 1)] < 0.1
+
+
+def test_leaders_pass_forty_percent(dataset):
+    for cc in ("MX", "BR"):
+        assert dataset.series(cc).last_value() > 40.0, cc
+
+
+def test_mid_pack_around_twenty(dataset):
+    for cc in ("AR", "CL", "CO"):
+        assert 15.0 < dataset.series(cc).last_value() < 30.0, cc
+
+
+def test_chile_2022_surge(dataset):
+    cl = dataset.series("CL")
+    growth_2022 = cl[Month(2022, 12)] - cl[Month(2022, 1)]
+    growth_2020 = cl[Month(2020, 12)] - cl[Month(2020, 1)]
+    assert growth_2022 > 3 * growth_2020
+
+
+def test_regional_mean_trajectory(dataset):
+    mean = dataset.panel().regional_mean()
+    assert mean[Month(2018, 1)] < 5.0
+    assert 8.0 < mean[Month(2021, 1)] < 14.0
+    assert mean[Month(2023, 7)] > 17.0
+
+
+def test_adoption_monotone_non_decreasing(dataset):
+    for cc in dataset.countries():
+        values = dataset.series(cc).values()
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), cc
+
+
+def test_venezuela_is_last(dataset):
+    panel = dataset.panel()
+    final = panel.months()[-1]
+    assert panel.rank_in_month("VE", final, descending=False) == 1
+
+
+def test_csv_roundtrip(dataset):
+    from repro.ipv6 import AdoptionDataset
+
+    again = AdoptionDataset.from_csv(dataset.to_csv())
+    assert len(again) == len(dataset)

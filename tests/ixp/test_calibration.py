@@ -1,0 +1,65 @@
+"""IXP calibration against the paper's headline cells."""
+
+import pytest
+
+from repro.ixp import (
+    country_us_presence,
+    eyeball_coverage_pct,
+    ixp_coverage_heatmap,
+    largest_ixp_per_country,
+)
+
+
+@pytest.fixture(scope="module")
+def world(scenario):
+    return scenario.peeringdb.latest(), scenario.populations
+
+
+def test_headline_domestic_coverage(world):
+    snapshot, estimates = world
+    assert eyeball_coverage_pct(snapshot, estimates, "AR-IX", "AR") == pytest.approx(62.40, abs=0.01)
+    assert eyeball_coverage_pct(snapshot, estimates, "IX.br (SP)", "BR") == pytest.approx(45.53, abs=0.01)
+    assert eyeball_coverage_pct(snapshot, estimates, "PIT Chile (SCL)", "CL") == pytest.approx(49.57, abs=0.01)
+
+
+def test_largest_ixps(world):
+    snapshot, estimates = world
+    largest = largest_ixp_per_country(snapshot, estimates)
+    assert largest["AR"] == "AR-IX"
+    assert largest["BR"] == "IX.br (SP)"
+    assert largest["CL"] == "PIT Chile (SCL)"
+    assert largest["CO"] == "NAP.CO"
+    assert "VE" not in largest  # no IXP in Venezuela
+
+
+def test_ve_absent_from_heatmap(world):
+    snapshot, estimates = world
+    heatmap = ixp_coverage_heatmap(snapshot, estimates)
+    assert not [key for key in heatmap if key[0] == "VE"]
+
+
+def test_ve_single_presence_equinix_bogota(world):
+    snapshot, estimates = world
+    pct = eyeball_coverage_pct(snapshot, estimates, "Equinix Bogota", "VE")
+    assert pct == pytest.approx(4.45, abs=0.05)
+
+
+def test_ve_us_presence(world):
+    snapshot, estimates = world
+    networks, pct = country_us_presence(snapshot, estimates, "VE")
+    assert networks == 7
+    assert pct == pytest.approx(7.0, abs=0.5)
+
+
+def test_uruguay_concentrated_but_covered(world):
+    snapshot, estimates = world
+    networks, pct = country_us_presence(snapshot, estimates, "UY")
+    assert pct > 50.0
+    assert networks <= 3
+
+
+def test_equinix_bogota_not_colombias_largest(world):
+    snapshot, estimates = world
+    nap = eyeball_coverage_pct(snapshot, estimates, "NAP.CO", "CO")
+    equinix = eyeball_coverage_pct(snapshot, estimates, "Equinix Bogota", "CO")
+    assert nap > equinix

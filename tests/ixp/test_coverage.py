@@ -1,0 +1,99 @@
+"""Tests for IXP eyeball-coverage analysis (Figs. 10, 21)."""
+
+import pytest
+
+from repro.apnic import APNICEstimates, ASPopulation
+from repro.ixp import (
+    country_us_presence,
+    eyeball_coverage_pct,
+    ixp_coverage_heatmap,
+    largest_ixp_per_country,
+    member_asns,
+    us_presence_heatmap,
+)
+from repro.peeringdb import InternetExchange, NetIXLan, Network, PeeringDBSnapshot
+
+
+def _world():
+    snapshot = PeeringDBSnapshot(
+        networks=[
+            Network(1, 1, 100, "Big AR"),
+            Network(2, 1, 101, "Small AR"),
+            Network(3, 1, 200, "VE net"),
+        ],
+        exchanges=[
+            InternetExchange(10, 1, "AR-IX", "Buenos Aires", "AR"),
+            InternetExchange(11, 1, "Tiny AR IX", "Cordoba", "AR"),
+            InternetExchange(12, 1, "FL-IX", "Miami", "US"),
+        ],
+        netixlans=[
+            NetIXLan(1, 10),
+            NetIXLan(2, 11),
+            NetIXLan(3, 12),
+            NetIXLan(1, 12),
+        ],
+    )
+    estimates = APNICEstimates(
+        [
+            ASPopulation(100, "AR", "Big AR", 700),
+            ASPopulation(101, "AR", "Small AR", 300),
+            ASPopulation(200, "VE", "VE net", 50),
+            ASPopulation(201, "VE", "VE rest", 950),
+        ]
+    )
+    return snapshot, estimates
+
+
+def test_member_asns():
+    snapshot, _ = _world()
+    assert member_asns(snapshot, "AR-IX") == {100}
+    with pytest.raises(KeyError):
+        member_asns(snapshot, "ghost")
+
+
+def test_eyeball_coverage():
+    snapshot, estimates = _world()
+    assert eyeball_coverage_pct(snapshot, estimates, "AR-IX", "AR") == 70.0
+    assert eyeball_coverage_pct(snapshot, estimates, "Tiny AR IX", "AR") == 30.0
+    assert eyeball_coverage_pct(snapshot, estimates, "AR-IX", "VE") == 0.0
+
+
+def test_largest_ixp_per_country():
+    snapshot, estimates = _world()
+    largest = largest_ixp_per_country(snapshot, estimates)
+    assert largest == {"AR": "AR-IX"}  # US exchange excluded (not LACNIC)
+
+
+def test_heatmap_blank_cells_omitted():
+    snapshot, estimates = _world()
+    heatmap = ixp_coverage_heatmap(snapshot, estimates)
+    assert heatmap == {("AR", "AR-IX"): 70.0}
+
+
+def test_heatmap_explicit_axes():
+    snapshot, estimates = _world()
+    heatmap = ixp_coverage_heatmap(
+        snapshot, estimates, ix_names=["Tiny AR IX"], countries=["AR", "VE"]
+    )
+    assert heatmap == {("AR", "Tiny AR IX"): 30.0}
+
+
+def test_us_presence_heatmap():
+    snapshot, estimates = _world()
+    heatmap = us_presence_heatmap(snapshot, estimates)
+    ve_cell = heatmap[("VE", "FL-IX")]
+    assert ve_cell.networks == 1
+    assert ve_cell.eyeball_pct == 5.0
+    ar_cell = heatmap[("AR", "FL-IX")]
+    assert ar_cell.networks == 1
+    assert ar_cell.eyeball_pct == 70.0
+
+
+def test_country_us_presence_dedup():
+    snapshot, estimates = _world()
+    networks, pct = country_us_presence(snapshot, estimates, "VE")
+    assert networks == 1
+    assert pct == 5.0
+    networks, pct = country_us_presence(snapshot, estimates, "AR")
+    assert networks == 1
+    assert pct == 70.0

@@ -1,0 +1,48 @@
+"""Tests for IXP opportunity analysis."""
+
+import pytest
+
+from repro.apnic import APNICEstimates, ASPopulation
+from repro.ixp.opportunity import local_exchange_potential, nearest_exchanges
+
+
+def test_nearest_exchanges_for_ve(scenario):
+    snapshot = scenario.peeringdb.latest()
+    nearby = nearest_exchanges(snapshot, "VE", limit=3)
+    assert nearby[0].name == "AMS-IX (CW)"
+    # The paper: Curacao is ~295 km from Caracas.
+    assert nearby[0].distance_km == pytest.approx(295, abs=25)
+    assert all(
+        a.distance_km <= b.distance_km for a, b in zip(nearby, nearby[1:])
+    )
+
+
+def test_domestic_exchange_ranks_first(scenario):
+    snapshot = scenario.peeringdb.latest()
+    nearby = nearest_exchanges(snapshot, "CO", limit=2)
+    assert nearby[0].country == "CO"
+    assert nearby[0].distance_km < 50
+
+
+def test_local_exchange_potential():
+    estimates = APNICEstimates(
+        [
+            ASPopulation(1, "VE", "A", 500),
+            ASPopulation(2, "VE", "B", 300),
+            ASPopulation(3, "VE", "C", 200),
+        ]
+    )
+    # Top-2 cover 80% of users -> 64% of random domestic pairs.
+    assert local_exchange_potential(estimates, "VE", top_n=2) == pytest.approx(0.64)
+    assert local_exchange_potential(estimates, "VE", top_n=3) == pytest.approx(1.0)
+
+
+def test_local_exchange_potential_missing_country():
+    with pytest.raises(ValueError):
+        local_exchange_potential(APNICEstimates(), "VE")
+
+
+def test_ve_potential_on_scenario(scenario):
+    potential = local_exchange_potential(scenario.populations, "VE", top_n=10)
+    # The top-10 hold 77% of users: ~60% of domestic flows could stay local.
+    assert potential == pytest.approx(0.5957, abs=0.01)

@@ -1,0 +1,62 @@
+"""Tests for the macro indicator store."""
+
+import pytest
+
+from repro.macro import Indicator, IndicatorStore, annual
+
+
+def _store():
+    s = IndicatorStore()
+    s.add(Indicator.GDP_PER_CAPITA, "ve", 2013, 12237.0)
+    s.add(Indicator.GDP_PER_CAPITA, "VE", 2020, 3561.0)
+    s.add(Indicator.GDP_PER_CAPITA, "AR", 2013, 13000.0)
+    s.add(Indicator.INFLATION, "VE", 2019, 32000.0)
+    return s
+
+
+def test_add_and_value():
+    s = _store()
+    assert s.value(Indicator.GDP_PER_CAPITA, "VE", 2013) == 12237.0
+    with pytest.raises(KeyError):
+        s.value(Indicator.POPULATION, "VE", 2013)
+
+
+def test_series_filters_indicator_and_country():
+    s = _store()
+    ve = s.series(Indicator.GDP_PER_CAPITA, "ve")
+    assert len(ve) == 2
+    assert ve[annual(2020)] == 3561.0
+
+
+def test_panel():
+    p = _store().panel(Indicator.GDP_PER_CAPITA)
+    assert p.countries() == ["AR", "VE"]
+    assert p.rank_in_month("VE", annual(2013)) == 2
+
+
+def test_countries():
+    s = _store()
+    assert s.countries(Indicator.GDP_PER_CAPITA) == ["AR", "VE"]
+    assert s.countries(Indicator.INFLATION) == ["VE"]
+
+
+def test_add_series():
+    s = IndicatorStore()
+    s.add_series(Indicator.POPULATION, "VE", [(2013, 30.0), (2020, 26.1)])
+    assert len(s.series(Indicator.POPULATION, "VE")) == 2
+
+
+def test_csv_roundtrip():
+    s = _store()
+    restored = IndicatorStore.from_csv(s.to_csv())
+    assert restored.value(Indicator.INFLATION, "VE", 2019) == 32000.0
+    assert len(restored) == len(s)
+    # Round-trip again: serialisation must be stable.
+    assert restored.to_csv() == s.to_csv()
+
+
+def test_save_and_load(tmp_path):
+    path = tmp_path / "macro.csv"
+    s = _store()
+    s.save(path)
+    assert IndicatorStore.load(path).to_csv() == s.to_csv()

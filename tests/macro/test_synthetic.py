@@ -1,0 +1,75 @@
+"""Tests for the synthetic macro world's calibration targets."""
+
+import pytest
+
+from repro.macro import Indicator, MacroCalibration, annual, synthesize_macro
+from repro.timeseries import peak_decline_pct
+
+
+@pytest.fixture(scope="module")
+def store():
+    return synthesize_macro()
+
+
+def test_oil_decline_from_peak(store):
+    oil = store.series(Indicator.OIL_PRODUCTION, "VE")
+    assert peak_decline_pct(oil) == pytest.approx(81.49, abs=0.01)
+
+
+def test_oil_decline_since_2013(store):
+    oil = store.series(Indicator.OIL_PRODUCTION, "VE")
+    assert peak_decline_pct(oil, since=annual(2013)) == pytest.approx(77.0, abs=0.01)
+
+
+def test_gdp_decline_from_peak(store):
+    gdp = store.series(Indicator.GDP_PER_CAPITA, "VE")
+    assert peak_decline_pct(gdp) == pytest.approx(70.90, abs=0.01)
+    assert gdp.argmax() == annual(2012)
+
+
+def test_inflation_peak(store):
+    inflation = store.series(Indicator.INFLATION, "VE")
+    assert inflation.max() == pytest.approx(32_000.0)
+    assert inflation.argmax() == annual(2019)
+
+
+def test_population_decline(store):
+    pop = store.series(Indicator.POPULATION, "VE")
+    assert peak_decline_pct(pop) == pytest.approx(13.85, abs=0.01)
+    # The exodus is of millions of people.
+    assert pop.max() - pop.last_value() > 4.0
+
+
+def test_gdp_rank_path_matches_figure_13(store):
+    panel = store.panel(Indicator.GDP_PER_CAPITA)
+    ranks = tuple(
+        panel.rank_in_month("VE", annual(year)) for year in range(1980, 2021, 5)
+    )
+    assert ranks == MacroCalibration().gdp_rank_path
+
+
+def test_gdp_panel_is_regional(store):
+    panel = store.panel(Indicator.GDP_PER_CAPITA)
+    assert len(panel) >= 24
+    assert "VE" in panel
+    assert "AR" in panel and "TT" in panel
+
+
+def test_series_are_yearly_dense(store):
+    gdp = store.series(Indicator.GDP_PER_CAPITA, "VE")
+    years = [m.year for m in gdp.months()]
+    assert years == list(range(years[0], years[-1] + 1))
+    assert all(m.month == 1 for m in gdp.months())
+
+
+def test_all_values_positive(store):
+    for indicator in Indicator:
+        for country in store.countries(indicator):
+            series = store.series(indicator, country)
+            assert series.min() > 0, (indicator, country)
+
+
+def test_synthesis_is_deterministic():
+    a = synthesize_macro().to_csv()
+    b = synthesize_macro().to_csv()
+    assert a == b

@@ -1,0 +1,93 @@
+"""Tests for NDT records and aggregation."""
+
+import datetime
+
+import pytest
+
+from repro.mlab import (
+    NDTResult,
+    mean_download_panel,
+    median_download_panel,
+    median_download_series,
+    parse_ndt_jsonl,
+    measurement_count_panel,
+    write_ndt_jsonl,
+)
+from repro.mlab.ndt import NDTParseError
+from repro.timeseries import Month
+
+
+def _r(day, cc, mbps):
+    return NDTResult(
+        date=datetime.date(2023, 7, day),
+        country=cc,
+        asn=8048,
+        download_mbps=mbps,
+        upload_mbps=mbps / 3,
+        min_rtt_ms=40.0,
+        loss_rate=0.01,
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        _r(1, "VE", -1.0)
+    with pytest.raises(ValueError):
+        NDTResult(datetime.date(2023, 7, 1), "VE", 1, 1.0, 1.0, -5.0, 0.0)
+    with pytest.raises(ValueError):
+        NDTResult(datetime.date(2023, 7, 1), "VE", 1, 1.0, 1.0, 5.0, 1.5)
+
+
+def test_month_property():
+    assert _r(15, "VE", 1.0).month == Month(2023, 7)
+
+
+def test_json_roundtrip():
+    r = _r(3, "VE", 2.93)
+    again = NDTResult.from_json(r.to_json())
+    assert again.country == "VE"
+    assert again.download_mbps == pytest.approx(2.93)
+    assert again.month == r.month
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(NDTParseError):
+        NDTResult.from_json("{not json")
+    with pytest.raises(NDTParseError):
+        NDTResult.from_json('{"date": "2023-07-01"}')
+
+
+def test_jsonl_roundtrip(tmp_path):
+    results = [_r(1, "VE", 1.0), _r(2, "BR", 30.0)]
+    path = tmp_path / "ndt.jsonl"
+    assert write_ndt_jsonl(results, path) == 2
+    parsed = list(parse_ndt_jsonl(path))
+    assert [r.country for r in parsed] == ["VE", "BR"]
+
+
+def test_median_panel():
+    results = [_r(1, "VE", 1.0), _r(2, "VE", 3.0), _r(3, "VE", 100.0)]
+    panel = median_download_panel(results)
+    assert panel["VE"][Month(2023, 7)] == 3.0
+
+
+def test_mean_vs_median_heavy_tail():
+    results = [_r(1, "VE", 1.0), _r(2, "VE", 1.0), _r(3, "VE", 100.0)]
+    median = median_download_panel(results)["VE"][Month(2023, 7)]
+    mean = mean_download_panel(results)["VE"][Month(2023, 7)]
+    assert median == 1.0
+    assert mean == pytest.approx(34.0)
+
+
+def test_median_series_filters_country():
+    results = [_r(1, "VE", 1.0), _r(2, "BR", 30.0)]
+    series = median_download_series(results, "ve")
+    assert series[Month(2023, 7)] == 1.0
+    assert len(series) == 1
+
+
+def test_measurement_count_panel():
+    results = [_r(1, "VE", 1.0), _r(2, "VE", 2.0), _r(3, "BR", 3.0)]
+    counts = measurement_count_panel(results)
+    assert counts["VE"][Month(2023, 7)] == 2.0
+    assert counts["BR"][Month(2023, 7)] == 1.0

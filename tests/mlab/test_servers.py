@@ -1,0 +1,60 @@
+"""Tests for M-Lab server placement."""
+
+import pytest
+
+from repro.mlab.servers import (
+    SERVER_SITES,
+    assigned_site,
+    domestic_server_share,
+    placement_bias_report,
+    server_distance_km,
+)
+from repro.timeseries import Month
+
+
+def test_no_site_in_venezuela():
+    assert all(site.country != "VE" for site in SERVER_SITES)
+
+
+def test_early_tests_hit_miami():
+    # Before the regional pods exist, everyone tests against Miami.
+    assert assigned_site("VE", Month(2010, 1)).name == "mia01"
+    assert assigned_site("BR", Month(2010, 1)).name == "mia01"
+
+
+def test_regional_pods_take_over():
+    assert assigned_site("BR", Month(2013, 1)).name == "gru01"
+    assert assigned_site("AR", Month(2014, 1)).name == "eze01"
+    assert assigned_site("CL", Month(2015, 1)).name == "scl01"
+    assert assigned_site("MX", Month(2015, 1)).name == "mex01"
+
+
+def test_ve_assigned_to_bogota_once_it_exists():
+    assert assigned_site("VE", Month(2014, 1)).name == "mia01"
+    assert assigned_site("VE", Month(2016, 1)).name == "bog01"
+
+
+def test_no_active_site_raises():
+    with pytest.raises(ValueError):
+        assigned_site("VE", Month(2006, 1))
+
+
+def test_server_distance_shrinks_with_regional_pods():
+    far = server_distance_km("VE", Month(2012, 1))
+    near = server_distance_km("VE", Month(2020, 1))
+    assert near < far
+
+
+def test_domestic_share(scenario):
+    assert domestic_server_share(scenario.ndt_tests, "VE") == 0.0
+    assert domestic_server_share(scenario.ndt_tests, "BR") > 0.5
+    with pytest.raises(ValueError):
+        domestic_server_share([], "VE")
+
+
+def test_placement_bias_report():
+    rows = placement_bias_report(["VE", "BR", "CO"], Month(2020, 1))
+    assert [cc for cc, _s, _d in rows][0] in ("BR", "CO")  # domestic pods first
+    ve_row = next(row for row in rows if row[0] == "VE")
+    assert ve_row[1] == "bog01"
+    assert ve_row[2] > 500

@@ -1,0 +1,76 @@
+"""Tests for coverage analysis."""
+
+import pytest
+
+from repro.apnic import APNICEstimates, ASPopulation
+from repro.offnets import (
+    OffnetArchive,
+    OffnetRecord,
+    OrgMap,
+    average_coverage,
+    country_rank,
+    coverage_panel,
+    coverage_pct,
+)
+
+
+def _world():
+    estimates = APNICEstimates(
+        [
+            ASPopulation(8048, "VE", "CANTV", 600),
+            ASPopulation(27889, "VE", "Movilnet", 100),
+            ASPopulation(11562, "VE", "NetUno", 300),
+            ASPopulation(7303, "AR", "Telecom AR", 1000),
+        ]
+    )
+    archive = OffnetArchive(
+        [
+            OffnetRecord(2020, "google", 8048),
+            OffnetRecord(2021, "google", 8048),
+            OffnetRecord(2021, "google", 7303),
+        ]
+    )
+    orgmap = OrgMap([(8048, 27889)])
+    return archive, estimates, orgmap
+
+
+def test_coverage_as_level():
+    archive, estimates, _ = _world()
+    assert coverage_pct(archive, estimates, None, "google", "VE", 2020) == 60.0
+
+
+def test_coverage_org_level_expands_siblings():
+    archive, estimates, orgmap = _world()
+    assert coverage_pct(archive, estimates, orgmap, "google", "VE", 2020) == 70.0
+
+
+def test_coverage_zero_when_absent():
+    archive, estimates, orgmap = _world()
+    assert coverage_pct(archive, estimates, orgmap, "netflix", "VE", 2020) == 0.0
+    assert coverage_pct(archive, estimates, orgmap, "google", "AR", 2020) == 0.0
+    assert coverage_pct(archive, estimates, orgmap, "google", "AR", 2021) == 100.0
+
+
+def test_coverage_panel_annual_keyed():
+    archive, estimates, orgmap = _world()
+    panel = coverage_panel(archive, estimates, orgmap, "google", countries=["VE"])
+    from repro.timeseries import Month
+
+    assert panel["VE"][Month(2020, 1)] == 70.0
+    assert panel["VE"][Month(2021, 1)] == 70.0
+
+
+def test_average_coverage_omits_never_covered():
+    archive, estimates, orgmap = _world()
+    averages = average_coverage(archive, estimates, orgmap, "google")
+    assert set(averages) == {"VE", "AR"}
+    assert averages["VE"] == pytest.approx(70.0)
+    assert averages["AR"] == pytest.approx(50.0)  # one of two years
+
+
+def test_country_rank():
+    archive, estimates, orgmap = _world()
+    rank, pool, avg = country_rank(archive, estimates, orgmap, "google", "VE")
+    assert (rank, pool) == (1, 2)
+    rank, pool, _avg = country_rank(archive, estimates, orgmap, "netflix", "VE")
+    assert (rank, pool) == (1, 1)  # no presence anywhere: pool is just VE

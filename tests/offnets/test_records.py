@@ -1,0 +1,70 @@
+"""Tests for off-net records and the org map."""
+
+import pytest
+
+from repro.offnets import OffnetArchive, OffnetRecord, OrgMap
+
+
+def test_record_validates_hypergiant():
+    with pytest.raises(ValueError):
+        OffnetRecord(2020, "notareal", 8048)
+
+
+def _archive():
+    archive = OffnetArchive()
+    archive.add(OffnetRecord(2013, "google", 8048))
+    archive.add(OffnetRecord(2013, "google", 21826))
+    archive.add(OffnetRecord(2014, "google", 8048))
+    archive.add(OffnetRecord(2021, "netflix", 8048))
+    return archive
+
+
+def test_hosting_asns():
+    archive = _archive()
+    assert archive.hosting_asns("google", 2013) == {8048, 21826}
+    assert archive.hosting_asns("google", 2014) == {8048}
+    assert archive.hosting_asns("netflix", 2013) == set()
+
+
+def test_years_and_hypergiants():
+    archive = _archive()
+    assert archive.years() == [2013, 2014, 2021]
+    assert archive.hypergiants_seen() == ["google", "netflix"]
+
+
+def test_duplicates_idempotent():
+    archive = _archive()
+    before = len(archive)
+    archive.add(OffnetRecord(2013, "google", 8048))
+    assert len(archive) == before
+
+
+def test_csv_roundtrip():
+    archive = _archive()
+    again = OffnetArchive.from_csv(archive.to_csv())
+    assert list(again) == list(archive)
+
+
+def test_save_load(tmp_path):
+    archive = _archive()
+    path = tmp_path / "offnets.csv"
+    archive.save(path)
+    assert len(OffnetArchive.load(path)) == len(archive)
+
+
+def test_orgmap_identity_default():
+    orgmap = OrgMap()
+    assert orgmap.org_of(8048) == "org-8048"
+    assert orgmap.siblings_of(8048) == {8048}
+
+
+def test_orgmap_sibling_groups():
+    orgmap = OrgMap([(8048, 27889)])
+    assert orgmap.org_of(8048) == orgmap.org_of(27889)
+    assert orgmap.siblings_of(27889) == {8048, 27889}
+    assert orgmap.expand([27889, 11562]) == {8048, 27889, 11562}
+
+
+def test_orgmap_rejects_conflicts():
+    with pytest.raises(ValueError):
+        OrgMap([(1, 2), (2, 3)])

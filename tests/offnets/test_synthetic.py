@@ -1,0 +1,76 @@
+"""Calibration tests for the synthetic off-net world (Figs. 7, 18)."""
+
+import pytest
+
+from repro.offnets import country_rank, coverage_pct
+from repro.offnets.records import HYPERGIANTS
+
+
+@pytest.fixture(scope="module")
+def world(scenario):
+    return scenario.offnets, scenario.populations, scenario.orgmap
+
+
+@pytest.mark.parametrize(
+    "hypergiant,paper_rank,paper_pool",
+    [("google", 19, 27), ("akamai", 18, 22), ("facebook", 21, 25), ("netflix", 23, 25)],
+)
+def test_ve_ranks(world, hypergiant, paper_rank, paper_pool):
+    archive, estimates, orgmap = world
+    rank, pool, _avg = country_rank(archive, estimates, orgmap, hypergiant, "VE")
+    assert (rank, pool) == (paper_rank, paper_pool)
+
+
+def test_ve_average_coverages(world):
+    archive, estimates, orgmap = world
+    paper = {"google": 56.88, "akamai": 35.74, "facebook": 28.33, "netflix": 5.87}
+    for hg, value in paper.items():
+        _r, _p, avg = country_rank(archive, estimates, orgmap, hg, "VE")
+        assert avg == pytest.approx(value, abs=2.5), hg
+
+
+def test_google_akamai_pre_crisis_cantv(world):
+    archive, _e, _o = world
+    assert 8048 in archive.hosting_asns("google", 2013)
+    assert 8048 in archive.hosting_asns("akamai", 2013)
+
+
+def test_facebook_never_in_cantv(world):
+    archive, _e, _o = world
+    for year in archive.years():
+        assert 8048 not in archive.hosting_asns("facebook", year)
+
+
+def test_netflix_cantv_only_2021(world):
+    archive, _e, _o = world
+    assert 8048 not in archive.hosting_asns("netflix", 2020)
+    assert 8048 in archive.hosting_asns("netflix", 2021)
+
+
+def test_minor_hypergiants_absent_from_ve(world):
+    archive, estimates, orgmap = world
+    minors = [h for h in HYPERGIANTS if h not in ("google", "akamai", "facebook", "netflix")]
+    for hg in minors:
+        for year in archive.years():
+            assert coverage_pct(archive, estimates, orgmap, hg, "VE", year) == 0.0, hg
+
+
+def test_org_level_exceeds_as_level_for_google_ve(world):
+    archive, estimates, orgmap = world
+    org_level = coverage_pct(archive, estimates, orgmap, "google", "VE", 2013)
+    as_level = coverage_pct(archive, estimates, None, "google", "VE", 2013)
+    # Movilnet's users are credited through the state org only.
+    assert org_level > as_level
+
+
+def test_window_is_2013_2021(world):
+    archive, _e, _o = world
+    assert archive.years() == list(range(2013, 2022))
+
+
+def test_csv_roundtrip(world):
+    from repro.offnets import OffnetArchive
+
+    archive, _e, _o = world
+    again = OffnetArchive.from_csv(archive.to_csv())
+    assert len(again) == len(archive)

@@ -1,0 +1,89 @@
+"""Tests for the MAD-based outage detector."""
+
+import datetime as dt
+
+import pytest
+
+from repro.outages import DailySignal, DetectedOutage, OutageDetector
+
+
+def _flat_signal(days=30, level=0.95, dips=()):
+    start = dt.date(2019, 1, 1)
+    signal = DailySignal()
+    dip_map = dict(dips)
+    for i in range(days):
+        day = start + dt.timedelta(days=i)
+        signal.set(day, dip_map.get(i, level))
+    return signal, start
+
+
+def test_flat_signal_no_outages():
+    signal, _ = _flat_signal()
+    assert OutageDetector().detect(signal) == []
+
+
+def test_single_day_outage():
+    signal, start = _flat_signal(dips=[(15, 0.3)])
+    episodes = OutageDetector().detect(signal)
+    assert len(episodes) == 1
+    episode = episodes[0]
+    assert episode.start == episode.end == start + dt.timedelta(days=15)
+    assert episode.duration_days == 1
+    assert episode.severity == pytest.approx(0.65, abs=0.01)
+    assert episode.trough == 0.3
+
+
+def test_multi_day_outage_merged():
+    signal, start = _flat_signal(dips=[(10, 0.2), (11, 0.25), (12, 0.5)])
+    episodes = OutageDetector().detect(signal)
+    assert len(episodes) == 1
+    assert episodes[0].start == start + dt.timedelta(days=10)
+    assert episodes[0].end == start + dt.timedelta(days=12)
+    assert episodes[0].duration_days == 3
+
+
+def test_separate_episodes_not_merged():
+    signal, _ = _flat_signal(dips=[(10, 0.2), (20, 0.2)])
+    episodes = OutageDetector().detect(signal)
+    assert len(episodes) == 2
+
+
+def test_min_drop_guard():
+    # A 5% dip on a perfectly flat baseline must not trigger (MAD ~ 0).
+    signal, _ = _flat_signal(dips=[(15, 0.91)])
+    assert OutageDetector(min_drop=0.10).detect(signal) == []
+
+
+def test_outage_days_excluded_from_baseline():
+    # A long outage must not become the new normal: days after a 10-day
+    # blackout at the old level are not flagged.
+    dips = [(i, 0.2) for i in range(10, 20)]
+    signal, start = _flat_signal(days=40, dips=dips)
+    episodes = OutageDetector().detect(signal)
+    assert len(episodes) == 1
+    assert episodes[0].end == start + dt.timedelta(days=19)
+
+
+def test_short_history_never_anomalous():
+    detector = OutageDetector()
+    assert not detector.is_anomalous([], 0.1)
+    assert not detector.is_anomalous([0.95, 0.95], 0.1)
+
+
+def test_detected_outage_duration():
+    episode = DetectedOutage(
+        start=dt.date(2019, 3, 7), end=dt.date(2019, 3, 14),
+        severity=0.6, trough=0.1,
+    )
+    assert episode.duration_days == 8
+
+
+def test_episodes_csv_roundtrip():
+    from repro.outages.detector import episodes_from_csv, episodes_to_csv
+
+    episodes = [
+        DetectedOutage(dt.date(2019, 3, 7), dt.date(2019, 3, 14), 0.63, 0.12),
+        DetectedOutage(dt.date(2019, 7, 22), dt.date(2019, 7, 24), 0.38, 0.35),
+    ]
+    again = episodes_from_csv(episodes_to_csv(episodes))
+    assert again == episodes

@@ -1,0 +1,65 @@
+"""Tests for the daily connectivity signal."""
+
+import datetime as dt
+
+import pytest
+
+from repro.outages import DailySignal
+
+
+def _sig():
+    return DailySignal(
+        {
+            dt.date(2019, 3, 6): 0.95,
+            dt.date(2019, 3, 7): 0.20,
+            dt.date(2019, 3, 8): 0.30,
+        }
+    )
+
+
+def test_basic_access():
+    s = _sig()
+    assert len(s) == 3
+    assert s[dt.date(2019, 3, 7)] == 0.20
+    assert dt.date(2019, 3, 7) in s
+    assert s.get(dt.date(2019, 1, 1)) is None
+
+
+def test_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        DailySignal({dt.date(2019, 1, 1): 1.5})
+    s = DailySignal()
+    with pytest.raises(ValueError):
+        s.set(dt.date(2019, 1, 1), -0.1)
+
+
+def test_days_sorted():
+    assert _sig().days() == [
+        dt.date(2019, 3, 6), dt.date(2019, 3, 7), dt.date(2019, 3, 8)
+    ]
+
+
+def test_window():
+    w = _sig().window(dt.date(2019, 3, 7), dt.date(2019, 3, 8))
+    assert len(w) == 2
+
+
+def test_mean_and_min_day():
+    s = _sig()
+    assert s.mean() == pytest.approx((0.95 + 0.20 + 0.30) / 3)
+    assert s.min_day() == dt.date(2019, 3, 7)
+
+
+def test_empty_signal_raises():
+    with pytest.raises(ValueError):
+        DailySignal().mean()
+    with pytest.raises(ValueError):
+        DailySignal().min_day()
+
+
+def test_signal_csv_roundtrip():
+    from repro.outages.signal import signal_from_csv, signal_to_csv
+
+    signal = _sig()
+    again = signal_from_csv(signal_to_csv(signal))
+    assert list(again.items()) == list(signal.items())

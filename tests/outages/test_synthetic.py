@@ -1,0 +1,91 @@
+"""Detector-vs-ground-truth tests on the scripted blackout world."""
+
+import datetime as dt
+
+import pytest
+
+from repro.outages import (
+    BLACKOUT_SCHEDULE,
+    OutageDetector,
+    outage_days_by_year,
+    outage_hours,
+    severity_ranking,
+    synthesize_connectivity,
+)
+from repro.outages.synthetic import signal_countries
+
+
+@pytest.fixture(scope="module")
+def episodes():
+    detector = OutageDetector()
+    return {
+        cc: detector.detect(synthesize_connectivity(cc))
+        for cc in signal_countries()
+    }
+
+
+def test_full_recall_on_ground_truth(episodes):
+    for blackout in BLACKOUT_SCHEDULE:
+        detected = episodes[blackout.country]
+        assert any(
+            e.start <= blackout.end and e.end >= blackout.start for e in detected
+        ), blackout
+
+
+def test_no_false_positives(episodes):
+    for cc, detected in episodes.items():
+        truth = [b for b in BLACKOUT_SCHEDULE if b.country == cc]
+        for episode in detected:
+            assert any(
+                b.start <= episode.end and b.end >= episode.start for b in truth
+            ), (cc, episode)
+
+
+def test_quiet_countries_clean(episodes):
+    for cc in ("BR", "CL", "CO", "MX"):
+        assert episodes[cc] == []
+
+
+def test_march_2019_blackout_boundaries(episodes):
+    march = [e for e in episodes["VE"] if e.start.month == 3 and e.start.year == 2019]
+    assert len(march) == 2
+    big = march[0]
+    assert big.start == dt.date(2019, 3, 7)
+    assert big.end == dt.date(2019, 3, 14)
+    assert big.duration_days == 8
+    assert big.severity > 0.5
+
+
+def test_ve_over_100_outage_hours_2019(episodes):
+    ve_2019 = [e for e in episodes["VE"] if e.start.year == 2019]
+    assert outage_hours(ve_2019) > 100.0
+
+
+def test_outage_days_by_year(episodes):
+    days = outage_days_by_year(episodes["VE"])
+    assert days[2019] >= 15
+    assert days.get(2020, 0) >= 1
+
+
+def test_ve_tops_severity_ranking(episodes):
+    ranking = severity_ranking(episodes)
+    assert ranking[0][0] == "VE"
+    assert ranking[0][1] > 5 * ranking[1][1]
+
+
+def test_argentina_uruguay_june_16(episodes):
+    for cc in ("AR", "UY"):
+        assert len(episodes[cc]) == 1
+        assert episodes[cc][0].start == dt.date(2019, 6, 16)
+        assert episodes[cc][0].duration_days == 1
+
+
+def test_signal_deterministic():
+    a = list(synthesize_connectivity("VE").items())
+    b = list(synthesize_connectivity("VE").items())
+    assert a == b
+
+
+def test_unknown_country_raises():
+    with pytest.raises(KeyError):
+        synthesize_connectivity("ZZ")

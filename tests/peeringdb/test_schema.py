@@ -1,0 +1,83 @@
+"""Tests for the PeeringDB schema and snapshot queries."""
+
+from repro.peeringdb import (
+    Facility,
+    InternetExchange,
+    NetFac,
+    NetIXLan,
+    Network,
+    Organization,
+    PeeringDBSnapshot,
+)
+
+
+def _snapshot():
+    return PeeringDBSnapshot(
+        orgs=[Organization(1, "Org")],
+        facilities=[
+            Facility(10, 1, "Cirion La Urbina", "Caracas", "VE"),
+            Facility(11, 1, "BR Facility 1", "Sao Paulo", "BR"),
+        ],
+        networks=[
+            Network(100, 1, 8053, "IFX"),
+            Network(101, 1, 21826, "Telemic"),
+        ],
+        exchanges=[InternetExchange(200, 1, "IX.br (SP)", "Sao Paulo", "BR")],
+        netfacs=[NetFac(100, 10), NetFac(101, 10)],
+        netixlans=[NetIXLan(101, 200)],
+    )
+
+
+def test_facilities_in():
+    snap = _snapshot()
+    assert [f.name for f in snap.facilities_in("ve")] == ["Cirion La Urbina"]
+    assert snap.facilities_in("MX") == []
+
+
+def test_facility_count_by_country():
+    assert _snapshot().facility_count_by_country() == {"VE": 1, "BR": 1}
+
+
+def test_network_by_asn():
+    snap = _snapshot()
+    assert snap.network_by_asn(8053).name == "IFX"
+    assert snap.network_by_asn(9999) is None
+
+
+def test_networks_at_facility():
+    snap = _snapshot()
+    asns = {n.asn for n in snap.networks_at_facility(10)}
+    assert asns == {8053, 21826}
+    assert snap.networks_at_facility(11) == []
+
+
+def test_facilities_of_network():
+    snap = _snapshot()
+    assert [f.id for f in snap.facilities_of_network(8053)] == [10]
+    assert snap.facilities_of_network(9999) == []
+
+
+def test_exchange_queries():
+    snap = _snapshot()
+    ix = snap.exchange_by_name("IX.br (SP)")
+    assert ix is not None and ix.country == "BR"
+    assert snap.exchange_by_name("nope") is None
+    assert {n.asn for n in snap.networks_at_exchange(200)} == {21826}
+    assert [x.id for x in snap.exchanges_of_network(21826)] == [200]
+    assert [x.name for x in snap.exchanges_in("br")] == ["IX.br (SP)"]
+
+
+def test_json_roundtrip():
+    snap = _snapshot()
+    again = PeeringDBSnapshot.from_json(snap.to_json())
+    assert again.facility_count_by_country() == snap.facility_count_by_country()
+    assert {n.asn for n in again.networks} == {8053, 21826}
+    assert len(again.netfacs) == 2
+    assert len(again.netixlans) == 1
+
+
+def test_save_load(tmp_path):
+    snap = _snapshot()
+    path = tmp_path / "peeringdb.json"
+    snap.save(path)
+    assert len(PeeringDBSnapshot.load(path).facilities) == 2

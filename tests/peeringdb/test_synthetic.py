@@ -1,0 +1,94 @@
+"""Tests for the synthetic PeeringDB world (Fig. 3 / 15 / Table 2)."""
+
+import pytest
+
+from repro.timeseries import Month
+
+
+@pytest.fixture(scope="module")
+def archive(scenario):
+    return scenario.peeringdb
+
+
+def test_regional_growth(archive):
+    total = archive.facility_count_panel().regional_sum()
+    assert total[Month(2018, 4)] == 180.0
+    assert total[Month(2024, 1)] == 552.0
+
+
+def test_named_country_growth(archive):
+    panel = archive.facility_count_panel()
+    assert (panel["BR"][Month(2018, 4)], panel["BR"][Month(2024, 1)]) == (102.0, 311.0)
+    assert (panel["MX"][Month(2018, 4)], panel["MX"][Month(2024, 1)]) == (11.0, 45.0)
+    assert (panel["CL"][Month(2018, 4)], panel["CL"][Month(2024, 1)]) == (18.0, 45.0)
+    assert (panel["CR"][Month(2018, 4)], panel["CR"][Month(2024, 1)]) == (3.0, 8.0)
+
+
+def test_facility_counts_monotone(archive):
+    panel = archive.facility_count_panel()
+    for cc, series in panel.items():
+        values = series.values()
+        assert all(a <= b for a, b in zip(values, values[1:])), cc
+
+
+def test_venezuela_timeline(archive):
+    panel = archive.facility_count_panel()
+    ve = panel["VE"]
+    assert ve.first_month() == Month(2021, 11)
+    assert ve[Month(2021, 11)] == 2.0
+    assert ve[Month(2022, 12)] == 2.0
+    assert ve[Month(2024, 1)] == 4.0
+
+
+def test_lumen_renamed_to_cirion(archive):
+    names_2022 = {f.name for f in archive[Month(2022, 6)].facilities_in("VE")}
+    names_2023 = {f.name for f in archive[Month(2023, 12)].facilities_in("VE")}
+    assert "Lumen La Urbina" in names_2022
+    assert "Cirion La Urbina" not in names_2022
+    assert "Cirion La Urbina" in names_2023
+    assert "Lumen La Urbina" not in names_2023
+
+
+def test_cirion_membership_growth(archive):
+    cirion = archive.facility_membership_series("Cirion La Urbina")
+    assert cirion.first_value() == 8.0
+    assert cirion.last_value() == 11.0
+
+
+def test_lumen_membership_growth(archive):
+    lumen = archive.facility_membership_series("Lumen La Urbina")
+    assert lumen.first_value() == 1.0
+    assert lumen.max() == 7.0
+
+
+def test_daycohost_member_departure(archive):
+    dayco = archive.facility_membership_series("Daycohost - Caracas")
+    assert dayco.max() == 3.0
+    assert dayco.last_value() == 2.0
+
+
+def test_gigapop_stays_empty(archive):
+    giga = archive.facility_membership_series("GigaPOP Maracaibo")
+    assert giga.max() == 0.0
+    assert giga.first_month() == Month(2023, 2)
+
+
+def test_table2_rosters(archive):
+    cirion = archive.facility_members_ever("Cirion La Urbina")
+    assert set(cirion) == {
+        8053, 265641, 269832, 23379, 270042, 269738, 267809,
+        19978, 21826, 21980, 269918,
+    }
+    dayco = archive.facility_members_ever("Daycohost - Caracas")
+    assert set(dayco) == {8053, 269832, 270042}
+    globenet = archive.facility_members_ever("Globenet Maiquetia")
+    assert set(globenet) == {272102, 21826}
+
+
+def test_snapshot_json_roundtrip(archive):
+    from repro.peeringdb import PeeringDBSnapshot
+
+    snap = archive.latest()
+    again = PeeringDBSnapshot.from_json(snap.to_json())
+    assert again.facility_count_by_country() == snap.facility_count_by_country()
+    assert len(again.netixlans) == len(snap.netixlans)

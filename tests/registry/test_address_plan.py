@@ -1,0 +1,75 @@
+"""Tests for the shared Venezuelan address plan."""
+
+import ipaddress
+
+from repro.registry import address_plan, synthesize_ve_delegations
+from repro.registry.address_plan import (
+    ALL_VE_ALLOCATIONS,
+    CANTV_ALLOCATIONS,
+    TELEFONICA_ALLOCATIONS,
+    allocations_for_asn,
+    total_addresses,
+)
+
+
+def test_no_overlapping_allocations():
+    networks = [a.network for a in ALL_VE_ALLOCATIONS]
+    for i, a in enumerate(networks):
+        for b in networks[i + 1 :]:
+            assert not a.overlaps(b), f"{a} overlaps {b}"
+
+
+def test_totals_match_fig2_scale():
+    cantv = total_addresses(CANTV_ALLOCATIONS)
+    tef = total_addresses(TELEFONICA_ALLOCATIONS)
+    total = total_addresses(ALL_VE_ALLOCATIONS)
+    assert 2.2e6 < cantv < 3.2e6
+    assert 1.6e6 < tef < 2.2e6
+    assert 5.5e6 < total < 7.5e6
+
+
+def test_allocations_sorted_by_date():
+    keys = [(a.year, a.month) for a in ALL_VE_ALLOCATIONS]
+    assert keys == sorted(keys)
+
+
+def test_allocations_for_asn():
+    cantv = allocations_for_asn(address_plan.AS_CANTV)
+    assert len(cantv) == len(CANTV_ALLOCATIONS)
+    assert all(a.asn == address_plan.AS_CANTV for a in cantv)
+    assert allocations_for_asn(99999) == []
+
+
+def test_plateau_at_exhaustion():
+    # No allocations after 2016: the Fig. 2 plateau.
+    assert max(a.year for a in ALL_VE_ALLOCATIONS) <= 2016
+
+
+def test_delegation_file_covers_plan():
+    f = synthesize_ve_delegations()
+    ipv4 = f.ipv4_records("VE")
+    assert len(ipv4) == len(ALL_VE_ALLOCATIONS)
+    total = sum(r.value for r in ipv4)
+    assert total == total_addresses(ALL_VE_ALLOCATIONS)
+
+
+def test_delegation_file_asns_include_main_players():
+    f = synthesize_ve_delegations()
+    asns = {int(r.start) for r in f.asn_records("VE")}
+    assert address_plan.AS_CANTV in asns
+    assert address_plan.AS_TELEFONICA in asns
+
+
+def test_delegation_file_roundtrips():
+    from repro.registry import parse_delegation_file
+
+    f = synthesize_ve_delegations()
+    again = parse_delegation_file(f.to_text())
+    assert len(again.records) == len(f.records)
+
+
+def test_all_prefixes_valid_ipv4():
+    for alloc in ALL_VE_ALLOCATIONS:
+        network = ipaddress.ip_network(alloc.prefix)
+        assert network.version == 4
+        assert alloc.num_addresses == network.num_addresses

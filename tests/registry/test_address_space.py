@@ -1,0 +1,61 @@
+"""Tests for allocated-address accounting."""
+
+import datetime
+
+from repro.registry import (
+    DelegationFile,
+    DelegationRecord,
+    allocated_addresses,
+    allocation_series,
+)
+from repro.timeseries import Month
+
+
+def _file():
+    def rec(cc, start, value, date):
+        return DelegationRecord("lacnic", cc, "ipv4", start, value, date, "allocated")
+
+    return DelegationFile(
+        "lacnic",
+        datetime.date(2024, 1, 1),
+        [
+            rec("VE", "200.44.0.0", 65536, datetime.date(1998, 3, 1)),
+            rec("VE", "186.88.0.0", 524288, datetime.date(2009, 6, 1)),
+            rec("AR", "200.45.0.0", 65536, datetime.date(1999, 1, 1)),
+        ],
+    )
+
+
+def test_allocated_addresses_cumulative():
+    f = _file()
+    assert allocated_addresses(f, "VE", Month(1997, 12)) == 0
+    assert allocated_addresses(f, "VE", Month(1998, 3)) == 65536
+    assert allocated_addresses(f, "VE", Month(2009, 5)) == 65536
+    assert allocated_addresses(f, "VE", Month(2009, 6)) == 65536 + 524288
+
+
+def test_allocation_within_month_counts():
+    # A block allocated on the 15th counts for that month's snapshot.
+    f = DelegationFile(
+        "lacnic",
+        datetime.date(2024, 1, 1),
+        [
+            DelegationRecord(
+                "lacnic", "VE", "ipv4", "200.44.0.0", 256,
+                datetime.date(2010, 5, 15), "allocated",
+            )
+        ],
+    )
+    assert allocated_addresses(f, "VE", Month(2010, 5)) == 256
+    assert allocated_addresses(f, "VE", Month(2010, 4)) == 0
+
+
+def test_allocated_addresses_per_country():
+    f = _file()
+    assert allocated_addresses(f, "AR", Month(2020, 1)) == 65536
+
+
+def test_allocation_series():
+    f = _file()
+    series = allocation_series(f, "VE", Month(2009, 5), Month(2009, 7))
+    assert series.values() == [65536.0, 589824.0, 589824.0]

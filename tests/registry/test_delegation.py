@@ -1,0 +1,91 @@
+"""Tests for the RIR extended-stats parser/writer."""
+
+import datetime
+
+import pytest
+
+from repro.registry import DelegationFile, DelegationRecord, parse_delegation_file
+from repro.registry.delegation import DelegationParseError
+
+_SAMPLE = """\
+2|lacnic|20240101|4|19870101|20240101|-0500
+lacnic|*|ipv4|*|2|summary
+lacnic|*|asn|*|1|summary
+lacnic|VE|ipv4|200.44.0.0|65536|19980301|allocated
+lacnic|VE|ipv4|186.88.0.0|524288|20090601|allocated
+lacnic|AR|ipv4|200.45.0.0|65536|19990101|assigned
+lacnic|VE|asn|8048|1|19970115|allocated
+"""
+
+
+def test_parse_header():
+    f = parse_delegation_file(_SAMPLE)
+    assert f.registry == "lacnic"
+    assert f.snapshot_date == datetime.date(2024, 1, 1)
+    assert len(f.records) == 4
+
+
+def test_parse_records():
+    f = parse_delegation_file(_SAMPLE)
+    ve4 = f.ipv4_records("VE")
+    assert len(ve4) == 2
+    assert ve4[0].start == "200.44.0.0"
+    assert ve4[0].value == 65536
+    assert ve4[0].date == datetime.date(1998, 3, 1)
+
+
+def test_ipv4_records_all_countries():
+    f = parse_delegation_file(_SAMPLE)
+    assert len(f.ipv4_records()) == 3
+
+
+def test_asn_records():
+    f = parse_delegation_file(_SAMPLE)
+    asns = f.asn_records("ve")
+    assert len(asns) == 1
+    assert asns[0].start == "8048"
+
+
+def test_missing_header_raises():
+    with pytest.raises(DelegationParseError):
+        parse_delegation_file("lacnic|VE|ipv4|200.44.0.0|65536|19980301|allocated\n")
+
+
+def test_bad_type_raises():
+    bad = _SAMPLE + "lacnic|VE|ipv9|1.2.3.4|256|20200101|allocated\n"
+    with pytest.raises(DelegationParseError):
+        parse_delegation_file(bad)
+
+
+def test_bad_status_raises():
+    bad = _SAMPLE + "lacnic|VE|ipv4|1.2.3.4|256|20200101|borrowed\n"
+    with pytest.raises(DelegationParseError):
+        parse_delegation_file(bad)
+
+
+def test_bad_date_raises():
+    bad = _SAMPLE + "lacnic|VE|ipv4|1.2.3.4|256|2020-01-01|allocated\n"
+    with pytest.raises(DelegationParseError):
+        parse_delegation_file(bad)
+
+
+def test_roundtrip():
+    f = parse_delegation_file(_SAMPLE)
+    again = parse_delegation_file(f.to_text())
+    assert again.records == f.records
+    assert again.registry == f.registry
+
+
+def test_reserved_status_excluded_from_queries():
+    record = DelegationRecord(
+        "lacnic", "VE", "ipv4", "10.0.0.0", 256, datetime.date(2020, 1, 1), "reserved"
+    )
+    f = DelegationFile("lacnic", datetime.date(2024, 1, 1), [record])
+    assert f.ipv4_records("VE") == []
+
+
+def test_save(tmp_path):
+    f = parse_delegation_file(_SAMPLE)
+    path = tmp_path / "delegated-lacnic-extended-latest"
+    f.save(path)
+    assert parse_delegation_file(path.read_text()).records == f.records

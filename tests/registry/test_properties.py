@@ -1,0 +1,59 @@
+"""Property-based tests for delegation files and address accounting."""
+
+import datetime
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.registry import DelegationFile, DelegationRecord, parse_delegation_file
+from repro.registry.address_space import allocated_addresses
+from repro.timeseries import Month
+
+_dates = st.dates(
+    min_value=datetime.date(1990, 1, 1), max_value=datetime.date(2024, 1, 1)
+)
+
+_records = st.lists(
+    st.builds(
+        DelegationRecord,
+        registry=st.just("lacnic"),
+        cc=st.sampled_from(["VE", "AR", "BR", "CL"]),
+        rectype=st.just("ipv4"),
+        start=st.from_regex(r"200\.(1?[0-9]?[0-9])\.0\.0", fullmatch=True),
+        value=st.sampled_from([256, 1024, 4096, 65536]),
+        date=_dates,
+        status=st.sampled_from(["allocated", "assigned"]),
+    ),
+    max_size=40,
+)
+
+
+def _file(records):
+    return DelegationFile("lacnic", datetime.date(2024, 1, 1), records)
+
+
+@given(_records)
+def test_delegation_roundtrip(records):
+    f = _file(records)
+    again = parse_delegation_file(f.to_text())
+    assert again.records == records
+    assert again.registry == "lacnic"
+
+
+@given(_records)
+def test_allocated_addresses_monotone_in_time(records):
+    f = _file(records)
+    earlier = allocated_addresses(f, "VE", Month(2005, 1))
+    later = allocated_addresses(f, "VE", Month(2020, 1))
+    assert earlier <= later
+
+
+@given(_records)
+def test_allocated_addresses_partition_by_country(records):
+    f = _file(records)
+    month = Month(2024, 1)
+    per_country = sum(
+        allocated_addresses(f, cc, month) for cc in ("VE", "AR", "BR", "CL")
+    )
+    total = sum(r.value for r in f.ipv4_records())
+    assert per_country == total

@@ -1,0 +1,67 @@
+"""Tests for CHAOS observation analysis."""
+
+from repro.rootdns import replica_count_panel, sites_by_country, sites_seen_from_country
+from repro.rootdns.analysis import ChaosObservation, probe_count_panel
+from repro.timeseries import Month
+
+_M = Month(2020, 1)
+
+
+def _obs(probe, cc, letter, answer, month=_M):
+    return ChaosObservation(
+        month=month, probe_id=probe, probe_country=cc, letter=letter, answer=answer
+    )
+
+
+def test_sites_by_country_counts_unique_strings():
+    observations = [
+        _obs(1, "VE", "F", "gru1a.f.root-servers.org"),
+        _obs(2, "VE", "F", "gru1a.f.root-servers.org"),  # same site, two probes
+        _obs(3, "BR", "F", "gru2a.f.root-servers.org"),
+    ]
+    seen = sites_by_country(observations)
+    assert seen[("BR", _M)] == {
+        "gru1a.f.root-servers.org",
+        "gru2a.f.root-servers.org",
+    }
+
+
+def test_unparseable_answers_skipped():
+    observations = [
+        _obs(1, "VE", "F", "not-a-site"),
+        _obs(1, "VE", "F", "gru1a.f.root-servers.org"),
+    ]
+    panel = replica_count_panel(observations)
+    assert panel["BR"][_M] == 1.0
+
+
+def test_replica_panel_lacnic_filter():
+    observations = [
+        _obs(1, "VE", "A", "nnn1-iad1"),
+        _obs(1, "VE", "F", "gru1a.f.root-servers.org"),
+    ]
+    lacnic_only = replica_count_panel(observations)
+    assert lacnic_only.countries() == ["BR"]
+    everything = replica_count_panel(observations, lacnic_only=False)
+    assert everything.countries() == ["BR", "US"]
+
+
+def test_sites_seen_from_country_filters_probes():
+    observations = [
+        _obs(1, "VE", "A", "nnn1-iad1"),
+        _obs(2, "BR", "A", "nnn1-gru1"),
+    ]
+    seen = sites_seen_from_country(observations, "VE")
+    assert seen == {("US", _M): 1}
+
+
+def test_probe_count_panel():
+    observations = [
+        _obs(1, "VE", "A", "nnn1-iad1"),
+        _obs(1, "VE", "B", "b1-iad"),
+        _obs(2, "VE", "A", "nnn1-iad1"),
+        _obs(9, "BR", "A", "nnn1-gru1"),
+    ]
+    panel = probe_count_panel(observations)
+    assert panel["VE"][_M] == 2.0
+    assert panel["BR"][_M] == 1.0

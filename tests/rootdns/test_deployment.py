@@ -1,0 +1,85 @@
+"""Tests for the root deployment model and synthetic schedule."""
+
+import pytest
+
+from repro.geo.countries import is_lacnic
+from repro.rootdns import RootDeployment, RootSite
+from repro.rootdns.synthetic import synthesize_root_deployment
+from repro.timeseries import Month
+
+
+def test_site_activity_window():
+    site = RootSite("L", "CCS", 1, Month(2014, 1), Month(2019, 3))
+    assert not site.active_in(Month(2013, 12))
+    assert site.active_in(Month(2014, 1))
+    assert site.active_in(Month(2019, 3))
+    assert not site.active_in(Month(2019, 4))
+
+
+def test_open_ended_site():
+    site = RootSite("F", "IAD", 1, Month(2010, 1))
+    assert site.active_in(Month(2030, 1))
+
+
+def test_site_geography():
+    site = RootSite("F", "CCS", 1, Month(2014, 1))
+    assert site.country == "VE"
+    assert site.city == "Caracas"
+    assert site.chaos_string() == "ccs1a.f.root-servers.org"
+
+
+def test_deployment_queries():
+    deployment = RootDeployment(
+        [
+            RootSite("L", "CCS", 1, Month(2014, 1), Month(2019, 3)),
+            RootSite("L", "GRU", 1, Month(2015, 1)),
+            RootSite("F", "GRU", 1, Month(2015, 1)),
+        ]
+    )
+    month = Month(2016, 1)
+    assert len(deployment.active_sites(month)) == 3
+    assert len(deployment.active_sites(month, letter="L")) == 2
+    assert len(deployment.sites_in("VE", month)) == 1
+    assert deployment.countries_with_sites(Month(2020, 1)) == {"BR"}
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return synthesize_root_deployment()
+
+
+def test_regional_site_counts(deployment):
+    def lacnic_count(month):
+        return sum(1 for s in deployment.active_sites(month) if is_lacnic(s.country))
+
+    assert lacnic_count(Month(2016, 1)) == 59
+    assert lacnic_count(Month(2024, 1)) == 138
+
+
+def test_ve_regression_script(deployment):
+    assert len(deployment.sites_in("VE", Month(2016, 1))) == 2
+    assert len(deployment.sites_in("VE", Month(2018, 12))) == 1
+    mar = deployment.sites_in("VE", Month(2020, 1))
+    assert len(mar) == 1 and mar[0].airport_code == "MAR"
+    assert deployment.sites_in("VE", Month(2022, 1)) == []
+
+
+def test_overseas_sites_cover_all_letters(deployment):
+    us_letters = {
+        s.letter for s in deployment.active_sites(Month(2016, 1)) if s.country == "US"
+    }
+    assert len(us_letters) == 13
+
+
+def test_site_counts_monotone_outside_ve(deployment):
+    for cc in ("BR", "MX", "CL", "AR"):
+        counts = [
+            len(deployment.sites_in(cc, Month(year, 1))) for year in range(2016, 2025)
+        ]
+        assert counts == sorted(counts), cc
+
+
+def test_chaos_strings_unique_within_month(deployment):
+    month = Month(2024, 1)
+    strings = [s.chaos_string() for s in deployment.active_sites(month)]
+    assert len(strings) == len(set(strings))

@@ -1,0 +1,86 @@
+"""Tests for the 13 CHAOS naming grammars."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.airports import iter_airports
+from repro.rootdns import ROOT_LETTERS, make_chaos_string, parse_chaos_string
+from repro.rootdns.naming import ChaosParseError
+
+_AIRPORTS = [a.iata for a in iter_airports()]
+
+
+def test_paper_example_f_root():
+    # The paper's Caracas F-root identifier: ccs1a.f.root-servers.org.
+    text = make_chaos_string("F", "CCS", 1)
+    assert text == "ccs1a.f.root-servers.org"
+    loc = parse_chaos_string("F", text)
+    assert loc.country == "VE"
+    assert loc.city == "Caracas"
+
+
+def test_paper_example_l_root_style():
+    # The paper observed aa.ve-mai.l.root for Maracaibo; our grammar uses
+    # the airport code: aa.ve-mar.l.root.
+    text = make_chaos_string("L", "MAR", 1)
+    assert text == "aa.ve-mar.l.root"
+    loc = parse_chaos_string("L", text)
+    assert loc.country == "VE"
+
+
+def test_l_root_instances_differ():
+    assert make_chaos_string("L", "GRU", 1) != make_chaos_string("L", "GRU", 2)
+
+
+def test_all_letters_have_distinct_formats():
+    strings = {letter: make_chaos_string(letter, "MIA", 1) for letter in ROOT_LETTERS}
+    assert len(set(strings.values())) == len(ROOT_LETTERS)
+
+
+def test_unknown_letter_rejected():
+    with pytest.raises(ValueError):
+        make_chaos_string("Z", "MIA", 1)
+    with pytest.raises(ChaosParseError):
+        parse_chaos_string("Z", "whatever")
+
+
+def test_grammar_mismatch_rejected():
+    with pytest.raises(ChaosParseError):
+        parse_chaos_string("F", "nnn1-mia1")  # A-style string fed to F
+    with pytest.raises(ChaosParseError):
+        parse_chaos_string("L", "ccs1a.f.root-servers.org")
+
+
+def test_unknown_airport_code_rejected():
+    with pytest.raises(ChaosParseError):
+        parse_chaos_string("F", "zzz1a.f.root-servers.org")
+
+
+def test_parse_is_case_insensitive():
+    loc = parse_chaos_string("F", "CCS1A.F.ROOT-SERVERS.ORG")
+    assert loc.country == "VE"
+
+
+@given(
+    st.sampled_from(list(ROOT_LETTERS)),
+    st.sampled_from(_AIRPORTS),
+    st.integers(min_value=1, max_value=9),
+)
+def test_roundtrip_all_grammars(letter, airport_code, instance):
+    text = make_chaos_string(letter, airport_code, instance)
+    loc = parse_chaos_string(letter, text)
+    assert loc.letter == letter
+    from repro.geo.airports import airport
+
+    assert loc.country == airport(airport_code).country_code
+
+
+@given(
+    st.sampled_from(list(ROOT_LETTERS)),
+    st.sampled_from(_AIRPORTS),
+    st.sampled_from(_AIRPORTS),
+)
+def test_distinct_airports_distinct_strings(letter, a, b):
+    if a != b:
+        assert make_chaos_string(letter, a, 1) != make_chaos_string(letter, b, 1)

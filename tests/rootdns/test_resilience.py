@@ -1,0 +1,65 @@
+"""Tests for DNS resolution proximity."""
+
+import pytest
+
+from repro.rootdns import RootDeployment, RootSite
+from repro.rootdns.resilience import (
+    expected_resolution_rtt_ms,
+    nearest_site_km,
+    resolution_rtt_series,
+)
+from repro.timeseries import Month
+
+_M = Month(2020, 1)
+
+
+def _deployment():
+    return RootDeployment(
+        [
+            RootSite("F", "CCS", 1, Month(2014, 1)),
+            RootSite("F", "MIA", 1, Month(2010, 1)),
+            RootSite("L", "MIA", 1, Month(2010, 1)),
+        ]
+    )
+
+
+def test_nearest_site_prefers_domestic():
+    d = _deployment()
+    assert nearest_site_km(d, "VE", "F", _M) < 50.0
+    assert nearest_site_km(d, "VE", "L", _M) > 1000.0
+
+
+def test_nearest_site_none_when_letter_absent():
+    assert nearest_site_km(_deployment(), "VE", "K", _M) is None
+
+
+def test_expected_rtt_mixes_letters():
+    rtt = expected_resolution_rtt_ms(_deployment(), "VE", _M)
+    # Mean of ~2 ms (domestic F) and ~22 ms (Miami L).
+    assert 8.0 < rtt < 18.0
+
+
+def test_expected_rtt_raises_when_empty():
+    with pytest.raises(ValueError):
+        expected_resolution_rtt_ms(RootDeployment([]), "VE", _M)
+
+
+def test_series_step():
+    series = resolution_rtt_series(_deployment(), "VE", Month(2020, 1), Month(2021, 1), step=6)
+    assert len(series) == 3
+
+
+def test_ve_resolution_degrades_on_scenario(scenario):
+    deployment = scenario.root_deployment
+    def ratio(cc):
+        before = expected_resolution_rtt_ms(deployment, cc, Month(2016, 1))
+        after = expected_resolution_rtt_ms(deployment, cc, Month(2023, 1))
+        return after / before
+
+    # Venezuela lost both domestic replicas; neighbours' new sites soften
+    # the blow, but its improvement lags Colombia's (which halves) and it
+    # ends with a worse expected resolution RTT than every comparator.
+    assert ratio("VE") > ratio("CO")
+    ve_after = expected_resolution_rtt_ms(deployment, "VE", Month(2023, 1))
+    for cc in ("BR", "CO", "MX", "CL", "AR"):
+        assert ve_after > expected_resolution_rtt_ms(deployment, cc, Month(2023, 1)), cc

@@ -1,0 +1,73 @@
+"""Tests for the cable map model."""
+
+from repro.telegeography import CableMap, LandingPoint, SubmarineCable
+from repro.timeseries import Month
+
+
+def _map():
+    return CableMap(
+        [
+            SubmarineCable("Old", 1999, (LandingPoint("A", "VE"), LandingPoint("B", "BR"))),
+            SubmarineCable("New", 2011, (LandingPoint("C", "VE"), LandingPoint("D", "CU"))),
+            SubmarineCable("Foreign", 2005, (LandingPoint("E", "US"), LandingPoint("F", "GB"))),
+        ]
+    )
+
+
+def test_countries_and_touches():
+    cable = _map().cables[0]
+    assert cable.countries() == {"VE", "BR"}
+    assert cable.touches("ve")
+    assert not cable.touches("CU")
+
+
+def test_cables_touching_with_year():
+    m = _map()
+    assert [c.name for c in m.cables_touching("VE")] == ["Old", "New"]
+    assert [c.name for c in m.cables_touching("VE", as_of_year=2005)] == ["Old"]
+
+
+def test_count_in_year():
+    m = _map()
+    assert m.count_in_year("VE", 1998) == 0
+    assert m.count_in_year("VE", 2000) == 1
+    assert m.count_in_year("VE", 2015) == 2
+
+
+def test_regional_cables_excludes_non_lacnic():
+    m = _map()
+    assert {c.name for c in m.regional_cables()} == {"Old", "New"}
+    assert len(m.regional_cables(as_of_year=2000)) == 1
+
+
+def test_count_panel():
+    panel = _map().count_panel(2000, 2012)
+    assert panel["VE"][Month(2000, 1)] == 1.0
+    assert panel["VE"][Month(2012, 1)] == 2.0
+    assert panel["CU"][Month(2012, 1)] == 1.0
+
+
+def test_regional_count_series():
+    series = _map().regional_count_series(1999, 2011)
+    assert series[Month(1999, 1)] == 1.0
+    assert series[Month(2011, 1)] == 2.0
+
+
+def test_cable_by_name():
+    m = _map()
+    assert m.cable_by_name("New").rfs_year == 2011
+    assert m.cable_by_name("missing") is None
+
+
+def test_json_roundtrip():
+    m = _map()
+    again = CableMap.from_json(m.to_json())
+    assert len(again) == len(m)
+    assert again.cable_by_name("Old").countries() == {"VE", "BR"}
+
+
+def test_save_load(tmp_path):
+    m = _map()
+    path = tmp_path / "cables.json"
+    m.save(path)
+    assert len(CableMap.load(path)) == 3

@@ -1,0 +1,57 @@
+"""Tests for the synthetic cable map calibration (Fig. 4)."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def cables(scenario):
+    return scenario.cables
+
+
+def test_regional_totals(cables):
+    assert len(cables.regional_cables(2000)) == 13
+    assert len(cables.regional_cables(2024)) == 54
+
+
+def test_named_country_growth(cables):
+    assert (cables.count_in_year("BR", 2000), cables.count_in_year("BR", 2024)) == (5, 17)
+    assert (cables.count_in_year("CO", 2000), cables.count_in_year("CO", 2024)) == (5, 13)
+    assert (cables.count_in_year("CL", 2000), cables.count_in_year("CL", 2024)) == (2, 9)
+    assert (cables.count_in_year("AR", 2000), cables.count_in_year("AR", 2024)) == (3, 9)
+
+
+def test_venezuela_added_only_alba(cables):
+    added = [c for c in cables.cables_touching("VE") if c.rfs_year > 2000]
+    assert [c.name for c in added] == ["ALBA-1"]
+    assert added[0].touches("CU")
+    assert added[0].rfs_year == 2011
+
+
+def test_non_expanders(cables):
+    for cc in ("NI", "HT"):
+        added = [c for c in cables.cables_touching(cc) if c.rfs_year > 2000]
+        assert added == [], cc
+
+
+def test_single_addition_countries(cables):
+    for cc in ("HN", "AW", "BZ"):
+        added = [c for c in cables.cables_touching(cc) if c.rfs_year > 2000]
+        assert len(added) == 1, cc
+
+
+def test_rfs_years_in_range(cables):
+    for cable in cables.cables:
+        assert 1990 <= cable.rfs_year <= 2024, cable.name
+
+
+def test_every_cable_has_two_landings(cables):
+    for cable in cables.cables:
+        assert len(cable.landing_points) >= 2, cable.name
+
+
+def test_json_roundtrip(cables):
+    from repro.telegeography import CableMap
+
+    again = CableMap.from_json(cables.to_json())
+    assert len(again) == len(cables)
+    assert len(again.regional_cables(2024)) == 54

@@ -1,0 +1,97 @@
+"""Tests for the Month index type."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeseries import Month, month_range
+
+_months = st.builds(
+    Month, st.integers(min_value=1, max_value=9999), st.integers(min_value=1, max_value=12)
+)
+
+
+def test_parse_and_str_roundtrip():
+    assert str(Month.parse("2018-04")) == "2018-04"
+
+
+def test_parse_rejects_garbage():
+    for bad in ("2018/04", "201804", "2018-13", "18-04", "abcd-ef"):
+        with pytest.raises(ValueError):
+            Month.parse(bad)
+
+
+def test_invalid_month_rejected():
+    with pytest.raises(ValueError):
+        Month(2020, 0)
+    with pytest.raises(ValueError):
+        Month(2020, 13)
+
+
+def test_ordering():
+    assert Month(2019, 12) < Month(2020, 1)
+    assert Month(2020, 1) <= Month(2020, 1)
+    assert Month(2021, 5) > Month(2021, 4)
+
+
+def test_plus_wraps_years():
+    assert Month(2019, 11).plus(3) == Month(2020, 2)
+    assert Month(2020, 2).plus(-3) == Month(2019, 11)
+
+
+def test_months_until():
+    assert Month(2013, 1).months_until(Month(2023, 1)) == 120
+    assert Month(2023, 1).months_until(Month(2013, 1)) == -120
+
+
+def test_first_day_and_from_date():
+    m = Month(2016, 6)
+    assert m.first_day() == datetime.date(2016, 6, 1)
+    assert Month.from_date(datetime.date(2016, 6, 17)) == m
+
+
+def test_month_range_inclusive():
+    months = list(month_range(Month(2020, 11), Month(2021, 2)))
+    assert [str(m) for m in months] == ["2020-11", "2020-12", "2021-01", "2021-02"]
+
+
+def test_month_range_step():
+    months = list(month_range(Month(2020, 1), Month(2020, 12), step=5))
+    assert [str(m) for m in months] == ["2020-01", "2020-06", "2020-11"]
+
+
+def test_month_range_rejects_bad_step():
+    with pytest.raises(ValueError):
+        list(month_range(Month(2020, 1), Month(2020, 12), step=0))
+
+
+@given(_months)
+def test_ordinal_roundtrip(m):
+    assert Month.from_ordinal(m.ordinal()) == m
+
+
+_mid_months = st.builds(
+    Month, st.integers(min_value=200, max_value=9700), st.integers(min_value=1, max_value=12)
+)
+
+
+@given(_mid_months, st.integers(min_value=-1000, max_value=1000))
+def test_plus_consistent_with_months_until(m, offset):
+    shifted = m.plus(offset)
+    assert m.months_until(shifted) == offset
+
+
+@given(_months, st.integers())
+def test_plus_out_of_range_raises_cleanly(m, offset):
+    target_year = (m.ordinal() + offset) // 12
+    if not 1 <= target_year <= 9999:
+        with pytest.raises(ValueError):
+            m.plus(offset)
+
+
+@given(_months, _months)
+def test_ordering_matches_ordinal(a, b):
+    assert (a < b) == (a.ordinal() < b.ordinal())
+    assert (a == b) == (a.ordinal() == b.ordinal())

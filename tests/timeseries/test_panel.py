@@ -1,0 +1,95 @@
+"""Tests for CountryPanel."""
+
+import pytest
+
+from repro.timeseries import CountryPanel, Month, MonthlySeries
+
+
+def _panel():
+    return CountryPanel.from_records(
+        [
+            ("VE", Month(2020, 1), 1.0),
+            ("VE", Month(2020, 2), 2.0),
+            ("AR", Month(2020, 1), 3.0),
+            ("AR", Month(2020, 2), 6.0),
+            ("BR", Month(2020, 1), 5.0),
+        ]
+    )
+
+
+def test_from_records_and_access():
+    p = _panel()
+    assert p.countries() == ["AR", "BR", "VE"]
+    assert p["ve"][Month(2020, 1)] == 1.0
+    assert "br" in p
+    assert p.get("XX") is None
+    assert len(p) == 3
+
+
+def test_from_records_last_duplicate_wins():
+    p = CountryPanel.from_records(
+        [("VE", Month(2020, 1), 1.0), ("VE", Month(2020, 1), 7.0)]
+    )
+    assert p["VE"][Month(2020, 1)] == 7.0
+
+
+def test_subset_and_filter():
+    p = _panel()
+    assert p.subset(["ve", "ar", "XX"]).countries() == ["AR", "VE"]
+    assert p.filter_countries(lambda c: c != "BR").countries() == ["AR", "VE"]
+
+
+def test_months_union():
+    assert _panel().months() == [Month(2020, 1), Month(2020, 2)]
+
+
+def test_regional_sum_and_mean():
+    p = _panel()
+    assert p.regional_sum()[Month(2020, 1)] == 9.0
+    assert p.regional_sum()[Month(2020, 2)] == 8.0
+    assert p.regional_mean()[Month(2020, 1)] == 3.0
+    # BR has no Feb observation: mean over the two observed countries.
+    assert p.regional_mean()[Month(2020, 2)] == 4.0
+
+
+def test_regional_median():
+    p = _panel()
+    assert p.regional_median()[Month(2020, 1)] == 3.0
+    assert p.regional_median()[Month(2020, 2)] == 4.0
+
+
+def test_normalised_against_regional_mean():
+    p = _panel()
+    norm = p.normalised_against_regional_mean("VE")
+    assert norm[Month(2020, 1)] == pytest.approx(1.0 / 3.0)
+    assert norm[Month(2020, 2)] == pytest.approx(0.5)
+
+
+def test_rank_in_month():
+    p = _panel()
+    assert p.rank_in_month("BR", Month(2020, 1)) == 1
+    assert p.rank_in_month("AR", Month(2020, 1)) == 2
+    assert p.rank_in_month("VE", Month(2020, 1)) == 3
+    assert p.rank_in_month("VE", Month(2020, 1), descending=False) == 1
+
+
+def test_rank_missing_observation_raises():
+    with pytest.raises(KeyError):
+        _panel().rank_in_month("BR", Month(2020, 2))
+
+
+def test_rank_trajectory():
+    traj = _panel().rank_trajectory("VE")
+    assert traj[Month(2020, 1)] == 3.0
+    assert traj[Month(2020, 2)] == 2.0
+
+
+def test_map_series():
+    p = _panel().map_series(lambda s: s.scale(10))
+    assert p["VE"][Month(2020, 1)] == 10.0
+
+
+def test_set_replaces():
+    p = _panel()
+    p.set("ve", MonthlySeries({Month(2021, 1): 42.0}))
+    assert p["VE"].months() == [Month(2021, 1)]

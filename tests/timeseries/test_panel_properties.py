@@ -1,0 +1,82 @@
+"""Property-based tests for CountryPanel invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeseries import CountryPanel, Month, MonthlySeries
+
+_codes = st.sampled_from(["VE", "AR", "BR", "CL", "CO", "MX", "UY", "PE"])
+_months = st.builds(Month, st.integers(2010, 2024), st.integers(1, 12))
+_values = st.floats(min_value=0.001, max_value=1e6, allow_nan=False)
+
+_records = st.lists(
+    st.tuples(_codes, _months, _values), min_size=1, max_size=60
+)
+
+
+def _panel(records):
+    return CountryPanel.from_records(records)
+
+
+@given(_records)
+def test_regional_sum_equals_sum_of_series(records):
+    panel = _panel(records)
+    total = panel.regional_sum()
+    for month in panel.months():
+        manual = sum(
+            series[month] for _c, series in panel.items() if month in series
+        )
+        assert abs(total[month] - manual) < 1e-6 * max(1.0, manual)
+
+
+@given(_records)
+def test_regional_mean_between_min_and_max(records):
+    panel = _panel(records)
+    mean = panel.regional_mean()
+    for month in panel.months():
+        observed = [s[month] for _c, s in panel.items() if month in s]
+        assert min(observed) - 1e-9 <= mean[month] <= max(observed) + 1e-9
+
+
+@given(_records)
+def test_ranks_are_a_permutation(records):
+    panel = _panel(records)
+    for month in panel.months():
+        present = [c for c, s in panel.items() if month in s]
+        ranks = sorted(panel.rank_in_month(c, month) for c in present)
+        # Ties share the better rank, so ranks are within [1, n] and the
+        # best rank is always 1.
+        assert ranks[0] == 1
+        assert all(1 <= r <= len(present) for r in ranks)
+
+
+@given(_records)
+def test_rank_descending_and_ascending_consistent(records):
+    panel = _panel(records)
+    for month in panel.months()[:3]:
+        present = [c for c, s in panel.items() if month in s]
+        for code in present:
+            down = panel.rank_in_month(code, month, descending=True)
+            up = panel.rank_in_month(code, month, descending=False)
+            worse_or_equal = len(present) + 1
+            # With no ties, down + up == n + 1; ties only reduce the sum.
+            assert down + up <= worse_or_equal + len(present)
+            assert down >= 1 and up >= 1
+
+
+@given(_records)
+def test_subset_preserves_series(records):
+    panel = _panel(records)
+    keep = panel.countries()[:2]
+    sub = panel.subset(keep)
+    for code in keep:
+        assert sub[code] == panel[code]
+
+
+@given(_records, _values)
+def test_normalisation_against_mean_bounds(records, scale):
+    panel = _panel(records)
+    code = panel.countries()[0]
+    norm = panel.normalised_against_regional_mean(code)
+    for month, value in norm.items():
+        assert value > 0

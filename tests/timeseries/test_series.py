@@ -1,0 +1,139 @@
+"""Tests for MonthlySeries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeseries import Month, MonthlySeries
+
+
+def _series(*pairs):
+    return MonthlySeries({Month.parse(k): v for k, v in pairs})
+
+
+_series_strategy = st.dictionaries(
+    st.builds(Month, st.integers(2000, 2030), st.integers(1, 12)),
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=40,
+).map(MonthlySeries)
+
+
+def test_empty_series():
+    s = MonthlySeries()
+    assert len(s) == 0
+    assert not s
+    with pytest.raises(ValueError):
+        s.first_month()
+    with pytest.raises(ValueError):
+        s.mean()
+
+
+def test_basic_accessors():
+    s = _series(("2020-01", 1.0), ("2020-05", 5.0), ("2019-12", 0.5))
+    assert s.first_month() == Month(2019, 12)
+    assert s.last_month() == Month(2020, 5)
+    assert s.first_value() == 0.5
+    assert s.last_value() == 5.0
+    assert s[Month(2020, 1)] == 1.0
+    assert s.get(Month(2020, 2)) is None
+    assert Month(2020, 5) in s
+
+
+def test_clip_range():
+    s = _series(("2020-01", 1.0), ("2020-05", 5.0), ("2020-09", 9.0))
+    clipped = s.clip_range(Month(2020, 2), Month(2020, 8))
+    assert clipped.months() == [Month(2020, 5)]
+
+
+def test_normalised_by_max():
+    s = _series(("2020-01", 2.0), ("2020-02", 8.0))
+    assert s.normalised_by_max().values() == [0.25, 1.0]
+
+
+def test_normalised_by_max_zero_peak_raises():
+    with pytest.raises(ValueError):
+        _series(("2020-01", 0.0)).normalised_by_max()
+
+
+def test_diff():
+    s = _series(("2020-01", 1.0), ("2020-02", 4.0), ("2020-04", 2.0))
+    d = s.diff()
+    assert d[Month(2020, 2)] == 3.0
+    assert d[Month(2020, 4)] == -2.0
+    assert Month(2020, 1) not in d
+
+
+def test_forward_fill():
+    s = _series(("2020-01", 1.0), ("2020-04", 4.0))
+    filled = s.forward_fill()
+    assert filled.values() == [1.0, 1.0, 1.0, 4.0]
+    extended = s.forward_fill(through=Month(2020, 6))
+    assert extended.values() == [1.0, 1.0, 1.0, 4.0, 4.0, 4.0]
+
+
+def test_rolling_mean():
+    s = _series(("2020-01", 2.0), ("2020-02", 4.0), ("2020-03", 6.0))
+    r = s.rolling_mean(2)
+    assert r.values() == [2.0, 3.0, 5.0]
+    with pytest.raises(ValueError):
+        s.rolling_mean(0)
+
+
+def test_yearly_last():
+    s = _series(("2020-03", 3.0), ("2020-11", 11.0), ("2021-02", 2.0))
+    y = s.yearly_last()
+    assert y.months() == [Month(2020, 11), Month(2021, 2)]
+
+
+def test_median_even_and_odd():
+    assert _series(("2020-01", 1.0), ("2020-02", 9.0)).median() == 5.0
+    assert _series(("2020-01", 1.0), ("2020-02", 9.0), ("2020-03", 2.0)).median() == 2.0
+
+
+def test_argmax_earliest_on_tie():
+    s = _series(("2020-01", 5.0), ("2020-03", 5.0), ("2020-02", 1.0))
+    assert s.argmax() == Month(2020, 1)
+
+
+def test_window_mean():
+    s = _series(("2020-01", 1.0), ("2020-02", 3.0), ("2020-06", 100.0))
+    assert s.window_mean(Month(2020, 1), Month(2020, 3)) == 2.0
+
+
+def test_equality():
+    assert _series(("2020-01", 1.0)) == _series(("2020-01", 1.0))
+    assert _series(("2020-01", 1.0)) != _series(("2020-01", 2.0))
+
+
+@given(_series_strategy)
+def test_months_sorted(s):
+    months = s.months()
+    assert months == sorted(months)
+
+
+@given(_series_strategy)
+def test_min_le_mean_le_max(s):
+    # Allow for float summation error on extreme magnitudes.
+    slack = 1e-6 * max(1.0, abs(s.min()), abs(s.max()))
+    assert s.min() - slack <= s.mean() <= s.max() + slack
+
+
+@given(_series_strategy)
+def test_scale_then_unscale_is_identity(s):
+    rescaled = s.scale(2.0).scale(0.5)
+    for m, v in s.items():
+        assert abs(rescaled[m] - v) <= 1e-6 * max(1.0, abs(v))
+
+
+@given(_series_strategy)
+def test_forward_fill_preserves_observations(s):
+    filled = s.forward_fill()
+    for m, v in s.items():
+        assert filled[m] == v
+
+
+@given(_series_strategy)
+def test_normalised_max_is_one(s):
+    if s.max() > 0:
+        assert abs(s.normalised_by_max().max() - 1.0) < 1e-12

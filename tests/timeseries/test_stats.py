@@ -1,0 +1,115 @@
+"""Tests for the narrative summary statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeseries import (
+    Month,
+    MonthlySeries,
+    cagr,
+    growth_factor,
+    half_year_value,
+    peak_decline_pct,
+    stagnation_months,
+)
+
+
+def _series(*pairs):
+    return MonthlySeries({Month.parse(k): v for k, v in pairs})
+
+
+def test_peak_decline_basic():
+    s = _series(("2010-01", 50.0), ("2013-01", 100.0), ("2020-01", 29.1))
+    assert peak_decline_pct(s) == pytest.approx(70.9)
+
+
+def test_peak_decline_no_decline_is_zero():
+    s = _series(("2010-01", 50.0), ("2020-01", 100.0))
+    assert peak_decline_pct(s) == 0.0
+
+
+def test_peak_decline_with_since_window():
+    s = _series(("2010-01", 200.0), ("2013-01", 100.0), ("2020-01", 23.0))
+    assert peak_decline_pct(s) == pytest.approx(88.5)
+    assert peak_decline_pct(s, since=Month(2013, 1)) == pytest.approx(77.0)
+
+
+def test_peak_decline_empty_window_raises():
+    s = _series(("2010-01", 1.0))
+    with pytest.raises(ValueError):
+        peak_decline_pct(s, since=Month(2015, 1))
+
+
+def test_peak_decline_zero_peak_raises():
+    with pytest.raises(ValueError):
+        peak_decline_pct(_series(("2010-01", 0.0)))
+
+
+def test_growth_factor():
+    s = _series(("2016-01", 59.0), ("2024-01", 138.0))
+    assert growth_factor(s) == pytest.approx(2.3389, abs=1e-3)
+    with pytest.raises(ValueError):
+        growth_factor(_series(("2016-01", 0.0), ("2024-01", 1.0)))
+
+
+def test_cagr_doubling_in_a_year():
+    s = _series(("2020-01", 1.0), ("2021-01", 2.0))
+    assert cagr(s) == pytest.approx(1.0)
+
+
+def test_cagr_requires_positive_and_elapsed():
+    with pytest.raises(ValueError):
+        cagr(_series(("2020-01", -1.0), ("2021-01", 2.0)))
+    with pytest.raises(ValueError):
+        cagr(_series(("2020-01", 1.0)))
+
+
+def test_stagnation_months_contiguous():
+    s = _series(("2010-01", 0.5), ("2010-06", 0.8), ("2020-01", 0.9), ("2020-02", 2.0))
+    # Below 1.0 from 2010-01 through 2020-01 inclusive = 121 months.
+    assert stagnation_months(s, threshold=1.0) == 121
+
+
+def test_stagnation_months_broken_run():
+    s = _series(
+        ("2010-01", 0.5), ("2010-02", 5.0), ("2010-03", 0.5), ("2010-06", 0.5)
+    )
+    assert stagnation_months(s, threshold=1.0) == 4  # 2010-03..2010-06
+
+
+def test_stagnation_months_none_below():
+    assert stagnation_months(_series(("2010-01", 5.0)), threshold=1.0) == 0
+
+
+def test_half_year_value():
+    s = _series(("2016-01", 10.0), ("2016-06", 20.0), ("2016-07", 100.0))
+    assert half_year_value(s, 2016, 1) == 15.0
+    assert half_year_value(s, 2016, 2) == 100.0
+    with pytest.raises(ValueError):
+        half_year_value(s, 2016, 3)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=30,
+    )
+)
+def test_peak_decline_bounds(values):
+    s = MonthlySeries({Month(2000, 1).plus(i): v for i, v in enumerate(values)})
+    d = peak_decline_pct(s)
+    assert 0.0 <= d < 100.0
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=30,
+    )
+)
+def test_growth_factor_matches_endpoints(values):
+    s = MonthlySeries({Month(2000, 1).plus(i): v for i, v in enumerate(values)})
+    assert growth_factor(s) == pytest.approx(values[-1] / values[0])

@@ -1,0 +1,99 @@
+"""Tests for trend estimation and changepoint detection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeseries import Month, MonthlySeries
+from repro.timeseries.trend import detect_changepoint, linear_trend
+
+
+def _linear(start, n, slope_per_month, base=10.0):
+    return MonthlySeries(
+        {start.plus(i): base + slope_per_month * i for i in range(n)}
+    )
+
+
+def test_linear_trend_exact():
+    series = _linear(Month(2010, 1), 24, slope_per_month=0.5)
+    trend = linear_trend(series)
+    assert trend.slope_per_year == pytest.approx(6.0)
+    assert trend.r_squared == pytest.approx(1.0)
+
+
+def test_linear_trend_flat():
+    series = _linear(Month(2010, 1), 12, slope_per_month=0.0)
+    trend = linear_trend(series)
+    assert trend.slope_per_year == 0.0
+
+
+def test_linear_trend_too_short():
+    with pytest.raises(ValueError):
+        linear_trend(MonthlySeries({Month(2010, 1): 1.0}))
+
+
+def test_changepoint_recovers_break():
+    # Rises for 48 months, collapses for 48.
+    rise = {Month(2009, 1).plus(i): 10.0 + 0.5 * i for i in range(48)}
+    fall = {Month(2013, 1).plus(i): 34.0 - 0.8 * i for i in range(48)}
+    series = MonthlySeries({**rise, **fall})
+    change = detect_changepoint(series)
+    assert abs(Month(2013, 1).months_until(change.month)) <= 2
+    assert change.before.slope_per_year > 0
+    assert change.after.slope_per_year < 0
+    assert change.sse_reduction > 0.9
+
+
+def test_changepoint_on_straight_line_weak():
+    series = _linear(Month(2010, 1), 40, slope_per_month=0.3)
+    change = detect_changepoint(series)
+    assert change.sse_reduction < 0.5  # no real break to find
+
+
+def test_changepoint_respects_min_segment():
+    series = _linear(Month(2010, 1), 20, slope_per_month=0.3)
+    change = detect_changepoint(series, min_segment=8)
+    offset = Month(2010, 1).months_until(change.month)
+    assert 8 <= offset <= 12
+
+
+def test_changepoint_too_short():
+    with pytest.raises(ValueError):
+        detect_changepoint(_linear(Month(2010, 1), 10, 0.1), min_segment=6)
+
+
+@given(
+    st.floats(min_value=-5, max_value=5, allow_nan=False),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+def test_linear_trend_recovers_any_line(slope, base):
+    series = MonthlySeries(
+        {Month(2010, 1).plus(i): base + slope * i for i in range(24)}
+    )
+    trend = linear_trend(series)
+    assert trend.slope_per_year == pytest.approx(12 * slope, abs=1e-6)
+
+
+def test_crisis_onset_detection_on_scenario(scenario):
+    """The data itself dates the crisis: CANTV's upstream break is ~2013."""
+    from repro.registry.address_plan import AS_CANTV
+
+    ups = scenario.asrel.upstream_count_series(AS_CANTV)
+    # Window ending before the 2019+ floor, so the two segments are the
+    # pre-crisis plateau and the sanctions-era decline.
+    window = ups.clip_range(Month(2008, 1), Month(2017, 12))
+    change = detect_changepoint(window, min_segment=12)
+    # The sharpest break of the staircase decline sits in the sanctions
+    # era (the 2013 departures are a small step; 2016-17 is the cliff).
+    assert 2012 <= change.month.year <= 2017
+    assert change.after.slope_per_year < 0
+    assert change.after.slope_per_year < change.before.slope_per_year
+
+
+def test_oil_changepoint_on_scenario(scenario):
+    from repro.macro.store import Indicator
+
+    oil = scenario.macro.series(Indicator.OIL_PRODUCTION, "VE")
+    window = oil.clip_range(Month(2000, 1), Month(2023, 1))
+    change = detect_changepoint(window, min_segment=5)
+    assert 2011 <= change.month.year <= 2016

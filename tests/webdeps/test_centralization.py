@@ -1,0 +1,61 @@
+"""Tests for centralization metrics."""
+
+import pytest
+
+from repro.webdeps import SiteObservation, SiteSurvey
+from repro.webdeps.centralization import (
+    centralization,
+    centralization_table,
+    provider_shares,
+)
+
+
+def _survey():
+    survey = SiteSurvey()
+    providers = ["cloudflare-dns", "cloudflare-dns", "cloudflare-dns", "route53", ""]
+    for i, dns in enumerate(providers):
+        survey.add(
+            SiteObservation(
+                country="VE",
+                site=f"s{i}.com.ve",
+                https=True,
+                third_party_dns=bool(dns),
+                third_party_ca=False,
+                third_party_cdn=False,
+                dns_provider=dns,
+            )
+        )
+    return survey
+
+
+def test_provider_shares():
+    shares = provider_shares(_survey(), "VE", "dns")
+    assert shares == {"cloudflare-dns": 0.75, "route53": 0.25}
+
+
+def test_provider_shares_unknown_service():
+    with pytest.raises(ValueError):
+        provider_shares(_survey(), "VE", "hosting")
+
+
+def test_centralization_stat():
+    stat = centralization(_survey(), "VE", "dns")
+    assert stat.providers == 2
+    assert stat.top_provider == "cloudflare-dns"
+    assert stat.top_share == 0.75
+    assert stat.hhi == pytest.approx(0.75**2 + 0.25**2)
+
+
+def test_centralization_requires_usage():
+    with pytest.raises(ValueError):
+        centralization(_survey(), "VE", "cdn")
+
+
+def test_table_on_scenario(scenario):
+    table = centralization_table(scenario.site_survey, "cdn")
+    assert len(table) == 9  # every surveyed country outsources some CDN
+    for stat in table:
+        assert 0 < stat.hhi <= 1
+        assert stat.providers >= 1
+    # The synthetic scrape cycles three providers evenly: HHI near 1/3.
+    assert table[0].hhi == pytest.approx(1 / 3, abs=0.05)

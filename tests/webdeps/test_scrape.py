@@ -1,0 +1,96 @@
+"""Tests for scrape-level classification."""
+
+from repro.webdeps.scrape import (
+    ScrapedResource,
+    ScrapedSite,
+    classify,
+    classify_ca,
+    classify_cdn,
+    classify_dns,
+)
+from repro.webdeps.synthetic import ADOPTION_TARGETS, synthesize_scraped_sites
+
+
+def _site(**overrides):
+    base = dict(
+        country="VE",
+        site="example.com.ve",
+        https=True,
+        nameservers=("ns1.example.com.ve",),
+        tls_issuer="Let's Encrypt",
+        resources=(ScrapedResource("example.com.ve", "document"),),
+    )
+    base.update(overrides)
+    return ScrapedSite(**base)
+
+
+def test_classify_dns_third_party():
+    site = _site(nameservers=("a.ns.cloudflare.com",))
+    assert classify_dns(site) == "cloudflare-dns"
+
+
+def test_classify_dns_in_house():
+    assert classify_dns(_site()) == ""
+
+
+def test_classify_dns_case_insensitive():
+    site = _site(nameservers=("NS1.AWSDNS.COM",))
+    assert classify_dns(site) == "route53"
+
+
+def test_classify_ca():
+    assert classify_ca(_site()) == "lets-encrypt"
+    assert classify_ca(_site(tls_issuer="Autoridad Nacional CA")) == ""
+    assert classify_ca(_site(tls_issuer="")) == ""
+
+
+def test_classify_cdn_document_host():
+    site = _site(
+        resources=(
+            ScrapedResource("example.com.ve.cdn.cloudflare.net", "document"),
+            ScrapedResource("img.example.com.ve", "image"),
+        )
+    )
+    assert classify_cdn(site) == "cloudflare"
+
+
+def test_classify_cdn_ignores_non_document_resources():
+    site = _site(
+        resources=(
+            ScrapedResource("example.com.ve", "document"),
+            ScrapedResource("assets.fastly.net", "script"),
+        )
+    )
+    assert classify_cdn(site) == ""
+
+
+def test_classify_full_observation():
+    site = _site(
+        nameservers=("a.ns.cloudflare.com",),
+        resources=(ScrapedResource("x.akamaiedge.net", "document"),),
+    )
+    observation = classify(site)
+    assert observation.third_party_dns
+    assert observation.third_party_ca
+    assert observation.third_party_cdn
+    assert observation.dns_provider == "cloudflare-dns"
+    assert observation.cdn_provider == "akamai"
+    assert observation.https
+
+
+def test_synthetic_scrapes_match_targets():
+    scraped = synthesize_scraped_sites()
+    assert len(scraped) == 100 * len(ADOPTION_TARGETS)
+    ve = [s for s in scraped if s.country == "VE"]
+    observations = [classify(s) for s in ve]
+    assert sum(o.third_party_dns for o in observations) == 29
+    assert sum(o.third_party_ca for o in observations) == 22
+    assert sum(o.third_party_cdn for o in observations) == 37
+    assert sum(o.https for o in observations) == 58
+
+
+def test_no_tls_implies_no_ca():
+    scraped = synthesize_scraped_sites()
+    for site in scraped:
+        if not site.https:
+            assert classify_ca(site) == ""

@@ -1,0 +1,102 @@
+"""Tests for the third-party dependency survey (Fig. 19)."""
+
+import pytest
+
+from repro.webdeps import (
+    SiteObservation,
+    SiteSurvey,
+    adoption_summary,
+    regional_mean,
+    synthesize_site_survey,
+)
+from repro.webdeps.analysis import country_order
+
+
+def _survey():
+    survey = SiteSurvey()
+    for i in range(4):
+        survey.add(
+            SiteObservation(
+                country="VE",
+                site=f"s{i}.com.ve",
+                https=i < 2,
+                third_party_dns=i < 1,
+                third_party_ca=i < 3,
+                third_party_cdn=False,
+            )
+        )
+    return survey
+
+
+def test_adoption_summary():
+    s = adoption_summary(_survey(), "ve")
+    assert s.sites == 4
+    assert s.https == 0.5
+    assert s.dns == 0.25
+    assert s.ca == 0.75
+    assert s.cdn == 0.0
+
+
+def test_summary_metric_accessor():
+    s = adoption_summary(_survey(), "VE")
+    assert s.metric("dns") == 0.25
+    with pytest.raises(ValueError):
+        s.metric("nope")
+
+
+def test_missing_country_raises():
+    with pytest.raises(ValueError):
+        adoption_summary(_survey(), "BR")
+
+
+def test_csv_roundtrip():
+    survey = _survey()
+    again = SiteSurvey.from_csv(survey.to_csv())
+    assert len(again) == len(survey)
+    assert adoption_summary(again, "VE").ca == 0.75
+
+
+def test_save_load(tmp_path):
+    survey = _survey()
+    path = tmp_path / "sites.csv"
+    survey.save(path)
+    assert len(SiteSurvey.load(path)) == 4
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return synthesize_site_survey()
+
+
+def test_ve_fractions_exact(synthetic):
+    ve = adoption_summary(synthetic, "VE")
+    assert (ve.dns, ve.ca, ve.cdn, ve.https) == (0.29, 0.22, 0.37, 0.58)
+
+
+def test_regional_means(synthetic):
+    assert regional_mean(synthetic, "dns") == pytest.approx(0.32, abs=0.005)
+    assert regional_mean(synthetic, "ca") == pytest.approx(0.26, abs=0.005)
+    assert regional_mean(synthetic, "cdn") == pytest.approx(0.46, abs=0.005)
+    assert regional_mean(synthetic, "https") == pytest.approx(0.60, abs=0.005)
+
+
+def test_fig19_orderings(synthetic):
+    assert country_order(synthetic, "dns")[:2] == ["BO", "VE"]
+    assert country_order(synthetic, "ca")[:2] == ["BO", "VE"]
+    assert country_order(synthetic, "cdn")[:3] == ["BO", "PY", "VE"]
+    https = country_order(synthetic, "https")
+    assert https[0] == "BO"
+    assert https.index("VE") == 3
+
+
+def test_nine_countries_surveyed(synthetic):
+    assert len(synthetic.countries()) == 9
+    for cc in synthetic.countries():
+        assert adoption_summary(synthetic, cc).sites == 100
+
+
+def test_providers_set_only_when_third_party(synthetic):
+    for obs in synthetic:
+        assert bool(obs.dns_provider) == obs.third_party_dns
+        assert bool(obs.ca_provider) == obs.third_party_ca
+        assert bool(obs.cdn_provider) == obs.third_party_cdn
