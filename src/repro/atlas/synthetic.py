@@ -32,6 +32,7 @@ from repro.atlas.rttmodel import (
 from repro.atlas.traceroute import Hop, TracerouteResult
 from repro.geo.countries import country as geo_country
 from repro.geo.venezuela import VE_CITIES
+from repro.obs import get_registry
 from repro.rootdns.deployment import RootDeployment, RootSite
 from repro.rootdns.naming import ROOT_LETTERS
 from repro.timeseries.month import Month, month_range
@@ -202,16 +203,25 @@ def synthesize_gpdns_campaign(
     The first sample of each probe-month carries the model's minimum RTT;
     later samples add congestion, so per-probe monthly minima recover the
     model exactly.
+
+    Emitted rows land in the ``atlas.traceroutes.rows_emitted`` counter,
+    tallied per probe-month batch so the hot loop stays unburdened.
     """
     wanted = {c.upper() for c in countries} if countries else None
-    for month in month_range(start, end):
-        for probe in registry.active(month):
-            if wanted is not None and probe.country not in wanted:
-                continue
-            base = gpdns_probe_rtt(probe, month)
-            for sample in range(samples_per_month):
-                congestion = 1.0 + 0.08 * sample
-                yield _traceroute(probe, month, sample, base * congestion)
+    emitted = 0
+    try:
+        for month in month_range(start, end):
+            for probe in registry.active(month):
+                if wanted is not None and probe.country not in wanted:
+                    continue
+                base = gpdns_probe_rtt(probe, month)
+                emitted += samples_per_month
+                for sample in range(samples_per_month):
+                    congestion = 1.0 + 0.08 * sample
+                    yield _traceroute(probe, month, sample, base * congestion)
+    finally:
+        if emitted:
+            get_registry().counter("atlas.traceroutes.rows_emitted").inc(emitted)
 
 
 # ---------------------------------------------------------------------------
@@ -281,46 +291,59 @@ def synthesize_chaos_campaign(
 
     One representative answer per (probe, letter, month) stands in for
     the 5-day batch the paper keeps.
+
+    Emitted rows land in the ``atlas.chaos.rows_emitted`` counter.  The
+    tally is kept per probe (every active letter yields exactly one row),
+    so the ~500k-row hot loop carries no per-row instrumentation.
     """
     wanted = {c.upper() for c in countries} if countries else None
     letter_list = [letter.upper() for letter in letters]
     chaos_cache: dict[int, str] = {}
-    for month in month_range(start, end):
-        index = _index_sites(deployment, month, letter_list)
-        for probe in registry.active(month):
-            if wanted is not None and probe.country not in wanted:
-                continue
-            for letter in letter_list:
-                active, by_country = index[letter]
-                if not active:
+    emitted = 0
+    try:
+        for month in month_range(start, end):
+            index = _index_sites(deployment, month, letter_list)
+            active_letter_count = sum(
+                1 for letter in letter_list if index[letter][0]
+            )
+            for probe in registry.active(month):
+                if wanted is not None and probe.country not in wanted:
                     continue
-                domestic = by_country.get(probe.country)
-                if domestic:
-                    site = domestic[probe.probe_id % len(domestic)]
-                else:
-                    if month < REGIONAL_SHIFT:
-                        preference: tuple[str, ...] = (
-                            _EU_POLICY.get(letter, "US"), "US",
-                        )
+                emitted += active_letter_count
+                for letter in letter_list:
+                    active, by_country = index[letter]
+                    if not active:
+                        continue
+                    domestic = by_country.get(probe.country)
+                    if domestic:
+                        site = domestic[probe.probe_id % len(domestic)]
                     else:
-                        preference = _REGIONAL_POLICY.get(letter, ("US",))
-                    site = None
-                    for cc in preference:
-                        candidates = by_country.get(cc)
-                        if candidates:
-                            site = candidates[probe.probe_id % len(candidates)]
-                            break
-                    if site is None:
-                        site = active[probe.probe_id % len(active)]
-                key = id(site)
-                answer = chaos_cache.get(key)
-                if answer is None:
-                    answer = site.chaos_string()
-                    chaos_cache[key] = answer
-                yield DNSBuiltinResult(
-                    probe_id=probe.probe_id,
-                    probe_country=probe.country,
-                    root_letter=letter,
-                    answer=answer,
-                    month=month,
-                )
+                        if month < REGIONAL_SHIFT:
+                            preference: tuple[str, ...] = (
+                                _EU_POLICY.get(letter, "US"), "US",
+                            )
+                        else:
+                            preference = _REGIONAL_POLICY.get(letter, ("US",))
+                        site = None
+                        for cc in preference:
+                            candidates = by_country.get(cc)
+                            if candidates:
+                                site = candidates[probe.probe_id % len(candidates)]
+                                break
+                        if site is None:
+                            site = active[probe.probe_id % len(active)]
+                    key = id(site)
+                    answer = chaos_cache.get(key)
+                    if answer is None:
+                        answer = site.chaos_string()
+                        chaos_cache[key] = answer
+                    yield DNSBuiltinResult(
+                        probe_id=probe.probe_id,
+                        probe_country=probe.country,
+                        root_letter=letter,
+                        answer=answer,
+                        month=month,
+                    )
+    finally:
+        if emitted:
+            get_registry().counter("atlas.chaos.rows_emitted").inc(emitted)

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from repro.obs import get_registry
+
 #: Provider-to-customer relationship code.
 P2C = -1
 #: Peer-to-peer relationship code.
@@ -127,6 +129,7 @@ def parse_asrel(text: str) -> ASRelationshipSnapshot:
         if kind not in (P2C, P2P):
             raise ASRelParseError(f"line {line_no}: bad relationship {kind}")
         relationships.append(Relationship(a, b, kind))
+    get_registry().counter("bgp.asrel.rows_parsed").inc(len(relationships))
     return ASRelationshipSnapshot(relationships)
 
 

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from repro.obs import get_registry
+
 
 class Prefix2ASParseError(ValueError):
     """Raised when a prefix2as line cannot be parsed."""
@@ -140,4 +142,5 @@ def parse_prefix2as(text: str) -> Prefix2ASSnapshot:
         if not origins:
             raise Prefix2ASParseError(f"line {line_no}: empty origin")
         entries.append(OriginEntry(network, origins))
+    get_registry().counter("bgp.prefix2as.rows_parsed").inc(len(entries))
     return Prefix2ASSnapshot(entries)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.bgp.archive import ASRelArchive, Prefix2ASArchive
 from repro.bgp.asrel import P2C, P2P, ASRelationshipSnapshot, Relationship
 from repro.bgp.prefix2as import OriginEntry, Prefix2ASSnapshot
+from repro.obs import get_registry
 from repro.registry import address_plan
 from repro.registry.address_plan import AS_CANTV, AS_TELEFONICA
 from repro.timeseries.month import Month, month_range
@@ -183,9 +184,11 @@ def synthesize_asrel_archive(
     start: Month = Month(1998, 1), end: Month = Month(2023, 12)
 ) -> ASRelArchive:
     """Monthly AS-relationship archive with the scripted CANTV history."""
-    return ASRelArchive(
-        {m: _snapshot_for(m, end) for m in month_range(start, end)}
+    snapshots = {m: _snapshot_for(m, end) for m in month_range(start, end)}
+    get_registry().counter("bgp.asrel.rows_emitted").inc(
+        sum(len(s) for s in snapshots.values())
     )
+    return ASRelArchive(snapshots)
 
 
 # ---------------------------------------------------------------------------
@@ -262,9 +265,11 @@ def synthesize_prefix2as_archive(
     start: Month = Month(2008, 1), end: Month = Month(2024, 1)
 ) -> Prefix2ASArchive:
     """Monthly prefix2as archive implementing the Fig. 2 / Fig. 14 scripts."""
-    return Prefix2ASArchive(
-        {m: _prefix2as_for(m) for m in month_range(start, end)}
+    snapshots = {m: _prefix2as_for(m) for m in month_range(start, end)}
+    get_registry().counter("bgp.prefix2as.rows_emitted").inc(
+        sum(len(s) for s in snapshots.values())
     )
+    return Prefix2ASArchive(snapshots)
 
 
 def provider_name(asn: int) -> str:

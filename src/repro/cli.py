@@ -7,6 +7,11 @@ Commands:
 * ``list``              -- list exhibit ids with their titles.
 * ``scorecard <cc>``    -- regional scorecard for one LACNIC country.
 * ``export <dir>``      -- write every dataset in its wire format.
+* ``stats``             -- profile a scenario build + full exhibit run.
+
+Global flags (before the command): ``--trace`` enables span tracing for
+any command, and ``--metrics-json PATH`` writes the ``repro.obs/1``
+metrics/trace artifact after the command finishes.
 """
 
 from __future__ import annotations
@@ -97,21 +102,27 @@ def _cmd_export(args: argparse.Namespace) -> int:
     scenario = Scenario(ndt_tests_per_month=args.ndt_tests_per_month)
     month = Month(2023, 12)
 
-    scenario.delegations.save(out / "delegated-lacnic-extended-latest")
-    scenario.asrel[month].save(out / f"{month}.as-rel.txt")
-    scenario.prefix2as[month].save(out / f"routeviews-rv2-{month}.pfx2as")
-    scenario.peeringdb.latest().save(out / "peeringdb_dump.json")
-    scenario.cables.save(out / "submarine_cables.json")
-    scenario.macro.save(out / "imf_indicators.csv")
-    scenario.populations.save(out / "apnic_populations.csv")
-    scenario.offnets.save(out / "offnets_artifacts.csv")
-    scenario.ipv6.save(out / "ipv6_adoption.csv")
-    scenario.site_survey.save(out / "webdeps_survey.csv")
-
     from repro.mlab.ndt import write_ndt_jsonl
 
-    write_ndt_jsonl(scenario.ndt_tests, out / "ndt_downloads.jsonl")
-    print(f"exported 11 datasets to {out}/")
+    writes = [
+        ("delegated-lacnic-extended-latest", lambda p: scenario.delegations.save(p)),
+        (f"{month}.as-rel.txt", lambda p: scenario.asrel[month].save(p)),
+        (
+            f"routeviews-rv2-{month}.pfx2as",
+            lambda p: scenario.prefix2as[month].save(p),
+        ),
+        ("peeringdb_dump.json", lambda p: scenario.peeringdb.latest().save(p)),
+        ("submarine_cables.json", lambda p: scenario.cables.save(p)),
+        ("imf_indicators.csv", lambda p: scenario.macro.save(p)),
+        ("apnic_populations.csv", lambda p: scenario.populations.save(p)),
+        ("offnets_artifacts.csv", lambda p: scenario.offnets.save(p)),
+        ("ipv6_adoption.csv", lambda p: scenario.ipv6.save(p)),
+        ("webdeps_survey.csv", lambda p: scenario.site_survey.save(p)),
+        ("ndt_downloads.jsonl", lambda p: write_ndt_jsonl(scenario.ndt_tests, p)),
+    ]
+    for filename, save in writes:
+        save(out / filename)
+    print(f"exported {len(writes)} datasets to {out}/")
     return 0
 
 
@@ -172,12 +183,59 @@ def _cmd_validate(_args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.report import run_all
+    from repro.obs import (
+        enable_tracing,
+        render_metrics,
+        render_spans,
+        render_timer_group,
+        trace_span,
+    )
+
+    enable_tracing(True)
+    scenario = Scenario(
+        ndt_tests_per_month=args.ndt_tests_per_month,
+        gpdns_samples_per_month=args.gpdns_samples_per_month,
+    )
+    with trace_span("stats.scenario.build"):
+        scenario.build_all()
+    run_all(scenario)
+
+    print(render_timer_group("dataset builds", "scenario.build."))
+    print()
+    print(render_timer_group("exhibit runs", "exhibit.run."))
+    print()
+    print(render_metrics())
+    if args.spans:
+        print()
+        print(render_spans())
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text!r}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Ten years of the Venezuelan crisis - An "
         "Internet perspective' (SIGCOMM 2024)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect wall-time spans during the command",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the repro.obs/1 metrics/trace artifact after the command",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -197,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     export = sub.add_parser("export", help="export datasets in wire formats")
     export.add_argument("directory")
-    export.add_argument("--ndt-tests-per-month", type=int, default=5)
+    export.add_argument("--ndt-tests-per-month", type=_positive_int, default=5)
     export.set_defaults(fn=_cmd_export)
 
     narrative = sub.add_parser("narrative", help="the computed headline findings")
@@ -212,13 +270,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser("validate", help="cross-dataset consistency checks")
     validate.set_defaults(fn=_cmd_validate)
+
+    stats = sub.add_parser(
+        "stats", help="profile a scenario build and full exhibit run"
+    )
+    stats.add_argument("--ndt-tests-per-month", type=_positive_int, default=40)
+    stats.add_argument("--gpdns-samples-per-month", type=_positive_int, default=2)
+    stats.add_argument(
+        "--spans", action="store_true", help="also print the span tree"
+    )
+    stats.set_defaults(fn=_cmd_stats)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing(True)
+    status = args.fn(args)
+    if args.metrics_json:
+        from repro.obs import write_metrics_json
+
+        path = write_metrics_json(args.metrics_json)
+        print(f"metrics artifact written to {path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

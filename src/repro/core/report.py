@@ -1,19 +1,29 @@
-"""Run exhibits and render the paper-vs-measured report."""
+"""Run exhibits and render the paper-vs-measured report.
+
+Every exhibit run is timed into ``exhibit.run.<id>`` and counted in
+``exhibit.runs`` (see :mod:`repro.obs`), so ``python -m repro stats``
+and the ``--metrics-json`` artifact report per-exhibit wall time.
+"""
 
 from __future__ import annotations
 
 from repro.core.exhibit import Exhibit, exhibit_ids, get_exhibit
 from repro.core.scenario import Scenario
+from repro.obs import get_registry, timed, trace_span
 
 
 def run_exhibit(scenario: Scenario, exhibit_id: str) -> Exhibit:
     """Run one exhibit against a scenario."""
-    return get_exhibit(exhibit_id)(scenario)
+    fn = get_exhibit(exhibit_id)
+    exhibit = timed(f"exhibit.run.{exhibit_id}", lambda: fn(scenario))
+    get_registry().counter("exhibit.runs").inc()
+    return exhibit
 
 
 def run_all(scenario: Scenario) -> list[Exhibit]:
     """Run every registered exhibit, in id order."""
-    return [run_exhibit(scenario, exhibit_id) for exhibit_id in exhibit_ids()]
+    with trace_span("report.run.all"):
+        return [run_exhibit(scenario, exhibit_id) for exhibit_id in exhibit_ids()]
 
 
 def render_report(scenario: Scenario) -> str:

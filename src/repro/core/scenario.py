@@ -4,6 +4,12 @@ A :class:`Scenario` materialises each dataset lazily and caches it, so a
 test session or benchmark run pays each generation cost once.  Everything
 is seeded: two scenarios built with the same parameters are identical.
 
+Every dataset build is observable: it runs under a
+``scenario.build.<name>`` span/timer and bumps the
+``scenario.dataset.built`` counter (see :mod:`repro.obs`), so
+``python -m repro stats`` can attribute a slow scenario to the dataset
+responsible.
+
 Swapping in real data: every property returns the parsed-data type of its
 substrate (archives, datasets, registries), so a pipeline over real
 archives only needs a Scenario subclass whose properties load from disk
@@ -12,8 +18,9 @@ instead of the synthetic generators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
+from typing import Callable, TypeVar
 
 from repro.apnic.model import APNICEstimates
 from repro.apnic.synthetic import synthesize_populations
@@ -32,6 +39,7 @@ from repro.macro.store import IndicatorStore
 from repro.macro.synthetic import synthesize_macro
 from repro.mlab.ndt import NDTResult
 from repro.mlab.synthetic import NDTLoadModel, synthesize_ndt_tests
+from repro.obs import get_registry, timed
 from repro.offnets.as2org import OrgMap
 from repro.offnets.records import OffnetArchive
 from repro.offnets.synthetic import synthesize_offnets, synthesize_org_map
@@ -46,6 +54,8 @@ from repro.telegeography.model import CableMap
 from repro.telegeography.synthetic import synthesize_cable_map
 from repro.webdeps.model import SiteSurvey
 from repro.webdeps.synthetic import synthesize_site_survey
+
+T = TypeVar("T")
 
 
 @dataclass
@@ -64,106 +74,145 @@ class Scenario:
     ndt_tests_per_month: int = 40
     gpdns_samples_per_month: int = 2
     seed: int = 20_240_804
-    _cache: dict = field(default_factory=dict, repr=False)
+
+    def _build(self, name: str, thunk: Callable[[], T]) -> T:
+        """Materialise one dataset under its span/timer and build counter."""
+        value = timed(f"scenario.build.{name}", thunk)
+        get_registry().counter("scenario.dataset.built").inc()
+        return value
 
     # -- Section 2: macro ---------------------------------------------------
 
     @cached_property
     def macro(self) -> IndicatorStore:
         """IMF/OECD indicator store (Fig. 1 / Fig. 13)."""
-        return synthesize_macro()
+        return self._build("macro", synthesize_macro)
 
     # -- Section 4: address space -------------------------------------------
 
     @cached_property
     def delegations(self) -> DelegationFile:
         """LACNIC delegation file for Venezuela (Fig. 2 denominator)."""
-        return synthesize_ve_delegations()
+        return self._build("delegations", synthesize_ve_delegations)
 
     @cached_property
     def prefix2as(self) -> Prefix2ASArchive:
         """Monthly RouteViews prefix2as archive (Fig. 2 / Fig. 14)."""
-        return synthesize_prefix2as_archive()
+        return self._build("prefix2as", synthesize_prefix2as_archive)
 
     # -- Section 5: infrastructure ---------------------------------------------
 
     @cached_property
     def peeringdb(self) -> PeeringDBArchive:
         """Monthly PeeringDB archive (Figs. 3, 10, 15, 21; Table 2)."""
-        return synthesize_peeringdb_archive()
+        return self._build("peeringdb", synthesize_peeringdb_archive)
 
     @cached_property
     def cables(self) -> CableMap:
         """Submarine cable map (Fig. 4)."""
-        return synthesize_cable_map()
+        return self._build("cables", synthesize_cable_map)
 
     @cached_property
     def ipv6(self) -> AdoptionDataset:
         """Meta IPv6 adoption dataset (Fig. 5)."""
-        return synthesize_ipv6_adoption()
+        return self._build("ipv6", synthesize_ipv6_adoption)
 
     @cached_property
     def root_deployment(self) -> RootDeployment:
         """Root server site schedule (ground truth behind Fig. 6)."""
-        return synthesize_root_deployment()
+        return self._build("root_deployment", synthesize_root_deployment)
 
     @cached_property
     def probes(self) -> ProbeRegistry:
         """RIPE Atlas probe fleet (Figs. 12, 17, 20)."""
-        return synthesize_probe_registry()
+        return self._build("probes", synthesize_probe_registry)
 
     @cached_property
     def chaos_observations(self) -> list[ChaosObservation]:
         """Parsed CHAOS TXT answers (Figs. 6, 16, 17)."""
-        return [
-            r.to_observation()
-            for r in synthesize_chaos_campaign(self.probes, self.root_deployment)
-        ]
+
+        def build() -> list[ChaosObservation]:
+            observations = [
+                r.to_observation()
+                for r in synthesize_chaos_campaign(self.probes, self.root_deployment)
+            ]
+            get_registry().counter("rootdns.chaos.rows_emitted").inc(
+                len(observations)
+            )
+            return observations
+
+        return self._build("chaos_observations", build)
 
     # -- Sections 5.5 / App. G-H: content infrastructure -------------------------
 
     @cached_property
     def populations(self) -> APNICEstimates:
         """APNIC per-AS population estimates (Table 1 and weighting)."""
-        return synthesize_populations()
+        return self._build("populations", synthesize_populations)
 
     @cached_property
     def offnets(self) -> OffnetArchive:
         """Hypergiant off-net archive (Figs. 7, 18)."""
-        return synthesize_offnets(self.populations)
+        return self._build("offnets", lambda: synthesize_offnets(self.populations))
 
     @cached_property
     def orgmap(self) -> OrgMap:
         """as2org+ organisation map."""
-        return synthesize_org_map()
+        return self._build("orgmap", synthesize_org_map)
 
     @cached_property
     def site_survey(self) -> SiteSurvey:
         """Third-party dependency survey (Fig. 19)."""
-        return synthesize_site_survey()
+        return self._build("site_survey", synthesize_site_survey)
 
     # -- Section 6: interdomain --------------------------------------------------
 
     @cached_property
     def asrel(self) -> ASRelArchive:
         """CAIDA AS-relationship archive (Figs. 8, 9)."""
-        return synthesize_asrel_archive()
+        return self._build("asrel", synthesize_asrel_archive)
 
     # -- Section 7: performance ----------------------------------------------------
 
     @cached_property
     def ndt_tests(self) -> list[NDTResult]:
         """Synthetic M-Lab NDT test load (Fig. 11)."""
-        model = NDTLoadModel(
-            seed=self.seed, tests_per_month=self.ndt_tests_per_month
-        )
-        return list(synthesize_ndt_tests(model))
+
+        def build() -> list[NDTResult]:
+            model = NDTLoadModel(
+                seed=self.seed, tests_per_month=self.ndt_tests_per_month
+            )
+            return list(synthesize_ndt_tests(model))
+
+        return self._build("ndt_tests", build)
 
     @cached_property
     def gpdns_traceroutes(self) -> list[TracerouteResult]:
         """GPDNS traceroute campaign results (Figs. 12, 20)."""
-        return list(
-            synthesize_gpdns_campaign(
-                self.probes, samples_per_month=self.gpdns_samples_per_month
+
+        def build() -> list[TracerouteResult]:
+            return list(
+                synthesize_gpdns_campaign(
+                    self.probes, samples_per_month=self.gpdns_samples_per_month
+                )
             )
-        )
+
+        return self._build("gpdns_traceroutes", build)
+
+    # -- whole-world construction --------------------------------------------
+
+    def build_all(self) -> list[str]:
+        """Materialise every dataset; returns the names built."""
+        names = dataset_names()
+        for name in names:
+            getattr(self, name)
+        return names
+
+
+def dataset_names() -> list[str]:
+    """Every Scenario dataset property, in definition order."""
+    return [
+        name
+        for name, attr in vars(Scenario).items()
+        if isinstance(attr, cached_property)
+    ]

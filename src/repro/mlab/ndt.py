@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.obs import counting, get_registry
 from repro.timeseries.month import Month
 
 
@@ -85,13 +86,18 @@ def write_ndt_jsonl(results: Iterable[NDTResult], path: Path | str) -> int:
             handle.write(result.to_json())
             handle.write("\n")
             count += 1
+    get_registry().counter("mlab.ndt.rows_written").inc(count)
     return count
 
 
 def parse_ndt_jsonl(path: Path | str) -> Iterator[NDTResult]:
     """Stream results back from a JSON Lines file."""
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield NDTResult.from_json(line)
+
+    def rows() -> Iterator[NDTResult]:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield NDTResult.from_json(line)
+
+    return counting("mlab.ndt.rows_parsed", rows())

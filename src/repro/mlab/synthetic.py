@@ -24,6 +24,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.mlab.ndt import NDTResult
+from repro.obs import get_registry
 from repro.timeseries.month import Month, month_range
 
 WINDOW_START = Month(2007, 7)
@@ -201,34 +202,43 @@ def synthesize_ndt_tests(model: NDTLoadModel = NDTLoadModel()) -> Iterator[NDTRe
     drawn by market share, and from 2021 the Venezuelan networks diverge
     (CANTV below the country curve, the fibre newcomers above it).  The
     stream is fully deterministic for a given model configuration.
+
+    Emitted rows land in the ``mlab.ndt.rows_emitted`` counter, tallied
+    per country-month batch (the same granularity the numpy draws use).
     """
     rng = np.random.default_rng(model.seed)
     countries = calibrated_countries()
     mixtures = {cc: _market_mixture(cc) for cc in countries}
     ve_asns, ve_weights = mixtures["VE"]
     ve_mults = _ve_multipliers(ve_asns, ve_weights)
-    for month in month_range(model.start, model.end):
-        for cc in countries:
-            median = median_target(cc, month)
-            mu = math.log(median)
-            asns, weights = mixtures[cc]
-            asn_idx = rng.choice(len(asns), size=model.tests_per_month, p=weights)
-            mus = np.full(model.tests_per_month, mu)
-            if cc == "VE" and month >= VE_MULTIPLIER_START:
-                mus = mus + np.log(ve_mults[asn_idx])
-            speeds = rng.lognormal(mean=0.0, sigma=SIGMA, size=model.tests_per_month)
-            speeds = speeds * np.exp(mus)
-            rtts = rng.gamma(shape=4.0, scale=12.0, size=model.tests_per_month)
-            losses = rng.beta(1.0, 200.0, size=model.tests_per_month)
-            days = rng.integers(1, 28, size=model.tests_per_month)
-            uploads = speeds * rng.uniform(0.25, 0.45, size=model.tests_per_month)
-            for i in range(model.tests_per_month):
-                yield NDTResult(
-                    date=_dt.date(month.year, month.month, int(days[i])),
-                    country=cc,
-                    asn=int(asns[asn_idx[i]]),
-                    download_mbps=float(speeds[i]),
-                    upload_mbps=float(uploads[i]),
-                    min_rtt_ms=float(rtts[i]),
-                    loss_rate=float(losses[i]),
-                )
+    emitted = 0
+    try:
+        for month in month_range(model.start, model.end):
+            for cc in countries:
+                median = median_target(cc, month)
+                mu = math.log(median)
+                asns, weights = mixtures[cc]
+                asn_idx = rng.choice(len(asns), size=model.tests_per_month, p=weights)
+                mus = np.full(model.tests_per_month, mu)
+                if cc == "VE" and month >= VE_MULTIPLIER_START:
+                    mus = mus + np.log(ve_mults[asn_idx])
+                speeds = rng.lognormal(mean=0.0, sigma=SIGMA, size=model.tests_per_month)
+                speeds = speeds * np.exp(mus)
+                rtts = rng.gamma(shape=4.0, scale=12.0, size=model.tests_per_month)
+                losses = rng.beta(1.0, 200.0, size=model.tests_per_month)
+                days = rng.integers(1, 28, size=model.tests_per_month)
+                uploads = speeds * rng.uniform(0.25, 0.45, size=model.tests_per_month)
+                emitted += model.tests_per_month
+                for i in range(model.tests_per_month):
+                    yield NDTResult(
+                        date=_dt.date(month.year, month.month, int(days[i])),
+                        country=cc,
+                        asn=int(asns[asn_idx[i]]),
+                        download_mbps=float(speeds[i]),
+                        upload_mbps=float(uploads[i]),
+                        min_rtt_ms=float(rtts[i]),
+                        loss_rate=float(losses[i]),
+                    )
+    finally:
+        if emitted:
+            get_registry().counter("mlab.ndt.rows_emitted").inc(emitted)

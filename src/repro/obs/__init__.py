@@ -1,0 +1,88 @@
+"""repro.obs: metrics, tracing, and profiling for the paper pipeline.
+
+Three layers, smallest first:
+
+* :mod:`repro.obs.metrics` -- counters/gauges/timer-histograms in a
+  process-global (but swappable) :class:`MetricsRegistry`.  Always on;
+  instrumented code records one update per batch, never per row.
+* :mod:`repro.obs.tracing` -- nested wall-time spans via
+  :func:`trace_span` / :func:`traced`.  Off by default with a near-zero
+  disabled path; the CLI's ``--trace`` flag and ``stats`` command enable
+  it.
+* :mod:`repro.obs.export` / :mod:`repro.obs.render` -- the ``repro.obs/1``
+  JSON artifact and the terminal tables behind ``python -m repro stats``.
+
+See ``docs/OBSERVABILITY.md`` for naming conventions and the artifact
+schema.
+"""
+
+from repro.obs.export import (
+    SCHEMA,
+    metrics_from_json,
+    metrics_to_dict,
+    metrics_to_json,
+    write_metrics_json,
+)
+from repro.obs.instruments import counting, timed
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    percentile,
+    set_registry,
+)
+from repro.obs.naming import MetricNameError, validate_name
+from repro.obs.render import render_metrics, render_spans, render_timer_group
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    enable_tracing,
+    get_tracer,
+    trace_span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "MetricNameError",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Timer",
+    "Tracer",
+    "counting",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "metrics_from_json",
+    "metrics_to_dict",
+    "metrics_to_json",
+    "percentile",
+    "render_metrics",
+    "render_spans",
+    "render_timer_group",
+    "reset",
+    "set_registry",
+    "timed",
+    "trace_span",
+    "traced",
+    "tracing_enabled",
+    "validate_name",
+    "write_metrics_json",
+]
+
+
+def reset() -> None:
+    """Reset all global observability state (metrics, spans, tracing flag).
+
+    Test fixtures call this between tests so instruments recorded by one
+    test never leak into another's assertions.
+    """
+    get_registry().reset()
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enabled = False

@@ -1,0 +1,281 @@
+"""Counters, gauges, and timer histograms behind a process-global registry.
+
+Instrumented code records through module-level helpers::
+
+    from repro.obs import get_registry
+
+    get_registry().counter("bgp.asrel.rows_parsed").inc(len(rows))
+    with get_registry().timer("exhibit.run.fig01").time():
+        ...
+
+Recording is always on: instruments are cheap enough (one lock-protected
+arithmetic update per *batch*, never per row) that the pipeline pays well
+under a percent of overhead.  Span *tracing*, the expensive part, lives in
+:mod:`repro.obs.tracing` and is opt-in.
+
+The default registry is process-global so deeply nested parsers need no
+plumbing, but :class:`MetricsRegistry` is an ordinary class: tests build
+private instances and swap them in via :func:`set_registry`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Iterator
+
+from repro.obs.naming import validate_name
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of *values* (``0 < q <= 1``).
+
+    Uses the classic nearest-rank definition: the smallest element with at
+    least ``q * n`` elements at or below it, so ``percentile(v, 0.5)`` of
+    an odd-length list is its true median and every result is an observed
+    value (no interpolation).
+
+    Raises:
+        ValueError: on an empty list or *q* outside ``(0, 1]``.
+    """
+    if not values:
+        raise ValueError("percentile of empty list")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1]: {q}")
+    ordered = sorted(values)
+    rank = math.ceil(q * len(ordered))
+    return ordered[rank - 1]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (must be >= 0) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A last-value-wins measurement (sizes, ratios, config knobs)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _TimerContext:
+    """Context manager recording one wall-time observation into a timer."""
+
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: "Timer"):
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.observe(time.perf_counter() - self._t0)
+
+
+class Timer:
+    """A duration histogram: count/sum/min/max plus p50/p95.
+
+    Observations are kept for percentile math up to ``max_samples``;
+    beyond that the aggregate stats stay exact and percentiles degrade to
+    the retained prefix (a run would need >100k timed *batches* to hit
+    this, far beyond any pipeline here).
+    """
+
+    __slots__ = ("name", "max_samples", "_lock", "_samples", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, max_samples: int = 100_000):
+        self.name = name
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration, in seconds."""
+        seconds = float(seconds)
+        with self._lock:
+            self._count += 1
+            self._sum += seconds
+            if seconds < self._min:
+                self._min = seconds
+            if seconds > self._max:
+                self._max = seconds
+            if len(self._samples) < self.max_samples:
+                self._samples.append(seconds)
+
+    def time(self) -> _TimerContext:
+        """``with timer.time(): ...`` records the block's wall time."""
+        return _TimerContext(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def snapshot(self) -> dict[str, float]:
+        """Aggregate view: count, sum, min, max, mean, p50, p95."""
+        with self._lock:
+            if not self._count:
+                return {"count": 0, "sum": 0.0}
+            samples = list(self._samples)
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count,
+                "p50": percentile(samples, 0.50),
+                "p95": percentile(samples, 0.95),
+            }
+
+
+class MetricsRegistry:
+    """Create-on-first-use home for every instrument.
+
+    Names are validated against the ``component.noun.verb`` convention
+    (:mod:`repro.obs.naming`) and each name owns exactly one instrument
+    kind: asking for ``counter(x)`` after ``timer(x)`` is an error.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def _claim(self, name: str, kind: str) -> str:
+        validate_name(name)
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("timer", self._timers),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"{name!r} is already a {other_kind}, cannot reuse as {kind}"
+                )
+        return name
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(self._claim(name, "counter"))
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(self._claim(name, "gauge"))
+            return instrument
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            instrument = self._timers.get(name)
+            if instrument is None:
+                instrument = self._timers[name] = Timer(self._claim(name, "timer"))
+            return instrument
+
+    # -- introspection -------------------------------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        """All counters, by name."""
+        with self._lock:
+            items = sorted(self._counters.items())
+        for _name, counter in items:
+            yield counter
+
+    def gauges(self) -> Iterator[Gauge]:
+        """All gauges, by name."""
+        with self._lock:
+            items = sorted(self._gauges.items())
+        for _name, gauge in items:
+            yield gauge
+
+    def timers(self) -> Iterator[Timer]:
+        """All timers, by name."""
+        with self._lock:
+            items = sorted(self._timers.items())
+        for _name, timer in items:
+            yield timer
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges) + len(self._timers)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict view of every instrument (the JSON artifact's core)."""
+        return {
+            "counters": {c.name: c.value for c in self.counters()},
+            "gauges": {g.name: g.value for g in self.gauges()},
+            "timers": {t.name: t.snapshot() for t in self.timers()},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+#: The process-global registry instrumented code records into by default.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

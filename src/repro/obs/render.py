@@ -1,0 +1,110 @@
+"""Terminal rendering of metrics and span traces.
+
+Produces the tables behind ``python -m repro stats``: counters and
+gauges as name/value pairs, timers as a count/total/min/p50/p95/max
+grid, and finished spans as an indented tree with per-span wall time.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Tracer, get_tracer
+
+
+def _fmt_seconds(seconds: float) -> str:
+    """Human duration: micro/milli/seconds with 1-3 significant columns."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds:8.3f}s "
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+    return lines
+
+
+def render_metrics(registry: MetricsRegistry | None = None) -> str:
+    """All instruments as aligned text tables (empty string when none)."""
+    registry = registry if registry is not None else get_registry()
+    sections: list[str] = []
+
+    counters = list(registry.counters())
+    if counters:
+        rows = [[c.name, f"{c.value:,}"] for c in counters]
+        sections.append("\n".join(["counters"] + _table(["name", "value"], rows)))
+
+    gauges = list(registry.gauges())
+    if gauges:
+        rows = [[g.name, f"{g.value:g}"] for g in gauges]
+        sections.append("\n".join(["gauges"] + _table(["name", "value"], rows)))
+
+    timers = [t for t in registry.timers() if t.count]
+    if timers:
+        rows = []
+        for t in timers:
+            snap = t.snapshot()
+            rows.append(
+                [
+                    t.name,
+                    str(snap["count"]),
+                    _fmt_seconds(snap["sum"]).strip(),
+                    _fmt_seconds(snap["min"]).strip(),
+                    _fmt_seconds(snap["p50"]).strip(),
+                    _fmt_seconds(snap["p95"]).strip(),
+                    _fmt_seconds(snap["max"]).strip(),
+                ]
+            )
+        headers = ["timer", "count", "total", "min", "p50", "p95", "max"]
+        sections.append("\n".join(["timers"] + _table(headers, rows)))
+
+    return "\n\n".join(sections)
+
+
+def render_spans(tracer: Tracer | None = None) -> str:
+    """Finished spans as an indented tree, one line per span."""
+    tracer = tracer if tracer is not None else get_tracer()
+    records = tracer.finished()
+    if not records:
+        return "(no spans recorded; run with tracing enabled)"
+    lines = ["spans"]
+    for record in records:
+        indent = "  " * record.depth
+        lines.append(f"{_fmt_seconds(record.duration)}  {indent}{record.name}")
+    return "\n".join(lines)
+
+
+def render_timer_group(
+    title: str, prefix: str, registry: MetricsRegistry | None = None
+) -> str:
+    """One table for every timer under *prefix*, sorted by total time.
+
+    Powers the per-dataset (``scenario.build.``) and per-exhibit
+    (``exhibit.run.``) sections of ``repro stats``.
+    """
+    registry = registry if registry is not None else get_registry()
+    timers = [
+        t for t in registry.timers() if t.name.startswith(prefix) and t.count
+    ]
+    if not timers:
+        return f"{title}\n(none recorded)"
+    timers.sort(key=lambda t: t.sum, reverse=True)
+    total = sum(t.sum for t in timers)
+    rows = []
+    for t in timers:
+        share = 100.0 * t.sum / total if total else 0.0
+        rows.append(
+            [t.name[len(prefix):], _fmt_seconds(t.sum).strip(), f"{share:5.1f}%"]
+        )
+    headers = ["name", "wall", "share"]
+    lines = [title] + _table(headers, rows)
+    lines.append(f"total: {_fmt_seconds(total).strip()} across {len(timers)}")
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Span-based tracing: where a scenario build or exhibit run spends time.
+
+Usage::
+
+    from repro.obs import trace_span, traced
+
+    with trace_span("scenario.build.peeringdb"):
+        archive = synthesize_peeringdb_archive()
+
+    @traced
+    def facility_count_panel(self): ...
+
+Tracing is **off by default** and the disabled path is near-free:
+:func:`trace_span` returns a shared no-op singleton (no allocation, no
+clock read), so leaving spans in hot code costs one attribute check.
+Enable with :func:`enable_tracing` (the CLI's ``--trace`` flag and the
+``stats`` command do this).
+
+When enabled, spans nest: each thread keeps its own stack, so a span
+opened inside another records its depth and parent, and concurrent
+threads never interleave stacks.  Finished spans land in a single
+process-wide list (lock-protected) ordered for rendering.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        name: Span name (``component.verb.subject`` like metric names).
+        depth: Nesting depth within its thread (0 = root span).
+        start: Seconds since the tracer's epoch at span entry.
+        duration: Wall-clock seconds spent inside the span.
+        thread: Name of the thread that ran the span.
+    """
+
+    name: str
+    depth: int
+    start: float
+    duration: float
+    thread: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "start": round(self.start, 6),
+            "duration": round(self.duration, 6),
+            "thread": self.thread,
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; records itself into the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "_depth", "_start", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        self._start = self._t0 - self._tracer.epoch
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                depth=self._depth,
+                start=self._start,
+                duration=duration,
+                thread=threading.current_thread().name,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans while enabled; a cheap flag check while not."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: list[SpanRecord] = []
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._finished.append(record)
+
+    def span(self, name: str) -> "_Span | _NullSpan":
+        """A context manager for one span (no-op while disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def finished(self) -> list[SpanRecord]:
+        """Finished spans in start order (pre-order of the span tree)."""
+        with self._lock:
+            return sorted(self._finished, key=lambda r: r.start)
+
+    def reset(self) -> None:
+        """Drop finished spans and restart the epoch."""
+        with self._lock:
+            self._finished.clear()
+            self.epoch = time.perf_counter()
+
+
+#: The process-global tracer; disabled until ``--trace`` or a test asks.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The current global tracer."""
+    return _TRACER
+
+
+def enable_tracing(on: bool = True) -> None:
+    """Turn global span collection on or off."""
+    _TRACER.enabled = on
+
+
+def tracing_enabled() -> bool:
+    """Whether the global tracer is collecting spans."""
+    return _TRACER.enabled
+
+
+def trace_span(name: str) -> "_Span | _NullSpan":
+    """Open a named span on the global tracer (no-op while disabled)."""
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    return _Span(_TRACER, name)
+
+
+def traced(fn: F | None = None, *, name: str | None = None) -> F:
+    """Decorator tracing every call of *fn* as one span.
+
+    Works bare (``@traced``) or configured (``@traced(name="bgp.parse")``).
+    The default span name is ``module.qualname`` with the ``repro.``
+    prefix dropped.
+    """
+
+    def wrap(func: F) -> F:
+        span_name = name
+        if span_name is None:
+            module = func.__module__ or "unknown"
+            if module.startswith("repro."):
+                module = module[len("repro."):]
+            span_name = f"{module}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args: object, **kwargs: object):
+            if not _TRACER.enabled:
+                return func(*args, **kwargs)
+            with _Span(_TRACER, span_name):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap  # type: ignore[return-value]

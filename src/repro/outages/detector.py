@@ -13,6 +13,7 @@ import datetime as _dt
 import statistics
 from dataclasses import dataclass
 
+from repro.obs import get_registry
 from repro.outages.signal import DailySignal
 
 
@@ -82,7 +83,11 @@ class OutageDetector:
                 recent.append(value)
                 if len(recent) > self.baseline_window:
                     recent.pop(0)
-        return self._merge(anomalies)
+        episodes = self._merge(anomalies)
+        registry = get_registry()
+        registry.counter("outages.days.scanned").inc(len(days))
+        registry.counter("outages.episodes.detected").inc(len(episodes))
+        return episodes
 
     @staticmethod
     def _merge(

@@ -13,6 +13,7 @@ import datetime as _dt
 import math
 from dataclasses import dataclass
 
+from repro.obs import get_registry
 from repro.outages.signal import DailySignal
 
 #: Default signal window.
@@ -113,4 +114,5 @@ def synthesize_connectivity(
         )
         signal.set(day, min(1.0, max(0.0, value - loss)))
         day += _dt.timedelta(days=1)
+    get_registry().counter("outages.signal.days_emitted").inc(len(signal))
     return signal

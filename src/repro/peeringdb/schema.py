@@ -11,6 +11,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import get_registry
+
 
 class PeeringDBParseError(ValueError):
     """Raised when a dump cannot be parsed."""
@@ -209,9 +211,18 @@ class PeeringDBSnapshot:
             return payload.get(table, {}).get("data", [])
 
         try:
-            return cls._from_rows(rows)
+            snapshot = cls._from_rows(rows)
         except (KeyError, TypeError, AttributeError, ValueError) as exc:
             raise PeeringDBParseError(f"malformed dump row: {exc}") from None
+        get_registry().counter("peeringdb.objects.rows_parsed").inc(
+            len(snapshot.orgs)
+            + len(snapshot.facilities)
+            + len(snapshot.networks)
+            + len(snapshot.exchanges)
+            + len(snapshot.netfacs)
+            + len(snapshot.netixlans)
+        )
+        return snapshot
 
     @classmethod
     def _from_rows(cls, rows) -> "PeeringDBSnapshot":

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apnic.synthetic import synthesize_populations
+from repro.obs import get_registry
 from repro.peeringdb.archive import PeeringDBArchive
 from repro.peeringdb.schema import (
     Facility,
@@ -336,6 +337,6 @@ def synthesize_peeringdb_archive(
 ) -> PeeringDBArchive:
     """Monthly PeeringDB archive over [start, end]."""
     networks = _build_networks()
-    return PeeringDBArchive(
-        {m: _snapshot_for(m, networks) for m in month_range(start, end)}
-    )
+    snapshots = {m: _snapshot_for(m, networks) for m in month_range(start, end)}
+    get_registry().counter("peeringdb.snapshots.rows_emitted").inc(len(snapshots))
+    return PeeringDBArchive(snapshots)

@@ -19,6 +19,8 @@ import datetime as _dt
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import get_registry
+
 _VALID_TYPES = {"ipv4", "ipv6", "asn"}
 _VALID_STATUSES = {"allocated", "assigned", "available", "reserved"}
 
@@ -176,4 +178,5 @@ def parse_delegation_file(text: str) -> DelegationFile:
         )
     if not saw_header:
         raise DelegationParseError("missing version header")
+    get_registry().counter("registry.delegation.rows_parsed").inc(len(records))
     return DelegationFile(registry=registry, snapshot_date=snapshot_date, records=records)

@@ -14,6 +14,7 @@ the sites that serve Venezuelan probes once the domestic ones vanish
 from __future__ import annotations
 
 from repro.geo.airports import airports_in_country
+from repro.obs import get_registry
 from repro.rootdns.deployment import RootDeployment, RootSite
 from repro.timeseries.month import Month
 
@@ -99,4 +100,5 @@ def synthesize_root_deployment() -> RootDeployment:
         key = (letter, code)
         overseas_counter[key] = overseas_counter.get(key, 0) + 1
         sites.append(RootSite(letter, code, overseas_counter[key], _OVERSEAS_START))
+    get_registry().counter("rootdns.sites.rows_emitted").inc(len(sites))
     return RootDeployment(sites)

@@ -1,14 +1,26 @@
-"""Shared fixtures: one Scenario per test session.
+"""Shared fixtures: one Scenario per test session, isolated obs state.
 
 Scenario properties are lazy and cached, so tests only pay for the
-datasets they actually touch.
+datasets they actually touch.  The observability layer is process-global
+(see :mod:`repro.obs`), so an autouse fixture resets it around every test:
+counters recorded by one test can never satisfy another's assertions, and
+a test that enables tracing cannot leave it on.
 """
 
 import pytest
 
+import repro.obs
 from repro.core import Scenario
 
 
 @pytest.fixture(scope="session")
 def scenario():
     return Scenario()
+
+
+@pytest.fixture(autouse=True)
+def reset_obs_state():
+    """Fresh global metrics registry and disabled tracer for every test."""
+    repro.obs.reset()
+    yield
+    repro.obs.reset()

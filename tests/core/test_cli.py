@@ -51,6 +51,14 @@ def test_export_command(tmp_path, capsys):
     assert len(names) == 11
 
 
+def test_export_count_matches_files_written(tmp_path, capsys):
+    out = tmp_path / "export"
+    assert main(["export", str(out), "--ndt-tests-per-month", "1"]) == 0
+    message = capsys.readouterr().out.strip()
+    reported = int(message.split()[1])
+    assert reported == len(list(out.iterdir()))
+
+
 def test_narrative_command(capsys):
     assert main(["narrative"]) == 0
     out = capsys.readouterr().out
@@ -80,3 +88,55 @@ def test_outages_command(capsys):
 def test_validate_command(capsys):
     assert main(["validate"]) == 0
     assert "all consistency checks passed" in capsys.readouterr().out
+
+
+def test_stats_command_renders_metrics_tables(capsys):
+    assert (
+        main(
+            [
+                "stats",
+                "--ndt-tests-per-month", "1",
+                "--gpdns-samples-per-month", "1",
+                "--spans",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # Per-dataset build table covers every Scenario dataset.
+    assert "dataset builds" in out
+    for name in ("peeringdb", "asrel", "ndt_tests", "chaos_observations"):
+        assert name in out
+    assert "total:" in out and "across 16" in out
+    # Per-exhibit table covers all 23 exhibits.
+    assert "exhibit runs" in out and "across 23" in out
+    # Counter and span sections render too.
+    assert "scenario.dataset.built" in out
+    assert "exhibit.runs" in out
+    assert "spans" in out and "scenario.build.macro" in out
+
+
+def test_metrics_json_flag_writes_valid_artifact(tmp_path, capsys):
+    from repro.obs import metrics_from_json
+
+    path = tmp_path / "metrics.json"
+    assert main(["--metrics-json", str(path), "exhibit", "fig01"]) == 0
+    doc = metrics_from_json(path.read_text(encoding="utf-8"))
+    assert doc["metrics"]["timers"]["exhibit.run.fig01"]["count"] == 1
+    assert doc["metrics"]["counters"]["exhibit.runs"] == 1
+
+
+def test_trace_flag_records_spans(capsys):
+    from repro.obs import get_tracer
+
+    assert main(["--trace", "exhibit", "fig04"]) == 0
+    names = [record.name for record in get_tracer().finished()]
+    assert "exhibit.run.fig04" in names
+    assert "scenario.build.cables" in names
+
+
+def test_exhibit_records_no_spans_without_trace_flag(capsys):
+    from repro.obs import get_tracer
+
+    assert main(["exhibit", "fig04"]) == 0
+    assert get_tracer().finished() == []

@@ -1,6 +1,10 @@
 """Tests for the Scenario container."""
 
+from functools import cached_property
+
 from repro.core import Scenario
+from repro.core.scenario import dataset_names
+from repro.obs import get_registry
 
 
 def test_properties_cached(scenario):
@@ -38,3 +42,30 @@ def test_parameters_respected():
     default = Scenario(ndt_tests_per_month=2)
     # Only compare one cheap slice: counts scale with the parameter.
     assert len(small.ndt_tests) * 2 == len(default.ndt_tests)
+
+
+def test_dataset_names_cover_every_cached_property():
+    names = dataset_names()
+    assert len(names) == 16
+    assert names[0] == "macro"
+    for name in names:
+        assert isinstance(vars(Scenario)[name], cached_property)
+
+
+def test_no_vestigial_cache_field():
+    # Caching goes through cached_property alone; the old `_cache` dict is
+    # gone, so equal-parameter scenarios compare equal again.
+    assert "_cache" not in Scenario.__dataclass_fields__
+    assert Scenario() == Scenario()
+    assert Scenario() != Scenario(seed=1)
+
+
+def test_builds_record_spans_and_counters():
+    scenario = Scenario(ndt_tests_per_month=1)
+    scenario.macro
+    scenario.delegations
+    scenario.macro  # cached: must not re-count
+    registry = get_registry()
+    assert registry.counter("scenario.dataset.built").value == 2
+    assert registry.timer("scenario.build.macro").count == 1
+    assert registry.timer("scenario.build.delegations").count == 1

@@ -48,4 +48,6 @@ def test_triangle_inequality(lat1, lon1, lat2, lon2, lat3, lon3):
     d12 = haversine_km(lat1, lon1, lat2, lon2)
     d23 = haversine_km(lat2, lon2, lat3, lon3)
     d13 = haversine_km(lat1, lon1, lat3, lon3)
-    assert d13 <= d12 + d23 + 1e-6
+    # asin() conditioning near the antipode leaves ~1e-6 km of noise on a
+    # 20,000 km leg; allow a tenth of a metre rather than a millimetre.
+    assert d13 <= d12 + d23 + 1e-4

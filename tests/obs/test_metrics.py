@@ -1,0 +1,194 @@
+"""Tests for counters, gauges, timers, and the registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricNameError,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    set_registry,
+)
+
+
+# -- percentile math ---------------------------------------------------------
+
+
+def test_percentile_median_of_odd_list():
+    assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+def test_percentile_nearest_rank_even_list():
+    # Nearest-rank p50 of 4 elements is the 2nd smallest.
+    assert percentile([4.0, 1.0, 3.0, 2.0], 0.5) == 2.0
+
+
+def test_percentile_p95_of_100():
+    values = [float(i) for i in range(1, 101)]
+    assert percentile(values, 0.95) == 95.0
+    assert percentile(values, 1.0) == 100.0
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 0.5) == 7.0
+    assert percentile([7.0], 0.95) == 7.0
+
+
+def test_percentile_rejects_empty_and_bad_q():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 0.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+# -- counters / gauges ---------------------------------------------------------
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    counter = registry.counter("test.rows.parsed")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+
+
+def test_counter_rejects_negative():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("test.rows.parsed").inc(-1)
+
+
+def test_counter_same_name_same_instrument():
+    registry = MetricsRegistry()
+    registry.counter("test.rows.parsed").inc(5)
+    registry.counter("test.rows.parsed").inc(5)
+    assert registry.counter("test.rows.parsed").value == 10
+
+
+def test_gauge_last_value_wins():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("test.queue.depth")
+    gauge.set(3)
+    gauge.set(7.5)
+    assert gauge.value == 7.5
+    gauge.add(0.5)
+    assert gauge.value == 8.0
+
+
+def test_counter_thread_safety():
+    registry = MetricsRegistry()
+    counter = registry.counter("test.rows.parsed")
+
+    def hammer():
+        for _ in range(10_000):
+            counter.inc()
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 40_000
+
+
+# -- timers --------------------------------------------------------------------
+
+
+def test_timer_snapshot_stats():
+    registry = MetricsRegistry()
+    timer = registry.timer("test.stage.run")
+    for ms in [10, 20, 30, 40, 50]:
+        timer.observe(ms / 1000)
+    snap = timer.snapshot()
+    assert snap["count"] == 5
+    assert snap["min"] == pytest.approx(0.010)
+    assert snap["max"] == pytest.approx(0.050)
+    assert snap["sum"] == pytest.approx(0.150)
+    assert snap["mean"] == pytest.approx(0.030)
+    assert snap["p50"] == pytest.approx(0.030)
+    assert snap["p95"] == pytest.approx(0.050)
+
+
+def test_timer_empty_snapshot():
+    registry = MetricsRegistry()
+    assert registry.timer("test.stage.run").snapshot() == {"count": 0, "sum": 0.0}
+
+
+def test_timer_context_manager_records():
+    registry = MetricsRegistry()
+    timer = registry.timer("test.stage.run")
+    with timer.time():
+        pass
+    assert timer.count == 1
+    assert timer.snapshot()["min"] >= 0.0
+
+
+def test_timer_sample_cap_keeps_aggregates_exact():
+    registry = MetricsRegistry()
+    timer = registry.timer("test.stage.run")
+    timer.max_samples = 10
+    for i in range(100):
+        timer.observe(float(i))
+    snap = timer.snapshot()
+    assert snap["count"] == 100
+    assert snap["max"] == 99.0
+    assert snap["sum"] == pytest.approx(sum(range(100)))
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_validates_names():
+    registry = MetricsRegistry()
+    with pytest.raises(MetricNameError):
+        registry.counter("NoDots")
+    with pytest.raises(MetricNameError):
+        registry.timer("Upper.Case")
+    with pytest.raises(MetricNameError):
+        registry.gauge("trailing.dot.")
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("test.rows.parsed")
+    with pytest.raises(ValueError):
+        registry.timer("test.rows.parsed")
+
+
+def test_registry_snapshot_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("a.b.c").inc(3)
+    registry.gauge("d.e.f").set(1.5)
+    registry.timer("g.h.i").observe(0.25)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"a.b.c": 3}
+    assert snap["gauges"] == {"d.e.f": 1.5}
+    assert snap["timers"]["g.h.i"]["count"] == 1
+    assert len(registry) == 3
+    registry.reset()
+    assert len(registry) == 0
+
+
+def test_global_registry_swap_restores():
+    private = MetricsRegistry()
+    previous = set_registry(private)
+    try:
+        get_registry().counter("swap.test.count").inc()
+        assert private.counter("swap.test.count").value == 1
+        assert "swap.test.count" not in previous.snapshot()["counters"]
+    finally:
+        set_registry(previous)
+
+
+def test_isolation_fixture_resets_global_registry_part1():
+    # The autouse fixture must wipe this before the companion test runs.
+    get_registry().counter("leak.check.count").inc(99)
+    assert get_registry().counter("leak.check.count").value == 99
+
+
+def test_isolation_fixture_resets_global_registry_part2():
+    assert "leak.check.count" not in get_registry().snapshot()["counters"]
