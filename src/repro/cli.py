@@ -8,15 +8,19 @@ Commands:
 * ``scorecard <cc>``    -- regional scorecard for one LACNIC country.
 * ``export <dir>``      -- write every dataset in its wire format.
 * ``stats``             -- profile a scenario build + full exhibit run.
+* ``cache info|clear``  -- inspect or empty the persistent dataset cache.
 
-Global flags (before the command): ``--trace`` enables span tracing for
-any command, and ``--metrics-json PATH`` writes the ``repro.obs/1``
-metrics/trace artifact after the command finishes.
+Global flags (before the command): ``--trace`` enables span tracing,
+``--metrics-json PATH`` writes the ``repro.obs/1`` artifact after the
+command, ``--jobs N`` prebuilds all datasets on N worker threads,
+``--cache-dir DIR`` relocates the persistent dataset cache (default
+``~/.cache/repro``), and ``--no-cache`` disables it for the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 from typing import Sequence
 
@@ -24,8 +28,30 @@ from repro.core import Scenario, exhibit_ids, get_exhibit, run_exhibit
 from repro.core.report import render_report
 
 
-def _cmd_report(_args: argparse.Namespace) -> int:
-    print(render_report(Scenario()))
+def _resolve_cache(args: argparse.Namespace):
+    """The DatasetCache the flags ask for, or None under ``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.exec import DatasetCache
+
+    return DatasetCache(args.cache_dir)  # None root -> ~/.cache/repro
+
+
+def _scenario(args: argparse.Namespace, **params: int) -> Scenario:
+    """A Scenario honouring the global cache/parallelism flags.
+
+    With ``--jobs N>1`` every dataset is prebuilt on the pool up front
+    (lazy access afterwards is a dict hit); otherwise datasets stay lazy
+    and build serially on first touch.
+    """
+    scenario = Scenario(cache=_resolve_cache(args), **params)
+    if args.jobs > 1:
+        scenario.build_all(max_workers=args.jobs)
+    return scenario
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(render_report(_scenario(args)))
     return 0
 
 
@@ -33,12 +59,28 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
     known = exhibit_ids()
     unknown = [e for e in args.ids if e not in known]
     if unknown:
+        hints = [
+            match
+            for e in unknown
+            for match in difflib.get_close_matches(e, known, n=1, cutoff=0.4)
+        ]
         print(f"unknown exhibit(s): {', '.join(unknown)}", file=sys.stderr)
+        if hints:
+            print(f"did you mean: {', '.join(dict.fromkeys(hints))}?", file=sys.stderr)
         print(f"known: {', '.join(known)}", file=sys.stderr)
         return 2
-    scenario = Scenario()
+    scenario = _scenario(args)
     for exhibit_id in args.ids:
-        print(run_exhibit(scenario, exhibit_id).render())
+        try:
+            exhibit = run_exhibit(scenario, exhibit_id)
+        except KeyError:
+            # Unreachable through the validation above, but registry and
+            # id-list can only drift apart in one process for so long:
+            # keep the CLI contract (exit 2, no traceback) either way.
+            print(f"unknown exhibit(s): {exhibit_id}", file=sys.stderr)
+            print(f"known: {', '.join(known)}", file=sys.stderr)
+            return 2
+        print(exhibit.render())
         print()
     return 0
 
@@ -71,7 +113,7 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     from repro.mlab.aggregate import median_download_panel
     from repro.rootdns.analysis import replica_count_panel
 
-    scenario = Scenario()
+    scenario = _scenario(args)
     panels = [
         ("peering facilities", scenario.peeringdb.facility_count_panel()),
         ("submarine cables", scenario.cables.count_panel(2000, 2024)),
@@ -99,7 +141,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     out = Path(args.directory)
     out.mkdir(parents=True, exist_ok=True)
-    scenario = Scenario(ndt_tests_per_month=args.ndt_tests_per_month)
+    scenario = _scenario(args, ndt_tests_per_month=args.ndt_tests_per_month)
     month = Month(2023, 12)
 
     from repro.mlab.ndt import write_ndt_jsonl
@@ -126,10 +168,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_narrative(_args: argparse.Namespace) -> int:
+def _cmd_narrative(args: argparse.Namespace) -> int:
     from repro.core.narrative import render_findings
 
-    print(render_findings(Scenario()))
+    print(render_findings(_scenario(args)))
     return 0
 
 
@@ -143,7 +185,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(sorted(THREE_PANEL_FIGURES))}", file=sys.stderr)
         return 2
-    scenario = Scenario()
+    scenario = _scenario(args)
     for figure_id in wanted:
         print(render_three_panel(THREE_PANEL_FIGURES[figure_id](scenario)))
         print()
@@ -171,10 +213,10 @@ def _cmd_outages(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_validate(_args: argparse.Namespace) -> int:
+def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.core.validation import validate_scenario
 
-    issues = validate_scenario(Scenario())
+    issues = validate_scenario(_scenario(args))
     if not issues:
         print("all consistency checks passed")
         return 0
@@ -195,11 +237,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     enable_tracing(True)
     scenario = Scenario(
+        cache=_resolve_cache(args),
         ndt_tests_per_month=args.ndt_tests_per_month,
         gpdns_samples_per_month=args.gpdns_samples_per_month,
     )
     with trace_span("stats.scenario.build"):
-        scenario.build_all()
+        scenario.build_all(max_workers=args.jobs)
     run_all(scenario)
 
     print(render_timer_group("dataset builds", "scenario.build."))
@@ -210,6 +253,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.spans:
         print()
         print(render_spans())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec import DatasetCache
+
+    # Maintenance always targets the resolved directory; --no-cache only
+    # governs whether *builds* consult it.
+    cache = DatasetCache(args.cache_dir)
+    if args.action == "info":
+        print(cache.info().render())
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
     return 0
 
 
@@ -236,6 +293,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json",
         metavar="PATH",
         help="write the repro.obs/1 metrics/trace artifact after the command",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="prebuild all scenario datasets on N worker threads "
+        "(dependency-aware; 1 = lazy serial builds)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent dataset cache directory "
+        "(default: $XDG_CACHE_HOME/repro or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="build every dataset in-process, ignoring the disk cache",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -280,6 +357,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--spans", action="store_true", help="also print the span tree"
     )
     stats.set_defaults(fn=_cmd_stats)
+
+    cache = sub.add_parser("cache", help="inspect or empty the dataset cache")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.set_defaults(fn=_cmd_cache)
     return parser
 
 

@@ -4,9 +4,19 @@ A :class:`Scenario` materialises each dataset lazily and caches it, so a
 test session or benchmark run pays each generation cost once.  Everything
 is seeded: two scenarios built with the same parameters are identical.
 
+Materialisation is thread-safe: each dataset is guarded by its own
+per-scenario lock and a double-checked materialised dict, so eight
+threads racing on one property build it exactly once and all receive
+the same object.  ``build_all(max_workers=N)`` exploits that by
+scheduling independent datasets onto a thread pool via
+:mod:`repro.exec.executor`, and an optional :class:`repro.exec.cache.DatasetCache`
+short-circuits builds entirely from a persistent on-disk store.
+
 Every dataset build is observable: it runs under a
 ``scenario.build.<name>`` span/timer and bumps the
-``scenario.dataset.built`` counter (see :mod:`repro.obs`), so
+``scenario.dataset.built`` counter — or, when served from the disk
+cache, the ``scenario.cache.hit`` counter instead (see
+:mod:`repro.obs` and ``docs/PERFORMANCE.md``), so
 ``python -m repro stats`` can attribute a slow scenario to the dataset
 responsible.
 
@@ -18,9 +28,10 @@ instead of the synthetic generators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 from repro.apnic.model import APNICEstimates
 from repro.apnic.synthetic import synthesize_populations
@@ -55,6 +66,9 @@ from repro.telegeography.synthetic import synthesize_cable_map
 from repro.webdeps.model import SiteSurvey
 from repro.webdeps.synthetic import synthesize_site_survey
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.cache import DatasetCache
+
 T = TypeVar("T")
 
 
@@ -69,17 +83,81 @@ class Scenario:
             campaign.
         seed: Seed of the stochastic (M-Lab) generator; all other
             generators are fully scripted.
+        cache: Optional persistent dataset cache consulted (and filled)
+            by every build; ``None`` (the default) keeps builds purely
+            in-process.  Excluded from equality: a cached scenario and
+            an uncached one describe the same world.
     """
 
     ndt_tests_per_month: int = 40
     gpdns_samples_per_month: int = 2
     seed: int = 20_240_804
+    cache: "DatasetCache | None" = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # Plain attributes (not dataclass fields): identity-level state
+        # that must never take part in equality or repr.
+        self._registry_lock = threading.Lock()
+        self._dataset_locks: dict[str, threading.Lock] = {}
+        self._materialised: dict[str, object] = {}
+
+    def cache_params(self) -> dict[str, int]:
+        """The scenario parameters that key every cache entry."""
+        return {
+            "ndt_tests_per_month": self.ndt_tests_per_month,
+            "gpdns_samples_per_month": self.gpdns_samples_per_month,
+            "seed": self.seed,
+        }
+
+    def _lock_for(self, name: str) -> threading.Lock:
+        with self._registry_lock:
+            lock = self._dataset_locks.get(name)
+            if lock is None:
+                lock = self._dataset_locks[name] = threading.Lock()
+            return lock
 
     def _build(self, name: str, thunk: Callable[[], T]) -> T:
-        """Materialise one dataset under its span/timer and build counter."""
-        value = timed(f"scenario.build.{name}", thunk)
-        get_registry().counter("scenario.dataset.built").inc()
-        return value
+        """Materialise one dataset, thread-safely, under its span/timer.
+
+        Double-checked per-dataset locking: the first thread in builds
+        (or loads from the disk cache) and records metrics once; any
+        thread racing it blocks, then returns the same object.  The
+        ``scenario.build.<name>`` timer covers materialisation from
+        either source — counters (``scenario.dataset.built`` vs
+        ``scenario.cache.hit``) say which one paid.
+
+        Builder thunks may touch other datasets (``chaos_observations``
+        reads ``probes``); those nest into different per-name locks and
+        the dependency graph is acyclic, so no lock cycle can form.
+        """
+        with self._lock_for(name):
+            if name in self._materialised:
+                return self._materialised[name]  # type: ignore[return-value]
+
+            def materialise() -> T:
+                registry = get_registry()
+                if self.cache is not None:
+                    from repro.exec.cache import CacheMiss
+
+                    params = self.cache_params()
+                    cached = self.cache.load(name, params)
+                    if not isinstance(cached, CacheMiss):
+                        registry.counter("scenario.cache.hit").inc()
+                        return cached  # type: ignore[return-value]
+                    if cached.reason == "corrupt":
+                        registry.counter("scenario.cache.corrupt").inc()
+                    registry.counter("scenario.cache.miss").inc()
+                    value = thunk()
+                    self.cache.store(name, params, value)
+                    registry.counter("scenario.cache.store").inc()
+                else:
+                    value = thunk()
+                registry.counter("scenario.dataset.built").inc()
+                return value
+
+            value = timed(f"scenario.build.{name}", materialise)
+            self._materialised[name] = value
+            return value
 
     # -- Section 2: macro ---------------------------------------------------
 
@@ -201,11 +279,25 @@ class Scenario:
 
     # -- whole-world construction --------------------------------------------
 
-    def build_all(self) -> list[str]:
-        """Materialise every dataset; returns the names built."""
+    def build_all(self, max_workers: int | None = None) -> list[str]:
+        """Materialise every dataset; returns the names, definition order.
+
+        Args:
+            max_workers: ``None`` or ``1`` builds serially in definition
+                order (the historical behaviour); ``2+`` schedules
+                independent datasets onto a thread pool via
+                :func:`repro.exec.executor.build_parallel`.  Either way
+                the resulting datasets are identical — generators are
+                deterministic and share no state.
+        """
         names = dataset_names()
-        for name in names:
-            getattr(self, name)
+        if max_workers is not None and max_workers > 1:
+            from repro.exec.executor import build_parallel
+
+            build_parallel(self, max_workers=max_workers)
+        else:
+            for name in names:
+                getattr(self, name)
         return names
 
 

@@ -1,0 +1,53 @@
+"""repro.exec: dependency-aware parallel builds and a persistent dataset cache.
+
+Two pieces, composable but independent:
+
+* :mod:`repro.exec.dag` -- the explicit dependency graph over
+  ``Scenario`` datasets.  Most datasets are roots; the three derived ones
+  (``chaos_observations``, ``offnets``, ``gpdns_traceroutes``) declare
+  their parents here, so a scheduler can build independent datasets
+  concurrently and a cache key can fold in the code of everything a
+  dataset was derived from.
+* :mod:`repro.exec.cache` -- a content-keyed on-disk cache
+  (``~/.cache/repro`` by default) that round-trips built datasets through
+  a versioned, checksummed pickle envelope.  Corrupt or stale entries are
+  deleted and rebuilt, never trusted.
+* :mod:`repro.exec.executor` -- topological scheduling of dataset builds
+  onto a ``ThreadPoolExecutor``; ``Scenario.build_all(max_workers=N)``
+  delegates here.
+
+See ``docs/PERFORMANCE.md`` for the build DAG, the cache key scheme, and
+invalidation rules.
+"""
+
+from repro.exec.cache import (
+    CACHE_SCHEMA,
+    CacheInfo,
+    DatasetCache,
+    default_cache_dir,
+)
+from repro.exec.dag import (
+    DATASET_DEPS,
+    code_fingerprint,
+    dependencies,
+    dependents,
+    topological_order,
+    transitive_dependencies,
+    validate_graph,
+)
+from repro.exec.executor import build_parallel
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheInfo",
+    "DATASET_DEPS",
+    "DatasetCache",
+    "build_parallel",
+    "code_fingerprint",
+    "default_cache_dir",
+    "dependencies",
+    "dependents",
+    "topological_order",
+    "transitive_dependencies",
+    "validate_graph",
+]

@@ -1,0 +1,251 @@
+"""Persistent, content-keyed disk cache for built Scenario datasets.
+
+Every dataset a ``Scenario`` builds is deterministic in (its name, the
+scenario parameters, the seed, and the generator code), so the cache key
+is a hash of exactly those four things — "fingerprint once, reuse
+forever".  A warm cache turns the ~4.5 s full build into a pickle load.
+
+Entry layout (one file per dataset under the cache root)::
+
+    <root>/<dataset>-<key prefix>.pkl
+
+    {"schema": "repro.cache/1", "dataset": ..., "key": ...,
+     "payload_sha256": ..., "payload_bytes": ...}\\n
+    <pickle payload>
+
+The JSON header line is the envelope version stamp; the payload checksum
+makes torn writes and bit rot detectable.  **Any** load failure — missing
+file, foreign header, checksum mismatch, unpicklable payload — is
+reported as a miss (and the bad entry deleted), so a corrupt cache can
+never do worse than a cold one.  Writes go through a temp file and
+``os.replace`` so concurrent builders and crashes leave either the old
+entry or the new one, never a hybrid.
+
+Obs wiring lives in the caller (``Scenario._build`` bumps
+``scenario.cache.hit`` / ``.miss`` / ``.corrupt`` / ``.store``); this
+module stays a plain storage layer so ``repro cache info|clear`` can use
+it without touching metrics.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.exec.dag import code_fingerprint
+
+#: Envelope schema stamped into (and required from) every entry.
+CACHE_SCHEMA = "repro.cache/1"
+
+#: Hex digits of the key used in entry filenames (collisions across
+#: different keys of the *same* dataset are resolved by the full key in
+#: the header, which load() verifies).
+_KEY_PREFIX_LEN = 16
+
+_GC_PAUSE_LOCK = threading.Lock()
+_GC_PAUSE_DEPTH = 0
+_GC_WAS_ENABLED = True
+
+
+@contextmanager
+def _gc_paused():
+    """Suspend the cyclic GC for the block (re-entrant, thread-safe).
+
+    (Un)pickling a dataset means allocating millions of tracked objects
+    in one burst, which triggers repeated full collections and nearly
+    doubles load time; none of those objects can be garbage mid-load.
+    A depth counter makes concurrent loads from pool workers share one
+    pause instead of re-enabling the GC under each other.
+    """
+    global _GC_PAUSE_DEPTH, _GC_WAS_ENABLED
+    with _GC_PAUSE_LOCK:
+        if _GC_PAUSE_DEPTH == 0:
+            _GC_WAS_ENABLED = gc.isenabled()
+            gc.disable()
+        _GC_PAUSE_DEPTH += 1
+    try:
+        yield
+    finally:
+        with _GC_PAUSE_LOCK:
+            _GC_PAUSE_DEPTH -= 1
+            if _GC_PAUSE_DEPTH == 0 and _GC_WAS_ENABLED:
+                gc.enable()
+
+
+class CacheMiss:
+    """Sentinel distinguishing "no entry" from a cached ``None``."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str):
+        self.reason = reason  # "absent" or "corrupt"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheMiss({self.reason!r})"
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """What ``repro cache info`` reports."""
+
+    path: Path
+    entries: int
+    total_bytes: int
+
+    def render(self) -> str:
+        lines = [
+            f"cache directory : {self.path}",
+            f"entries         : {self.entries}",
+            f"total size      : {self.total_bytes:,} bytes",
+        ]
+        return "\n".join(lines)
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``."""
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class DatasetCache:
+    """Content-keyed pickle store under one directory.
+
+    The directory is created lazily on the first store, so pointing
+    ``--cache-dir`` at a read-only location still works for pure lookups.
+    """
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- keys ---------------------------------------------------------------
+
+    def key(self, name: str, params: dict[str, object]) -> str:
+        """The full content key for dataset *name* under *params*.
+
+        SHA-256 over a canonical JSON document of (envelope schema,
+        dataset name, sorted scenario params, generator code
+        fingerprint).  Params include the seed; the code fingerprint
+        covers the dataset's generator modules and those of every
+        transitive dependency (see :func:`repro.exec.dag.code_fingerprint`).
+        """
+        document = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "dataset": name,
+                "params": params,
+                "code": code_fingerprint(name),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(document.encode()).hexdigest()
+
+    def entry_path(self, name: str, params: dict[str, object]) -> Path:
+        """Where the entry for (*name*, *params*) lives on disk."""
+        return self.root / f"{name}-{self.key(name, params)[:_KEY_PREFIX_LEN]}.pkl"
+
+    # -- load / store -------------------------------------------------------
+
+    def load(self, name: str, params: dict[str, object]) -> object | CacheMiss:
+        """The cached dataset, or a :class:`CacheMiss` telling why not.
+
+        A structurally damaged entry (foreign schema, checksum mismatch,
+        unpicklable payload, truncation) is deleted and reported as a
+        ``corrupt`` miss; the caller rebuilds and overwrites it.
+        """
+        path = self.entry_path(name, params)
+        try:
+            blob = path.read_bytes()
+        except (FileNotFoundError, NotADirectoryError):
+            return CacheMiss("absent")
+        except OSError:
+            return CacheMiss("corrupt")
+        try:
+            header_line, _, payload = blob.partition(b"\n")
+            header = json.loads(header_line)
+            if header.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"foreign schema {header.get('schema')!r}")
+            if header.get("key") != self.key(name, params):
+                # Filename-prefix collision with a different full key:
+                # treat as absent so the rebuild overwrites it.
+                raise ValueError("key mismatch")
+            if header.get("payload_bytes") != len(payload):
+                raise ValueError("truncated payload")
+            digest = hashlib.sha256(payload).hexdigest()
+            if header.get("payload_sha256") != digest:
+                raise ValueError("checksum mismatch")
+            with _gc_paused():
+                return pickle.loads(payload)
+        except Exception:
+            self._discard(path)
+            return CacheMiss("corrupt")
+
+    def store(self, name: str, params: dict[str, object], value: object) -> Path:
+        """Write (*name*, *params*) -> *value* atomically; returns the path."""
+        path = self.entry_path(name, params)
+        with _gc_paused():
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        header = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "dataset": name,
+                "key": self.key(name, params),
+                "payload_sha256": hashlib.sha256(payload).hexdigest(),
+                "payload_bytes": len(payload),
+            },
+            sort_keys=True,
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{name}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header.encode() + b"\n")
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._discard(Path(tmp_name))
+            raise
+        return path
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        """Every entry file currently in the cache directory."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*.pkl"))
+
+    def info(self) -> CacheInfo:
+        """Entry count and total size (``repro cache info``)."""
+        entries = list(self.entries())
+        return CacheInfo(
+            path=self.root,
+            entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            self._discard(path)
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,196 @@
+"""The explicit dependency graph over ``Scenario`` datasets.
+
+``Scenario``'s cached properties form a shallow DAG: most datasets are
+independent roots, while ``chaos_observations`` reads ``probes`` and
+``root_deployment``, ``offnets`` reads ``populations``, and
+``gpdns_traceroutes`` reads ``probes``.  That structure was previously
+implicit in the property bodies; declaring it here lets the parallel
+executor schedule independent builds concurrently and lets the disk
+cache key a dataset on the code of everything it was derived from.
+
+Keeping the declaration in sync with the properties is enforced two
+ways: :func:`validate_graph` cross-checks against
+``repro.core.scenario.dataset_names`` (and the test suite calls it), and
+the executor refuses to schedule a dataset the graph does not know.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import inspect
+
+#: Dataset name -> the datasets its builder reads.  Every Scenario
+#: cached property must appear here, roots with an empty tuple.
+DATASET_DEPS: dict[str, tuple[str, ...]] = {
+    "macro": (),
+    "delegations": (),
+    "prefix2as": (),
+    "peeringdb": (),
+    "cables": (),
+    "ipv6": (),
+    "root_deployment": (),
+    "probes": (),
+    "chaos_observations": ("probes", "root_deployment"),
+    "populations": (),
+    "offnets": ("populations",),
+    "orgmap": (),
+    "site_survey": (),
+    "asrel": (),
+    "ndt_tests": (),
+    "gpdns_traceroutes": ("probes",),
+}
+
+#: Dataset name -> modules whose source defines its generator.  The
+#: cache fingerprints these (plus the Scenario class itself) so editing
+#: a generator invalidates exactly the datasets built from it.
+GENERATOR_MODULES: dict[str, tuple[str, ...]] = {
+    "macro": ("repro.macro.synthetic",),
+    "delegations": ("repro.registry.synthetic",),
+    "prefix2as": ("repro.bgp.synthetic",),
+    "peeringdb": ("repro.peeringdb.synthetic",),
+    "cables": ("repro.telegeography.synthetic",),
+    "ipv6": ("repro.ipv6.synthetic",),
+    "root_deployment": ("repro.rootdns.synthetic",),
+    "probes": ("repro.atlas.synthetic",),
+    "chaos_observations": ("repro.atlas.synthetic", "repro.rootdns.analysis"),
+    "populations": ("repro.apnic.synthetic",),
+    "offnets": ("repro.offnets.synthetic",),
+    "orgmap": ("repro.offnets.synthetic",),
+    "site_survey": ("repro.webdeps.synthetic",),
+    "asrel": ("repro.bgp.synthetic",),
+    "ndt_tests": ("repro.mlab.synthetic",),
+    "gpdns_traceroutes": ("repro.atlas.synthetic",),
+}
+
+
+class DependencyGraphError(ValueError):
+    """The declared DAG disagrees with Scenario, or contains a cycle."""
+
+
+def dependencies(name: str) -> tuple[str, ...]:
+    """Direct dependencies of *name* (empty for roots)."""
+    try:
+        return DATASET_DEPS[name]
+    except KeyError:
+        raise DependencyGraphError(
+            f"unknown dataset {name!r}; known: {sorted(DATASET_DEPS)}"
+        ) from None
+
+
+def dependents(name: str) -> tuple[str, ...]:
+    """Datasets whose builders read *name*, in declaration order."""
+    dependencies(name)  # raise on unknown
+    return tuple(d for d, deps in DATASET_DEPS.items() if name in deps)
+
+
+def transitive_dependencies(name: str) -> tuple[str, ...]:
+    """All datasets *name* is derived from, nearest-first, deduplicated."""
+    seen: dict[str, None] = {}
+    frontier = list(dependencies(name))
+    while frontier:
+        dep = frontier.pop(0)
+        if dep in seen:
+            continue
+        seen[dep] = None
+        frontier.extend(dependencies(dep))
+    return tuple(seen)
+
+
+def topological_order() -> list[str]:
+    """Every dataset, dependencies before dependents (Kahn's algorithm).
+
+    Ties (independent datasets) resolve to declaration order, so the
+    result is deterministic across runs and machines.
+    """
+    declaration = {name: i for i, name in enumerate(DATASET_DEPS)}
+    remaining = {name: set(deps) for name, deps in DATASET_DEPS.items()}
+    ordered: list[str] = []
+    while remaining:
+        ready = sorted(
+            (name for name, deps in remaining.items() if not deps),
+            key=declaration.__getitem__,
+        )
+        if not ready:
+            raise DependencyGraphError(
+                f"dependency cycle among {sorted(remaining)}"
+            )
+        for name in ready:
+            ordered.append(name)
+            del remaining[name]
+        for deps in remaining.values():
+            deps.difference_update(ready)
+    return ordered
+
+
+def validate_graph(dataset_names: list[str] | None = None) -> None:
+    """Check the DAG covers Scenario exactly and is acyclic.
+
+    Args:
+        dataset_names: Authoritative property list; defaults to
+            ``repro.core.scenario.dataset_names()``.
+
+    Raises:
+        DependencyGraphError: on missing/extra datasets, edges to
+            unknown datasets, self-edges, or cycles.
+    """
+    if dataset_names is None:
+        from repro.core.scenario import dataset_names as _names
+
+        dataset_names = _names()
+    declared, actual = set(DATASET_DEPS), set(dataset_names)
+    if declared != actual:
+        missing = sorted(actual - declared)
+        extra = sorted(declared - actual)
+        raise DependencyGraphError(
+            f"DAG out of sync with Scenario: missing={missing} extra={extra}"
+        )
+    if set(GENERATOR_MODULES) != actual:
+        missing = sorted(actual - set(GENERATOR_MODULES))
+        raise DependencyGraphError(
+            f"GENERATOR_MODULES out of sync with Scenario: missing={missing}"
+        )
+    for dataset, deps in DATASET_DEPS.items():
+        for dep in deps:
+            if dep == dataset:
+                raise DependencyGraphError(f"{dataset!r} depends on itself")
+            if dep not in declared:
+                raise DependencyGraphError(
+                    f"{dataset!r} depends on unknown dataset {dep!r}"
+                )
+    topological_order()  # raises on cycles
+
+
+_FINGERPRINTS: dict[str, str] = {}
+
+
+def code_fingerprint(name: str) -> str:
+    """Version hash of the code that produces dataset *name*.
+
+    SHA-256 over the source text of the dataset's generator modules, the
+    generator modules of every transitive dependency, and
+    ``repro.core.scenario`` itself (whose property bodies wire the
+    generators together).  Editing any of those files changes the
+    fingerprint, which changes the cache key, which invalidates exactly
+    the cache entries that could now be stale.
+    """
+    cached = _FINGERPRINTS.get(name)
+    if cached is not None:
+        return cached
+    modules: dict[str, None] = {"repro.core.scenario": None}
+    for dataset in (name, *transitive_dependencies(name)):
+        try:
+            for module in GENERATOR_MODULES[dataset]:
+                modules[module] = None
+        except KeyError:
+            raise DependencyGraphError(
+                f"no generator modules declared for {dataset!r}"
+            ) from None
+    digest = hashlib.sha256()
+    for module_name in sorted(modules):
+        module = importlib.import_module(module_name)
+        digest.update(module_name.encode())
+        digest.update(inspect.getsource(module).encode())
+    fingerprint = digest.hexdigest()
+    _FINGERPRINTS[name] = fingerprint
+    return fingerprint

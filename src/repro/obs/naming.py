@@ -25,6 +25,8 @@ _NAME_RE = re.compile(rf"^{_SEGMENT}(\.{_SEGMENT})+$")
 #: for renderers that want to group related instruments.
 SCENARIO_BUILD_PREFIX = "scenario.build."
 EXHIBIT_RUN_PREFIX = "exhibit.run."
+SCENARIO_CACHE_PREFIX = "scenario.cache."
+EXEC_WORKER_PREFIX = "exec.worker_"
 
 
 class MetricNameError(ValueError):

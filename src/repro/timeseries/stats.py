@@ -61,24 +61,31 @@ def stagnation_months(series: MonthlySeries, threshold: float) -> int:
 
     Measures claims like "download speed remained below 1 Mbps for over a
     decade".  The run length is measured in calendar months between the
-    first and last observation of the run, inclusive, so sparse series are
-    handled naturally.
+    first and last observation of the run, inclusive (a single-observation
+    run counts as 1 month, wherever it sits — including at the series
+    tail), so sparse series are handled naturally.
     """
     run_start: Month | None = None
-    prev: Month | None = None
+    run_end: Month | None = None
     best = 0
+
+    def flush() -> int:
+        """Length of the current run in inclusive calendar months."""
+        if run_start is None or run_end is None:
+            return 0
+        return run_start.months_until(run_end) + 1
+
     for month, value in series.items():
         if value < threshold:
             if run_start is None:
                 run_start = month
-            prev = month
+            run_end = month
         else:
-            if run_start is not None and prev is not None:
-                best = max(best, run_start.months_until(prev) + 1)
-            run_start = None
-    if run_start is not None and prev is not None:
-        best = max(best, run_start.months_until(prev) + 1)
-    return best
+            best = max(best, flush())
+            run_start = run_end = None
+    # One shared flush for the run (if any) still open at the tail: the
+    # loop body above only closes runs on an at-or-above observation.
+    return max(best, flush())
 
 
 def half_year_value(series: MonthlySeries, year: int, half: int) -> float:

@@ -31,6 +31,23 @@ def test_exhibit_unknown_id(capsys):
     assert "fig99" in err
 
 
+def test_exhibit_unknown_id_suggests_and_exits_cleanly(capsys):
+    # Regression: a typoed id must exit 2 with a suggestion, never a raw
+    # KeyError traceback out of the exhibit registry.
+    assert main(["exhibit", "tabel1"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown exhibit(s): tabel1" in err
+    assert "did you mean: table1?" in err
+    assert "known:" in err
+
+
+def test_exhibit_typo_in_multi_id_list_runs_nothing(capsys):
+    assert main(["exhibit", "fig01", "fig9z"]) == 2
+    captured = capsys.readouterr()
+    assert "fig9z" in captured.err
+    assert "FIG01" not in captured.out  # no partial output before the error
+
+
 def test_scorecard_rejects_unknown_country(capsys):
     assert main(["scorecard", "XX"]) == 2
     assert "unknown country" in capsys.readouterr().err
@@ -124,6 +141,80 @@ def test_metrics_json_flag_writes_valid_artifact(tmp_path, capsys):
     doc = metrics_from_json(path.read_text(encoding="utf-8"))
     assert doc["metrics"]["timers"]["exhibit.run.fig01"]["count"] == 1
     assert doc["metrics"]["counters"]["exhibit.runs"] == 1
+
+
+def test_metrics_json_creates_nested_parent_dirs(tmp_path, capsys):
+    # Regression: --metrics-json into a directory that does not exist yet
+    # must create it rather than dying with FileNotFoundError after the
+    # command already ran.
+    from repro.obs import metrics_from_json
+
+    path = tmp_path / "out" / "nested" / "m.json"
+    assert main(["--metrics-json", str(path), "list"]) == 0
+    assert path.is_file()
+    metrics_from_json(path.read_text(encoding="utf-8"))
+
+
+def test_cache_info_and_clear_commands(tmp_path, capsys):
+    cache_dir = tmp_path / "cachedir"
+    assert main(["--cache-dir", str(cache_dir), "exhibit", "fig01"]) == 0
+    capsys.readouterr()
+    assert main(["--cache-dir", str(cache_dir), "cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert str(cache_dir) in out
+    assert "entries         : 1" in out  # fig01 touches only macro
+    assert main(["--cache-dir", str(cache_dir), "cache", "clear"]) == 0
+    assert "removed 1 cache entry" in capsys.readouterr().out
+    assert main(["--cache-dir", str(cache_dir), "cache", "info"]) == 0
+    assert "entries         : 0" in capsys.readouterr().out
+
+
+def test_cache_warm_run_rebuilds_nothing(tmp_path, capsys):
+    from repro.obs import metrics_from_json
+
+    cache_dir = tmp_path / "cachedir"
+    cold_json = tmp_path / "cold.json"
+    warm_json = tmp_path / "warm.json"
+    assert main(
+        ["--cache-dir", str(cache_dir), "--metrics-json", str(cold_json),
+         "exhibit", "fig01"]
+    ) == 0
+    cold_out = capsys.readouterr().out
+    import repro.obs
+
+    repro.obs.reset()  # the warm artifact must cover the warm run alone
+    assert main(
+        ["--cache-dir", str(cache_dir), "--metrics-json", str(warm_json),
+         "exhibit", "fig01"]
+    ) == 0
+    warm_out = capsys.readouterr().out
+    assert warm_out == cold_out  # byte-identical exhibit output
+    cold = metrics_from_json(cold_json.read_text(encoding="utf-8"))
+    warm = metrics_from_json(warm_json.read_text(encoding="utf-8"))
+    assert cold["metrics"]["counters"]["scenario.dataset.built"] > 0
+    assert "scenario.dataset.built" not in warm["metrics"]["counters"]
+    assert (
+        warm["metrics"]["counters"]["scenario.cache.hit"]
+        == cold["metrics"]["counters"]["scenario.dataset.built"]
+    )
+
+
+def test_no_cache_flag_skips_the_cache(tmp_path, capsys):
+    cache_dir = tmp_path / "cachedir"
+    assert main(
+        ["--no-cache", "--cache-dir", str(cache_dir), "exhibit", "fig01"]
+    ) == 0
+    assert not cache_dir.exists()
+
+
+def test_jobs_flag_prebuilds_in_parallel(capsys):
+    from repro.obs import get_registry
+
+    assert main(["--no-cache", "--jobs", "4", "exhibit", "fig01"]) == 0
+    registry = get_registry()
+    assert registry.counter("scenario.dataset.built").value == 16
+    assert registry.gauge("exec.workers.max").value == 4.0
+    assert "FIG01" in capsys.readouterr().out
 
 
 def test_trace_flag_records_spans(capsys):

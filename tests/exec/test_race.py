@@ -1,0 +1,75 @@
+"""Thread-safety of Scenario materialisation under concurrent access.
+
+``functools.cached_property`` stopped locking in Python 3.12, so the
+safety here comes entirely from ``Scenario._build``'s per-dataset
+double-checked locking — these tests hammer it.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core import Scenario
+from repro.exec import DatasetCache
+from repro.obs import get_registry
+
+
+def _hammer(scenario, name, threads=8):
+    """Touch one property from *threads* threads at the same instant."""
+    barrier = threading.Barrier(threads)
+
+    def grab():
+        barrier.wait()
+        return getattr(scenario, name)
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return [f.result() for f in [pool.submit(grab) for _ in range(threads)]]
+
+
+def test_eight_threads_one_property_builds_once():
+    scenario = Scenario(ndt_tests_per_month=1)
+    results = _hammer(scenario, "peeringdb", threads=8)
+    first = results[0]
+    assert all(r is first for r in results), "all threads must share one object"
+    registry = get_registry()
+    assert registry.counter("scenario.dataset.built").value == 1
+    assert registry.timer("scenario.build.peeringdb").count == 1
+
+
+def test_race_on_derived_dataset_counts_each_dependency_once():
+    scenario = Scenario(ndt_tests_per_month=1, gpdns_samples_per_month=1)
+    results = _hammer(scenario, "chaos_observations", threads=8)
+    assert all(r is results[0] for r in results)
+    registry = get_registry()
+    # chaos + probes + root_deployment: exactly three builds, ever.
+    assert registry.counter("scenario.dataset.built").value == 3
+    assert registry.timer("scenario.build.probes").count == 1
+    assert registry.counter("rootdns.chaos.rows_emitted").value == len(results[0])
+
+
+def test_race_with_cache_stores_exactly_once(tmp_path):
+    cache = DatasetCache(tmp_path / "c")
+    scenario = Scenario(cache=cache, ndt_tests_per_month=1)
+    results = _hammer(scenario, "delegations", threads=8)
+    assert all(r is results[0] for r in results)
+    registry = get_registry()
+    assert registry.counter("scenario.cache.miss").value == 1
+    assert registry.counter("scenario.cache.store").value == 1
+    assert len(list(cache.entries())) == 1
+
+
+def test_racing_different_properties_never_cross_contaminate():
+    scenario = Scenario(ndt_tests_per_month=1)
+    names = ["macro", "delegations", "cables", "probes"] * 2
+    barrier = threading.Barrier(len(names))
+
+    def grab(name):
+        barrier.wait()
+        return name, getattr(scenario, name)
+
+    with ThreadPoolExecutor(max_workers=len(names)) as pool:
+        results = [f.result() for f in [pool.submit(grab, n) for n in names]]
+    by_name = {}
+    for name, value in results:
+        by_name.setdefault(name, value)
+        assert by_name[name] is value
+    assert get_registry().counter("scenario.dataset.built").value == 4

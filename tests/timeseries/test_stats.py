@@ -82,6 +82,53 @@ def test_stagnation_months_none_below():
     assert stagnation_months(_series(("2010-01", 5.0)), threshold=1.0) == 0
 
 
+def test_stagnation_months_single_observation_run_at_tail():
+    # Regression: a one-observation run sitting at the series tail goes
+    # through the same flush as an interior run and counts as 1 month.
+    s = _series(("2010-01", 5.0), ("2010-02", 0.5))
+    assert stagnation_months(s, threshold=1.0) == 1
+    # ... same as the identical run in the interior:
+    s_interior = _series(("2010-01", 5.0), ("2010-02", 0.5), ("2010-03", 5.0))
+    assert stagnation_months(s_interior, threshold=1.0) == 1
+
+
+def test_stagnation_months_run_ending_at_final_observation():
+    # A tail run longer than any interior run must win.
+    s = _series(
+        ("2010-01", 0.5), ("2010-02", 5.0),  # interior run: 1 month
+        ("2010-06", 0.5), ("2011-06", 0.5),  # tail run: 13 months
+    )
+    assert stagnation_months(s, threshold=1.0) == 13
+
+
+def test_stagnation_months_every_observation_below():
+    s = _series(("2010-01", 0.1), ("2012-01", 0.2), ("2014-06", 0.3))
+    assert stagnation_months(s, threshold=1.0) == 54  # 2010-01..2014-06
+
+
+def test_stagnation_months_boundary_value_not_below():
+    # Exactly-at-threshold observations break a run (strict <).
+    s = _series(("2010-01", 0.5), ("2010-02", 1.0), ("2010-03", 0.5))
+    assert stagnation_months(s, threshold=1.0) == 1
+
+
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=40),
+)
+def test_stagnation_months_matches_brute_force(below_flags):
+    months = [Month(2000, 1).plus(i) for i in range(len(below_flags))]
+    s = MonthlySeries(
+        {m: (0.5 if below else 2.0) for m, below in zip(months, below_flags)}
+    )
+    # Brute force: longest contiguous True stretch (dense series, so
+    # calendar months == observation count).
+    best = run = 0
+    for below in below_flags:
+        run = run + 1 if below else 0
+        best = max(best, run)
+    assert stagnation_months(s, threshold=1.0) == best
+
+
 def test_half_year_value():
     s = _series(("2016-01", 10.0), ("2016-06", 20.0), ("2016-07", 100.0))
     assert half_year_value(s, 2016, 1) == 15.0
