@@ -1,0 +1,180 @@
+"""Benchmark the HTTP serving layer and emit ``BENCH_serve.json``.
+
+Boots an in-process :mod:`repro.serve` server and drives it with a
+threaded load-generating client, measuring two regimes:
+
+* ``cold``  -- first contact: the opening burst pays one single-flight
+  scenario build and every response render.
+* ``warm``  -- steady state: every request replays from the LRU
+  response cache.
+
+For each regime the artifact (schema ``repro.bench.serve/1``) records
+requests/sec and latency percentiles, plus the obs counters that prove
+the serving invariants: a warm server rebuilds **zero** datasets under
+concurrent load (``scenario.dataset.built`` stays flat while
+``serve.cache.hit`` grows) — the script exits non-zero if that does not
+hold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        [--out BENCH_serve.json] [--threads 8] [--requests-per-thread 25] \
+        [--jobs 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core import exhibit_ids
+from repro.obs import get_registry, percentile
+from repro.serve import create_server
+
+SCHEMA = "repro.bench.serve/1"
+
+
+def _load(
+    host: str, port: int, paths: list[str], threads: int, requests_per_thread: int
+) -> dict:
+    """Fire the request mix from N threads; returns timing + latencies."""
+    latencies: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(threads)
+
+    def worker(worker_id: int) -> None:
+        # One connection per request (the server is HTTP/1.0) — this is
+        # the per-request cost a shell `curl` loop would see.
+        barrier.wait()
+        for i in range(requests_per_thread):
+            path = paths[(worker_id + i) % len(paths)]
+            t0 = time.perf_counter()
+            try:
+                connection = http.client.HTTPConnection(host, port, timeout=120)
+                connection.request("GET", path)
+                response = connection.getresponse()
+                body = response.read()
+                connection.close()
+                if response.status != 200 or not body:
+                    raise RuntimeError(f"{path} -> {response.status}")
+            except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+                with lock:
+                    failures.append(f"{path}: {exc}")
+                continue
+            with lock:
+                latencies.append(time.perf_counter() - t0)
+
+    workers = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    t0 = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    elapsed = time.perf_counter() - t0
+
+    if failures:
+        raise SystemExit(f"{len(failures)} failed requests, first: {failures[0]}")
+    return {
+        "requests": len(latencies),
+        "seconds": round(elapsed, 4),
+        "requests_per_second": round(len(latencies) / elapsed, 1),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1e3, 2),
+            "p95": round(percentile(latencies, 0.95) * 1e3, 2),
+            "max": round(max(latencies) * 1e3, 2),
+        },
+    }
+
+
+def bench(threads: int, requests_per_thread: int, jobs: int) -> dict:
+    """Run the cold and warm load phases; returns the artifact dict."""
+    server = create_server(jobs=jobs)  # cold: no prebuild, empty caches
+    host, port = server.server_address[:2]
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+
+    registry = get_registry()
+    # The mix every worker cycles through: all 23 exhibits + the reports.
+    paths = [f"/v1/exhibit/{exhibit_id}" for exhibit_id in exhibit_ids()]
+    paths += ["/v1/report", "/v1/narrative", "/v1/scorecard/VE", "/v1/exhibits"]
+
+    try:
+        cold = _load(host, port, paths, threads, requests_per_thread)
+        built_after_cold = registry.counter("scenario.dataset.built").value
+        hits_after_cold = registry.counter("serve.cache.hit").value
+
+        warm = _load(host, port, paths, threads, requests_per_thread)
+        built_after_warm = registry.counter("scenario.dataset.built").value
+        hits_after_warm = registry.counter("serve.cache.hit").value
+    finally:
+        server.shutdown()
+        server.server_close()
+        serve_thread.join(timeout=10)
+
+    # The serving invariants this benchmark exists to defend.
+    if built_after_warm != built_after_cold:
+        raise SystemExit(
+            f"warm phase rebuilt datasets: {built_after_cold} -> {built_after_warm}"
+        )
+    if hits_after_warm <= hits_after_cold:
+        raise SystemExit("warm phase did not grow serve.cache.hit")
+
+    return {
+        "schema": SCHEMA,
+        "threads": threads,
+        "requests_per_thread": requests_per_thread,
+        "jobs": jobs,
+        "endpoints": len(paths),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "phases": {"cold": cold, "warm": warm},
+        "counters": {
+            "scenario.dataset.built": built_after_warm,
+            "serve.cache.hit": hits_after_warm,
+            "serve.inflight.coalesced": registry.counter(
+                "serve.inflight.coalesced"
+            ).value,
+            "serve.requests": registry.counter("serve.requests").value,
+        },
+        "speedup_warm_vs_cold": round(
+            warm["requests_per_second"] / cold["requests_per_second"], 2
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--requests-per-thread", type=int, default=25)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    artifact = bench(
+        threads=args.threads,
+        requests_per_thread=args.requests_per_thread,
+        jobs=args.jobs,
+    )
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    for phase in ("cold", "warm"):
+        stats = artifact["phases"][phase]
+        print(
+            f"{phase:<5}: {stats['requests_per_second']:>8.1f} req/s   "
+            f"p50 {stats['latency_ms']['p50']:>8.2f}ms   "
+            f"p95 {stats['latency_ms']['p95']:>8.2f}ms   "
+            f"({stats['requests']} requests in {stats['seconds']:.2f}s)"
+        )
+    print(f"warm/cold speedup: {artifact['speedup_warm_vs_cold']}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

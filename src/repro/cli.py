@@ -4,9 +4,10 @@ Commands:
 
 * ``report``            -- run every exhibit and print the full report.
 * ``exhibit <id>...``   -- run selected exhibits (``fig01``..``table2``).
-* ``list``              -- list exhibit ids with their titles.
+* ``list [--json]``     -- list exhibit ids with their titles.
 * ``scorecard <cc>``    -- regional scorecard for one LACNIC country.
 * ``export <dir>``      -- write every dataset in its wire format.
+* ``serve``             -- serve exhibits/report/scorecards over HTTP.
 * ``stats``             -- profile a scenario build + full exhibit run.
 * ``cache info|clear``  -- inspect or empty the persistent dataset cache.
 
@@ -21,10 +22,12 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import json
 import sys
 from typing import Sequence
 
-from repro.core import Scenario, exhibit_ids, get_exhibit, run_exhibit
+from repro.core import Scenario, exhibit_ids, run_exhibit
+from repro.core.exhibit import exhibit_catalog
 from repro.core.report import render_report
 
 
@@ -85,52 +88,38 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    scenario_free_titles = {}
-    for exhibit_id in exhibit_ids():
-        fn = get_exhibit(exhibit_id)
-        doc = (fn.__doc__ or "").strip().splitlines()
-        scenario_free_titles[exhibit_id] = doc[0] if doc else ""
-    width = max(len(e) for e in scenario_free_titles)
-    for exhibit_id, title in scenario_free_titles.items():
-        print(f"{exhibit_id:<{width}}  {title}")
+def _cmd_list(args: argparse.Namespace) -> int:
+    # One listing representation, shared with the server's /v1/exhibits.
+    catalog = exhibit_catalog()
+    if args.json:
+        print(json.dumps(catalog, indent=2))
+        return 0
+    if not catalog:
+        return 0
+    width = max(len(entry["id"]) for entry in catalog)
+    for entry in catalog:
+        print(f"{entry['id']:<{width}}  {entry['title']}")
     return 0
 
 
 def _cmd_scorecard(args: argparse.Namespace) -> int:
-    from repro.geo.countries import UnknownCountryError, country, is_lacnic
+    from repro.core.scorecard import (
+        NonLacnicCountryError,
+        UnknownCountryError,
+        build_scorecard,
+        check_country,
+    )
 
     code = args.country.upper()
     try:
-        home = country(code)
+        check_country(code)  # reject typos before paying for any build
     except UnknownCountryError:
         print(f"unknown country code: {code}", file=sys.stderr)
         return 2
-    if not is_lacnic(code):
-        print(f"{home.name} is outside the LACNIC region", file=sys.stderr)
+    except NonLacnicCountryError as exc:
+        print(exc, file=sys.stderr)
         return 2
-
-    from repro.mlab.aggregate import median_download_panel
-    from repro.rootdns.analysis import replica_count_panel
-
-    scenario = _scenario(args)
-    panels = [
-        ("peering facilities", scenario.peeringdb.facility_count_panel()),
-        ("submarine cables", scenario.cables.count_panel(2000, 2024)),
-        ("IPv6 adoption (%)", scenario.ipv6.panel()),
-        ("root DNS replicas", replica_count_panel(scenario.chaos_observations)),
-        ("download speed (Mbps)", median_download_panel(scenario.ndt_tests)),
-    ]
-    print(f"{home.name} ({code}) — latest snapshot")
-    for name, panel in panels:
-        series = panel.get(code)
-        if series is None or not series:
-            print(f"  {name:<24} none")
-            continue
-        month = series.last_month()
-        value = series.last_value()
-        rank = panel.rank_in_month(code, month)
-        print(f"  {name:<24} {value:>9.2f}   rank {rank}/{len(panel)}")
+    print(build_scorecard(_scenario(args), code).render())
     return 0
 
 
@@ -223,6 +212,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     for issue in issues:
         print(f"[{issue.severity}] {issue.check}: {issue.detail}")
     return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import create_server, run
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        cache=_resolve_cache(args),
+        jobs=args.jobs,
+        prebuild=not args.no_prebuild,
+        verbose=args.verbose,
+    )
+    if not args.no_prebuild:
+        print("scenario prebuilt; serving warm", file=sys.stderr)
+    print(f"serving on {server.url} (SIGTERM or Ctrl-C to stop)", file=sys.stderr)
+    run(server)  # returns after the drain completes
+    print("server drained; exiting", file=sys.stderr)
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -324,6 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
     exhibit.set_defaults(fn=_cmd_exhibit)
 
     listing = sub.add_parser("list", help="list exhibit ids")
+    listing.add_argument(
+        "--json",
+        action="store_true",
+        help='emit the catalog as JSON: [{"id", "title"}, ...]',
+    )
     listing.set_defaults(fn=_cmd_list)
 
     scorecard = sub.add_parser("scorecard", help="regional scorecard for a country")
@@ -344,6 +357,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     outages = sub.add_parser("outages", help="detect the scripted blackouts")
     outages.set_defaults(fn=_cmd_outages)
+
+    serve = sub.add_parser(
+        "serve", help="serve exhibits, reports, and scorecards over HTTP"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--no-prebuild",
+        action="store_true",
+        help="skip the startup scenario build; the first request pays it "
+        "(single-flight: concurrent cold requests share one build)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     validate = sub.add_parser("validate", help="cross-dataset consistency checks")
     validate.set_defaults(fn=_cmd_validate)

@@ -102,3 +102,26 @@ def exhibit_ids() -> list[str]:
     import repro.core.exhibits  # noqa: F401
 
     return sorted(_REGISTRY)
+
+
+def exhibit_title(exhibit_id: str) -> str:
+    """The one-line title of an exhibit, without running it.
+
+    Exhibit functions document themselves; the first docstring line is
+    the listing title (running the function to read ``Exhibit.title``
+    would cost a scenario build).
+    """
+    doc = (get_exhibit(exhibit_id).__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+def exhibit_catalog() -> list[dict[str, str]]:
+    """Every exhibit as ``{"id", "title"}``, in id order.
+
+    The one listing representation shared by ``repro list`` (text and
+    ``--json``) and the HTTP server's ``/v1/exhibits`` endpoint.
+    """
+    return [
+        {"id": exhibit_id, "title": exhibit_title(exhibit_id)}
+        for exhibit_id in exhibit_ids()
+    ]

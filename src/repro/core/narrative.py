@@ -122,8 +122,11 @@ def all_findings(scenario: Scenario) -> list[Finding]:
     ]
 
 
+def format_findings(findings: list[Finding]) -> str:
+    """Already-computed findings as a bulleted block."""
+    return "\n".join(f"* [{finding.topic}] {finding.text}" for finding in findings)
+
+
 def render_findings(scenario: Scenario) -> str:
     """The findings as a bulleted block."""
-    return "\n".join(
-        f"* [{finding.topic}] {finding.text}" for finding in all_findings(scenario)
-    )
+    return format_findings(all_findings(scenario))

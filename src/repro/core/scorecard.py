@@ -1,0 +1,156 @@
+"""Regional scorecard: one country's latest standing across five signals.
+
+The paper's methodology is country-vs-region throughout, so any LACNIC
+economy can be scored on the same five panels Venezuela is measured by:
+peering facilities, submarine cables, IPv6 adoption, root DNS replicas,
+and download speed.  This module computes that scorecard once;
+``repro scorecard`` renders it as text and ``repro serve`` returns it as
+JSON, so the two surfaces can never drift apart.
+
+Small economies are legitimately absent from some panels (no peering
+facility has ever been listed in Barbados); a missing panel is reported
+as an explicit ``none`` row and the scorecard carries an availability
+count so callers can tell "no data" from "rank not computed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scenario import Scenario
+from repro.geo.countries import UnknownCountryError, country  # noqa: F401  (re-export)
+
+
+class NonLacnicCountryError(ValueError):
+    """Raised for a real country outside the LACNIC service region."""
+
+
+def check_country(code: str):
+    """Validate a scorecard country code without building anything.
+
+    Returns the :class:`~repro.geo.countries.Country` for *code*
+    (case-insensitive).  Callers validate first so a typo is rejected
+    before any scenario build is paid for.
+
+    Raises:
+        UnknownCountryError: *code* is not in the country registry.
+        NonLacnicCountryError: the country is outside the LACNIC region.
+    """
+    home = country(code.upper())
+    if not home.lacnic:
+        raise NonLacnicCountryError(f"{home.name} is outside the LACNIC region")
+    return home
+
+
+@dataclass(frozen=True, slots=True)
+class ScorecardRow:
+    """One panel's latest value and regional rank (or an explicit gap).
+
+    Attributes:
+        panel: Human-readable panel name (e.g. ``"peering facilities"``).
+        month: Month of the latest observation (``str``), or None.
+        value: Latest observed value, or None when the panel has no data
+            for the country.
+        rank: Regional rank of that value in its month, or None.
+        total: Number of economies the panel covers (rank denominator).
+    """
+
+    panel: str
+    month: str | None
+    value: float | None
+    rank: int | None
+    total: int
+
+    @property
+    def available(self) -> bool:
+        return self.value is not None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "panel": self.panel,
+            "month": self.month,
+            "value": self.value,
+            "rank": self.rank,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Scorecard:
+    """A country's scorecard across every panel."""
+
+    code: str
+    name: str
+    rows: list[ScorecardRow]
+
+    @property
+    def available(self) -> int:
+        """How many panels actually have data for this country."""
+        return sum(1 for row in self.rows if row.available)
+
+    def render(self) -> str:
+        """The CLI text: header, one line per panel, coverage trailer."""
+        lines = [f"{self.name} ({self.code}) — latest snapshot"]
+        for row in self.rows:
+            if not row.available:
+                lines.append(f"  {row.panel:<24} none")
+                continue
+            lines.append(
+                f"  {row.panel:<24} {row.value:>9.2f}   "
+                f"rank {row.rank}/{row.total}"
+            )
+        lines.append(f"  {self.available}/{len(self.rows)} panels available")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON shape served by ``/v1/scorecard/<cc>``."""
+        return {
+            "country": self.code,
+            "name": self.name,
+            "rows": [row.to_dict() for row in self.rows],
+            "available": self.available,
+            "panels": len(self.rows),
+        }
+
+
+def build_scorecard(scenario: Scenario, code: str) -> Scorecard:
+    """Compute the scorecard for one LACNIC country.
+
+    Args:
+        scenario: The world to measure against.
+        code: ISO 3166-1 alpha-2 code, any case.
+
+    Raises:
+        UnknownCountryError: *code* is not in the country registry.
+        NonLacnicCountryError: the country is outside the LACNIC region.
+    """
+    from repro.mlab.aggregate import median_download_panel
+    from repro.rootdns.analysis import replica_count_panel
+
+    code = code.upper()
+    home = check_country(code)  # raises UnknownCountryError / NonLacnicCountryError
+
+    panels = [
+        ("peering facilities", scenario.peeringdb.facility_count_panel()),
+        ("submarine cables", scenario.cables.count_panel(2000, 2024)),
+        ("IPv6 adoption (%)", scenario.ipv6.panel()),
+        ("root DNS replicas", replica_count_panel(scenario.chaos_observations)),
+        ("download speed (Mbps)", median_download_panel(scenario.ndt_tests)),
+    ]
+    rows = []
+    for name, panel in panels:
+        series = panel.get(code)
+        if series is None or not series:
+            rows.append(ScorecardRow(name, None, None, None, len(panel)))
+            continue
+        month = series.last_month()
+        rows.append(
+            ScorecardRow(
+                panel=name,
+                month=str(month),
+                value=float(series.last_value()),
+                rank=panel.rank_in_month(code, month),
+                total=len(panel),
+            )
+        )
+    return Scorecard(code=code, name=home.name, rows=rows)

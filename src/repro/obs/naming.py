@@ -27,6 +27,7 @@ SCENARIO_BUILD_PREFIX = "scenario.build."
 EXHIBIT_RUN_PREFIX = "exhibit.run."
 SCENARIO_CACHE_PREFIX = "scenario.cache."
 EXEC_WORKER_PREFIX = "exec.worker_"
+SERVE_REQUEST_PREFIX = "serve.request."
 
 
 class MetricNameError(ValueError):

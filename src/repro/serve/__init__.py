@@ -1,0 +1,67 @@
+"""repro.serve: a concurrent HTTP API over the paper pipeline.
+
+Turns the one-shot CLI into a long-lived service (stdlib only — built on
+``http.server.ThreadingHTTPServer``).  Four pieces, smallest first:
+
+* :mod:`repro.serve.router` -- the route table, typed path parameters,
+  and the uniform ``{"data": ...}`` / ``{"error": ...}`` JSON envelopes
+  with deterministic serialisation and strong ETags.
+* :mod:`repro.serve.pool` -- :class:`ScenarioPool`: one warm
+  :class:`~repro.core.scenario.Scenario` per parameter set shared across
+  request threads, with single-flight deduplication so N concurrent cold
+  requests trigger exactly one ``build_all``.
+* :mod:`repro.serve.respcache` -- :class:`ResponseCache`: an in-memory
+  LRU of rendered responses keyed by (scenario params, endpoint, args);
+  every replay is byte-identical and ``If-None-Match`` revalidates to 304.
+* :mod:`repro.serve.server` / :mod:`repro.serve.handlers` -- the HTTP
+  plumbing, graceful SIGTERM drain, and the endpoint implementations:
+  ``/healthz``, ``/metrics``, ``/v1/exhibits``, ``/v1/exhibit/<id>``,
+  ``/v1/report``, ``/v1/narrative``, ``/v1/scorecard/<cc>``.
+
+Entry points: ``python -m repro serve`` (CLI) or, embedded::
+
+    from repro.serve import create_server, run
+
+    server = create_server(port=8321, jobs=4, prebuild=True)
+    run(server)        # serves until SIGTERM/SIGINT, then drains
+
+See ``docs/SERVING.md`` for endpoint shapes, caching semantics, and
+tuning guidance.
+"""
+
+from repro.serve.handlers import ServeContext, build_router
+from repro.serve.pool import ScenarioPool, params_key
+from repro.serve.respcache import CachedResponse, ResponseCache
+from repro.serve.router import (
+    HTTPError,
+    RawResponse,
+    Route,
+    Router,
+    envelope_bytes,
+    error_bytes,
+    etag_for,
+    etag_matches,
+    to_json_bytes,
+)
+from repro.serve.server import ReproServer, create_server, run
+
+__all__ = [
+    "CachedResponse",
+    "HTTPError",
+    "RawResponse",
+    "ReproServer",
+    "Route",
+    "Router",
+    "ScenarioPool",
+    "ServeContext",
+    "ResponseCache",
+    "build_router",
+    "create_server",
+    "envelope_bytes",
+    "error_bytes",
+    "etag_for",
+    "etag_matches",
+    "params_key",
+    "run",
+    "to_json_bytes",
+]

@@ -1,0 +1,126 @@
+"""Shared warm scenarios with single-flight build deduplication.
+
+A server thread asking for a scenario must never trigger a build that
+another thread is already paying for: with a cold pool and N concurrent
+requests, exactly one thread (the *leader*) constructs and prebuilds the
+``Scenario`` — ``build_all(max_workers=jobs)``, backed by the optional
+persistent :class:`repro.exec.cache.DatasetCache` — while the other N-1
+block on an event and then share the same object.  Each coalesced waiter
+bumps ``serve.inflight.coalesced``; the build itself runs under the
+``serve.pool.build`` timer.
+
+A failed build is not cached: the leader publishes the exception to the
+waiters already in flight (they re-raise it), then removes the entry so
+the *next* request elects a fresh leader and retries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.core.scenario import Scenario
+from repro.obs import get_registry, timed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.cache import DatasetCache
+
+
+def params_key(params: dict[str, object]) -> tuple:
+    """The hashable pool/cache key for one scenario parameter set."""
+    return tuple(sorted(params.items()))
+
+
+class _Entry:
+    """One pool slot: a scenario being built or ready (or failed)."""
+
+    __slots__ = ("ready", "scenario", "error")
+
+    def __init__(self) -> None:
+        self.ready = threading.Event()
+        self.scenario: Scenario | None = None
+        self.error: BaseException | None = None
+
+
+class ScenarioPool:
+    """One warm :class:`Scenario` per parameter set, shared across threads.
+
+    Attributes:
+        cache: Optional persistent dataset cache every pooled scenario
+            builds through.
+        build_workers: ``max_workers`` for the prebuild; 1 builds the
+            datasets serially (identical output either way).
+    """
+
+    def __init__(
+        self, cache: "DatasetCache | None" = None, build_workers: int = 1
+    ) -> None:
+        self.cache = cache
+        self.build_workers = build_workers
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, _Entry] = {}
+
+    def __len__(self) -> int:
+        """Scenarios currently warm (ready and not failed)."""
+        with self._lock:
+            return sum(
+                1
+                for entry in self._entries.values()
+                if entry.ready.is_set() and entry.error is None
+            )
+
+    def seed(self, scenario: Scenario, **params: object) -> None:
+        """Register an already-built scenario as warm for *params*.
+
+        Lets the CLI (and tests) hand the pool a prebuilt world instead
+        of paying a second build for the same parameter set.
+        """
+        entry = _Entry()
+        entry.scenario = scenario
+        entry.ready.set()
+        with self._lock:
+            self._entries[params_key(dict(params))] = entry
+
+    def get(self, **params: object) -> Scenario:
+        """The warm scenario for *params*, building it at most once.
+
+        Concurrent callers for the same key coalesce onto one build;
+        callers for different keys build independently.
+        """
+        key = params_key(dict(params))
+        with self._lock:
+            entry = self._entries.get(key)
+            leader = entry is None
+            if leader:
+                entry = self._entries[key] = _Entry()
+
+        if leader:
+            try:
+                scenario = timed(
+                    "serve.pool.build", lambda: self._build(dict(params))
+                )
+            except BaseException as exc:
+                entry.error = exc
+                entry.ready.set()
+                with self._lock:
+                    # Only a fresh leader may retry; drop the poisoned
+                    # entry unless someone already replaced it.
+                    if self._entries.get(key) is entry:
+                        del self._entries[key]
+                raise
+            entry.scenario = scenario
+            entry.ready.set()
+            return scenario
+
+        if not entry.ready.is_set():
+            get_registry().counter("serve.inflight.coalesced").inc()
+            entry.ready.wait()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.scenario is not None
+        return entry.scenario
+
+    def _build(self, params: dict[str, object]) -> Scenario:
+        scenario = Scenario(cache=self.cache, **params)  # type: ignore[arg-type]
+        scenario.build_all(max_workers=self.build_workers)
+        return scenario

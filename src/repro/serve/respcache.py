@@ -1,0 +1,65 @@
+"""In-memory LRU cache of rendered API responses, keyed for determinism.
+
+Every cacheable endpoint is a pure function of ``(scenario parameters,
+endpoint name, path arguments)`` — the pipeline is deterministic end to
+end — so the server renders each distinct response once, stamps it with
+a strong ETag (SHA-256 of the body bytes, see
+:func:`repro.serve.router.etag_for`), and replays the identical bytes
+forever after.  Entries are immutable; eviction is least-recently-used
+beyond a fixed capacity.
+
+The cache stores only *successful* responses: errors are cheap to
+recompute and must never be pinned (a 404 for an exhibit id added later
+would otherwise outlive the fix).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CachedResponse:
+    """One rendered response, ready to replay byte-for-byte."""
+
+    body: bytes
+    etag: str
+    content_type: str
+    status: int = 200
+
+
+class ResponseCache:
+    """Thread-safe LRU map from response keys to rendered responses."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, CachedResponse]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple) -> CachedResponse | None:
+        """The cached response for *key* (refreshing its recency), or None."""
+        with self._lock:
+            response = self._entries.get(key)
+            if response is not None:
+                self._entries.move_to_end(key)
+            return response
+
+    def put(self, key: tuple, response: CachedResponse) -> None:
+        """Insert (or refresh) *key*, evicting the LRU tail past capacity."""
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,267 @@
+"""The threaded HTTP server wiring router, pool, and response cache.
+
+Built on :class:`http.server.ThreadingHTTPServer` (stdlib only): each
+connection is handled on its own thread, all threads share one
+:class:`~repro.serve.pool.ScenarioPool` (so a cold burst coalesces onto
+a single scenario build) and one
+:class:`~repro.serve.respcache.ResponseCache` (so each distinct response
+is rendered once and replayed byte-for-byte with a strong ETag).
+
+Request observability (see ``docs/OBSERVABILITY.md``):
+
+* ``serve.requests`` — every request hitting the dispatcher.
+* ``serve.request.<endpoint>`` — per-endpoint latency timer.
+* ``serve.cache.hit`` / ``serve.cache.miss`` — response-cache outcomes.
+* ``serve.response.not_modified`` — 304 revalidations.
+* ``serve.inflight.coalesced`` — requests that waited on another
+  request's scenario build (recorded by the pool).
+* ``serve.errors`` — handler crashes surfaced as 500 envelopes.
+
+Shutdown is graceful by construction: :func:`run` converts SIGTERM and
+SIGINT into ``server.shutdown()`` (stopping the accept loop) and then
+``server_close()`` joins the in-flight handler threads, so every
+accepted request is answered before the process exits and the CLI's
+``--metrics-json`` artifact (written after :func:`run` returns) covers
+the complete run.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+from urllib.parse import urlsplit
+
+from repro.obs import get_registry
+from repro.serve.handlers import ServeContext, build_router
+from repro.serve.pool import ScenarioPool, params_key
+from repro.serve.respcache import CachedResponse, ResponseCache
+from repro.serve.router import (
+    JSON_CONTENT_TYPE,
+    HTTPError,
+    RawResponse,
+    Router,
+    envelope_bytes,
+    error_bytes,
+    etag_for,
+    etag_matches,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.cache import DatasetCache
+
+
+class ReproServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the API's shared state."""
+
+    daemon_threads = False  # server_close() must drain in-flight requests
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        context: ServeContext,
+        router: Router | None = None,
+        response_cache: ResponseCache | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.context = context
+        self.router = router if router is not None else build_router()
+        self.response_cache = (
+            response_cache if response_cache is not None else ResponseCache()
+        )
+        self.verbose = verbose
+        #: Scenario-parameter component of every response-cache key.
+        self.scenario_key = params_key(context.params)
+        super().__init__(address, _RequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Per-request dispatch: route, cache, ETag, envelope."""
+
+    server: ReproServer  # narrowed for type checkers
+    server_version = "repro-serve/1.0"
+    # One request per connection: keep-alive would pin handler threads on
+    # idle sockets and stall the drain in server_close().
+    protocol_version = "HTTP/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    # -- dispatch pipeline ---------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        registry = get_registry()
+        registry.counter("serve.requests").inc()
+        path = urlsplit(self.path).path
+        try:
+            route, path_params = self.server.router.match(method, path)
+        except HTTPError as err:
+            self._send_error(err)
+            return
+        # Render under the timer, write to the socket after it: every
+        # metric for the request is recorded before the client can read
+        # the body, so observers never see a completed response whose
+        # instruments have not landed yet.
+        try:
+            with registry.timer(f"serve.request.{route.name}").time():
+                status, body, content_type, etag = self._render(route, path_params)
+        except HTTPError as err:
+            self._send_error(err)
+            return
+        except Exception:
+            registry.counter("serve.errors").inc()
+            traceback.print_exc(file=sys.stderr)
+            status, body, content_type, etag = (
+                500,
+                error_bytes(500, "internal server error"),
+                JSON_CONTENT_TYPE,
+                None,
+            )
+        try:
+            if status == 304:
+                self.send_response(304)
+                self.send_header("ETag", etag or "")
+                self.end_headers()
+            else:
+                self._send(status, body, content_type, etag)
+        except BrokenPipeError:  # client went away mid-response
+            pass
+
+    def _render(
+        self, route, path_params: dict[str, str]
+    ) -> tuple[int, bytes, str, str | None]:
+        if not route.cacheable:
+            result = route.handler(self.server.context, **path_params)
+            if isinstance(result, RawResponse):
+                return result.status, result.body, result.content_type, None
+            return 200, envelope_bytes(result), JSON_CONTENT_TYPE, None
+
+        registry = get_registry()
+        key = (
+            self.server.scenario_key,
+            route.name,
+            tuple(sorted(path_params.items())),
+        )
+        cached = self.server.response_cache.get(key)
+        if cached is None:
+            registry.counter("serve.cache.miss").inc()
+            payload = route.handler(self.server.context, **path_params)
+            body = envelope_bytes(payload)
+            cached = CachedResponse(
+                body=body, etag=etag_for(body), content_type=JSON_CONTENT_TYPE
+            )
+            self.server.response_cache.put(key, cached)
+        else:
+            registry.counter("serve.cache.hit").inc()
+
+        if_none_match = self.headers.get("If-None-Match")
+        if if_none_match and etag_matches(if_none_match, cached.etag):
+            registry.counter("serve.response.not_modified").inc()
+            return 304, b"", cached.content_type, cached.etag
+        return cached.status, cached.body, cached.content_type, cached.etag
+
+    # -- response writing ----------------------------------------------------
+
+    def _send(
+        self, status: int, body: bytes, content_type: str, etag: str | None = None
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, err: HTTPError) -> None:
+        self._send(
+            err.status,
+            error_bytes(err.status, err.message, **err.extra),
+            JSON_CONTENT_TYPE,
+        )
+
+    def log_message(self, format: str, *args: object) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache: "DatasetCache | None" = None,
+    jobs: int = 1,
+    params: dict[str, object] | None = None,
+    prebuild: bool = False,
+    cache_capacity: int = 256,
+    verbose: bool = False,
+) -> ReproServer:
+    """A ready-to-serve :class:`ReproServer` (socket bound, not serving).
+
+    Args:
+        host: Bind address.
+        port: Bind port; 0 picks an ephemeral one (``server.url`` has it).
+        cache: Optional persistent dataset cache backing scenario builds.
+        jobs: Worker threads for each pool scenario prebuild.
+        params: Scenario parameter overrides shared by every endpoint.
+        prebuild: Build the scenario before returning so the first
+            request is warm (the ``repro serve`` default); False leaves
+            the build to the first request (single-flight).
+        cache_capacity: LRU response-cache capacity.
+        verbose: Log one line per request to stderr.
+    """
+    pool = ScenarioPool(cache=cache, build_workers=jobs)
+    context = ServeContext(pool=pool, params=dict(params or {}))
+    server = ReproServer(
+        (host, port),
+        context,
+        response_cache=ResponseCache(capacity=cache_capacity),
+        verbose=verbose,
+    )
+    if prebuild:
+        context.scenario()
+    return server
+
+
+def run(server: ReproServer, handle_signals: bool = True) -> None:
+    """Serve until SIGTERM/SIGINT, then drain in-flight requests.
+
+    The signal handler only stops the accept loop (``shutdown()`` from a
+    helper thread — it must not run on the serving thread); the drain
+    happens in ``server_close()``, which joins every live handler thread
+    before returning.  Callers that manage signals themselves (tests,
+    embedding) pass ``handle_signals=False``.
+    """
+    previous: dict[int, object] = {}
+
+    def _initiate_shutdown(signum: int, frame: object) -> None:
+        threading.Thread(
+            target=server.shutdown, name="serve-shutdown", daemon=True
+        ).start()
+
+    if handle_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _initiate_shutdown)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()  # joins in-flight handler threads
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)  # type: ignore[arg-type]

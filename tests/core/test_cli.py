@@ -18,6 +18,31 @@ def test_list_command(capsys):
     assert len(out.strip().splitlines()) == 23
 
 
+def test_list_json_flag_emits_the_shared_catalog(capsys):
+    import json
+
+    from repro.core.exhibit import exhibit_catalog
+
+    assert main(["list", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc == exhibit_catalog()
+    assert len(doc) == 23
+    assert doc[0] == {
+        "id": "fig01",
+        "title": "Fig. 1: oil, GDP per capita, inflation and population collapse.",
+    }
+
+
+def test_list_empty_registry_prints_nothing_and_exits_zero(capsys, monkeypatch):
+    # Regression: an empty exhibit registry used to crash the width
+    # computation (max() of an empty sequence) instead of listing nothing.
+    monkeypatch.setattr("repro.core.exhibit._REGISTRY", {})
+    assert main(["list"]) == 0
+    assert capsys.readouterr().out == ""
+    assert main(["list", "--json"]) == 0
+    assert capsys.readouterr().out.strip() == "[]"
+
+
 def test_exhibit_command(capsys):
     assert main(["exhibit", "fig01"]) == 0
     out = capsys.readouterr().out
@@ -46,6 +71,16 @@ def test_exhibit_typo_in_multi_id_list_runs_nothing(capsys):
     captured = capsys.readouterr()
     assert "fig9z" in captured.err
     assert "FIG01" not in captured.out  # no partial output before the error
+
+
+def test_scorecard_dataless_country_reports_coverage(capsys):
+    # Regression: "none" rows used to trail off silently; the scorecard
+    # now ends with an explicit n/5 coverage line.
+    assert main(["scorecard", "BB"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0] == "Barbados (BB) — latest snapshot"
+    assert out.count(" none") == 5
+    assert out.splitlines()[-1] == "  0/5 panels available"
 
 
 def test_scorecard_rejects_unknown_country(capsys):

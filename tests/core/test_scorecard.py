@@ -1,0 +1,88 @@
+"""The shared scorecard computation behind the CLI and /v1/scorecard."""
+
+import pytest
+
+from repro.core.scorecard import (
+    NonLacnicCountryError,
+    UnknownCountryError,
+    build_scorecard,
+    check_country,
+)
+
+PANELS = [
+    "peering facilities",
+    "submarine cables",
+    "IPv6 adoption (%)",
+    "root DNS replicas",
+    "download speed (Mbps)",
+]
+
+
+def test_check_country_accepts_lacnic_case_insensitively():
+    assert check_country("ve").code == "VE"
+    assert check_country("CL").name == "Chile"
+
+
+def test_check_country_rejects_unknown():
+    with pytest.raises(UnknownCountryError):
+        check_country("XX")
+
+
+def test_check_country_rejects_non_lacnic():
+    with pytest.raises(NonLacnicCountryError, match="outside the LACNIC region"):
+        check_country("US")
+
+
+def test_venezuela_has_full_coverage(scenario):
+    scorecard = build_scorecard(scenario, "ve")
+    assert scorecard.code == "VE"
+    assert [row.panel for row in scorecard.rows] == PANELS
+    assert scorecard.available == 5
+    for row in scorecard.rows:
+        assert row.available
+        assert row.month is not None
+        assert 1 <= row.rank <= row.total
+
+
+def test_render_includes_coverage_trailer(scenario):
+    rendered = build_scorecard(scenario, "VE").render()
+    assert rendered.splitlines()[0] == "Venezuela (VE) — latest snapshot"
+    assert rendered.splitlines()[-1] == "  5/5 panels available"
+
+
+def test_dataless_country_reports_explicit_gaps(scenario):
+    # Barbados is a real LACNIC economy with no data in any panel: every
+    # row must be an explicit "none", and the trailer must say 0/5 so
+    # "no data" cannot be mistaken for a silent rendering bug.
+    scorecard = build_scorecard(scenario, "BB")
+    assert scorecard.available == 0
+    assert all(row.value is None and row.rank is None for row in scorecard.rows)
+    rendered = scorecard.render()
+    assert rendered.count(" none") == 5
+    assert rendered.splitlines()[-1] == "  0/5 panels available"
+
+
+def test_partial_coverage_counts_available_panels_only(scenario):
+    # Cuba appears in some panels (cables, IPv6, speed) but has never
+    # had a peering facility or root replica in the synthetic world.
+    scorecard = build_scorecard(scenario, "CU")
+    assert 0 < scorecard.available < 5
+    rendered = scorecard.render()
+    assert f"  {scorecard.available}/5 panels available" == rendered.splitlines()[-1]
+
+
+def test_to_dict_shape(scenario):
+    doc = build_scorecard(scenario, "VE").to_dict()
+    assert doc["country"] == "VE"
+    assert doc["name"] == "Venezuela"
+    assert doc["panels"] == 5
+    assert doc["available"] == 5
+    assert [row["panel"] for row in doc["rows"]] == PANELS
+    assert set(doc["rows"][0]) == {"panel", "month", "value", "rank", "total"}
+
+
+def test_build_scorecard_rejects_bad_codes(scenario):
+    with pytest.raises(UnknownCountryError):
+        build_scorecard(scenario, "zz")
+    with pytest.raises(NonLacnicCountryError):
+        build_scorecard(scenario, "de")

@@ -1,0 +1,61 @@
+"""LRU semantics of the in-memory response cache."""
+
+import pytest
+
+from repro.serve.respcache import CachedResponse, ResponseCache
+
+
+def _resp(tag: str) -> CachedResponse:
+    return CachedResponse(
+        body=tag.encode(), etag=f'"{tag}"', content_type="application/json"
+    )
+
+
+def test_round_trip():
+    cache = ResponseCache()
+    cache.put(("k",), _resp("a"))
+    hit = cache.get(("k",))
+    assert hit is not None
+    assert hit.body == b"a"
+    assert cache.get(("missing",)) is None
+
+
+def test_capacity_evicts_least_recently_used():
+    cache = ResponseCache(capacity=2)
+    cache.put(("a",), _resp("a"))
+    cache.put(("b",), _resp("b"))
+    cache.put(("c",), _resp("c"))  # evicts ("a",)
+    assert cache.get(("a",)) is None
+    assert cache.get(("b",)) is not None
+    assert cache.get(("c",)) is not None
+
+
+def test_get_refreshes_recency():
+    cache = ResponseCache(capacity=2)
+    cache.put(("a",), _resp("a"))
+    cache.put(("b",), _resp("b"))
+    cache.get(("a",))  # "a" is now the most recent
+    cache.put(("c",), _resp("c"))  # evicts "b", not "a"
+    assert cache.get(("a",)) is not None
+    assert cache.get(("b",)) is None
+
+
+def test_put_refreshes_existing_key_without_growth():
+    cache = ResponseCache(capacity=2)
+    cache.put(("a",), _resp("a"))
+    cache.put(("a",), _resp("a2"))
+    assert len(cache) == 1
+    assert cache.get(("a",)).body == b"a2"
+
+
+def test_clear_empties():
+    cache = ResponseCache()
+    cache.put(("a",), _resp("a"))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(("a",)) is None
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        ResponseCache(capacity=0)

@@ -1,0 +1,117 @@
+"""Router matching, envelopes, and ETag helpers."""
+
+import json
+
+import pytest
+
+from repro.serve.router import (
+    HTTPError,
+    Router,
+    envelope_bytes,
+    error_bytes,
+    etag_for,
+    etag_matches,
+    to_json_bytes,
+)
+
+
+def _handler(ctx, **params):
+    return {"params": params}
+
+
+@pytest.fixture()
+def router():
+    r = Router()
+    r.add("healthz", "GET", "/healthz", _handler, cacheable=False)
+    r.add("exhibit", "GET", "/v1/exhibit/{exhibit_id}", _handler)
+    r.add("report", "GET", "/v1/report", _handler)
+    return r
+
+
+def test_literal_route_matches(router):
+    route, params = router.match("GET", "/v1/report")
+    assert route.name == "report"
+    assert params == {}
+
+
+def test_parameter_capture(router):
+    route, params = router.match("GET", "/v1/exhibit/fig06")
+    assert route.name == "exhibit"
+    assert params == {"exhibit_id": "fig06"}
+
+
+def test_trailing_slash_is_equivalent(router):
+    route, _ = router.match("GET", "/v1/report/")
+    assert route.name == "report"
+
+
+def test_unknown_path_is_404(router):
+    with pytest.raises(HTTPError) as excinfo:
+        router.match("GET", "/v1/nope")
+    assert excinfo.value.status == 404
+    assert "/v1/nope" in excinfo.value.message
+
+
+def test_partial_prefix_does_not_match(router):
+    # /v1/exhibit without an id matches no route shape.
+    with pytest.raises(HTTPError) as excinfo:
+        router.match("GET", "/v1/exhibit")
+    assert excinfo.value.status == 404
+
+
+def test_wrong_method_is_405_with_allowed_hint(router):
+    with pytest.raises(HTTPError) as excinfo:
+        router.match("POST", "/v1/report")
+    assert excinfo.value.status == 405
+    assert excinfo.value.extra["allowed"] == ["GET"]
+
+
+def test_cacheable_flag_round_trips(router):
+    route, _ = router.match("GET", "/healthz")
+    assert route.cacheable is False
+    route, _ = router.match("GET", "/v1/report")
+    assert route.cacheable is True
+
+
+# -- envelopes ---------------------------------------------------------------
+
+
+def test_json_bytes_are_deterministic():
+    a = to_json_bytes({"b": 1, "a": [1, 2]})
+    b = to_json_bytes({"a": [1, 2], "b": 1})
+    assert a == b  # key order never leaks into the bytes
+
+
+def test_success_envelope_shape():
+    doc = json.loads(envelope_bytes({"x": 1}))
+    assert doc == {"data": {"x": 1}}
+
+
+def test_error_envelope_shape_and_extras():
+    doc = json.loads(error_bytes(404, "unknown exhibit", hint="did you mean: fig01?"))
+    assert doc == {
+        "error": {
+            "status": 404,
+            "message": "unknown exhibit",
+            "hint": "did you mean: fig01?",
+        }
+    }
+
+
+# -- ETags -------------------------------------------------------------------
+
+
+def test_etag_is_strong_and_stable():
+    body = b'{"data":1}\n'
+    assert etag_for(body) == etag_for(body)
+    assert etag_for(body).startswith('"') and etag_for(body).endswith('"')
+    assert etag_for(body) != etag_for(b"other")
+
+
+def test_etag_matches_exact_and_list_and_wildcard():
+    etag = etag_for(b"body")
+    assert etag_matches(etag, etag)
+    assert etag_matches(f'"deadbeef", {etag}', etag)
+    assert etag_matches("*", etag)
+    assert etag_matches(f"W/{etag}", etag)  # weak form revalidates
+    assert not etag_matches('"deadbeef"', etag)

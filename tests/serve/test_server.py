@@ -1,0 +1,301 @@
+"""End-to-end HTTP tests: envelopes, caching, ETags, concurrency, shutdown.
+
+The module-scoped ``warm_server`` is seeded with the session scenario,
+so these tests exercise the full network stack without paying extra
+scenario builds.  Cold-path behaviour (single-flight coalescing, drain
+on shutdown) uses throwaway servers with a small parameter set.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.report import render_report
+from repro.obs import get_registry
+from repro.serve import create_server
+
+SMALL = {"ndt_tests_per_month": 1, "gpdns_samples_per_month": 1}
+
+
+def _get(server, path, headers=None):
+    """(status, headers, body) for GET *path* against *server*."""
+    request = urllib.request.Request(server.url + path, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+@pytest.fixture(scope="module")
+def warm_server(scenario):
+    server = create_server()
+    server.context.pool.seed(scenario)  # share the session world
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+# -- endpoint payloads -------------------------------------------------------
+
+
+def test_healthz(warm_server):
+    status, _, body = _get(warm_server, "/healthz")
+    assert status == 200
+    doc = json.loads(body)
+    assert doc["data"]["status"] == "ok"
+    assert doc["data"]["exhibits"] == 23
+    assert doc["data"]["scenarios_warm"] == 1
+
+
+def test_exhibits_listing_matches_cli_catalog(warm_server):
+    from repro.core.exhibit import exhibit_catalog
+
+    status, _, body = _get(warm_server, "/v1/exhibits")
+    assert status == 200
+    assert json.loads(body)["data"]["exhibits"] == exhibit_catalog()
+
+
+def test_exhibit_payload(warm_server):
+    status, headers, body = _get(warm_server, "/v1/exhibit/fig01")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/json")
+    data = json.loads(body)["data"]
+    assert data["id"] == "fig01"
+    assert data["columns"][0] in data["rows"][0]
+    assert data["rendered"].startswith("FIG01:")
+
+
+def test_report_matches_cli_rendering(warm_server, scenario):
+    status, _, body = _get(warm_server, "/v1/report")
+    assert status == 200
+    assert json.loads(body)["data"]["report"] == render_report(scenario)
+
+
+def test_report_is_replayed_byte_identically(warm_server):
+    _, first_headers, first_body = _get(warm_server, "/v1/report")
+    _, second_headers, second_body = _get(warm_server, "/v1/report")
+    assert first_body == second_body
+    assert first_headers["ETag"] == second_headers["ETag"]
+
+
+def test_narrative(warm_server):
+    status, _, body = _get(warm_server, "/v1/narrative")
+    assert status == 200
+    data = json.loads(body)["data"]
+    assert [f["topic"] for f in data["findings"]] == [
+        "infrastructure", "interdomain", "performance", "dns",
+    ]
+    assert data["rendered"].count("* [") == 4
+
+
+def test_scorecard(warm_server):
+    status, _, body = _get(warm_server, "/v1/scorecard/ve")
+    assert status == 200
+    data = json.loads(body)["data"]
+    assert data["country"] == "VE"
+    assert data["panels"] == 5
+    assert data["available"] == 5
+    assert "5/5 panels available" in data["rendered"]
+
+
+def test_metrics_endpoint_is_text(warm_server):
+    status, headers, body = _get(warm_server, "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    # serve.requests is recorded by this very request.
+    assert b"serve.requests" in body
+
+
+# -- error envelopes ---------------------------------------------------------
+
+
+def test_unknown_route_envelope(warm_server):
+    status, headers, body = _get(warm_server, "/v1/nope")
+    assert status == 404
+    assert headers["Content-Type"].startswith("application/json")
+    error = json.loads(body)["error"]
+    assert error["status"] == 404
+    assert "/v1/nope" in error["message"]
+
+
+def test_unknown_exhibit_envelope_mirrors_cli_did_you_mean(warm_server):
+    status, _, body = _get(warm_server, "/v1/exhibit/tabel1")
+    assert status == 404
+    error = json.loads(body)["error"]
+    assert error["message"] == "unknown exhibit: tabel1"
+    assert error["hint"] == "did you mean: table1?"
+    assert "fig01" in error["known"] and len(error["known"]) == 23
+
+
+def test_unknown_country_envelope(warm_server):
+    status, _, body = _get(warm_server, "/v1/scorecard/xx")
+    assert status == 404
+    assert json.loads(body)["error"]["message"] == "unknown country code: XX"
+
+
+def test_non_lacnic_country_envelope(warm_server):
+    status, _, body = _get(warm_server, "/v1/scorecard/us")
+    assert status == 422
+    assert "outside the LACNIC region" in json.loads(body)["error"]["message"]
+
+
+def test_post_gets_405_envelope(warm_server):
+    request = urllib.request.Request(
+        warm_server.url + "/v1/report", data=b"{}", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=60)
+    assert excinfo.value.code == 405
+    error = json.loads(excinfo.value.read())["error"]
+    assert error["allowed"] == ["GET"]
+
+
+# -- caching and ETags -------------------------------------------------------
+
+
+def test_etag_304_roundtrip(warm_server):
+    status, headers, body = _get(warm_server, "/v1/exhibit/fig02")
+    assert status == 200
+    etag = headers["ETag"]
+    assert etag.startswith('"') and body
+
+    status, headers, body = _get(
+        warm_server, "/v1/exhibit/fig02", {"If-None-Match": etag}
+    )
+    assert status == 304
+    assert body == b""
+    assert headers["ETag"] == etag
+    registry = get_registry()
+    assert registry.counter("serve.response.not_modified").value >= 1
+
+
+def test_stale_etag_gets_full_body(warm_server):
+    status, _, body = _get(
+        warm_server, "/v1/exhibit/fig02", {"If-None-Match": '"stale"'}
+    )
+    assert status == 200
+    assert body
+
+
+def test_response_cache_hit_counters(warm_server):
+    warm_server.response_cache.clear()
+    registry = get_registry()
+    _get(warm_server, "/v1/exhibit/fig03")
+    assert registry.counter("serve.cache.miss").value == 1
+    _get(warm_server, "/v1/exhibit/fig03")
+    _get(warm_server, "/v1/exhibit/fig03")
+    assert registry.counter("serve.cache.hit").value == 2
+    assert registry.counter("serve.cache.miss").value == 1
+
+
+def test_request_metrics_recorded_per_endpoint(warm_server):
+    registry = get_registry()
+    _get(warm_server, "/v1/exhibit/fig01")
+    _get(warm_server, "/v1/report")
+    _get(warm_server, "/healthz")
+    assert registry.counter("serve.requests").value == 3
+    assert registry.timer("serve.request.exhibit").count == 1
+    assert registry.timer("serve.request.report").count == 1
+    assert registry.timer("serve.request.healthz").count == 1
+
+
+# -- concurrency -------------------------------------------------------------
+
+
+def test_concurrent_requests_are_byte_identical(warm_server):
+    # Eight threads race on an evicted response: every body must be the
+    # same bytes whether it was computed or replayed.
+    warm_server.response_cache.clear()
+    barrier = threading.Barrier(8)
+    results = []
+    lock = threading.Lock()
+
+    def worker():
+        barrier.wait()
+        status, headers, body = _get(warm_server, "/v1/exhibit/fig01")
+        with lock:
+            results.append((status, headers.get("ETag"), body))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+
+    assert len(results) == 8
+    assert {status for status, _, _ in results} == {200}
+    assert len({body for _, _, body in results}) == 1
+    assert len({etag for _, etag, _ in results}) == 1
+
+
+def test_cold_burst_triggers_exactly_one_scenario_build():
+    # Eight concurrent first requests against a cold server: the pool's
+    # single-flight must fold them onto one build (16 datasets, once).
+    server = create_server(params=dict(SMALL))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        barrier = threading.Barrier(8)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            status, _, body = _get(server, "/v1/exhibit/fig01")
+            with lock:
+                results.append((status, body))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+
+        assert {status for status, _ in results} == {200}
+        assert len({body for _, body in results}) == 1
+        registry = get_registry()
+        assert registry.counter("scenario.dataset.built").value == 16
+        assert registry.timer("serve.pool.build").count == 1
+        assert registry.counter("serve.inflight.coalesced").value >= 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_graceful_shutdown_drains_inflight_requests():
+    # A request that arrives before shutdown() must be fully answered:
+    # server_close() joins handler threads, so by the time it returns
+    # the in-flight /v1/report (which pays a multi-second cold build)
+    # has produced its 200.
+    server = create_server(params=dict(SMALL))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    started = threading.Event()
+    result = {}
+
+    def slow_request():
+        started.set()
+        status, _, body = _get(server, "/v1/report")
+        result["status"] = status
+        result["body"] = body
+
+    requester = threading.Thread(target=slow_request)
+    requester.start()
+    started.wait(timeout=10)
+    time.sleep(0.5)  # let the request reach the handler (build takes >1s)
+    server.shutdown()
+    server.server_close()  # must block until the response is written
+    thread.join(timeout=10)
+    requester.join(timeout=10)
+
+    assert result.get("status") == 200
+    assert b"report" in result.get("body", b"")
