@@ -14,9 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest import Quarantine
 
 #: Provider-to-customer relationship code.
 P2C = -1
@@ -108,27 +111,56 @@ class ASRelationshipSnapshot:
         Path(path).write_text(self.to_text(), encoding="utf-8")
 
 
-def parse_asrel(text: str) -> ASRelationshipSnapshot:
+def parse_asrel(
+    text: str,
+    *,
+    strict: bool = True,
+    quarantine: "Quarantine | None" = None,
+) -> ASRelationshipSnapshot:
     """Parse a serial-1 AS-relationship file.
 
+    Args:
+        text: The serial-1 file contents.
+        strict: ``True`` (default) raises on the first malformed line;
+            ``False`` quarantines malformed lines under an error budget
+            (see :mod:`repro.ingest`).
+        quarantine: Optional caller-owned quarantine (implies lenient
+            parsing); a private one is created when ``strict=False``.
+
     Raises:
-        ASRelParseError: on malformed lines.
+        ASRelParseError: on malformed lines (strict mode).
+        repro.ingest.ErrorBudgetExceeded: too many malformed lines
+            (lenient mode).
     """
+    if quarantine is None and not strict:
+        from repro.ingest import Quarantine
+
+        quarantine = Quarantine("bgp.asrel")
     relationships: list[Relationship] = []
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        fields = line.split("|")
-        if len(fields) < 3:
-            raise ASRelParseError(f"line {line_no}: expected a|b|rel: {line!r}")
         try:
-            a, b, kind = int(fields[0]), int(fields[1]), int(fields[2])
-        except ValueError:
-            raise ASRelParseError(f"line {line_no}: non-integer field: {line!r}") from None
-        if kind not in (P2C, P2P):
-            raise ASRelParseError(f"line {line_no}: bad relationship {kind}")
+            fields = line.split("|")
+            if len(fields) < 3:
+                raise ASRelParseError(f"line {line_no}: expected a|b|rel: {line!r}")
+            try:
+                a, b, kind = int(fields[0]), int(fields[1]), int(fields[2])
+            except ValueError:
+                raise ASRelParseError(
+                    f"line {line_no}: non-integer field: {line!r}"
+                ) from None
+            if kind not in (P2C, P2P):
+                raise ASRelParseError(f"line {line_no}: bad relationship {kind}")
+        except ASRelParseError as exc:
+            if quarantine is None:
+                raise
+            quarantine.admit(line_no, raw, str(exc))
+            continue
         relationships.append(Relationship(a, b, kind))
+    if quarantine is not None:
+        quarantine.check(len(relationships))
     get_registry().counter("bgp.asrel.rows_parsed").inc(len(relationships))
     return ASRelationshipSnapshot(relationships)
 

@@ -12,9 +12,12 @@ from __future__ import annotations
 import ipaddress
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest import Quarantine
 
 
 class Prefix2ASParseError(ValueError):
@@ -107,40 +110,68 @@ class Prefix2ASSnapshot:
         Path(path).write_text(self.to_text(), encoding="utf-8")
 
 
-def parse_prefix2as(text: str) -> Prefix2ASSnapshot:
+def parse_prefix2as(
+    text: str,
+    *,
+    strict: bool = True,
+    quarantine: "Quarantine | None" = None,
+) -> Prefix2ASSnapshot:
     """Parse the RouteViews tab-separated prefix2as format.
 
     Accepts underscore-joined multi-origin sets and comma-joined AS-sets;
     both are normalised into the entry's ``origins`` tuple.
 
+    Args:
+        text: The prefix2as file contents.
+        strict: ``True`` (default) raises on the first malformed line;
+            ``False`` quarantines malformed lines under an error budget.
+        quarantine: Optional caller-owned quarantine (implies lenient
+            parsing); a private one is created when ``strict=False``.
+
     Raises:
-        Prefix2ASParseError: on malformed lines.
+        Prefix2ASParseError: on malformed lines (strict mode).
+        repro.ingest.ErrorBudgetExceeded: too many malformed lines
+            (lenient mode).
     """
+    if quarantine is None and not strict:
+        from repro.ingest import Quarantine
+
+        quarantine = Quarantine("bgp.prefix2as")
     entries: list[OriginEntry] = []
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        fields = line.split("\t")
-        if len(fields) != 3:
-            raise Prefix2ASParseError(f"line {line_no}: expected 3 fields: {line!r}")
-        address, length, origin = fields
         try:
-            network = ipaddress.ip_network(f"{address}/{int(length)}")
-        except ValueError as exc:
-            raise Prefix2ASParseError(f"line {line_no}: {exc}") from None
-        try:
-            origins = tuple(
-                int(part)
-                for chunk in origin.split("_")
-                for part in chunk.split(",")
-            )
-        except ValueError:
-            raise Prefix2ASParseError(
-                f"line {line_no}: bad origin {origin!r}"
-            ) from None
-        if not origins:
-            raise Prefix2ASParseError(f"line {line_no}: empty origin")
+            fields = line.split("\t")
+            if len(fields) != 3:
+                raise Prefix2ASParseError(
+                    f"line {line_no}: expected 3 fields: {line!r}"
+                )
+            address, length, origin = fields
+            try:
+                network = ipaddress.ip_network(f"{address}/{int(length)}")
+            except ValueError as exc:
+                raise Prefix2ASParseError(f"line {line_no}: {exc}") from None
+            try:
+                origins = tuple(
+                    int(part)
+                    for chunk in origin.split("_")
+                    for part in chunk.split(",")
+                )
+            except ValueError:
+                raise Prefix2ASParseError(
+                    f"line {line_no}: bad origin {origin!r}"
+                ) from None
+            if not origins:
+                raise Prefix2ASParseError(f"line {line_no}: empty origin")
+        except Prefix2ASParseError as exc:
+            if quarantine is None:
+                raise
+            quarantine.admit(line_no, raw, str(exc))
+            continue
         entries.append(OriginEntry(network, origins))
+    if quarantine is not None:
+        quarantine.check(len(entries))
     get_registry().counter("bgp.prefix2as.rows_parsed").inc(len(entries))
     return Prefix2ASSnapshot(entries)

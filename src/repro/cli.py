@@ -10,12 +10,16 @@ Commands:
 * ``serve``             -- serve exhibits/report/scorecards over HTTP.
 * ``stats``             -- profile a scenario build + full exhibit run.
 * ``cache info|clear``  -- inspect or empty the persistent dataset cache.
+* ``chaos``             -- run the pipeline under injected faults and
+  print the deterministic resilience report.
 
 Global flags (before the command): ``--trace`` enables span tracing,
 ``--metrics-json PATH`` writes the ``repro.obs/1`` artifact after the
 command, ``--jobs N`` prebuilds all datasets on N worker threads,
 ``--cache-dir DIR`` relocates the persistent dataset cache (default
-``~/.cache/repro``), and ``--no-cache`` disables it for the run.
+``~/.cache/repro``), ``--no-cache`` disables it for the run, and
+``--strict`` fails fast on a dataset build error instead of degrading
+(the CLI is lenient by default; see ``docs/RELIABILITY.md``).
 """
 
 from __future__ import annotations
@@ -41,13 +45,19 @@ def _resolve_cache(args: argparse.Namespace):
 
 
 def _scenario(args: argparse.Namespace, **params: int) -> Scenario:
-    """A Scenario honouring the global cache/parallelism flags.
+    """A Scenario honouring the global cache/parallelism/strictness flags.
 
     With ``--jobs N>1`` every dataset is prebuilt on the pool up front
     (lazy access afterwards is a dict hit); otherwise datasets stay lazy
-    and build serially on first touch.
+    and build serially on first touch.  CLI scenarios are lenient unless
+    ``--strict``: a failing dataset degrades (reports annotate coverage)
+    instead of crashing the command.
     """
-    scenario = Scenario(cache=_resolve_cache(args), **params)
+    scenario = Scenario(
+        cache=_resolve_cache(args),
+        strict=getattr(args, "strict", False),
+        **params,
+    )
     if args.jobs > 1:
         scenario.build_all(max_workers=args.jobs)
     return scenario
@@ -224,6 +234,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         prebuild=not args.no_prebuild,
         verbose=args.verbose,
+        strict=args.strict,
+        deadline_seconds=args.deadline,
+        max_inflight=args.max_inflight,
     )
     if not args.no_prebuild:
         print("scenario prebuilt; serving warm", file=sys.stderr)
@@ -248,6 +261,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         cache=_resolve_cache(args),
         ndt_tests_per_month=args.ndt_tests_per_month,
         gpdns_samples_per_month=args.gpdns_samples_per_month,
+        strict=args.strict,
     )
     with trace_span("stats.scenario.build"):
         scenario.build_all(max_workers=args.jobs)
@@ -261,6 +275,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.spans:
         print()
         print(render_spans())
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.faults import run_chaos
+
+    # Chaos runs never consult the disk cache: a warm entry would mask
+    # the injected build fault the drill exists to exercise.
+    report = run_chaos(
+        seed=args.seed,
+        specs=args.inject,
+        strict=args.strict,
+        jobs=args.jobs,
+    )
+    print(report.render())
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+        print(f"chaos report written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -322,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="build every dataset in-process, ignoring the disk cache",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast on the first dataset build error instead of "
+        "degrading that dataset and annotating coverage",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser("report", help="run every exhibit")
@@ -377,6 +417,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"
     )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; requests that cannot finish in time "
+        "get a 503 with Retry-After (default: no deadline)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shed (503) requests beyond N concurrently in flight "
+        "(healthz/metrics exempt; default: unlimited)",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     validate = sub.add_parser("validate", help="cross-dataset consistency checks")
@@ -395,6 +451,32 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="inspect or empty the dataset cache")
     cache.add_argument("action", choices=["info", "clear"])
     cache.set_defaults(fn=_cmd_cache)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the pipeline under injected faults and print the "
+        "resilience report",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-injection seed (same seed, same corruption, same report)",
+    )
+    chaos.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="DATASET[:INJECTOR]",
+        help="fault spec; repeatable (default: the built-in drill plan)",
+    )
+    chaos.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the repro.chaos/1 JSON report to PATH",
+    )
+    chaos.set_defaults(fn=_cmd_chaos)
     return parser
 
 

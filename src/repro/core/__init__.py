@@ -9,11 +9,14 @@
   point.
 """
 
+from repro.core.degrade import DatasetDegradedError, DegradedDataset
 from repro.core.exhibit import Exhibit, exhibit_ids, get_exhibit
 from repro.core.report import run_all, run_exhibit
 from repro.core.scenario import Scenario
 
 __all__ = [
+    "DatasetDegradedError",
+    "DegradedDataset",
     "Exhibit",
     "Scenario",
     "exhibit_ids",

@@ -20,6 +20,16 @@ cache, the ``scenario.cache.hit`` counter instead (see
 ``python -m repro stats`` can attribute a slow scenario to the dataset
 responsible.
 
+Builds are also *resilient* (see ``docs/RELIABILITY.md``): each build
+attempt runs under a bounded-backoff :class:`repro.exec.retry.RetryPolicy`
+with deterministic jitter, an optional
+:class:`repro.faults.plan.FaultPlan` gates built values through seeded
+byte corruption (the ``repro chaos`` harness), and in lenient mode
+(``strict=False``) a build that exhausts its retries leaves a
+:class:`repro.core.degrade.DegradedDataset` sentinel instead of raising —
+dependent exhibits then render coverage annotations via the typed
+:class:`repro.core.degrade.DatasetDegradedError`.
+
 Swapping in real data: every property returns the parsed-data type of its
 substrate (archives, datasets, registries), so a pipeline over real
 archives only needs a Scenario subclass whose properties load from disk
@@ -44,6 +54,8 @@ from repro.atlas.synthetic import (
 from repro.atlas.traceroute import TracerouteResult
 from repro.bgp.archive import ASRelArchive, Prefix2ASArchive
 from repro.bgp.synthetic import synthesize_asrel_archive, synthesize_prefix2as_archive
+from repro.core.degrade import DatasetDegradedError, DegradedDataset
+from repro.exec.retry import DEFAULT_RETRY, RetryPolicy, retry_call
 from repro.ipv6.model import AdoptionDataset
 from repro.ipv6.synthetic import synthesize_ipv6_adoption
 from repro.macro.store import IndicatorStore
@@ -68,6 +80,7 @@ from repro.webdeps.synthetic import synthesize_site_survey
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.exec.cache import DatasetCache
+    from repro.faults.plan import FaultPlan
 
 T = TypeVar("T")
 
@@ -87,12 +100,28 @@ class Scenario:
             by every build; ``None`` (the default) keeps builds purely
             in-process.  Excluded from equality: a cached scenario and
             an uncached one describe the same world.
+        strict: ``True`` (the library default) fails fast — a dataset
+            build error propagates out of the access, the historical
+            behaviour.  ``False`` (the CLI/server default) degrades: a
+            build that exhausts its retries stores a
+            :class:`DegradedDataset` sentinel and later accesses raise
+            the typed :class:`DatasetDegradedError` instead.
+        retry: Backoff policy for failed build attempts; ``None`` uses
+            :data:`repro.exec.retry.DEFAULT_RETRY`.
+        fault_plan: Optional seeded corruption plan gating every build
+            (the ``repro chaos`` harness); ``None`` injects nothing.
+            Like ``cache``, the reliability knobs are excluded from
+            equality — they change how the world is built, not what it
+            describes.
     """
 
     ndt_tests_per_month: int = 40
     gpdns_samples_per_month: int = 2
     seed: int = 20_240_804
     cache: "DatasetCache | None" = field(default=None, compare=False, repr=False)
+    strict: bool = field(default=True, compare=False, repr=False)
+    retry: RetryPolicy | None = field(default=None, compare=False, repr=False)
+    fault_plan: "FaultPlan | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         # Plain attributes (not dataclass fields): identity-level state
@@ -129,35 +158,110 @@ class Scenario:
         Builder thunks may touch other datasets (``chaos_observations``
         reads ``probes``); those nest into different per-name locks and
         the dependency graph is acyclic, so no lock cycle can form.
+
+        Failure handling: build attempts retry under :attr:`retry`
+        (bounded backoff, deterministic jitter).  When every attempt
+        fails, strict mode re-raises the final error; lenient mode
+        stores a :class:`DegradedDataset` sentinel, so the failure is
+        paid once and every access raises the typed
+        :class:`DatasetDegradedError`.  A dependency's degradation is
+        never retried — it cascades immediately.
         """
         with self._lock_for(name):
-            if name in self._materialised:
-                return self._materialised[name]  # type: ignore[return-value]
+            if name not in self._materialised:
+                self._materialised[name] = timed(
+                    f"scenario.build.{name}", lambda: self._materialise(name, thunk)
+                )
+            value = self._materialised[name]
+            if isinstance(value, DegradedDataset):
+                raise DatasetDegradedError(value)
+            return value  # type: ignore[return-value]
 
-            def materialise() -> T:
-                registry = get_registry()
-                if self.cache is not None:
-                    from repro.exec.cache import CacheMiss
+    def _materialise(self, name: str, thunk: Callable[[], T]) -> "T | DegradedDataset":
+        """One dataset from cache or builder: the value, or its sentinel."""
+        registry = get_registry()
+        if self.cache is not None:
+            from repro.exec.cache import CacheMiss
 
-                    params = self.cache_params()
-                    cached = self.cache.load(name, params)
-                    if not isinstance(cached, CacheMiss):
-                        registry.counter("scenario.cache.hit").inc()
-                        return cached  # type: ignore[return-value]
-                    if cached.reason == "corrupt":
-                        registry.counter("scenario.cache.corrupt").inc()
-                    registry.counter("scenario.cache.miss").inc()
-                    value = thunk()
-                    self.cache.store(name, params, value)
-                    registry.counter("scenario.cache.store").inc()
-                else:
-                    value = thunk()
-                registry.counter("scenario.dataset.built").inc()
-                return value
+            params = self.cache_params()
+            cached = self.cache.load(name, params)
+            if not isinstance(cached, CacheMiss):
+                registry.counter("scenario.cache.hit").inc()
+                return cached  # type: ignore[return-value]
+            if cached.reason == "corrupt":
+                registry.counter("scenario.cache.corrupt").inc()
+            registry.counter("scenario.cache.miss").inc()
 
-            value = timed(f"scenario.build.{name}", materialise)
-            self._materialised[name] = value
+        policy = self.retry if self.retry is not None else DEFAULT_RETRY
+
+        def build_once() -> T:
+            value = thunk()
+            if self.fault_plan is not None:
+                value = self.fault_plan.gate(name, value)  # type: ignore[assignment]
             return value
+
+        try:
+            value = retry_call(
+                build_once,
+                policy=policy,
+                token=name,
+                seed=self.seed,
+                non_retryable=(DatasetDegradedError,),
+            )
+        except DatasetDegradedError as err:
+            if self.strict:
+                raise
+            registry.counter("scenario.dataset.degraded").inc()
+            return DegradedDataset(
+                name=name,
+                reason=f"dependency {err.name!r} degraded: {err.reason}",
+                attempts=1,
+            )
+        except Exception as exc:
+            if self.strict:
+                raise
+            registry.counter("scenario.dataset.degraded").inc()
+            return DegradedDataset(
+                name=name,
+                reason=f"{type(exc).__name__}: {exc}",
+                attempts=policy.attempts,
+            )
+
+        if self.cache is not None:
+            self.cache.store(name, self.cache_params(), value)
+            registry.counter("scenario.cache.store").inc()
+        registry.counter("scenario.dataset.built").inc()
+        return value
+
+    # -- degradation introspection -------------------------------------------
+
+    def materialise(self, name: str) -> object:
+        """Build dataset *name*; returns its value or degradation sentinel.
+
+        Unlike property access this never raises on a degraded dataset,
+        which is what bulk builders (``build_all``, the parallel
+        executor) need: one bad dataset must not abort the sweep.  In
+        strict mode a build failure still propagates.
+        """
+        try:
+            return getattr(self, name)
+        except DatasetDegradedError as err:
+            return err.degraded
+
+    def degraded(self) -> list[DegradedDataset]:
+        """Sentinels of every dataset that degraded, in dataset order."""
+        with self._registry_lock:
+            snapshot = dict(self._materialised)
+        return [
+            value
+            for _name, value in sorted(snapshot.items())
+            if isinstance(value, DegradedDataset)
+        ]
+
+    def coverage(self) -> tuple[int, int]:
+        """(available, total) dataset counts — the "k/n" in reports."""
+        total = len(dataset_names())
+        return total - len(self.degraded()), total
 
     # -- Section 2: macro ---------------------------------------------------
 
@@ -297,7 +401,7 @@ class Scenario:
             build_parallel(self, max_workers=max_workers)
         else:
             for name in names:
-                getattr(self, name)
+                self.materialise(name)
         return names
 
 

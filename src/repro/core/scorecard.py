@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.degrade import DatasetDegradedError
 from repro.core.scenario import Scenario
 from repro.geo.countries import UnknownCountryError, country  # noqa: F401  (re-export)
 
@@ -53,6 +54,10 @@ class ScorecardRow:
             for the country.
         rank: Regional rank of that value in its month, or None.
         total: Number of economies the panel covers (rank denominator).
+        degraded: Reason the panel's dataset was unavailable, or None.
+            Distinguishes "this country has no data" (legitimate gap)
+            from "the dataset behind the panel degraded" (see
+            ``docs/RELIABILITY.md``).
     """
 
     panel: str
@@ -60,19 +65,24 @@ class ScorecardRow:
     value: float | None
     rank: int | None
     total: int
+    degraded: str | None = None
 
     @property
     def available(self) -> bool:
         return self.value is not None
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "panel": self.panel,
             "month": self.month,
             "value": self.value,
             "rank": self.rank,
             "total": self.total,
         }
+        # Additive only: healthy scorecards keep their historical shape.
+        if self.degraded is not None:
+            out["degraded"] = self.degraded
+        return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,10 +98,18 @@ class Scorecard:
         """How many panels actually have data for this country."""
         return sum(1 for row in self.rows if row.available)
 
+    @property
+    def degraded_panels(self) -> int:
+        """How many panels were unavailable due to dataset degradation."""
+        return sum(1 for row in self.rows if row.degraded is not None)
+
     def render(self) -> str:
         """The CLI text: header, one line per panel, coverage trailer."""
         lines = [f"{self.name} ({self.code}) — latest snapshot"]
         for row in self.rows:
+            if row.degraded is not None:
+                lines.append(f"  {row.panel:<24} unavailable ({row.degraded})")
+                continue
             if not row.available:
                 lines.append(f"  {row.panel:<24} none")
                 continue
@@ -99,18 +117,24 @@ class Scorecard:
                 f"  {row.panel:<24} {row.value:>9.2f}   "
                 f"rank {row.rank}/{row.total}"
             )
-        lines.append(f"  {self.available}/{len(self.rows)} panels available")
+        trailer = f"  {self.available}/{len(self.rows)} panels available"
+        if self.degraded_panels:
+            trailer += f" ({self.degraded_panels} degraded)"
+        lines.append(trailer)
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, object]:
         """JSON shape served by ``/v1/scorecard/<cc>``."""
-        return {
+        out: dict[str, object] = {
             "country": self.code,
             "name": self.name,
             "rows": [row.to_dict() for row in self.rows],
             "available": self.available,
             "panels": len(self.rows),
         }
+        if self.degraded_panels:
+            out["degraded"] = self.degraded_panels
+        return out
 
 
 def build_scorecard(scenario: Scenario, code: str) -> Scorecard:
@@ -130,15 +154,33 @@ def build_scorecard(scenario: Scenario, code: str) -> Scorecard:
     code = code.upper()
     home = check_country(code)  # raises UnknownCountryError / NonLacnicCountryError
 
+    # Thunks, not values: each panel touches its dataset only when its
+    # row is computed, so one degraded dataset costs one panel, not all.
     panels = [
-        ("peering facilities", scenario.peeringdb.facility_count_panel()),
-        ("submarine cables", scenario.cables.count_panel(2000, 2024)),
-        ("IPv6 adoption (%)", scenario.ipv6.panel()),
-        ("root DNS replicas", replica_count_panel(scenario.chaos_observations)),
-        ("download speed (Mbps)", median_download_panel(scenario.ndt_tests)),
+        ("peering facilities", lambda: scenario.peeringdb.facility_count_panel()),
+        ("submarine cables", lambda: scenario.cables.count_panel(2000, 2024)),
+        ("IPv6 adoption (%)", lambda: scenario.ipv6.panel()),
+        (
+            "root DNS replicas",
+            lambda: replica_count_panel(scenario.chaos_observations),
+        ),
+        (
+            "download speed (Mbps)",
+            lambda: median_download_panel(scenario.ndt_tests),
+        ),
     ]
     rows = []
-    for name, panel in panels:
+    for name, thunk in panels:
+        try:
+            panel = thunk()
+        except DatasetDegradedError as err:
+            rows.append(
+                ScorecardRow(
+                    name, None, None, None, 0,
+                    degraded=f"degraded: dataset {err.name!r}",
+                )
+            )
+            continue
         series = panel.get(code)
         if series is None or not series:
             rows.append(ScorecardRow(name, None, None, None, len(panel)))

@@ -10,11 +10,13 @@ Two pieces, composable but independent:
   dataset was derived from.
 * :mod:`repro.exec.cache` -- a content-keyed on-disk cache
   (``~/.cache/repro`` by default) that round-trips built datasets through
-  a versioned, checksummed pickle envelope.  Corrupt or stale entries are
-  deleted and rebuilt, never trusted.
+  a versioned, checksummed pickle envelope.  Corrupt entries are
+  quarantined (renamed, never trusted) and rebuilt.
 * :mod:`repro.exec.executor` -- topological scheduling of dataset builds
   onto a ``ThreadPoolExecutor``; ``Scenario.build_all(max_workers=N)``
   delegates here.
+* :mod:`repro.exec.retry` -- bounded exponential backoff with
+  deterministic jitter for dataset builds (see ``docs/RELIABILITY.md``).
 
 See ``docs/PERFORMANCE.md`` for the build DAG, the cache key scheme, and
 invalidation rules.
@@ -36,17 +38,22 @@ from repro.exec.dag import (
     validate_graph,
 )
 from repro.exec.executor import build_parallel
+from repro.exec.retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy, retry_call
 
 __all__ = [
     "CACHE_SCHEMA",
     "CacheInfo",
     "DATASET_DEPS",
+    "DEFAULT_RETRY",
     "DatasetCache",
+    "NO_RETRY",
+    "RetryPolicy",
     "build_parallel",
     "code_fingerprint",
     "default_cache_dir",
     "dependencies",
     "dependents",
+    "retry_call",
     "topological_order",
     "transitive_dependencies",
     "validate_graph",

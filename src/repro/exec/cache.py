@@ -16,15 +16,17 @@ Entry layout (one file per dataset under the cache root)::
 The JSON header line is the envelope version stamp; the payload checksum
 makes torn writes and bit rot detectable.  **Any** load failure — missing
 file, foreign header, checksum mismatch, unpicklable payload — is
-reported as a miss (and the bad entry deleted), so a corrupt cache can
-never do worse than a cold one.  Writes go through a temp file and
+reported as a miss, so a corrupt cache can never do worse than a cold
+one.  The damaged entry is *quarantined* (renamed to ``*.quarantined``),
+not deleted — the evidence survives for post-mortem while the rebuild
+overwrites the live path — and each quarantining bumps the
+``cache.corrupt`` counter and prints a one-line warning naming the
+dataset and the corruption reason.  Writes go through a temp file and
 ``os.replace`` so concurrent builders and crashes leave either the old
 entry or the new one, never a hybrid.
 
-Obs wiring lives in the caller (``Scenario._build`` bumps
-``scenario.cache.hit`` / ``.miss`` / ``.corrupt`` / ``.store``); this
-module stays a plain storage layer so ``repro cache info|clear`` can use
-it without touching metrics.
+Higher-level obs wiring stays in the caller (``Scenario._build`` bumps
+``scenario.cache.hit`` / ``.miss`` / ``.corrupt`` / ``.store``).
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ import hashlib
 import json
 import os
 import pickle
+import sys
 import tempfile
 import threading
 from contextlib import contextmanager
@@ -42,6 +45,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.exec.dag import code_fingerprint
+from repro.obs import get_registry
 
 #: Envelope schema stamped into (and required from) every entry.
 CACHE_SCHEMA = "repro.cache/1"
@@ -100,6 +104,7 @@ class CacheInfo:
     path: Path
     entries: int
     total_bytes: int
+    quarantined: int = 0
 
     def render(self) -> str:
         lines = [
@@ -107,6 +112,8 @@ class CacheInfo:
             f"entries         : {self.entries}",
             f"total size      : {self.total_bytes:,} bytes",
         ]
+        if self.quarantined:
+            lines.append(f"quarantined     : {self.quarantined}")
         return "\n".join(lines)
 
 
@@ -159,8 +166,10 @@ class DatasetCache:
         """The cached dataset, or a :class:`CacheMiss` telling why not.
 
         A structurally damaged entry (foreign schema, checksum mismatch,
-        unpicklable payload, truncation) is deleted and reported as a
-        ``corrupt`` miss; the caller rebuilds and overwrites it.
+        unpicklable payload, truncation) is quarantined — renamed to
+        ``<entry>.quarantined`` so the evidence survives — and reported
+        as a ``corrupt`` miss; the caller rebuilds and overwrites the
+        live path.
         """
         path = self.entry_path(name, params)
         try:
@@ -185,9 +194,23 @@ class DatasetCache:
                 raise ValueError("checksum mismatch")
             with _gc_paused():
                 return pickle.loads(payload)
-        except Exception:
-            self._discard(path)
+        except Exception as exc:
+            self._quarantine(path, name, exc)
             return CacheMiss("corrupt")
+
+    def _quarantine(self, path: Path, name: str, exc: Exception) -> None:
+        """Set a corrupt entry aside (rename, never delete) and report it."""
+        reason = str(exc) or type(exc).__name__
+        get_registry().counter("cache.corrupt").inc()
+        print(
+            f"warning: cache entry for dataset {name!r} is corrupt "
+            f"({reason}); quarantined {path.name}.quarantined",
+            file=sys.stderr,
+        )
+        try:
+            path.replace(path.with_name(path.name + ".quarantined"))
+        except OSError:
+            self._discard(path)  # rename failed; fall back to removal
 
     def store(self, name: str, params: dict[str, object], value: object) -> Path:
         """Write (*name*, *params*) -> *value* atomically; returns the path."""
@@ -226,6 +249,12 @@ class DatasetCache:
             return
         yield from sorted(self.root.glob("*.pkl"))
 
+    def quarantined(self) -> Iterator[Path]:
+        """Every quarantined (corrupt, set-aside) entry file."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*.pkl.quarantined"))
+
     def info(self) -> CacheInfo:
         """Entry count and total size (``repro cache info``)."""
         entries = list(self.entries())
@@ -233,12 +262,17 @@ class DatasetCache:
             path=self.root,
             entries=len(entries),
             total_bytes=sum(p.stat().st_size for p in entries),
+            quarantined=len(list(self.quarantined())),
         )
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined included); returns the count.
+
+        Quarantined files count toward the total so ``repro cache clear``
+        genuinely empties the directory.
+        """
         removed = 0
-        for path in self.entries():
+        for path in list(self.entries()) + list(self.quarantined()):
             self._discard(path)
             removed += 1
         return removed

@@ -2,8 +2,8 @@
 
 The scheduler keeps a ready queue of datasets whose dependencies have
 all materialised and submits them to a ``ThreadPoolExecutor``; each
-completion may unlock dependents.  Workers just touch
-``getattr(scenario, name)`` — materialisation, per-dataset locking,
+completion may unlock dependents.  Workers just call
+``scenario.materialise(name)`` — materialisation, per-dataset locking,
 metrics, and the disk cache all live in ``Scenario._build``, so a
 parallel build records exactly the same ``scenario.build.*`` timers and
 counters as a serial one (plus the per-worker busy timers and the
@@ -78,8 +78,11 @@ def build_parallel(
     completed: list[str] = []
 
     def build_one(name: str) -> str:
+        # materialise() (not getattr) so a degraded dataset in lenient
+        # mode doesn't abort the sweep; strict failures still re-raise
+        # through future.result() below.
         with registry.timer(_worker_timer_name()).time():
-            getattr(scenario, name)
+            scenario.materialise(name)
         return name
 
     with trace_span("scenario.build.parallel"):

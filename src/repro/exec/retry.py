@@ -1,0 +1,110 @@
+"""Bounded exponential backoff with deterministic jitter.
+
+Dataset builds retry through :func:`retry_call`.  The jitter is *seeded*
+— derived from (seed, token, attempt) — not sampled from a global RNG,
+so two runs of the same pipeline sleep identically and a retrying build
+never perturbs any other component's randomness.  Delays are bounded by
+``max_delay`` and the attempt count by ``attempts``, so a permanently
+failing build costs a known, small amount of wall time before the
+caller's degradation policy takes over.
+
+Metrics (see ``docs/OBSERVABILITY.md``):
+
+* ``retry.attempts`` — re-attempts after a failure (first tries are free).
+* ``retry.giveups`` — calls whose final attempt still failed.
+* ``retry.sleep`` — timer over every backoff sleep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.obs import get_registry
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Shape of one bounded retry loop.
+
+    Attributes:
+        attempts: Total tries (1 = no retries).
+        base_delay: Sleep before the first retry, seconds.
+        multiplier: Backoff growth factor per retry.
+        max_delay: Upper bound on any single sleep.
+        jitter: Fraction of the delay added as deterministic jitter
+            (0.5 means the sleep lands in ``[delay, 1.5 * delay]``).
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, token: str = "", seed: int = 0) -> float:
+        """The sleep before retry *attempt* (1-based), jitter included.
+
+        The jitter fraction is derived from ``sha256(seed, token,
+        attempt)``, so it is stable for a given (scenario seed, dataset,
+        attempt) triple and independent across datasets.
+        """
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter <= 0:
+            return raw
+        material = f"{seed}|{token}|{attempt}".encode()
+        digest = hashlib.sha256(material).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return min(raw * (1.0 + self.jitter * fraction), self.max_delay)
+
+
+#: Default build-retry shape: 3 tries, ~0.15 s worst-case total sleep.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Single-attempt policy for callers that want fail-fast semantics.
+NO_RETRY = RetryPolicy(attempts=1)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy = DEFAULT_RETRY,
+    token: str = "",
+    seed: int = 0,
+    retryable: tuple[type[BaseException], ...] = (Exception,),
+    non_retryable: tuple[type[BaseException], ...] = (),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call *fn* under *policy*; re-raises the last error on give-up.
+
+    Args:
+        fn: Zero-argument callable to retry.
+        policy: Attempt count and backoff shape.
+        token: Stable identifier (dataset name) for jitter derivation.
+        seed: Scenario seed, the other half of the jitter derivation.
+        retryable: Exception types worth another attempt; anything else
+            propagates immediately (KeyboardInterrupt, SystemExit).
+        non_retryable: Carve-outs from *retryable* that propagate on the
+            first occurrence — e.g. a degraded dependency, which would
+            fail identically on every attempt.
+        sleep: Injectable for tests.
+    """
+    registry = get_registry()
+    last: BaseException | None = None
+    for attempt in range(1, max(1, policy.attempts) + 1):
+        if attempt > 1:
+            registry.counter("retry.attempts").inc()
+            with registry.timer("retry.sleep").time():
+                sleep(policy.delay(attempt - 1, token=token, seed=seed))
+        try:
+            return fn()
+        except retryable as exc:
+            if non_retryable and isinstance(exc, non_retryable):
+                raise
+            last = exc
+    registry.counter("retry.giveups").inc()
+    assert last is not None
+    raise last

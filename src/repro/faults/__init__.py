@@ -1,0 +1,46 @@
+"""Deterministic fault injection (see ``docs/RELIABILITY.md``).
+
+Public surface:
+
+* :mod:`repro.faults.injectors` — byte-corruption primitives.
+* :mod:`repro.faults.plan` — seeded plans applied to bytes, files, or
+  live dataset builds.
+* :mod:`repro.faults.chaos` — the ``repro chaos`` harness: run the
+  pipeline under a plan and produce a deterministic resilience report.
+"""
+
+from repro.faults.chaos import ChaosReport, DEFAULT_SPECS, run_chaos
+from repro.faults.injectors import (
+    BitFlip,
+    DropLines,
+    EncodingDamage,
+    GarbageRows,
+    Injector,
+    Truncate,
+    injector_by_name,
+    injector_names,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCorruptionError,
+    InjectionRecord,
+)
+
+__all__ = [
+    "BitFlip",
+    "ChaosReport",
+    "DEFAULT_SPECS",
+    "DropLines",
+    "EncodingDamage",
+    "FaultPlan",
+    "FaultSpec",
+    "GarbageRows",
+    "InjectedCorruptionError",
+    "Injector",
+    "InjectionRecord",
+    "Truncate",
+    "injector_by_name",
+    "injector_names",
+    "run_chaos",
+]

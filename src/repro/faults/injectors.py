@@ -1,0 +1,170 @@
+"""Deterministic byte-corruption primitives.
+
+Every injector is a pure function ``(data, rng) -> data``: all randomness
+comes from the :class:`random.Random` the caller passes in, so the same
+seed always produces the same corrupted bytes — the property the chaos
+CLI's "same seed, same resilience report" guarantee rests on.
+
+The catalogue mirrors the damage real measurement archives exhibit
+(truncated snapshots, bit rot, garbage rows, missing months, encoding
+mojibake); :class:`repro.faults.plan.FaultPlan` composes injectors into a
+reproducible campaign against cache entries, export trees, or live
+dataset builds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "BitFlip",
+    "DropLines",
+    "EncodingDamage",
+    "GarbageRows",
+    "Injector",
+    "Truncate",
+    "injector_by_name",
+    "injector_names",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Injector:
+    """Base class: one named, parameterised corruption."""
+
+    def apply(self, data: bytes, rng: random.Random) -> bytes:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Registry key: the lowercase class name."""
+        return type(self).__name__.lower()
+
+    def describe(self) -> str:
+        """One-line human description for resilience reports."""
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Truncate(Injector):
+    """Keep only a leading fraction of the bytes (a torn download)."""
+
+    keep_fraction: float = 0.5
+
+    def apply(self, data: bytes, rng: random.Random) -> bytes:
+        return data[: int(len(data) * self.keep_fraction)]
+
+    def describe(self) -> str:
+        return f"truncate(keep={self.keep_fraction:.2f})"
+
+
+@dataclass(frozen=True, slots=True)
+class BitFlip(Injector):
+    """Flip *flips* random bits (bit rot / faulty storage)."""
+
+    flips: int = 16
+
+    def apply(self, data: bytes, rng: random.Random) -> bytes:
+        if not data:
+            return data
+        out = bytearray(data)
+        for _ in range(self.flips):
+            position = rng.randrange(len(out))
+            out[position] ^= 1 << rng.randrange(8)
+        return bytes(out)
+
+    def describe(self) -> str:
+        return f"bitflip(flips={self.flips})"
+
+
+@dataclass(frozen=True, slots=True)
+class GarbageRows(Injector):
+    """Insert *rows* lines of printable junk at random line boundaries."""
+
+    rows: int = 5
+    width: int = 40
+
+    def apply(self, data: bytes, rng: random.Random) -> bytes:
+        lines = data.split(b"\n")
+        for _ in range(self.rows):
+            junk = bytes(
+                rng.choice(b"abcdefghijklmnop|,;:!#$%&*() \t")
+                for _ in range(self.width)
+            )
+            lines.insert(rng.randrange(len(lines) + 1), junk)
+        return b"\n".join(lines)
+
+    def describe(self) -> str:
+        return f"garbagerows(rows={self.rows})"
+
+
+@dataclass(frozen=True, slots=True)
+class DropLines(Injector):
+    """Delete a random fraction of lines (missing snapshots / months)."""
+
+    drop_fraction: float = 0.2
+
+    def apply(self, data: bytes, rng: random.Random) -> bytes:
+        lines = data.split(b"\n")
+        kept = [
+            line for line in lines if rng.random() >= self.drop_fraction
+        ]
+        return b"\n".join(kept)
+
+    def describe(self) -> str:
+        return f"droplines(fraction={self.drop_fraction:.2f})"
+
+
+@dataclass(frozen=True, slots=True)
+class EncodingDamage(Injector):
+    """Overwrite *spots* short runs with invalid-UTF-8 byte sequences."""
+
+    spots: int = 4
+
+    #: Bytes that can never appear in well-formed UTF-8 text.
+    _INVALID = b"\xc3\x28\xfe\xff"
+
+    def apply(self, data: bytes, rng: random.Random) -> bytes:
+        if len(data) < len(self._INVALID):
+            return self._INVALID
+        out = bytearray(data)
+        for _ in range(self.spots):
+            start = rng.randrange(len(out) - len(self._INVALID) + 1)
+            out[start : start + len(self._INVALID)] = self._INVALID
+        return bytes(out)
+
+    def describe(self) -> str:
+        return f"encodingdamage(spots={self.spots})"
+
+
+#: Name -> default-parameter instance, for CLI specs and docs.
+_CATALOGUE: dict[str, Injector] = {
+    injector.name: injector
+    for injector in (
+        Truncate(),
+        BitFlip(),
+        GarbageRows(),
+        DropLines(),
+        EncodingDamage(),
+    )
+}
+
+
+def injector_names() -> list[str]:
+    """Every injector name accepted by ``repro chaos --inject``."""
+    return sorted(_CATALOGUE)
+
+
+def injector_by_name(name: str) -> Injector:
+    """The default-parameter injector registered under *name*.
+
+    Raises:
+        ValueError: *name* is not in the catalogue.
+    """
+    try:
+        return _CATALOGUE[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown injector {name!r}; known: {', '.join(injector_names())}"
+        ) from None

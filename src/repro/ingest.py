@@ -1,0 +1,140 @@
+"""Lenient ingestion: per-record quarantine under an error budget.
+
+Real archives are dirty — truncated snapshots, malformed rows, encoding
+damage — and an all-or-nothing parser turns one bad row in a ten-year
+corpus into a failed pipeline.  Every ``repro`` parser therefore accepts
+``strict=False``: malformed records are *quarantined* (recorded, counted,
+skipped) instead of aborting the parse, and an :class:`ErrorBudget` caps
+how much damage may be absorbed silently — past the budget the parse
+fails loudly with :class:`ErrorBudgetExceeded`, because a file that is
+mostly garbage is a wrong file, not a dirty one.
+
+Observability (see ``docs/RELIABILITY.md`` / ``docs/OBSERVABILITY.md``):
+
+* ``ingest.quarantined.<component>`` — records quarantined per parser.
+* ``ingest.budget_exceeded`` — parses aborted for blowing the budget.
+
+Strict mode (the default everywhere) is byte-for-byte the historical
+behaviour: first malformed record raises the parser's own error type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.obs import get_registry
+
+T = TypeVar("T")
+
+#: How much of a quarantined record's raw text is retained for post-mortem.
+_RAW_PREVIEW = 160
+
+
+class ErrorBudgetExceeded(ValueError):
+    """Too many records were quarantined for the parse to be trusted."""
+
+    def __init__(self, component: str, bad: int, total: int, max_ratio: float):
+        self.component = component
+        self.bad = bad
+        self.total = total
+        self.max_ratio = max_ratio
+        super().__init__(
+            f"{component}: {bad}/{total} records quarantined, over the "
+            f"{max_ratio:.1%} error budget"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorBudget:
+    """How many bad records a lenient parse may absorb.
+
+    Attributes:
+        max_ratio: Highest tolerable ``bad / (bad + good)`` fraction.
+        grace: Bad records always tolerated regardless of ratio, so a
+            two-line file with one bad line is not instantly fatal.
+    """
+
+    max_ratio: float = 0.05
+    grace: int = 2
+
+    def exceeded(self, bad: int, total: int) -> bool:
+        """Whether *bad* out of *total* records blows the budget."""
+        if bad <= self.grace:
+            return False
+        return total > 0 and bad / total > self.max_ratio
+
+
+#: The budget lenient parses use unless the caller supplies one.
+DEFAULT_BUDGET = ErrorBudget()
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedRecord:
+    """One record a lenient parse refused: where, why, and a preview."""
+
+    line_no: int
+    reason: str
+    raw: str
+
+    def render(self) -> str:
+        return f"line {self.line_no}: {self.reason}: {self.raw!r}"
+
+
+class Quarantine:
+    """Collector for records a lenient parse skips.
+
+    One instance covers one parse.  Callers that want the quarantined
+    records (the chaos drill, post-mortem tooling) construct and pass
+    their own; parsers construct a private one otherwise, so metrics are
+    recorded either way.
+    """
+
+    def __init__(self, component: str, budget: ErrorBudget | None = None):
+        self.component = component
+        self.budget = budget if budget is not None else DEFAULT_BUDGET
+        self.records: list[QuarantinedRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def admit(self, line_no: int, raw: object, reason: str) -> None:
+        """Quarantine one record (and count it in the registry)."""
+        self.records.append(
+            QuarantinedRecord(line_no, reason, str(raw)[:_RAW_PREVIEW])
+        )
+        get_registry().counter(f"ingest.quarantined.{self.component}").inc()
+
+    def check(self, accepted: int) -> None:
+        """Enforce the error budget after a parse.
+
+        Raises:
+            ErrorBudgetExceeded: quarantined records exceed the budget's
+                tolerated fraction of the total record count.
+        """
+        bad = len(self.records)
+        total = accepted + bad
+        if self.budget.exceeded(bad, total):
+            get_registry().counter("ingest.budget_exceeded").inc()
+            raise ErrorBudgetExceeded(
+                self.component, bad, total, self.budget.max_ratio
+            )
+
+
+def quarantining_parse(
+    parse: Callable[[str], T],
+    items: Iterable[str],
+    quarantine: Quarantine,
+) -> Iterator[T]:
+    """Run a single-record parser over *items*, quarantining failures.
+
+    Adapts record-level parsers (``NDTResult.from_json``,
+    ``TracerouteResult.from_json``, ``parse_chaos_string`` partials, ...)
+    to lenient batch ingestion without each growing its own loop.  The
+    caller runs :meth:`Quarantine.check` after consuming the iterator.
+    """
+    for line_no, raw in enumerate(items, start=1):
+        try:
+            yield parse(raw)
+        except ValueError as exc:
+            quarantine.admit(line_no, raw, str(exc) or type(exc).__name__)

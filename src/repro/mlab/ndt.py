@@ -10,9 +10,12 @@ import datetime as _dt
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.obs import counting, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest import Quarantine
 from repro.timeseries.month import Month
 
 
@@ -90,14 +93,44 @@ def write_ndt_jsonl(results: Iterable[NDTResult], path: Path | str) -> int:
     return count
 
 
-def parse_ndt_jsonl(path: Path | str) -> Iterator[NDTResult]:
-    """Stream results back from a JSON Lines file."""
+def parse_ndt_jsonl(
+    path: Path | str,
+    *,
+    strict: bool = True,
+    quarantine: "Quarantine | None" = None,
+) -> Iterator[NDTResult]:
+    """Stream results back from a JSON Lines file.
+
+    Args:
+        path: The JSONL file.
+        strict: ``True`` (default) raises :class:`NDTParseError` on the
+            first malformed line; ``False`` quarantines malformed lines
+            under an error budget (checked once the stream is drained).
+        quarantine: Optional caller-owned quarantine (implies lenient
+            parsing).
+    """
+    if quarantine is None and not strict:
+        from repro.ingest import Quarantine
+
+        quarantine = Quarantine("mlab.ndt")
 
     def rows() -> Iterator[NDTResult]:
+        accepted = 0
         with open(path, encoding="utf-8") as handle:
-            for line in handle:
+            for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
-                if line:
-                    yield NDTResult.from_json(line)
+                if not line:
+                    continue
+                try:
+                    result = NDTResult.from_json(line)
+                except NDTParseError as exc:
+                    if quarantine is None:
+                        raise
+                    quarantine.admit(line_no, line, str(exc))
+                    continue
+                accepted += 1
+                yield result
+        if quarantine is not None:
+            quarantine.check(accepted)
 
     return counting("mlab.ndt.rows_parsed", rows())

@@ -28,6 +28,13 @@ EXHIBIT_RUN_PREFIX = "exhibit.run."
 SCENARIO_CACHE_PREFIX = "scenario.cache."
 EXEC_WORKER_PREFIX = "exec.worker_"
 SERVE_REQUEST_PREFIX = "serve.request."
+#: Reliability families (see ``docs/RELIABILITY.md``): per-parser
+#: quarantine counters, build retries, the serve circuit breaker, and
+#: injected faults.
+INGEST_PREFIX = "ingest."
+RETRY_PREFIX = "retry."
+BREAKER_PREFIX = "breaker."
+FAULTS_PREFIX = "faults."
 
 
 class MetricNameError(ValueError):

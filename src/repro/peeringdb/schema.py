@@ -10,8 +10,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest import Quarantine
 
 
 class PeeringDBParseError(ValueError):
@@ -194,12 +198,34 @@ class PeeringDBSnapshot:
         return json.dumps(payload, indent=1, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "PeeringDBSnapshot":
+    def from_json(
+        cls,
+        text: str,
+        *,
+        strict: bool = True,
+        quarantine: "Quarantine | None" = None,
+    ) -> "PeeringDBSnapshot":
         """Parse the public-dump layout produced by :meth:`to_json`.
 
+        Args:
+            text: The JSON dump.
+            strict: ``True`` (default) raises on the first malformed row;
+                ``False`` quarantines malformed rows under an error
+                budget.  JSON that does not decode at all is fatal
+                either way.
+            quarantine: Optional caller-owned quarantine (implies
+                lenient parsing).
+
         Raises:
-            PeeringDBParseError: on malformed JSON or missing columns.
+            PeeringDBParseError: on malformed JSON, or (strict mode)
+                malformed rows.
+            repro.ingest.ErrorBudgetExceeded: too many malformed rows
+                (lenient mode).
         """
+        if quarantine is None and not strict:
+            from repro.ingest import Quarantine
+
+            quarantine = Quarantine("peeringdb.objects")
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -208,13 +234,14 @@ class PeeringDBSnapshot:
             raise PeeringDBParseError("top level must be an object")
 
         def rows(table: str) -> list[dict]:
-            return payload.get(table, {}).get("data", [])
+            data = payload.get(table, {})
+            if not isinstance(data, dict):
+                return []
+            found = data.get("data", [])
+            return found if isinstance(found, list) else []
 
-        try:
-            snapshot = cls._from_rows(rows)
-        except (KeyError, TypeError, AttributeError, ValueError) as exc:
-            raise PeeringDBParseError(f"malformed dump row: {exc}") from None
-        get_registry().counter("peeringdb.objects.rows_parsed").inc(
+        snapshot = cls._from_rows(rows, quarantine=quarantine)
+        parsed = (
             len(snapshot.orgs)
             + len(snapshot.facilities)
             + len(snapshot.networks)
@@ -222,28 +249,45 @@ class PeeringDBSnapshot:
             + len(snapshot.netfacs)
             + len(snapshot.netixlans)
         )
+        if quarantine is not None:
+            quarantine.check(parsed)
+        get_registry().counter("peeringdb.objects.rows_parsed").inc(parsed)
         return snapshot
 
     @classmethod
-    def _from_rows(cls, rows) -> "PeeringDBSnapshot":
+    def _from_rows(cls, rows, quarantine=None) -> "PeeringDBSnapshot":
+        builders = {
+            "org": lambda r: Organization(r["id"], r["name"]),
+            "fac": lambda r: Facility(
+                r["id"], r["org_id"], r["name"], r["city"], r["country"]
+            ),
+            "net": lambda r: Network(r["id"], r["org_id"], r["asn"], r["name"]),
+            "ix": lambda r: InternetExchange(
+                r["id"], r["org_id"], r["name"], r["city"], r["country"]
+            ),
+            "netfac": lambda r: NetFac(r["net_id"], r["fac_id"]),
+            "netixlan": lambda r: NetIXLan(r["net_id"], r["ix_id"]),
+        }
+        parsed: dict[str, list] = {}
+        for table, build in builders.items():
+            out: list = []
+            for index, row in enumerate(rows(table), start=1):
+                try:
+                    out.append(build(row))
+                except (KeyError, TypeError, AttributeError, ValueError) as exc:
+                    if quarantine is None:
+                        raise PeeringDBParseError(
+                            f"malformed dump row: {table}[{index}]: {exc}"
+                        ) from None
+                    quarantine.admit(index, row, f"{table}: {exc}")
+            parsed[table] = out
         return cls(
-            orgs=[Organization(r["id"], r["name"]) for r in rows("org")],
-            facilities=[
-                Facility(r["id"], r["org_id"], r["name"], r["city"], r["country"])
-                for r in rows("fac")
-            ],
-            networks=[
-                Network(r["id"], r["org_id"], r["asn"], r["name"])
-                for r in rows("net")
-            ],
-            exchanges=[
-                InternetExchange(
-                    r["id"], r["org_id"], r["name"], r["city"], r["country"]
-                )
-                for r in rows("ix")
-            ],
-            netfacs=[NetFac(r["net_id"], r["fac_id"]) for r in rows("netfac")],
-            netixlans=[NetIXLan(r["net_id"], r["ix_id"]) for r in rows("netixlan")],
+            orgs=parsed["org"],
+            facilities=parsed["fac"],
+            networks=parsed["net"],
+            exchanges=parsed["ix"],
+            netfacs=parsed["netfac"],
+            netixlans=parsed["netixlan"],
         )
 
     def save(self, path: Path | str) -> None:

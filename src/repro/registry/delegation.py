@@ -18,8 +18,12 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest import Quarantine
 
 _VALID_TYPES = {"ipv4", "ipv6", "asn"}
 _VALID_STATUSES = {"allocated", "assigned", "available", "reserved"}
@@ -117,15 +121,36 @@ def _parse_date(text: str, line_no: int) -> _dt.date:
     return _dt.date(int(text[:4]), int(text[4:6]), int(text[6:8]))
 
 
-def parse_delegation_file(text: str) -> DelegationFile:
+def parse_delegation_file(
+    text: str,
+    *,
+    strict: bool = True,
+    quarantine: "Quarantine | None" = None,
+) -> DelegationFile:
     """Parse the extended-stats format.
 
     Summary lines and comments are skipped; the version header supplies the
     registry name and snapshot date.
 
+    Args:
+        text: The delegation file contents.
+        strict: ``True`` (default) raises on the first malformed record;
+            ``False`` quarantines malformed records under an error
+            budget.  A missing version header is fatal either way — a
+            file without one is the wrong file, not a dirty one.
+        quarantine: Optional caller-owned quarantine (implies lenient
+            parsing); a private one is created when ``strict=False``.
+
     Raises:
-        DelegationParseError: on malformed headers or records.
+        DelegationParseError: on malformed headers, or (strict mode)
+            malformed records.
+        repro.ingest.ErrorBudgetExceeded: too many malformed records
+            (lenient mode).
     """
+    if quarantine is None and not strict:
+        from repro.ingest import Quarantine
+
+        quarantine = Quarantine("registry.delegation")
     registry = ""
     snapshot_date = _dt.date(1970, 1, 1)
     records: list[DelegationRecord] = []
@@ -144,27 +169,37 @@ def parse_delegation_file(text: str) -> DelegationFile:
             continue
         if len(fields) >= 6 and fields[5] == "summary":
             continue
-        if len(fields) < 7:
-            raise DelegationParseError(f"line {line_no}: short record: {line!r}")
-        rectype = fields[2]
-        if rectype not in _VALID_TYPES:
-            raise DelegationParseError(f"line {line_no}: bad type {rectype!r}")
-        status = fields[6]
-        if status not in _VALID_STATUSES:
-            raise DelegationParseError(f"line {line_no}: bad status {status!r}")
         try:
-            value = int(fields[4])
-        except ValueError:
-            raise DelegationParseError(
-                f"line {line_no}: bad value {fields[4]!r}"
-            ) from None
-        date_field = fields[5]
-        # 'available'/'reserved' records may carry an empty date.
-        date = (
-            _parse_date(date_field, line_no)
-            if date_field
-            else _dt.date(1970, 1, 1)
-        )
+            if len(fields) < 7:
+                raise DelegationParseError(
+                    f"line {line_no}: short record: {line!r}"
+                )
+            rectype = fields[2]
+            if rectype not in _VALID_TYPES:
+                raise DelegationParseError(f"line {line_no}: bad type {rectype!r}")
+            status = fields[6]
+            if status not in _VALID_STATUSES:
+                raise DelegationParseError(
+                    f"line {line_no}: bad status {status!r}"
+                )
+            try:
+                value = int(fields[4])
+            except ValueError:
+                raise DelegationParseError(
+                    f"line {line_no}: bad value {fields[4]!r}"
+                ) from None
+            date_field = fields[5]
+            # 'available'/'reserved' records may carry an empty date.
+            date = (
+                _parse_date(date_field, line_no)
+                if date_field
+                else _dt.date(1970, 1, 1)
+            )
+        except DelegationParseError as exc:
+            if quarantine is None:
+                raise
+            quarantine.admit(line_no, raw, str(exc))
+            continue
         records.append(
             DelegationRecord(
                 registry=fields[0],
@@ -178,5 +213,7 @@ def parse_delegation_file(text: str) -> DelegationFile:
         )
     if not saw_header:
         raise DelegationParseError("missing version header")
+    if quarantine is not None:
+        quarantine.check(len(records))
     get_registry().counter("registry.delegation.rows_parsed").inc(len(records))
     return DelegationFile(registry=registry, snapshot_date=snapshot_date, records=records)

@@ -29,8 +29,10 @@ See ``docs/SERVING.md`` for endpoint shapes, caching semantics, and
 tuning guidance.
 """
 
+from repro.serve.breaker import BreakerOpenError, CircuitBreaker
+from repro.serve.deadline import DeadlineExpired, deadline_scope
 from repro.serve.handlers import ServeContext, build_router
-from repro.serve.pool import ScenarioPool, params_key
+from repro.serve.pool import PoolTimeoutError, ScenarioPool, params_key
 from repro.serve.respcache import CachedResponse, ResponseCache
 from repro.serve.router import (
     HTTPError,
@@ -46,8 +48,12 @@ from repro.serve.router import (
 from repro.serve.server import ReproServer, create_server, run
 
 __all__ = [
+    "BreakerOpenError",
     "CachedResponse",
+    "CircuitBreaker",
+    "DeadlineExpired",
     "HTTPError",
+    "PoolTimeoutError",
     "RawResponse",
     "ReproServer",
     "Route",
@@ -57,6 +63,7 @@ __all__ = [
     "ResponseCache",
     "build_router",
     "create_server",
+    "deadline_scope",
     "envelope_bytes",
     "error_bytes",
     "etag_for",

@@ -1,0 +1,129 @@
+"""Circuit breaker around scenario builds (see ``docs/RELIABILITY.md``).
+
+A classic three-state breaker:
+
+* **closed** — requests flow; consecutive build failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker rejects immediately with :class:`BreakerOpenError` (callers
+  translate that into a 503 with ``Retry-After``), sparing the server
+  from queueing doomed builds behind a broken generator or disk.
+* **half-open** — after ``recovery_time`` seconds, exactly one probe
+  request is let through; success closes the breaker, failure re-opens
+  it and restarts the clock.
+
+Metrics: ``breaker.opened`` (close→open transitions), ``breaker.rejected``
+(calls refused while open), ``breaker.probes`` (half-open trials), and
+the ``breaker.state`` gauge (0 closed, 1 half-open, 2 open).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs import get_registry
+
+#: Gauge encoding of the breaker state.
+_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class BreakerOpenError(RuntimeError):
+    """The circuit is open: the protected operation was not attempted."""
+
+    def __init__(self, retry_after: float):
+        self.retry_after = max(0.0, retry_after)
+        super().__init__(
+            f"circuit breaker open; retry in {self.retry_after:.1f}s"
+        )
+
+
+class CircuitBreaker:
+    """Thread-safe circuit breaker for one protected operation.
+
+    Args:
+        failure_threshold: Consecutive failures that open the circuit.
+            The default (3) sits above the pool tests' worst case of two
+            consecutive seeded failures, so existing retry-on-next-call
+            semantics are preserved for isolated errors.
+        recovery_time: Seconds the circuit stays open before admitting a
+            half-open probe.
+        clock: Injectable time source for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` (time-aware)."""
+        with self._lock:
+            return self._observed_state()
+
+    def _observed_state(self) -> str:
+        # Caller holds the lock.
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.recovery_time
+        ):
+            return "half-open"
+        return self._state
+
+    def _set_gauge(self, state: str) -> None:
+        get_registry().gauge("breaker.state").set(_STATE_VALUES[state])
+
+    # -- the protected call path --------------------------------------------
+
+    def acquire(self) -> None:
+        """Admission control: raise :class:`BreakerOpenError` or admit.
+
+        Half-open admits exactly one probe; concurrent callers during the
+        probe are rejected as if the circuit were still open.
+        """
+        with self._lock:
+            state = self._observed_state()
+            if state == "closed":
+                return
+            if state == "half-open" and not self._probe_in_flight:
+                self._probe_in_flight = True
+                self._state = "half-open"
+                self._set_gauge("half-open")
+                get_registry().counter("breaker.probes").inc()
+                return
+            get_registry().counter("breaker.rejected").inc()
+            remaining = self.recovery_time - (self._clock() - self._opened_at)
+            raise BreakerOpenError(retry_after=remaining)
+
+    def record_success(self) -> None:
+        """The protected operation succeeded: close and reset."""
+        with self._lock:
+            self._failures = 0
+            self._probe_in_flight = False
+            self._state = "closed"
+            self._set_gauge("closed")
+
+    def record_failure(self) -> None:
+        """The protected operation failed: count, maybe open."""
+        with self._lock:
+            self._failures += 1
+            self._probe_in_flight = False
+            if self._state == "half-open" or self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._set_gauge("open")
+                get_registry().counter("breaker.opened").inc()

@@ -110,12 +110,33 @@ def handle_scorecard(ctx: ServeContext, country: str) -> dict:
 
 
 def handle_healthz(ctx: ServeContext) -> dict:
-    """GET /healthz — liveness plus pool warmth (never cached)."""
-    return {
-        "status": "ok",
+    """GET /healthz — liveness, pool warmth, and degradation state.
+
+    Status ladder (see ``docs/RELIABILITY.md``):
+
+    * ``unhealthy`` — the build circuit breaker is open; scenario
+      requests are being rejected.
+    * ``degraded`` — serving, but some warm scenario carries degraded
+      datasets (or the breaker is probing half-open).
+    * ``ok`` — everything available.
+    """
+    breaker_state = ctx.pool.breaker.state
+    degraded = ctx.pool.degraded_datasets()
+    if breaker_state == "open":
+        status = "unhealthy"
+    elif degraded or breaker_state == "half-open":
+        status = "degraded"
+    else:
+        status = "ok"
+    payload: dict[str, object] = {
+        "status": status,
         "scenarios_warm": len(ctx.pool),
         "exhibits": len(exhibit_ids()),
+        "breaker": breaker_state,
     }
+    if degraded:
+        payload["degraded_datasets"] = degraded
+    return payload
 
 
 def handle_metrics(ctx: ServeContext) -> RawResponse:

@@ -12,6 +12,14 @@ bumps ``serve.inflight.coalesced``; the build itself runs under the
 A failed build is not cached: the leader publishes the exception to the
 waiters already in flight (they re-raise it), then removes the entry so
 the *next* request elects a fresh leader and retries.
+
+Hardening (see ``docs/RELIABILITY.md``): builds run behind a
+:class:`~repro.serve.breaker.CircuitBreaker` — after enough consecutive
+failures the pool rejects immediately with
+:class:`~repro.serve.breaker.BreakerOpenError` instead of queueing doomed
+builds — and waiters bound their block on the caller's per-request
+deadline (:mod:`repro.serve.deadline`), surfacing
+:class:`PoolTimeoutError` when it expires.
 """
 
 from __future__ import annotations
@@ -21,9 +29,21 @@ from typing import TYPE_CHECKING
 
 from repro.core.scenario import Scenario
 from repro.obs import get_registry, timed
+from repro.serve import deadline
+from repro.serve.breaker import BreakerOpenError, CircuitBreaker
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.exec.cache import DatasetCache
+
+
+class PoolTimeoutError(RuntimeError):
+    """A waiter's per-request deadline expired before the build finished."""
+
+    def __init__(self, budget: float):
+        self.budget = budget
+        super().__init__(
+            f"scenario build still in flight after {budget:.1f}s deadline"
+        )
 
 
 def params_key(params: dict[str, object]) -> tuple:
@@ -50,13 +70,24 @@ class ScenarioPool:
             builds through.
         build_workers: ``max_workers`` for the prebuild; 1 builds the
             datasets serially (identical output either way).
+        strict: Scenario strictness for pooled builds.  ``False`` (the
+            serving default) lets individual datasets degrade instead of
+            failing the whole build; ``True`` restores fail-fast.
+        breaker: The circuit breaker guarding builds; a default-config
+            :class:`CircuitBreaker` unless the caller passes one.
     """
 
     def __init__(
-        self, cache: "DatasetCache | None" = None, build_workers: int = 1
+        self,
+        cache: "DatasetCache | None" = None,
+        build_workers: int = 1,
+        strict: bool = False,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.cache = cache
         self.build_workers = build_workers
+        self.strict = strict
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._lock = threading.Lock()
         self._entries: dict[tuple, _Entry] = {}
 
@@ -96,31 +127,63 @@ class ScenarioPool:
 
         if leader:
             try:
+                self.breaker.acquire()
+            except BreakerOpenError as exc:
+                self._abandon(key, entry, exc)
+                raise
+            try:
                 scenario = timed(
                     "serve.pool.build", lambda: self._build(dict(params))
                 )
             except BaseException as exc:
-                entry.error = exc
-                entry.ready.set()
-                with self._lock:
-                    # Only a fresh leader may retry; drop the poisoned
-                    # entry unless someone already replaced it.
-                    if self._entries.get(key) is entry:
-                        del self._entries[key]
+                self.breaker.record_failure()
+                self._abandon(key, entry, exc)
                 raise
+            self.breaker.record_success()
             entry.scenario = scenario
             entry.ready.set()
             return scenario
 
         if not entry.ready.is_set():
             get_registry().counter("serve.inflight.coalesced").inc()
-            entry.ready.wait()
+            budget = deadline.remaining()
+            if not entry.ready.wait(timeout=budget):
+                assert budget is not None
+                get_registry().counter("serve.deadline.expired").inc()
+                raise PoolTimeoutError(budget)
         if entry.error is not None:
             raise entry.error
         assert entry.scenario is not None
         return entry.scenario
 
+    def _abandon(self, key: tuple, entry: _Entry, exc: BaseException) -> None:
+        """Publish *exc* to in-flight waiters, then drop the entry.
+
+        Only a fresh leader may retry; the poisoned entry is removed
+        unless someone already replaced it.
+        """
+        entry.error = exc
+        entry.ready.set()
+        with self._lock:
+            if self._entries.get(key) is entry:
+                del self._entries[key]
+
+    def degraded_datasets(self) -> list[str]:
+        """Dataset names degraded in any warm scenario (sorted, unique)."""
+        with self._lock:
+            warm = [
+                entry.scenario
+                for entry in self._entries.values()
+                if entry.ready.is_set() and entry.scenario is not None
+            ]
+        names: set[str] = set()
+        for scenario in warm:
+            names.update(d.name for d in scenario.degraded())
+        return sorted(names)
+
     def _build(self, params: dict[str, object]) -> Scenario:
-        scenario = Scenario(cache=self.cache, **params)  # type: ignore[arg-type]
+        scenario = Scenario(
+            cache=self.cache, strict=self.strict, **params  # type: ignore[arg-type]
+        )
         scenario.build_all(max_workers=self.build_workers)
         return scenario

@@ -32,13 +32,22 @@ class HTTPError(Exception):
     Attributes:
         status: HTTP status code (404, 405, 422, ...).
         message: Human-readable one-liner for the envelope.
+        headers: Extra response headers (``Retry-After`` on 503s).
         extra: Additional envelope fields (``hint``, ``known``, ...).
     """
 
-    def __init__(self, status: int, message: str, **extra: object):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: dict[str, str] | None = None,
+        **extra: object,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
         self.extra = extra
 
 

@@ -15,7 +15,20 @@ Request observability (see ``docs/OBSERVABILITY.md``):
 * ``serve.response.not_modified`` — 304 revalidations.
 * ``serve.inflight.coalesced`` — requests that waited on another
   request's scenario build (recorded by the pool).
-* ``serve.errors`` — handler crashes surfaced as 500 envelopes.
+* ``serve.errors`` — handler crashes surfaced as 500 envelopes, plus a
+  per-endpoint ``serve.errors.<endpoint>`` dimension.
+* ``serve.requests.shed`` — requests refused with 503 under saturation.
+* ``serve.inflight.current`` — gauge of requests currently in flight.
+* ``serve.deadline.expired`` — requests whose per-request deadline ran
+  out mid-wait.
+
+Hardening (see ``docs/RELIABILITY.md``): an optional ``max_inflight``
+bound sheds excess load with 503 + ``Retry-After`` (``/healthz`` and
+``/metrics`` stay exempt so health is observable under saturation), an
+optional per-request deadline bounds every blocking wait, the scenario
+pool's circuit breaker surfaces as 503s while open, and a degraded
+dataset behind an endpoint that cannot annotate coverage becomes a
+structured 503 instead of a crash.
 
 Shutdown is graceful by construction: :func:`run` converts SIGTERM and
 SIGINT into ``server.shutdown()`` (stopping the accept loop) and then
@@ -27,6 +40,7 @@ the complete run.
 
 from __future__ import annotations
 
+import math
 import signal
 import sys
 import threading
@@ -35,9 +49,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
 from urllib.parse import urlsplit
 
+from repro.core.degrade import DatasetDegradedError
 from repro.obs import get_registry
+from repro.serve.breaker import BreakerOpenError, CircuitBreaker
+from repro.serve.deadline import DeadlineExpired, deadline_scope
 from repro.serve.handlers import ServeContext, build_router
-from repro.serve.pool import ScenarioPool, params_key
+from repro.serve.pool import PoolTimeoutError, ScenarioPool, params_key
 from repro.serve.respcache import CachedResponse, ResponseCache
 from repro.serve.router import (
     JSON_CONTENT_TYPE,
@@ -67,6 +84,8 @@ class ReproServer(ThreadingHTTPServer):
         router: Router | None = None,
         response_cache: ResponseCache | None = None,
         verbose: bool = False,
+        deadline_seconds: float | None = None,
+        max_inflight: int | None = None,
     ) -> None:
         self.context = context
         self.router = router if router is not None else build_router()
@@ -74,9 +93,28 @@ class ReproServer(ThreadingHTTPServer):
             response_cache if response_cache is not None else ResponseCache()
         )
         self.verbose = verbose
+        #: Per-request wall-time budget; None disables deadlines.
+        self.deadline_seconds = deadline_seconds
+        #: Saturation bound: requests past this are shed with 503.
+        #: ``/healthz`` and ``/metrics`` are exempt.
+        self.inflight_limiter = (
+            threading.BoundedSemaphore(max_inflight)
+            if max_inflight is not None and max_inflight > 0
+            else None
+        )
+        self._inflight_lock = threading.Lock()
+        self._inflight_count = 0
         #: Scenario-parameter component of every response-cache key.
         self.scenario_key = params_key(context.params)
         super().__init__(address, _RequestHandler)
+
+    def inflight_delta(self, delta: int) -> None:
+        """Track in-flight requests into the ``serve.inflight.current`` gauge."""
+        with self._inflight_lock:
+            self._inflight_count += delta
+            get_registry().gauge("serve.inflight.current").set(
+                self._inflight_count
+            )
 
     @property
     def url(self) -> str:
@@ -107,6 +145,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     # -- dispatch pipeline ---------------------------------------------------
 
+    #: Endpoints exempt from load shedding: health must stay observable
+    #: exactly when the server is saturated, and both render in-memory
+    #: state without touching the pool.
+    _SHED_EXEMPT = ("healthz", "metrics")
+
     def _dispatch(self, method: str) -> None:
         registry = get_registry()
         registry.counter("serve.requests").inc()
@@ -116,18 +159,67 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except HTTPError as err:
             self._send_error(err)
             return
+
+        limiter = self.server.inflight_limiter
+        shed_guarded = limiter is not None and route.name not in self._SHED_EXEMPT
+        if shed_guarded and not limiter.acquire(blocking=False):
+            registry.counter("serve.requests.shed").inc()
+            self._send_error(
+                HTTPError(
+                    503,
+                    "server saturated; request shed",
+                    headers={"Retry-After": "1"},
+                )
+            )
+            return
+        self.server.inflight_delta(+1)
+        try:
+            self._handle_matched(route, path_params, registry)
+        finally:
+            self.server.inflight_delta(-1)
+            if shed_guarded:
+                limiter.release()
+
+    def _handle_matched(self, route, path_params: dict[str, str], registry) -> None:
         # Render under the timer, write to the socket after it: every
         # metric for the request is recorded before the client can read
         # the body, so observers never see a completed response whose
         # instruments have not landed yet.
         try:
             with registry.timer(f"serve.request.{route.name}").time():
-                status, body, content_type, etag = self._render(route, path_params)
+                with deadline_scope(self.server.deadline_seconds):
+                    status, body, content_type, etag = self._render(
+                        route, path_params
+                    )
         except HTTPError as err:
             self._send_error(err)
             return
+        except (BreakerOpenError, PoolTimeoutError, DeadlineExpired) as exc:
+            retry_after = max(1, math.ceil(getattr(exc, "retry_after", 1.0)))
+            self._send_error(
+                HTTPError(
+                    503,
+                    str(exc),
+                    headers={"Retry-After": str(retry_after)},
+                    reason=type(exc).__name__,
+                )
+            )
+            return
+        except DatasetDegradedError as err:
+            # Endpoints that can annotate coverage (report, scorecard)
+            # never raise this; the rest degrade to a structured 503.
+            self._send_error(
+                HTTPError(
+                    503,
+                    f"dataset {err.name!r} unavailable: {err.reason}",
+                    reason="DatasetDegradedError",
+                    dataset=err.name,
+                )
+            )
+            return
         except Exception:
             registry.counter("serve.errors").inc()
+            registry.counter(f"serve.errors.{route.name}").inc()
             traceback.print_exc(file=sys.stderr)
             status, body, content_type, etag = (
                 500,
@@ -181,22 +273,33 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # -- response writing ----------------------------------------------------
 
     def _send(
-        self, status: int, body: bytes, content_type: str, etag: str | None = None
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        etag: str | None = None,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if etag is not None:
             self.send_header("ETag", etag)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, err: HTTPError) -> None:
-        self._send(
-            err.status,
-            error_bytes(err.status, err.message, **err.extra),
-            JSON_CONTENT_TYPE,
-        )
+        try:
+            self._send(
+                err.status,
+                error_bytes(err.status, err.message, **err.extra),
+                JSON_CONTENT_TYPE,
+                extra_headers=err.headers,
+            )
+        except BrokenPipeError:  # client went away mid-response
+            pass
 
     def log_message(self, format: str, *args: object) -> None:
         if self.server.verbose:
@@ -212,6 +315,10 @@ def create_server(
     prebuild: bool = False,
     cache_capacity: int = 256,
     verbose: bool = False,
+    strict: bool = False,
+    deadline_seconds: float | None = None,
+    max_inflight: int | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> ReproServer:
     """A ready-to-serve :class:`ReproServer` (socket bound, not serving).
 
@@ -226,14 +333,24 @@ def create_server(
             the build to the first request (single-flight).
         cache_capacity: LRU response-cache capacity.
         verbose: Log one line per request to stderr.
+        strict: Scenario strictness for pooled builds (lenient default:
+            a broken dataset degrades instead of failing every request).
+        deadline_seconds: Optional per-request wall-time budget.
+        max_inflight: Optional load-shedding bound on concurrent
+            requests (``/healthz`` and ``/metrics`` exempt).
+        breaker: Optional preconfigured circuit breaker for the pool.
     """
-    pool = ScenarioPool(cache=cache, build_workers=jobs)
+    pool = ScenarioPool(
+        cache=cache, build_workers=jobs, strict=strict, breaker=breaker
+    )
     context = ServeContext(pool=pool, params=dict(params or {}))
     server = ReproServer(
         (host, port),
         context,
         response_cache=ResponseCache(capacity=cache_capacity),
         verbose=verbose,
+        deadline_seconds=deadline_seconds,
+        max_inflight=max_inflight,
     )
     if prebuild:
         context.scenario()

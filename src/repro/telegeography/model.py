@@ -5,8 +5,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.geo.countries import is_lacnic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest import Quarantine
 from repro.timeseries.month import Month
 from repro.timeseries.panel import CountryPanel
 from repro.timeseries.series import MonthlySeries
@@ -128,33 +132,66 @@ class CableMap:
         return json.dumps(payload, indent=1, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "CableMap":
+    def from_json(
+        cls,
+        text: str,
+        *,
+        strict: bool = True,
+        quarantine: "Quarantine | None" = None,
+    ) -> "CableMap":
         """Parse the layout produced by :meth:`to_json`.
 
+        Args:
+            text: The JSON map.
+            strict: ``True`` (default) raises on the first malformed
+                cable entry; ``False`` quarantines malformed entries
+                under an error budget.  Undecodable JSON is fatal either
+                way.
+            quarantine: Optional caller-owned quarantine (implies
+                lenient parsing).
+
         Raises:
-            CableMapParseError: on malformed JSON or missing fields.
+            CableMapParseError: on malformed JSON, or (strict mode)
+                malformed cable entries.
+            repro.ingest.ErrorBudgetExceeded: too many malformed entries
+                (lenient mode).
         """
+        if quarantine is None and not strict:
+            from repro.ingest import Quarantine
+
+            quarantine = Quarantine("telegeography.cables")
         try:
             payload = json.loads(text)
-            return cls._from_payload(payload)
         except json.JSONDecodeError as exc:
             raise CableMapParseError(f"not JSON: {exc}") from None
-        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+        try:
+            return cls._from_payload(payload, quarantine=quarantine)
+        except (KeyError, TypeError, AttributeError) as exc:
             raise CableMapParseError(f"malformed cable entry: {exc}") from None
 
     @classmethod
-    def _from_payload(cls, payload) -> "CableMap":
-        cables = [
-            SubmarineCable(
-                name=c["name"],
-                rfs_year=int(c["rfs"]),
-                landing_points=tuple(
-                    LandingPoint(lp["name"], lp["country"].upper())
-                    for lp in c["landing_points"]
-                ),
-            )
-            for c in payload["cables"]
-        ]
+    def _from_payload(cls, payload, quarantine=None) -> "CableMap":
+        cables: list[SubmarineCable] = []
+        for index, c in enumerate(payload["cables"], start=1):
+            try:
+                cables.append(
+                    SubmarineCable(
+                        name=c["name"],
+                        rfs_year=int(c["rfs"]),
+                        landing_points=tuple(
+                            LandingPoint(lp["name"], lp["country"].upper())
+                            for lp in c["landing_points"]
+                        ),
+                    )
+                )
+            except (KeyError, TypeError, AttributeError, ValueError) as exc:
+                if quarantine is None:
+                    raise CableMapParseError(
+                        f"malformed cable entry: {exc}"
+                    ) from None
+                quarantine.admit(index, c, str(exc) or type(exc).__name__)
+        if quarantine is not None:
+            quarantine.check(len(cables))
         return cls(cables)
 
     def save(self, path: Path | str) -> None:

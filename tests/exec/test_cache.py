@@ -42,20 +42,53 @@ def test_key_changes_with_name_params_and_code(cache, monkeypatch):
     assert cache.key("macro", PARAMS) != base
 
 
-def test_corrupt_payload_falls_back_to_miss_and_deletes(cache):
+def test_corrupt_payload_is_quarantined_not_deleted(cache, capsys):
     path = cache.store("macro", PARAMS, [1, 2, 3])
     blob = path.read_bytes()
     path.write_bytes(blob[:-10] + b"garbagegar")  # flip payload tail bytes
     result = cache.load("macro", PARAMS)
     assert isinstance(result, CacheMiss)
     assert result.reason == "corrupt"
-    assert not path.exists(), "corrupt entry must be deleted"
+    # The damaged entry is set aside for post-mortem, never destroyed.
+    assert not path.exists()
+    quarantined = list(cache.quarantined())
+    assert [p.name for p in quarantined] == [path.name + ".quarantined"]
+    assert get_registry().counter("cache.corrupt").value == 1
+    warning = capsys.readouterr().err
+    assert "cache entry for dataset 'macro' is corrupt" in warning
+    assert "checksum mismatch" in warning
 
 
-def test_truncated_entry_is_corrupt(cache):
+def test_flipped_bit_triggers_rebuild_and_quarantine(tmp_path):
+    # End-to-end: a single flipped payload bit must cost one rebuild and
+    # leave the evidence behind.
+    cache = DatasetCache(tmp_path / "c")
+    cold = Scenario(cache=cache)
+    cold.macro
+    entry = cache.entry_path("macro", cold.cache_params())
+    blob = bytearray(entry.read_bytes())
+    blob[-1] ^= 0x01
+    entry.write_bytes(bytes(blob))
+
+    rebuilt = Scenario(cache=cache)
+    rebuilt.macro  # rebuild, not a crash
+    registry = get_registry()
+    assert registry.counter("scenario.cache.corrupt").value == 1
+    assert registry.counter("cache.corrupt").value == 1
+    assert registry.counter("scenario.dataset.built").value == 2
+    assert len(list(cache.quarantined())) == 1
+    assert entry.exists(), "the rebuild must heal the live path"
+
+
+def test_truncated_entry_is_corrupt_and_quarantined(cache):
     path = cache.store("macro", PARAMS, list(range(1000)))
     path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
     assert cache.load("macro", PARAMS).reason == "corrupt"
+    assert len(list(cache.quarantined())) == 1
+    # A rebuild stores to the live path; the quarantined copy remains.
+    cache.store("macro", PARAMS, list(range(1000)))
+    assert cache.load("macro", PARAMS) == list(range(1000))
+    assert len(list(cache.quarantined())) == 1
 
 
 def test_non_envelope_file_is_corrupt(cache):
@@ -83,9 +116,21 @@ def test_info_and_clear(cache):
     assert info.entries == 2
     assert info.total_bytes > 0
     assert "entries" in info.render()
+    assert "quarantined" not in info.render()  # only shown when non-zero
     assert cache.clear() == 2
     assert cache.info().entries == 0
     assert cache.clear() == 0  # idempotent on empty/missing dir
+
+
+def test_info_counts_quarantined_and_clear_removes_them(cache):
+    path = cache.store("macro", PARAMS, "a")
+    path.write_bytes(b"broken")
+    cache.load("macro", PARAMS)  # quarantines
+    info = cache.info()
+    assert (info.entries, info.quarantined) == (0, 1)
+    assert "quarantined     : 1" in info.render()
+    assert cache.clear() == 1
+    assert list(cache.quarantined()) == []
 
 
 def test_scenario_build_records_hit_miss_and_corrupt_counters(tmp_path):

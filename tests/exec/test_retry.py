@@ -1,0 +1,86 @@
+"""retry_call: backoff shape, deterministic jitter, give-up and carve-outs."""
+
+import pytest
+
+from repro.exec import DEFAULT_RETRY, NO_RETRY, RetryPolicy, retry_call
+from repro.obs import get_registry
+
+
+def test_delay_is_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.5)
+    first = policy.delay(1, token="cables", seed=7)
+    assert first == policy.delay(1, token="cables", seed=7)
+    # Jitter lands in [delay, 1.5 * delay], clamped to max_delay.
+    assert 0.1 <= first <= 0.15
+    assert policy.delay(10, token="cables", seed=7) <= 0.5
+
+
+def test_delay_varies_with_token_and_seed():
+    policy = RetryPolicy(jitter=0.5)
+    assert policy.delay(1, token="a", seed=0) != policy.delay(1, token="b", seed=0)
+    assert policy.delay(1, token="a", seed=0) != policy.delay(1, token="a", seed=1)
+
+
+def test_zero_jitter_is_pure_exponential():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0)
+    assert [policy.delay(i) for i in (1, 2, 3)] == [0.1, 0.2, 0.4]
+
+
+def test_succeeds_after_transient_failures():
+    calls = []
+    sleeps = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise OSError("transient")
+        return "ok"
+
+    assert retry_call(flaky, sleep=sleeps.append) == "ok"
+    assert len(calls) == 3
+    assert len(sleeps) == 2
+    registry = get_registry()
+    assert registry.counter("retry.attempts").value == 2
+    assert registry.counter("retry.giveups").value == 0
+    assert registry.timer("retry.sleep").count == 2
+
+
+def test_gives_up_and_reraises_last_error():
+    def doomed():
+        raise ValueError("permanent")
+
+    with pytest.raises(ValueError, match="permanent"):
+        retry_call(doomed, policy=RetryPolicy(attempts=3), sleep=lambda _: None)
+    registry = get_registry()
+    assert registry.counter("retry.attempts").value == 2
+    assert registry.counter("retry.giveups").value == 1
+
+
+def test_non_retryable_propagates_on_first_attempt():
+    calls = []
+
+    def fails():
+        calls.append(1)
+        raise KeyError("degraded dependency")
+
+    with pytest.raises(KeyError):
+        retry_call(fails, non_retryable=(KeyError,), sleep=lambda _: None)
+    assert len(calls) == 1
+    assert get_registry().counter("retry.attempts").value == 0
+
+
+def test_no_retry_policy_is_single_attempt():
+    calls = []
+
+    def fails():
+        calls.append(1)
+        raise OSError("nope")
+
+    with pytest.raises(OSError):
+        retry_call(fails, policy=NO_RETRY, sleep=lambda _: None)
+    assert len(calls) == 1
+
+
+def test_default_policy_worst_case_sleep_is_small():
+    total = sum(DEFAULT_RETRY.delay(i, token="x") for i in range(1, DEFAULT_RETRY.attempts))
+    assert total < 1.0

@@ -1,0 +1,77 @@
+"""Injector primitives: determinism, damage shape, catalogue lookups."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    BitFlip,
+    DropLines,
+    EncodingDamage,
+    GarbageRows,
+    Truncate,
+    injector_by_name,
+    injector_names,
+)
+
+SAMPLE = b"\n".join(f"row-{i},value-{i}".encode() for i in range(50))
+
+
+def _rng(seed=7):
+    return random.Random(seed)
+
+
+@pytest.mark.parametrize("name", ["truncate", "bitflip", "garbagerows", "droplines", "encodingdamage"])
+def test_same_rng_seed_same_output(name):
+    injector = injector_by_name(name)
+    assert injector.apply(SAMPLE, _rng()) == injector.apply(SAMPLE, _rng())
+
+
+def test_different_rng_seed_changes_stochastic_injectors():
+    injector = BitFlip()
+    assert injector.apply(SAMPLE, _rng(1)) != injector.apply(SAMPLE, _rng(2))
+
+
+def test_truncate_keeps_leading_fraction():
+    out = Truncate(keep_fraction=0.25).apply(SAMPLE, _rng())
+    assert out == SAMPLE[: len(out)]
+    assert len(out) == len(SAMPLE) // 4
+
+
+def test_bitflip_preserves_length_and_changes_bytes():
+    out = BitFlip(flips=8).apply(SAMPLE, _rng())
+    assert len(out) == len(SAMPLE)
+    assert out != SAMPLE
+
+
+def test_bitflip_on_empty_input_is_noop():
+    assert BitFlip().apply(b"", _rng()) == b""
+
+
+def test_garbage_rows_adds_exactly_n_lines():
+    out = GarbageRows(rows=3).apply(SAMPLE, _rng())
+    assert out.count(b"\n") == SAMPLE.count(b"\n") + 3
+
+
+def test_droplines_removes_lines():
+    out = DropLines(drop_fraction=0.5).apply(SAMPLE, _rng())
+    assert out.count(b"\n") < SAMPLE.count(b"\n")
+    # Surviving lines are unmodified originals.
+    original = set(SAMPLE.split(b"\n"))
+    assert all(line in original for line in out.split(b"\n"))
+
+
+def test_encoding_damage_is_invalid_utf8():
+    out = EncodingDamage().apply(SAMPLE, _rng())
+    with pytest.raises(UnicodeDecodeError):
+        out.decode("utf-8")
+
+
+def test_catalogue_roundtrip():
+    for name in injector_names():
+        assert injector_by_name(name).name == name
+
+
+def test_unknown_injector_name_lists_known():
+    with pytest.raises(ValueError, match="unknown injector 'nope'"):
+        injector_by_name("nope")

@@ -1,0 +1,189 @@
+"""Lenient ingestion: every parser quarantines bad records under a budget.
+
+Strict mode (each parser's default) stays byte-for-byte the historical
+fail-fast behaviour — that contract is pinned by
+``test_parser_failures.py``.  This module covers the ``strict=False``
+path: good records survive, bad records land in the quarantine with
+their line number and reason, and a file that is mostly garbage still
+fails loudly via :class:`ErrorBudgetExceeded`.
+"""
+
+import json
+
+import pytest
+
+from repro.bgp.asrel import ASRelParseError, parse_asrel
+from repro.bgp.prefix2as import parse_prefix2as
+from repro.ingest import (
+    DEFAULT_BUDGET,
+    ErrorBudget,
+    ErrorBudgetExceeded,
+    Quarantine,
+    QuarantinedRecord,
+    quarantining_parse,
+)
+from repro.mlab.ndt import parse_ndt_jsonl, write_ndt_jsonl
+from repro.obs import get_registry
+from repro.peeringdb.schema import PeeringDBSnapshot
+from repro.registry.delegation import DelegationParseError, parse_delegation_file
+from repro.telegeography.model import CableMap
+
+# -- the budget itself ---------------------------------------------------------
+
+
+def test_grace_tolerates_small_absolute_damage():
+    budget = ErrorBudget(max_ratio=0.05, grace=2)
+    assert not budget.exceeded(bad=2, total=3)  # 66% bad but within grace
+    assert budget.exceeded(bad=3, total=10)
+
+
+def test_ratio_applies_past_the_grace():
+    budget = ErrorBudget(max_ratio=0.5, grace=0)
+    assert not budget.exceeded(bad=1, total=2)
+    assert budget.exceeded(bad=3, total=4)
+
+
+def test_quarantine_records_preview_and_metrics():
+    quarantine = Quarantine("test.component")
+    quarantine.admit(7, "x" * 500, "bad row")
+    assert len(quarantine) == 1
+    record = quarantine.records[0]
+    assert isinstance(record, QuarantinedRecord)
+    assert (record.line_no, record.reason) == (7, "bad row")
+    assert len(record.raw) == 160  # preview, not the whole record
+    assert "line 7: bad row" in record.render()
+    assert get_registry().counter("ingest.quarantined.test.component").value == 1
+
+
+def test_budget_check_raises_and_counts():
+    quarantine = Quarantine("test.component", budget=ErrorBudget(0.05, grace=0))
+    for i in range(3):
+        quarantine.admit(i, "junk", "bad")
+    with pytest.raises(ErrorBudgetExceeded, match="3/13 records quarantined"):
+        quarantine.check(accepted=10)
+    assert get_registry().counter("ingest.budget_exceeded").value == 1
+
+
+def test_quarantining_parse_wraps_record_parsers():
+    quarantine = Quarantine("test.component")
+    parsed = list(
+        quarantining_parse(int, ["1", "nope", "3"], quarantine)
+    )
+    assert parsed == [1, 3]
+    assert len(quarantine) == 1
+
+
+# -- per-parser lenient mode ---------------------------------------------------
+
+ASREL = "1|2|-1\ngarbage line\n2|3|0\nalso|bad\n"
+PREFIX2AS = "1.2.3.0\t24\t65001\nnot a row\n5.6.7.0\t24\t65002\n"
+DELEGATION = (
+    "2|lacnic|20240101|2|x|x|x\n"
+    "lacnic|VE|ipv4|1.2.3.0|256|20200101|allocated\n"
+    "lacnic|VE|weird|1.2.3.0|256|20200101|allocated\n"
+    "lacnic|CO|asn|65001|1|20200101|assigned\n"
+)
+
+
+def test_asrel_lenient_quarantines_bad_lines():
+    quarantine = Quarantine("bgp.asrel")
+    relationships = parse_asrel(ASREL, strict=False, quarantine=quarantine)
+    assert len(relationships) == 2
+    assert len(quarantine) == 2
+    assert get_registry().counter("ingest.quarantined.bgp.asrel").value == 2
+    # Strict mode on the same text still fails on the first bad line.
+    with pytest.raises(ASRelParseError):
+        parse_asrel(ASREL)
+
+
+def test_prefix2as_lenient_quarantines_bad_lines():
+    quarantine = Quarantine("bgp.prefix2as")
+    rows = parse_prefix2as(PREFIX2AS, strict=False, quarantine=quarantine)
+    assert len(rows) == 2
+    assert [r.reason for r in quarantine.records] != []
+
+
+def test_delegation_lenient_keeps_good_records():
+    quarantine = Quarantine("registry.delegation")
+    parsed = parse_delegation_file(DELEGATION, strict=False, quarantine=quarantine)
+    assert len(parsed.records) == 2
+    assert len(quarantine) == 1
+    assert "weird" in quarantine.records[0].raw
+
+
+def test_delegation_missing_header_is_fatal_even_lenient():
+    # A file without its version header is the wrong file, not a dirty
+    # one: leniency never swallows structural failures.
+    with pytest.raises(DelegationParseError):
+        parse_delegation_file(
+            "lacnic|VE|ipv4|1.2.3.0|256|20200101|allocated", strict=False
+        )
+
+
+def test_peeringdb_lenient_quarantines_malformed_rows():
+    payload = {
+        "net": {
+            "data": [
+                {"id": 1, "asn": 65001, "name": "good", "org_id": 1,
+                 "info_scope": "Regional", "created": "2020-01-01T00:00:00Z"},
+                {"id": 2, "name": "missing asn"},
+            ]
+        }
+    }
+    quarantine = Quarantine("peeringdb.objects")
+    snapshot = PeeringDBSnapshot.from_json(
+        json.dumps(payload), strict=False, quarantine=quarantine
+    )
+    assert len(snapshot.networks) == 1
+    assert len(quarantine) == 1
+    assert "net" in quarantine.records[0].reason
+
+
+def test_peeringdb_undecodable_json_is_fatal_even_lenient():
+    from repro.peeringdb.schema import PeeringDBParseError
+
+    with pytest.raises(PeeringDBParseError):
+        PeeringDBSnapshot.from_json("not json at all", strict=False)
+
+
+def test_cablemap_lenient_quarantines_bad_cables():
+    payload = {
+        "cables": [
+            {"name": "good-cable", "rfs": "2019",
+             "landing_points": [{"country": "VE", "name": "La Guaira"}]},
+            {"name": "broken-cable"},
+        ]
+    }
+    quarantine = Quarantine("telegeography.cables")
+    cables = CableMap.from_json(
+        json.dumps(payload), strict=False, quarantine=quarantine
+    )
+    assert len(cables) == 1
+    assert len(quarantine) == 1
+
+
+def test_ndt_jsonl_lenient_skips_bad_lines(tmp_path, scenario):
+    path = tmp_path / "ndt.jsonl"
+    write_ndt_jsonl(scenario.ndt_tests[:10], path)
+    lines = path.read_text().splitlines()
+    lines[3] = '{"date": "not-a-date"}'
+    lines[7] = "not json"
+    path.write_text("\n".join(lines) + "\n")
+
+    quarantine = Quarantine("mlab.ndt")
+    results = list(parse_ndt_jsonl(path, strict=False, quarantine=quarantine))
+    assert len(results) == 8
+    assert len(quarantine) == 2
+    assert get_registry().counter("ingest.quarantined.mlab.ndt").value == 2
+
+
+def test_mostly_garbage_file_blows_the_budget():
+    garbage = "\n".join(["real|1|-1"] + [f"junk {i}" for i in range(40)])
+    with pytest.raises(ErrorBudgetExceeded):
+        parse_asrel("1|2|-1\n" + garbage, strict=False)
+    assert get_registry().counter("ingest.budget_exceeded").value == 1
+
+
+def test_default_budget_shape():
+    assert DEFAULT_BUDGET.max_ratio == 0.05
+    assert DEFAULT_BUDGET.grace == 2

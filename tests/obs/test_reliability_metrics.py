@@ -1,0 +1,91 @@
+"""The reliability metric families land in the repro.obs/1 artifact.
+
+The export layer is name-agnostic, so these tests drive the *real* code
+paths (retry loop, breaker, lenient parse, fault plan, degradation) and
+assert the resulting instruments serialise into the artifact under their
+documented names — the contract ``--metrics-json`` consumers and the CI
+chaos job rely on.
+"""
+
+import pytest
+
+from repro.core import Scenario
+from repro.faults import FaultPlan
+from repro.ingest import ErrorBudget, ErrorBudgetExceeded, Quarantine
+from repro.obs import get_registry, metrics_from_json, metrics_to_json
+from repro.obs.naming import validate_name
+from repro.serve import CircuitBreaker
+
+SMALL = {"ndt_tests_per_month": 1, "gpdns_samples_per_month": 1}
+
+#: Every instrument name docs/OBSERVABILITY.md adds for reliability.
+RELIABILITY_COUNTERS = (
+    "faults.injected",
+    "retry.attempts",
+    "retry.giveups",
+    "breaker.opened",
+    "breaker.rejected",
+    "breaker.probes",
+    "ingest.budget_exceeded",
+    "scenario.dataset.degraded",
+    "exhibit.degraded",
+    "cache.corrupt",
+    "serve.requests.shed",
+    "serve.deadline.expired",
+)
+
+
+@pytest.mark.parametrize("name", RELIABILITY_COUNTERS)
+def test_reliability_names_satisfy_the_grammar(name):
+    assert validate_name(name) == name
+
+
+def test_ingest_retry_and_degradation_metrics_reach_the_artifact():
+    # Degraded build: retry.* + scenario.dataset.degraded + faults.injected.
+    scenario = Scenario(
+        strict=False, fault_plan=FaultPlan.single("cables", "truncate"), **SMALL
+    )
+    scenario.materialise("cables")
+    # Lenient parse over garbage: ingest.quarantined.* + budget_exceeded.
+    quarantine = Quarantine("bgp.asrel", budget=ErrorBudget(0.05, grace=0))
+    quarantine.admit(1, "junk", "bad line")
+    with pytest.raises(ErrorBudgetExceeded):
+        quarantine.check(accepted=1)
+
+    doc = metrics_from_json(metrics_to_json())
+    counters = doc["metrics"]["counters"]
+    assert counters["faults.injected"] == 3  # one per retry attempt
+    assert counters["retry.attempts"] == 2
+    assert counters["retry.giveups"] == 1
+    assert counters["scenario.dataset.degraded"] == 1
+    assert counters["ingest.quarantined.bgp.asrel"] == 1
+    assert counters["ingest.budget_exceeded"] == 1
+    assert doc["metrics"]["timers"]["retry.sleep"]["count"] == 2
+
+
+def test_breaker_metrics_reach_the_artifact():
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=60.0)
+    breaker.record_failure()
+    with pytest.raises(Exception):
+        breaker.acquire()
+
+    doc = metrics_from_json(metrics_to_json())
+    counters = doc["metrics"]["counters"]
+    assert counters["breaker.opened"] == 1
+    assert counters["breaker.rejected"] == 1
+    assert doc["metrics"]["gauges"]["breaker.state"] == 2  # open
+
+
+def test_stats_command_snapshot_includes_reliability_families(capsys):
+    # `repro stats` prints render_metrics() of the same registry the
+    # artifact snapshots; a degraded run must surface the new families.
+    from repro.obs import render_metrics
+
+    scenario = Scenario(
+        strict=False, fault_plan=FaultPlan.single("cables", "truncate"), **SMALL
+    )
+    scenario.materialise("cables")
+    text = render_metrics()
+    assert "retry.attempts" in text
+    assert "scenario.dataset.degraded" in text
+    assert "faults.injected" in text

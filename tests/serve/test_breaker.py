@@ -1,0 +1,133 @@
+"""CircuitBreaker state machine, metrics, and thread-safety under load."""
+
+import threading
+
+import pytest
+
+from repro.obs import get_registry
+from repro.serve import BreakerOpenError, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def test_closed_until_threshold(clock):
+    breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+    breaker.acquire()
+    breaker.record_failure()
+    breaker.acquire()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.acquire()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert get_registry().counter("breaker.opened").value == 1
+
+
+def test_open_rejects_with_retry_after(clock):
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=5.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(2.0)
+    with pytest.raises(BreakerOpenError) as excinfo:
+        breaker.acquire()
+    assert excinfo.value.retry_after == pytest.approx(3.0)
+    assert get_registry().counter("breaker.rejected").value == 1
+
+
+def test_success_resets_the_failure_count(clock):
+    breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # count restarted after the success
+
+
+def test_half_open_admits_exactly_one_probe(clock):
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=5.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.state == "half-open"
+    breaker.acquire()  # the probe
+    with pytest.raises(BreakerOpenError):
+        breaker.acquire()  # concurrent caller during the probe
+    assert get_registry().counter("breaker.probes").value == 1
+
+
+def test_probe_success_closes(clock):
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.0)
+    breaker.acquire()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    breaker.acquire()  # flows freely again
+
+
+def test_probe_failure_reopens_and_restarts_the_clock(clock):
+    breaker = CircuitBreaker(failure_threshold=3, recovery_time=5.0, clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    breaker.acquire()
+    breaker.record_failure()  # one half-open failure is enough
+    assert breaker.state == "open"
+    clock.advance(4.0)  # only 4s into the *new* window
+    with pytest.raises(BreakerOpenError):
+        breaker.acquire()
+    assert get_registry().counter("breaker.opened").value == 2
+
+
+def test_state_gauge_tracks_transitions(clock):
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=1.0, clock=clock)
+    gauge = get_registry().gauge("breaker.state")
+    breaker.record_failure()
+    assert gauge.value == 2
+    clock.advance(1.0)
+    breaker.acquire()
+    assert gauge.value == 1
+    breaker.record_success()
+    assert gauge.value == 0
+
+
+def test_eight_threads_racing_an_open_breaker_never_deadlock(clock):
+    # The regression the satellite asks for: a barrier releases eight
+    # threads against an open breaker at once; every thread must get a
+    # prompt BreakerOpenError (or the single probe slot) and terminate.
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=5.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(5.0)  # half-open: one probe slot, seven rejections
+
+    barrier = threading.Barrier(8)
+    outcomes = []
+    lock = threading.Lock()
+
+    def worker():
+        barrier.wait()
+        try:
+            breaker.acquire()
+            outcome = "admitted"
+        except BreakerOpenError:
+            outcome = "rejected"
+        with lock:
+            outcomes.append(outcome)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert not any(t.is_alive() for t in threads), "a thread deadlocked"
+    assert sorted(outcomes) == ["admitted"] + ["rejected"] * 7
