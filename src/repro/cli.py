@@ -9,17 +9,23 @@ Commands:
 * ``export <dir>``      -- write every dataset in its wire format.
 * ``serve``             -- serve exhibits/report/scorecards over HTTP.
 * ``stats``             -- profile a scenario build + full exhibit run.
+* ``profile``           -- sampling wall-time profile of a build + run
+  (``repro.prof/1`` artifact, collapsed flamegraph stacks).
+* ``bench gate``        -- compare a fresh benchmark artifact against a
+  committed ``BENCH_*.json`` baseline; non-zero exit on regression.
 * ``cache info|clear``  -- inspect or empty the persistent dataset cache.
 * ``chaos``             -- run the pipeline under injected faults and
   print the deterministic resilience report.
 
 Global flags (before the command): ``--trace`` enables span tracing,
 ``--metrics-json PATH`` writes the ``repro.obs/1`` artifact after the
-command, ``--jobs N`` prebuilds all datasets on N worker threads,
-``--cache-dir DIR`` relocates the persistent dataset cache (default
-``~/.cache/repro``), ``--no-cache`` disables it for the run, and
-``--strict`` fails fast on a dataset build error instead of degrading
-(the CLI is lenient by default; see ``docs/RELIABILITY.md``).
+command, ``--log-format json|text`` selects the structured-log
+rendering (``--log-level`` its severity floor), ``--jobs N`` prebuilds
+all datasets on N worker threads, ``--cache-dir DIR`` relocates the
+persistent dataset cache (default ``~/.cache/repro``), ``--no-cache``
+disables it for the run, and ``--strict`` fails fast on a dataset build
+error instead of degrading (the CLI is lenient by default; see
+``docs/RELIABILITY.md``).
 """
 
 from __future__ import annotations
@@ -237,6 +243,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         strict=args.strict,
         deadline_seconds=args.deadline,
         max_inflight=args.max_inflight,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_dir=args.trace_dir,
     )
     if not args.no_prebuild:
         print("scenario prebuilt; serving warm", file=sys.stderr)
@@ -276,6 +284,78 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print(render_spans())
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.report import run_all
+    from repro.obs.profiling import (
+        SamplingProfiler,
+        collapsed_text,
+        render_profile,
+        top_labels,
+        write_profile_json,
+    )
+
+    # Two calibrated sizes: the paper-default world and a small one for
+    # quick iteration on the profiler itself.
+    sizes: dict[str, dict[str, int]] = {
+        "default": {},
+        "small": {"ndt_tests_per_month": 5, "gpdns_samples_per_month": 1},
+    }
+    params = sizes[args.scenario]
+    profiler = SamplingProfiler(interval=args.interval)
+    with profiler:
+        scenario = Scenario(
+            cache=_resolve_cache(args), strict=args.strict, **params
+        )
+        scenario.build_all(max_workers=args.jobs)
+        run_all(scenario)
+    result = profiler.result()
+
+    print(render_profile(result))
+    builders = top_labels(result, prefix="scenario.build.", limit=args.top)
+    if builders:
+        print()
+        print(f"top {len(builders)} dataset generators by self time:")
+        for row in builders:
+            name = str(row["label"])[len("scenario.build."):]
+            print(
+                f"  {name:<24} {row['samples']:5d} samples"
+                f"  ~{row['est_seconds']:.3f}s"
+            )
+    if args.out:
+        path = write_profile_json(args.out, result)
+        print(f"profile artifact written to {path}", file=sys.stderr)
+    if args.folded:
+        folded = Path(args.folded)
+        folded.parent.mkdir(parents=True, exist_ok=True)
+        folded.write_text(collapsed_text(result), encoding="utf-8")
+        print(f"collapsed stacks written to {folded}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_gate(args: argparse.Namespace) -> int:
+    from repro.obs.benchgate import (
+        compare,
+        load_artifact,
+        render_gate,
+        write_gate_json,
+    )
+
+    try:
+        baseline = load_artifact(args.baseline)
+        fresh = load_artifact(args.fresh) if args.fresh else baseline
+        report = compare(baseline, fresh, tolerance=args.tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"bench gate: {exc}", file=sys.stderr)
+        return 2
+    print(render_gate(report))
+    if args.gate_out:
+        path = write_gate_json(args.gate_out, report)
+        print(f"gate report written to {path}", file=sys.stderr)
+    return 0 if report["passed"] else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -335,6 +415,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json",
         metavar="PATH",
         help="write the repro.obs/1 metrics/trace artifact after the command",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        help="structured-log rendering on stderr (default: text)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="minimum severity emitted by the structured logger",
     )
     parser.add_argument(
         "--jobs",
@@ -433,6 +525,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed (503) requests beyond N concurrently in flight "
         "(healthz/metrics exempt; default: unlimited)",
     )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="record spans for this fraction of requests (deterministic "
+        "head sampling on the trace id; default: 0, disabled)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="export a repro.trace/1 artifact per sampled request into DIR",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     validate = sub.add_parser("validate", help="cross-dataset consistency checks")
@@ -447,6 +553,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--spans", action="store_true", help="also print the span tree"
     )
     stats.set_defaults(fn=_cmd_stats)
+
+    profile = sub.add_parser(
+        "profile",
+        help="sampling wall-time profile of a scenario build + exhibit run",
+    )
+    profile.add_argument(
+        "--scenario",
+        choices=["default", "small"],
+        default="default",
+        help="world size to profile (default: the paper-default scenario)",
+    )
+    profile.add_argument(
+        "--interval",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="sampling interval (default: 5ms)",
+    )
+    profile.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        metavar="N",
+        help="dataset generators to list by self time (default: 10)",
+    )
+    profile.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the repro.prof/1 JSON artifact to PATH",
+    )
+    profile.add_argument(
+        "--folded",
+        metavar="PATH",
+        default=None,
+        help="write flamegraph-ready collapsed stacks to PATH",
+    )
+    profile.set_defaults(fn=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark artifact tooling (regression gate)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_action", required=True)
+    gate = bench_sub.add_parser(
+        "gate",
+        help="fail (exit 1) when a fresh bench artifact regresses past "
+        "tolerance vs a committed baseline",
+    )
+    gate.add_argument(
+        "--baseline",
+        required=True,
+        metavar="PATH",
+        help="committed baseline artifact (BENCH_scenario.json / BENCH_serve.json)",
+    )
+    gate.add_argument(
+        "--fresh",
+        metavar="PATH",
+        default=None,
+        help="freshly produced artifact to gate (default: the baseline "
+        "itself, a self-check that always passes)",
+    )
+    gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed regression per metric (default: 0.25 = ±25%%)",
+    )
+    gate.add_argument(
+        "--gate-out",
+        metavar="PATH",
+        default=None,
+        help="write the repro.gate/1 comparison report to PATH",
+    )
+    gate.set_defaults(fn=_cmd_bench_gate)
 
     cache = sub.add_parser("cache", help="inspect or empty the dataset cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -487,6 +668,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.obs import enable_tracing
 
         enable_tracing(True)
+    from repro.obs import configure_logging
+
+    configure_logging(format=args.log_format, level=args.log_level)
     status = args.fn(args)
     if args.metrics_json:
         from repro.obs import write_metrics_json

@@ -23,7 +23,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import TYPE_CHECKING
 
 from repro.exec.dag import dependencies, topological_order, validate_graph
-from repro.obs import get_registry, trace_span
+from repro.obs import ambient_scope, current_handle, get_registry, trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.scenario import Scenario
@@ -77,15 +77,20 @@ def build_parallel(
     }
     completed: list[str] = []
 
-    def build_one(name: str) -> str:
+    def build_one(name: str, handle: "tuple[str, str, bool] | None") -> str:
         # materialise() (not getattr) so a degraded dataset in lenient
         # mode doesn't abort the sweep; strict failures still re-raise
-        # through future.result() below.
-        with registry.timer(_worker_timer_name()).time():
-            scenario.materialise(name)
+        # through future.result() below.  The handle re-homes the worker
+        # thread into the submitter's trace, so dataset-build spans
+        # parent onto the ``scenario.build.parallel`` umbrella span even
+        # though contextvars do not cross thread-pool boundaries.
+        with ambient_scope(handle):
+            with registry.timer(_worker_timer_name()).time():
+                scenario.materialise(name)
         return name
 
     with trace_span("scenario.build.parallel"):
+        handle = current_handle()
         with ThreadPoolExecutor(
             max_workers=max(1, max_workers), thread_name_prefix=_WORKER_PREFIX
         ) as pool:
@@ -95,7 +100,7 @@ def build_parallel(
                 ready = [name for name, deps in remaining.items() if not deps]
                 for name in ready:
                     del remaining[name]
-                    in_flight.add(pool.submit(build_one, name))
+                    in_flight.add(pool.submit(build_one, name, handle))
 
             submit_ready()
             while in_flight:

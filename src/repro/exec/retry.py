@@ -22,9 +22,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
-from repro.obs import get_registry
+from repro.obs import get_logger, get_registry, trace_span
 
 T = TypeVar("T")
+
+_LOG = get_logger("repro.exec.retry")
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,8 +99,18 @@ def retry_call(
     for attempt in range(1, max(1, policy.attempts) + 1):
         if attempt > 1:
             registry.counter("retry.attempts").inc()
-            with registry.timer("retry.sleep").time():
-                sleep(policy.delay(attempt - 1, token=token, seed=seed))
+            assert last is not None
+            _LOG.warning(
+                "retry.attempt",
+                token=token,
+                attempt=attempt,
+                of=policy.attempts,
+                error_type=type(last).__name__,
+                error_message=str(last),
+            )
+            with trace_span("retry.backoff"):
+                with registry.timer("retry.sleep").time():
+                    sleep(policy.delay(attempt - 1, token=token, seed=seed))
         try:
             return fn()
         except retryable as exc:
@@ -107,4 +119,11 @@ def retry_call(
             last = exc
     registry.counter("retry.giveups").inc()
     assert last is not None
+    _LOG.error(
+        "retry.giveup",
+        token=token,
+        attempts=policy.attempts,
+        error_type=type(last).__name__,
+        error_message=str(last),
+    )
     raise last

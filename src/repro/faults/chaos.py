@@ -28,6 +28,21 @@ from repro.core.scenario import Scenario, dataset_names
 from repro.faults.injectors import GarbageRows
 from repro.faults.plan import FaultPlan
 from repro.ingest import ErrorBudget, ErrorBudgetExceeded, Quarantine
+from repro.obs import get_registry, trace_span
+
+#: Counter families embedded in the artifact's ``metrics`` section.
+#: Deliberately counters-only and delta-based: every family here counts
+#: deterministic, seed-derived events (quarantined records, retries,
+#: breaker transitions, injected faults, dataset builds), so the chaos
+#: artifact stays byte-identical across runs — timers and gauges carry
+#: wall-clock noise and are excluded.
+_METRIC_PREFIXES = (
+    "ingest.",
+    "retry.",
+    "breaker.",
+    "faults.",
+    "scenario.dataset.",
+)
 
 #: The default campaign: three heavy-traffic datasets, three distinct
 #: injectors.  Enough to degrade several exhibits without emptying the
@@ -61,6 +76,7 @@ class ChaosReport:
     exhibits: dict[str, object]
     drill: list[dict[str, object]]
     injections: list[dict[str, object]] = field(default_factory=list)
+    metrics: dict[str, int] = field(default_factory=dict)
 
     @property
     def verdict(self) -> str:
@@ -82,6 +98,7 @@ class ChaosReport:
             "exhibits": self.exhibits,
             "drill": self.drill,
             "injections": self.injections,
+            "metrics": self.metrics,
         }
 
     def to_json(self) -> str:
@@ -148,6 +165,7 @@ def run_chaos(
         Exception: only in ``strict`` mode, where injected corruption is
             allowed to propagate.
     """
+    baseline = _counter_values()
     plan = FaultPlan.from_specs(
         specs if specs is not None else DEFAULT_SPECS, seed=seed
     )
@@ -186,7 +204,31 @@ def run_chaos(
         exhibits=exhibit_summary,
         drill=drill,
         injections=[record.to_dict() for record in plan.injections],
+        metrics=_metrics_delta(baseline),
     )
+
+
+def _counter_values() -> dict[str, int]:
+    """Current values of the artifact-worthy counter families."""
+    return {
+        counter.name: counter.value
+        for counter in get_registry().counters()
+        if counter.name.startswith(_METRIC_PREFIXES)
+    }
+
+
+def _metrics_delta(baseline: dict[str, int]) -> dict[str, int]:
+    """Counters attributable to this run: current minus *baseline*.
+
+    Delta-based so repeated in-process runs (tests, long-lived callers)
+    embed identical numbers — the artifact reflects the run, not the
+    process history.
+    """
+    return {
+        name: value - baseline.get(name, 0)
+        for name, value in _counter_values().items()
+        if value - baseline.get(name, 0)
+    }
 
 
 # -- ingestion drill ---------------------------------------------------------
@@ -218,7 +260,8 @@ def _ingestion_drill(scenario: Scenario, plan: FaultPlan) -> list[dict[str, obje
             continue
         quarantine = Quarantine(component, budget=_DRILL_BUDGET)
         try:
-            accepted = drill(value, plan, quarantine)
+            with trace_span(f"faults.drill.{component}"):
+                accepted = drill(value, plan, quarantine)
         except ErrorBudgetExceeded as exc:
             results.append(
                 {

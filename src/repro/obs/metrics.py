@@ -93,6 +93,36 @@ class Gauge:
         return self._value
 
 
+def _mix64(n: int) -> int:
+    """splitmix64 finaliser: the deterministic RNG behind reservoir slots."""
+    mask = (1 << 64) - 1
+    n = (n + 0x9E3779B97F4A7C15) & mask
+    n = ((n ^ (n >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    n = ((n ^ (n >> 27)) * 0x94D049BB133111EB) & mask
+    return n ^ (n >> 31)
+
+
+#: Histogram bucket upper bounds, in seconds — micro-latency cache hits
+#: through multi-second cold scenario builds.  Cumulative counts over
+#: these boundaries feed the OpenMetrics exposition's ``_bucket`` lines.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
 class _TimerContext:
     """Context manager recording one wall-time observation into a timer."""
 
@@ -111,21 +141,45 @@ class _TimerContext:
 
 
 class Timer:
-    """A duration histogram: count/sum/min/max plus p50/p95.
+    """A duration histogram: count/sum/min/max, p50/p95, and buckets.
 
-    Observations are kept for percentile math up to ``max_samples``;
-    beyond that the aggregate stats stay exact and percentiles degrade to
-    the retained prefix (a run would need >100k timed *batches* to hit
-    this, far beyond any pipeline here).
+    Exact aggregates (count, sum, min, max, per-bucket counts) are kept
+    for every observation.  Percentiles come from a bounded *reservoir*:
+    the first ``max_samples`` observations fill it, after which each new
+    observation replaces a deterministically-chosen slot with probability
+    ``max_samples / count`` (algorithm R, with the random draw derived
+    from the observation count instead of a global RNG).  The reservoir
+    therefore stays a uniform sample of the **whole** stream — a
+    long-running server's percentiles keep tracking current traffic
+    instead of freezing on the first 100k observations — and two runs
+    observing the same stream retain identical samples.
     """
 
-    __slots__ = ("name", "max_samples", "_lock", "_samples", "_count", "_sum", "_min", "_max")
+    __slots__ = (
+        "name",
+        "max_samples",
+        "buckets",
+        "_lock",
+        "_samples",
+        "_bucket_counts",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
 
-    def __init__(self, name: str, max_samples: int = 100_000):
+    def __init__(
+        self,
+        name: str,
+        max_samples: int = 100_000,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
         self.name = name
         self.max_samples = max_samples
+        self.buckets = tuple(sorted(buckets))
         self._lock = threading.Lock()
         self._samples: list[float] = []
+        self._bucket_counts = [0] * len(self.buckets)
         self._count = 0
         self._sum = 0.0
         self._min = math.inf
@@ -141,8 +195,19 @@ class Timer:
                 self._min = seconds
             if seconds > self._max:
                 self._max = seconds
+            for index, bound in enumerate(self.buckets):
+                if seconds <= bound:
+                    self._bucket_counts[index] += 1
+                    break
             if len(self._samples) < self.max_samples:
                 self._samples.append(seconds)
+            else:
+                # Algorithm R with a splitmix64 draw keyed off the
+                # observation count: slot j is uniform over [0, count)
+                # and identical across runs seeing the same stream.
+                slot = _mix64(self._count) % self._count
+                if slot < self.max_samples:
+                    self._samples[slot] = seconds
 
     def time(self) -> _TimerContext:
         """``with timer.time(): ...`` records the block's wall time."""
@@ -155,6 +220,24 @@ class Timer:
     @property
     def sum(self) -> float:
         return self._sum
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ``+Inf`` last.
+
+        The OpenMetrics exposition's ``_bucket{le="..."}`` series: each
+        count covers every observation at or below its bound, and the
+        final ``(inf, total)`` entry equals :attr:`count`.
+        """
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        cumulative: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative.append((bound, running))
+        cumulative.append((math.inf, total))
+        return cumulative
 
     def snapshot(self) -> dict[str, float]:
         """Aggregate view: count, sum, min, max, mean, p50, p95."""

@@ -35,6 +35,10 @@ INGEST_PREFIX = "ingest."
 RETRY_PREFIX = "retry."
 BREAKER_PREFIX = "breaker."
 FAULTS_PREFIX = "faults."
+#: Observability-v2 families (see ``docs/OBSERVABILITY.md``): tracing
+#: bookkeeping and the SLO engine behind ``/v1/slo``.
+TRACE_PREFIX = "trace."
+SLO_PREFIX = "slo."
 
 
 class MetricNameError(ValueError):

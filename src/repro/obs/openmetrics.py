@@ -1,0 +1,270 @@
+"""OpenMetrics text exposition of the :mod:`repro.obs` registry.
+
+Renders every instrument as a spec-shaped OpenMetrics 1.0 document
+(https://prometheus.io/docs/specs/om/open_metrics_spec/):
+
+* counters  — ``# TYPE f counter`` + ``f_total <v>``
+* gauges    — ``# TYPE f gauge`` + ``f <v>``
+* timers    — ``# TYPE f histogram`` + ``# UNIT f seconds`` +
+  cumulative ``f_bucket{le="..."}`` lines ending in ``le="+Inf"``,
+  then ``f_count`` and ``f_sum``
+
+Dotted repro names map to underscore families (``serve.cache.hit`` →
+``serve_cache_hit``); timers gain a ``_seconds`` unit suffix.  Families
+are emitted in sorted order and the document always ends with ``# EOF``,
+so the same registry state always yields the same bytes.
+
+The module also ships :func:`parse_openmetrics`, a strict structural
+validator used by the test suite (and anyone debugging a scraper): it
+rejects samples before their ``# TYPE``, interleaved families,
+non-cumulative histogram buckets, a missing ``+Inf`` bucket, and a
+missing ``# EOF`` — the exposition can never silently drift from the
+subset of the spec it promises.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: The content type ``repro serve`` negotiates the exposition under.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: The Accept-header token that selects the exposition over the tables.
+ACCEPT_TOKEN = "application/openmetrics-text"
+
+_FAMILY_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+
+def metric_family(name: str, unit: str | None = None) -> str:
+    """The OpenMetrics family name for a dotted repro instrument name."""
+    family = name.replace(".", "_")
+    if unit:
+        family = f"{family}_{unit}"
+    if not _FAMILY_RE.match(family):
+        raise ValueError(f"cannot map {name!r} to an OpenMetrics family")
+    return family
+
+
+def _fmt(value: float) -> str:
+    """A float as OpenMetrics text (integers lose the trailing ``.0``)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(registry: MetricsRegistry | None = None) -> str:
+    """The full registry as one OpenMetrics text document (with ``# EOF``)."""
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+
+    for counter in registry.counters():
+        family = metric_family(counter.name)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"# HELP {family} repro counter {counter.name}")
+        lines.append(f"{family}_total {_fmt(counter.value)}")
+
+    for gauge in registry.gauges():
+        family = metric_family(gauge.name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"# HELP {family} repro gauge {gauge.name}")
+        lines.append(f"{family} {_fmt(gauge.value)}")
+
+    for timer in registry.timers():
+        family = metric_family(timer.name, unit="seconds")
+        lines.append(f"# TYPE {family} histogram")
+        lines.append(f"# UNIT {family} seconds")
+        lines.append(f"# HELP {family} repro timer {timer.name}")
+        for bound, count in timer.bucket_counts():
+            lines.append(f'{family}_bucket{{le="{_fmt(bound)}"}} {count}')
+        lines.append(f"{family}_count {timer.count}")
+        lines.append(f"{family}_sum {_fmt(timer.sum)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- validation --------------------------------------------------------------
+
+
+@dataclass
+class MetricFamily:
+    """One parsed family: its declared type and its samples."""
+
+    name: str
+    type: str
+    unit: str | None = None
+    help: str | None = None
+    samples: list[tuple[str, dict[str, str], float]] = field(default_factory=list)
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    labels: dict[str, str] = {}
+    for part in text.split(","):
+        key, _, raw = part.partition("=")
+        if not key or not (raw.startswith('"') and raw.endswith('"')):
+            raise ValueError(f"malformed label set: {text!r}")
+        labels[key.strip()] = raw[1:-1]
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _sample_family(sample_name: str, family: str, family_type: str) -> bool:
+    """Whether *sample_name* is a legal sample of *family*."""
+    if family_type == "counter":
+        return sample_name in (f"{family}_total", f"{family}_created")
+    if family_type == "histogram":
+        return sample_name in (
+            f"{family}_bucket",
+            f"{family}_count",
+            f"{family}_sum",
+            f"{family}_created",
+        )
+    return sample_name == family
+
+
+def parse_openmetrics(text: str) -> dict[str, MetricFamily]:
+    """Parse and structurally validate an OpenMetrics document.
+
+    Returns families by name.  Raises :class:`ValueError` on any
+    violation of the subset this project emits: missing/early ``# EOF``,
+    a sample without a preceding ``# TYPE``, interleaved families,
+    unknown sample suffixes, histograms whose buckets are not cumulative
+    or lack a ``+Inf`` bucket, or a ``_count`` disagreeing with the
+    ``+Inf`` bucket.
+    """
+    families: dict[str, MetricFamily] = {}
+    current: MetricFamily | None = None
+    saw_eof = False
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if saw_eof:
+            raise ValueError(f"line {line_no}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if not line.strip():
+            raise ValueError(f"line {line_no}: blank lines are not allowed")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#":
+                raise ValueError(f"line {line_no}: malformed metadata {line!r}")
+            keyword, family_name = parts[1], parts[2]
+            rest = parts[3] if len(parts) > 3 else ""
+            if keyword == "TYPE":
+                if family_name in families:
+                    raise ValueError(
+                        f"line {line_no}: family {family_name!r} re-declared "
+                        "(families must be contiguous)"
+                    )
+                current = families[family_name] = MetricFamily(
+                    name=family_name, type=rest
+                )
+            elif keyword in ("HELP", "UNIT"):
+                if current is None or current.name != family_name:
+                    raise ValueError(
+                        f"line {line_no}: {keyword} for {family_name!r} "
+                        "outside its TYPE block"
+                    )
+                if keyword == "HELP":
+                    current.help = rest
+                else:
+                    current.unit = rest
+                    if not family_name.endswith(f"_{rest}"):
+                        raise ValueError(
+                            f"line {line_no}: family {family_name!r} does not "
+                            f"end with its unit {rest!r}"
+                        )
+            else:
+                raise ValueError(f"line {line_no}: unknown metadata {keyword!r}")
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample {line!r}")
+        sample_name = match.group("name")
+        if current is None:
+            raise ValueError(f"line {line_no}: sample before any # TYPE")
+        base = sample_name
+        for suffix in ("_total", "_bucket", "_count", "_sum", "_created"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                break
+        owner = current if base == current.name or sample_name == current.name else None
+        if owner is None:
+            raise ValueError(
+                f"line {line_no}: sample {sample_name!r} outside its family "
+                f"block (current family is {current.name!r})"
+            )
+        if not _sample_family(sample_name, current.name, current.type):
+            raise ValueError(
+                f"line {line_no}: {sample_name!r} is not a valid "
+                f"{current.type} sample of {current.name!r}"
+            )
+        current.samples.append(
+            (
+                sample_name,
+                _parse_labels(match.group("labels")),
+                _parse_value(match.group("value")),
+            )
+        )
+
+    if not saw_eof:
+        raise ValueError("document does not end with # EOF")
+
+    for family in families.values():
+        if family.type == "histogram":
+            _validate_histogram(family)
+    return families
+
+
+def _validate_histogram(family: MetricFamily) -> None:
+    buckets = [
+        (labels.get("le"), value)
+        for name, labels, value in family.samples
+        if name == f"{family.name}_bucket"
+    ]
+    if not buckets:
+        raise ValueError(f"histogram {family.name!r} has no buckets")
+    if buckets[-1][0] != "+Inf":
+        raise ValueError(f"histogram {family.name!r} missing the +Inf bucket")
+    bounds = [_parse_value(le) for le, _ in buckets if le is not None]
+    if bounds != sorted(bounds):
+        raise ValueError(f"histogram {family.name!r} buckets out of order")
+    counts = [count for _, count in buckets]
+    if counts != sorted(counts):
+        raise ValueError(f"histogram {family.name!r} buckets not cumulative")
+    count_samples = [
+        value for name, _, value in family.samples if name == f"{family.name}_count"
+    ]
+    if count_samples and count_samples[0] != counts[-1]:
+        raise ValueError(
+            f"histogram {family.name!r}: _count {count_samples[0]} != "
+            f"+Inf bucket {counts[-1]}"
+        )
+
+
+def negotiates_openmetrics(accept: str | None) -> bool:
+    """Whether an ``Accept`` header asks for the OpenMetrics exposition."""
+    return bool(accept) and ACCEPT_TOKEN in accept

@@ -1,0 +1,267 @@
+"""Wall-time sampling profiler for builds, exhibits, and serve endpoints.
+
+:class:`SamplingProfiler` runs a background thread that snapshots every
+Python thread's stack (``sys._current_frames``) at a fixed interval and
+aggregates two views:
+
+* **labels** — self-time attribution to the *innermost* instrumented
+  stage active on each thread.  :func:`repro.obs.instruments.timed`
+  pushes its metric name (``scenario.build.ndt_tests``,
+  ``exhibit.run.fig11``, ``serve.request.report``) as a label whenever a
+  profiler is running, so a profile answers "which dataset generator /
+  endpoint owns the wall time" without symbolising frames.
+* **collapsed stacks** — ``mod.func;mod.func;... count`` lines, the
+  flamegraph-ready folded format (``flamegraph.pl``, speedscope).
+
+The profiler is sampling (a stopped clock for very short stages) but its
+*output* is deterministic in shape: labels and stacks are sorted, the
+``repro.prof/1`` artifact is stable-keyed JSON, and the same aggregation
+fed the same samples yields identical bytes — perf evidence you can
+diff, per the reproducible-artifact posture of ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+#: Schema identifier of the profile artifact.
+SCHEMA = "repro.prof/1"
+
+#: Per-thread stacks of active instrumentation labels.
+_LABELS: dict[int, list[str]] = {}
+_LABELS_LOCK = threading.Lock()
+
+#: Count of running profilers; label_scope is a no-op at zero.
+_ACTIVE_PROFILERS = 0
+
+
+def profiling_active() -> bool:
+    """Whether any profiler is collecting (labels are worth pushing)."""
+    return _ACTIVE_PROFILERS > 0
+
+
+@contextmanager
+def label_scope(label: str) -> Iterator[None]:
+    """Attribute this thread's samples to *label* for the block.
+
+    Labels nest; samples attribute to the innermost one (a dataset build
+    inside a serve request counts toward the build).  Free when no
+    profiler is running.
+    """
+    if not _ACTIVE_PROFILERS:
+        yield
+        return
+    ident = threading.get_ident()
+    with _LABELS_LOCK:
+        _LABELS.setdefault(ident, []).append(label)
+    try:
+        yield
+    finally:
+        with _LABELS_LOCK:
+            stack = _LABELS.get(ident)
+            if stack and stack[-1] == label:
+                stack.pop()
+            if not stack:
+                _LABELS.pop(ident, None)
+
+
+def _frame_name(frame) -> str:
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}.{frame.f_code.co_name}"
+
+
+def _collapse(frame) -> str:
+    """The frame chain as a leaf-last ``;``-joined collapsed stack."""
+    names: list[str] = []
+    while frame is not None:
+        names.append(_frame_name(frame))
+        frame = frame.f_back
+    return ";".join(reversed(names))
+
+
+class SamplingProfiler:
+    """Samples every thread's stack at a fixed interval while running."""
+
+    def __init__(self, interval: float = 0.005, max_stack_kinds: int = 10_000):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.max_stack_kinds = max_stack_kinds
+        self._lock = threading.Lock()
+        self._label_samples: dict[str, int] = {}
+        self._stack_samples: dict[str, int] = {}
+        self._samples = 0
+        self._duration = 0.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t0 = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        global _ACTIVE_PROFILERS
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        _ACTIVE_PROFILERS += 1
+        self._stop.clear()
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        global _ACTIVE_PROFILERS
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._duration = time.perf_counter() - self._t0
+        _ACTIVE_PROFILERS = max(0, _ACTIVE_PROFILERS - 1)
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.is_set():
+            self.sample_once(sys._current_frames(), skip={own_ident})
+            self._stop.wait(self.interval)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def sample_once(
+        self, frames_by_thread: dict[int, object], skip: set[int] | None = None
+    ) -> None:
+        """Fold one stack snapshot into the aggregate (testable directly)."""
+        skip = skip or set()
+        with _LABELS_LOCK:
+            labels = {
+                ident: stack[-1] for ident, stack in _LABELS.items() if stack
+            }
+        with self._lock:
+            self._samples += 1
+            for ident, frame in frames_by_thread.items():
+                if ident in skip:
+                    continue
+                label = labels.get(ident)
+                if label is not None:
+                    self._label_samples[label] = (
+                        self._label_samples.get(label, 0) + 1
+                    )
+                if len(self._stack_samples) < self.max_stack_kinds:
+                    stack = _collapse(frame)
+                    self._stack_samples[stack] = (
+                        self._stack_samples.get(stack, 0) + 1
+                    )
+
+    # -- results -------------------------------------------------------------
+
+    def result(self) -> dict[str, object]:
+        """The ``repro.prof/1`` artifact as a plain dict (sorted, stable)."""
+        with self._lock:
+            label_samples = dict(self._label_samples)
+            stack_samples = dict(self._stack_samples)
+            samples = self._samples
+            duration = self._duration or (
+                time.perf_counter() - self._t0 if self._t0 else 0.0
+            )
+        total_attributed = sum(label_samples.values()) or 1
+        labels = [
+            {
+                "label": label,
+                "samples": count,
+                "est_seconds": round(count * self.interval, 4),
+                "share": round(count / total_attributed, 4),
+            }
+            for label, count in sorted(
+                label_samples.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        collapsed = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                stack_samples.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return {
+            "schema": SCHEMA,
+            "interval_seconds": self.interval,
+            "duration_seconds": round(duration, 4),
+            "samples": samples,
+            "labels": labels,
+            "collapsed": collapsed,
+        }
+
+
+def top_labels(
+    result: dict[str, object], prefix: str = "", limit: int = 10
+) -> list[dict[str, object]]:
+    """The top-*limit* label rows, optionally filtered to one prefix."""
+    rows = [
+        row
+        for row in result.get("labels", [])  # type: ignore[union-attr]
+        if str(row["label"]).startswith(prefix)
+    ]
+    return rows[:limit]
+
+
+def render_profile(result: dict[str, object], limit: int = 15) -> str:
+    """The terminal table behind ``repro profile``."""
+    lines = [
+        "profile: {samples} samples over {duration_seconds}s "
+        "(interval {interval_seconds}s)".format(**result)
+    ]
+    rows = top_labels(result, limit=limit)
+    if not rows:
+        lines.append("(no labelled samples; stages finished between ticks)")
+        return "\n".join(lines)
+    width = max(len(str(r["label"])) for r in rows)
+    lines.append(f"{'stage'.ljust(width)}  samples  est_wall  share")
+    for row in rows:
+        lines.append(
+            f"{str(row['label']).ljust(width)}  {row['samples']:7d}  "
+            f"{row['est_seconds']:7.3f}s  {100 * float(row['share']):5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def collapsed_text(result: dict[str, object]) -> str:
+    """The folded-stack file content (one ``stack count`` line each)."""
+    return "\n".join(result.get("collapsed", [])) + "\n"  # type: ignore[arg-type]
+
+
+def write_profile_json(path: Path | str, result: dict[str, object]) -> Path:
+    """Write the ``repro.prof/1`` artifact to *path*; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def profile_from_json(text: str) -> dict[str, object]:
+    """Parse and validate a ``repro.prof/1`` artifact."""
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise ValueError(f"not a {SCHEMA} artifact")
+    for key in ("interval_seconds", "duration_seconds", "samples"):
+        if not isinstance(doc.get(key), (int, float)):
+            raise ValueError(f"artifact missing numeric {key!r}")
+    if not isinstance(doc.get("labels"), list) or not isinstance(
+        doc.get("collapsed"), list
+    ):
+        raise ValueError("artifact missing 'labels'/'collapsed' lists")
+    return doc

@@ -1,0 +1,159 @@
+"""Service-level objectives: rolling-window compliance and burn rate.
+
+An :class:`SLOTracker` watches every served request (the dispatcher
+feeds it ``record(ok, latency)``) and evaluates two kinds of objective
+over a rolling time window:
+
+* **availability** — fraction of requests that did not 5xx, against a
+  target like 99.5%.
+* **latency** — fraction of requests answered within a threshold,
+  against a target like "99% under 250ms".
+
+For each objective the tracker reports *compliance* (the good fraction
+observed in the window) and *burn rate* — the rate the error budget is
+being spent, ``(1 - compliance) / (1 - objective)``.  Burn rate 1.0
+means the service is exactly on budget; 2.0 means the budget burns twice
+as fast as it accrues (a fresh deploy regressing half its requests shows
+up immediately, long before the monthly budget is gone).  ``/healthz``
+embeds the summary and ``/v1/slo`` serves it in full.
+
+The clock is injectable so tests drive the window deterministically;
+production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Requests retained per window; old entries beyond the window are pruned
+#: on record/summary, this is a hard backstop against unbounded growth.
+_MAX_EVENTS = 100_000
+
+
+@dataclass(frozen=True, slots=True)
+class SLODefinition:
+    """One objective: a name, a target fraction, and (optionally) a latency bar.
+
+    Attributes:
+        name: Identifier (``availability``, ``latency_fast``).
+        objective: Target good fraction in ``(0, 1)``, e.g. ``0.995``.
+        latency_threshold: Seconds a request must beat to count as good;
+            ``None`` makes this an availability objective (good = not 5xx).
+    """
+
+    name: str
+    objective: float
+    latency_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective for {self.name!r} must be in (0, 1): {self.objective}"
+            )
+        if self.latency_threshold is not None and self.latency_threshold <= 0:
+            raise ValueError(
+                f"latency threshold for {self.name!r} must be positive"
+            )
+
+    def is_good(self, ok: bool, latency: float) -> bool:
+        if self.latency_threshold is None:
+            return ok
+        return ok and latency <= self.latency_threshold
+
+
+#: The objectives ``repro serve`` ships with: five nines would be theatre
+#: for a laptop reproduction server; 99.5% availability and 99%-under-250ms
+#: are tight enough to catch real regressions.
+DEFAULT_SLOS: tuple[SLODefinition, ...] = (
+    SLODefinition(name="availability", objective=0.995),
+    SLODefinition(name="latency_fast", objective=0.99, latency_threshold=0.25),
+)
+
+
+class SLOTracker:
+    """Rolling-window SLO evaluation over per-request observations."""
+
+    def __init__(
+        self,
+        slos: tuple[SLODefinition, ...] = DEFAULT_SLOS,
+        window_seconds: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.slos = tuple(slos)
+        self.window_seconds = window_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: list[tuple[float, bool, float]] = []  # (ts, ok, latency)
+
+    def record(self, ok: bool, latency_seconds: float) -> None:
+        """Fold one served request into the window."""
+        now = self._clock()
+        with self._lock:
+            self._events.append((now, bool(ok), float(latency_seconds)))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_seconds
+        if self._events and self._events[0][0] < horizon:
+            self._events = [e for e in self._events if e[0] >= horizon]
+        if len(self._events) > _MAX_EVENTS:
+            del self._events[: len(self._events) - _MAX_EVENTS]
+
+    def summary(self) -> dict[str, object]:
+        """The full SLO report (the ``/v1/slo`` payload core)."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            events = list(self._events)
+        total = len(events)
+        objectives = []
+        worst = 0.0
+        for slo in self.slos:
+            good = sum(
+                1 for _, ok, latency in events if slo.is_good(ok, latency)
+            )
+            compliance = good / total if total else 1.0
+            budget = 1.0 - slo.objective
+            burn = (1.0 - compliance) / budget if total else 0.0
+            worst = max(worst, burn)
+            objectives.append(
+                {
+                    "name": slo.name,
+                    "objective": slo.objective,
+                    "latency_threshold_seconds": slo.latency_threshold,
+                    "good": good,
+                    "total": total,
+                    "compliance": round(compliance, 6),
+                    "burn_rate": round(burn, 4),
+                    "met": compliance >= slo.objective,
+                }
+            )
+        return {
+            "window_seconds": self.window_seconds,
+            "requests": total,
+            "objectives": objectives,
+            "worst_burn_rate": round(worst, 4),
+            "healthy": all(o["met"] for o in objectives),
+        }
+
+    def healthz_fields(self) -> dict[str, object]:
+        """The compact slice ``/healthz`` embeds (additive keys only)."""
+        summary = self.summary()
+        return {
+            "window_seconds": summary["window_seconds"],
+            "requests": summary["requests"],
+            "worst_burn_rate": summary["worst_burn_rate"],
+            "healthy": summary["healthy"],
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()

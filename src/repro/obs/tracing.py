@@ -12,14 +12,22 @@ Usage::
 
 Tracing is **off by default** and the disabled path is near-free:
 :func:`trace_span` returns a shared no-op singleton (no allocation, no
-clock read), so leaving spans in hot code costs one attribute check.
-Enable with :func:`enable_tracing` (the CLI's ``--trace`` flag and the
-``stats`` command do this).
+clock read) unless either global tracing is enabled
+(:func:`enable_tracing`, the CLI's ``--trace`` flag) or the ambient
+:class:`repro.obs.context.TraceContext` is *sampled* — the per-request
+head-sampling path ``repro serve --trace-sample-rate`` turns on.
 
-When enabled, spans nest: each thread keeps its own stack, so a span
-opened inside another records its depth and parent, and concurrent
-threads never interleave stacks.  Finished spans land in a single
-process-wide list (lock-protected) ordered for rendering.
+Spans are **distributed-trace shaped** (v2): every recorded span carries
+a W3C trace id, its own span id, and its parent's span id.  Parentage
+comes from the per-thread span stack when one is open, falling back to
+the ambient trace context — which is how a request's spans link across
+the serve router, the scenario pool, and executor worker threads (the
+executor hands :func:`current_handle` to workers via
+:func:`repro.obs.context.ambient_scope`).
+
+Finished spans land in a single process-wide list (lock-protected,
+bounded) ordered for rendering; :meth:`Tracer.take_trace` extracts one
+trace's spans for the per-request ``repro.trace/1`` artifact.
 """
 
 from __future__ import annotations
@@ -30,7 +38,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
+from repro.obs.context import current_context, new_span_id, new_trace_id
+
 F = TypeVar("F", bound=Callable)
+
+#: Sentinel distinguishing "no explicit parent given" from "root span".
+_UNSET = object()
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +56,9 @@ class SpanRecord:
         start: Seconds since the tracer's epoch at span entry.
         duration: Wall-clock seconds spent inside the span.
         thread: Name of the thread that ran the span.
+        trace_id: 32-hex W3C trace id the span belongs to.
+        span_id: 16-hex id of this span.
+        parent_id: 16-hex id of the parent span, or None for a root.
     """
 
     name: str
@@ -50,6 +66,9 @@ class SpanRecord:
     start: float
     duration: float
     thread: str
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str | None = None
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -58,6 +77,9 @@ class SpanRecord:
             "start": round(self.start, 6),
             "duration": round(self.duration, 6),
             "thread": self.thread,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
 
 
@@ -79,15 +101,52 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """A live span; records itself into the tracer on exit."""
 
-    __slots__ = ("_tracer", "name", "_depth", "_start", "_t0")
+    __slots__ = (
+        "_tracer",
+        "name",
+        "_depth",
+        "_start",
+        "_t0",
+        "_trace_id",
+        "_span_id",
+        "_parent_id",
+        "_sampled",
+    )
 
-    def __init__(self, tracer: "Tracer", name: str):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: str | None = None,
+        parent_id: object = _UNSET,
+    ):
         self._tracer = tracer
         self.name = name
+        self._span_id = span_id
+        self._parent_id = parent_id
 
     def __enter__(self) -> "_Span":
         stack = self._tracer._stack()
         self._depth = len(stack)
+        ctx = current_context()
+        if stack:
+            parent = stack[-1]
+            self._trace_id = parent._trace_id
+            self._sampled = parent._sampled
+            if self._parent_id is _UNSET:
+                self._parent_id = parent._span_id
+        elif ctx is not None:
+            self._trace_id = ctx.trace_id
+            self._sampled = ctx.sampled
+            if self._parent_id is _UNSET:
+                self._parent_id = ctx.span_id or None
+        else:
+            self._trace_id = self._tracer.trace_id
+            self._sampled = False
+            if self._parent_id is _UNSET:
+                self._parent_id = None
+        if self._span_id is None:
+            self._span_id = new_span_id()
         stack.append(self)
         self._t0 = time.perf_counter()
         self._start = self._t0 - self._tracer.epoch
@@ -105,17 +164,31 @@ class _Span:
                 start=self._start,
                 duration=duration,
                 thread=threading.current_thread().name,
+                trace_id=self._trace_id,
+                span_id=self._span_id,  # type: ignore[arg-type]
+                parent_id=self._parent_id,  # type: ignore[arg-type]
             )
         )
         return False
 
 
 class Tracer:
-    """Collects spans while enabled; a cheap flag check while not."""
+    """Collects spans while enabled; a cheap flag check while not.
 
-    def __init__(self, enabled: bool = False):
+    Attributes:
+        trace_id: The *session* trace id — the trace spans belong to
+            when no ambient request context is installed (CLI ``--trace``
+            runs form one process-wide trace).
+        max_finished: Bound on retained finished spans; beyond it new
+            spans are counted (``trace.spans.dropped``) and discarded so
+            a long-lived sampled server cannot grow without limit.
+    """
+
+    def __init__(self, enabled: bool = False, max_finished: int = 100_000):
         self.enabled = enabled
+        self.max_finished = max_finished
         self.epoch = time.perf_counter()
+        self.trace_id = new_trace_id()
         self._lock = threading.Lock()
         self._local = threading.local()
         self._finished: list[SpanRecord] = []
@@ -128,24 +201,66 @@ class Tracer:
 
     def _record(self, record: SpanRecord) -> None:
         with self._lock:
-            self._finished.append(record)
+            if len(self._finished) >= self.max_finished:
+                dropped = True
+            else:
+                dropped = False
+                self._finished.append(record)
+        if dropped:
+            from repro.obs.metrics import get_registry
 
-    def span(self, name: str) -> "_Span | _NullSpan":
-        """A context manager for one span (no-op while disabled)."""
-        if not self.enabled:
+            get_registry().counter("trace.spans.dropped").inc()
+
+    def span(
+        self,
+        name: str,
+        *,
+        span_id: str | None = None,
+        parent_id: object = _UNSET,
+    ) -> "_Span | _NullSpan":
+        """A context manager for one span (no-op while not recording).
+
+        *span_id* / *parent_id* override id allocation and stack/context
+        parentage — the serve dispatcher uses them to give the request's
+        root span the id already promised in the response ``traceparent``
+        header and the remote caller's span as parent.
+        """
+        if not self._recording():
             return _NULL_SPAN
-        return _Span(self, name)
+        return _Span(self, name, span_id, parent_id)
+
+    def _recording(self) -> bool:
+        if self.enabled:
+            return True
+        ctx = current_context()
+        return ctx is not None and ctx.sampled
 
     def finished(self) -> list[SpanRecord]:
         """Finished spans in start order (pre-order of the span tree)."""
         with self._lock:
             return sorted(self._finished, key=lambda r: r.start)
 
+    def take_trace(self, trace_id: str) -> list[SpanRecord]:
+        """Remove and return the finished spans of one trace, start-ordered.
+
+        The per-request ``repro.trace/1`` artifact writer calls this when
+        a sampled request completes, so serve-side traces are exported
+        exactly once and do not accumulate in the global list.
+        """
+        with self._lock:
+            taken = [r for r in self._finished if r.trace_id == trace_id]
+            if taken:
+                self._finished = [
+                    r for r in self._finished if r.trace_id != trace_id
+                ]
+        return sorted(taken, key=lambda r: r.start)
+
     def reset(self) -> None:
-        """Drop finished spans and restart the epoch."""
+        """Drop finished spans, restart the epoch, and re-key the session."""
         with self._lock:
             self._finished.clear()
             self.epoch = time.perf_counter()
+            self.trace_id = new_trace_id()
 
 
 #: The process-global tracer; disabled until ``--trace`` or a test asks.
@@ -168,10 +283,32 @@ def tracing_enabled() -> bool:
 
 
 def trace_span(name: str) -> "_Span | _NullSpan":
-    """Open a named span on the global tracer (no-op while disabled)."""
+    """Open a named span on the global tracer (no-op while not recording)."""
     if not _TRACER.enabled:
-        return _NULL_SPAN
+        ctx = current_context()
+        if ctx is None or not ctx.sampled:
+            return _NULL_SPAN
     return _Span(_TRACER, name)
+
+
+def current_handle() -> tuple[str, str, bool] | None:
+    """The ``(trace_id, span_id, sampled)`` handle for cross-thread handoff.
+
+    The innermost open span on this thread wins; otherwise the ambient
+    context; otherwise — with global tracing on — the session trace.
+    Returns None when nothing is recording, so the executor's handoff is
+    free in the common untraced case.
+    """
+    stack = _TRACER._stack()
+    if stack:
+        top = stack[-1]
+        return (top._trace_id, top._span_id, top._sampled)
+    ctx = current_context()
+    if ctx is not None and (ctx.sampled or _TRACER.enabled):
+        return (ctx.trace_id, ctx.span_id, ctx.sampled)
+    if _TRACER.enabled:
+        return (_TRACER.trace_id, "", False)
+    return None
 
 
 def traced(fn: F | None = None, *, name: str | None = None) -> F:
@@ -192,9 +329,7 @@ def traced(fn: F | None = None, *, name: str | None = None) -> F:
 
         @functools.wraps(func)
         def wrapper(*args: object, **kwargs: object):
-            if not _TRACER.enabled:
-                return func(*args, **kwargs)
-            with _Span(_TRACER, span_name):
+            with trace_span(span_name):
                 return func(*args, **kwargs)
 
         return wrapper  # type: ignore[return-value]

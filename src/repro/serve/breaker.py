@@ -22,10 +22,12 @@ import threading
 import time
 from typing import Callable
 
-from repro.obs import get_registry
+from repro.obs import get_logger, get_registry
 
 #: Gauge encoding of the breaker state.
 _STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+_LOG = get_logger("repro.serve.breaker")
 
 
 class BreakerOpenError(RuntimeError):
@@ -112,18 +114,30 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """The protected operation succeeded: close and reset."""
         with self._lock:
+            was_open = self._state != "closed"
             self._failures = 0
             self._probe_in_flight = False
             self._state = "closed"
             self._set_gauge("closed")
+        if was_open:
+            _LOG.info("breaker.closed", reason="probe succeeded")
 
     def record_failure(self) -> None:
         """The protected operation failed: count, maybe open."""
         with self._lock:
             self._failures += 1
             self._probe_in_flight = False
+            opened = False
             if self._state == "half-open" or self._failures >= self.failure_threshold:
+                opened = self._state != "open"
                 self._state = "open"
                 self._opened_at = self._clock()
                 self._set_gauge("open")
                 get_registry().counter("breaker.opened").inc()
+            failures = self._failures
+        if opened:
+            _LOG.warning(
+                "breaker.opened",
+                consecutive_failures=failures,
+                recovery_seconds=self.recovery_time,
+            )

@@ -24,7 +24,14 @@ from repro.core.narrative import all_findings, format_findings
 from repro.core.report import render_report
 from repro.core.scorecard import NonLacnicCountryError, build_scorecard
 from repro.geo.countries import UnknownCountryError
-from repro.obs import render_metrics
+from repro.obs import (
+    SLOTracker,
+    current_context,
+    negotiates_openmetrics,
+    render_metrics,
+    render_openmetrics,
+)
+from repro.obs.openmetrics import CONTENT_TYPE as OPENMETRICS_CONTENT_TYPE
 from repro.serve.pool import ScenarioPool
 from repro.serve.router import HTTPError, RawResponse, Router
 
@@ -34,10 +41,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class ServeContext:
-    """What every handler gets: the pool and the server's parameter set."""
+    """What every handler gets: pool, parameter set, and the SLO tracker."""
 
     pool: ScenarioPool
     params: dict[str, object] = field(default_factory=dict)
+    slo: SLOTracker = field(default_factory=SLOTracker)
 
     def scenario(self) -> "Scenario":
         """The shared warm scenario (single-flight build when cold)."""
@@ -133,6 +141,7 @@ def handle_healthz(ctx: ServeContext) -> dict:
         "scenarios_warm": len(ctx.pool),
         "exhibits": len(exhibit_ids()),
         "breaker": breaker_state,
+        "slo": ctx.slo.healthz_fields(),
     }
     if degraded:
         payload["degraded_datasets"] = degraded
@@ -140,9 +149,26 @@ def handle_healthz(ctx: ServeContext) -> dict:
 
 
 def handle_metrics(ctx: ServeContext) -> RawResponse:
-    """GET /metrics — the live ``repro.obs`` registry as text tables."""
+    """GET /metrics — the live ``repro.obs`` registry.
+
+    Content-negotiated: an ``Accept`` header carrying
+    ``application/openmetrics-text`` (what a Prometheus scraper sends)
+    gets the spec-shaped OpenMetrics exposition; everything else keeps
+    the human-readable text tables.
+    """
+    request = current_context()
+    if request is not None and negotiates_openmetrics(request.accept):
+        return RawResponse(
+            render_openmetrics().encode("utf-8"),
+            content_type=OPENMETRICS_CONTENT_TYPE,
+        )
     body = render_metrics() or "(no metrics recorded)"
     return RawResponse(body.encode("utf-8") + b"\n")
+
+
+def handle_slo(ctx: ServeContext) -> dict:
+    """GET /v1/slo — rolling-window objectives, compliance, burn rates."""
+    return ctx.slo.summary()
 
 
 def build_router() -> Router:
@@ -150,6 +176,7 @@ def build_router() -> Router:
     router = Router()
     router.add("healthz", "GET", "/healthz", handle_healthz, cacheable=False)
     router.add("metrics", "GET", "/metrics", handle_metrics, cacheable=False)
+    router.add("slo", "GET", "/v1/slo", handle_slo, cacheable=False)
     router.add("exhibits", "GET", "/v1/exhibits", handle_exhibits)
     router.add("exhibit", "GET", "/v1/exhibit/{exhibit_id}", handle_exhibit)
     router.add("report", "GET", "/v1/report", handle_report)

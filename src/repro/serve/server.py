@@ -42,15 +42,23 @@ from __future__ import annotations
 
 import math
 import signal
-import sys
 import threading
-import traceback
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import TYPE_CHECKING
 from urllib.parse import urlsplit
 
 from repro.core.degrade import DatasetDegradedError
-from repro.obs import get_registry
+from repro.obs import (
+    get_logger,
+    get_registry,
+    get_tracer,
+    new_span_id,
+    start_request_context,
+    use_context,
+    write_trace_json,
+)
 from repro.serve.breaker import BreakerOpenError, CircuitBreaker
 from repro.serve.deadline import DeadlineExpired, deadline_scope
 from repro.serve.handlers import ServeContext, build_router
@@ -70,6 +78,10 @@ from repro.serve.router import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.cache import DatasetCache
 
+#: Structured logger for the serving layer; every record emitted inside a
+#: request scope carries that request's ``request_id``/``trace_id``.
+_LOG = get_logger("repro.serve")
+
 
 class ReproServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the API's shared state."""
@@ -86,6 +98,8 @@ class ReproServer(ThreadingHTTPServer):
         verbose: bool = False,
         deadline_seconds: float | None = None,
         max_inflight: int | None = None,
+        trace_sample_rate: float = 0.0,
+        trace_dir: Path | None = None,
     ) -> None:
         self.context = context
         self.router = router if router is not None else build_router()
@@ -95,6 +109,11 @@ class ReproServer(ThreadingHTTPServer):
         self.verbose = verbose
         #: Per-request wall-time budget; None disables deadlines.
         self.deadline_seconds = deadline_seconds
+        #: Head-sampling rate for per-request traces (0 disables).
+        self.trace_sample_rate = trace_sample_rate
+        #: Where sampled requests export their ``repro.trace/1`` artifact;
+        #: None keeps spans in memory only.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         #: Saturation bound: requests past this are shed with 503.
         #: ``/healthz`` and ``/metrics`` are exempt.
         self.inflight_limiter = (
@@ -151,13 +170,37 @@ class _RequestHandler(BaseHTTPRequestHandler):
     _SHED_EXEMPT = ("healthz", "metrics")
 
     def _dispatch(self, method: str) -> None:
+        # One TraceContext per request: an incoming ``traceparent`` is
+        # honoured (the caller's trace continues here, their span id as
+        # parent); otherwise a fresh trace starts and the head-sampling
+        # rate decides whether spans are recorded.  The context is
+        # ambient for the whole request, so pool builds, executor
+        # workers, and every log line correlate automatically.
+        rc = start_request_context(
+            traceparent=self.headers.get("traceparent"),
+            request_id=self.headers.get("X-Request-Id"),
+            sample_rate=self.server.trace_sample_rate,
+            accept=self.headers.get("Accept", ""),
+        )
+        if rc.remote:
+            self._root_parent: str | None = rc.span_id
+            rc = rc.child(new_span_id())
+        else:
+            self._root_parent = None
+        self._trace_ctx = rc
+        with use_context(rc):
+            self._dispatch_in_context(method)
+
+    def _dispatch_in_context(self, method: str) -> None:
         registry = get_registry()
         registry.counter("serve.requests").inc()
         path = urlsplit(self.path).path
+        t0 = time.perf_counter()
         try:
             route, path_params = self.server.router.match(method, path)
         except HTTPError as err:
             self._send_error(err)
+            self._finish_request(method, path, None, err.status, t0)
             return
 
         limiter = self.server.inflight_limiter
@@ -171,16 +214,35 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     headers={"Retry-After": "1"},
                 )
             )
+            self._finish_request(method, path, route, 503, t0)
             return
         self.server.inflight_delta(+1)
         try:
-            self._handle_matched(route, path_params, registry)
+            status = self._handle_matched(route, path_params, registry)
         finally:
             self.server.inflight_delta(-1)
             if shed_guarded:
                 limiter.release()
+        self._finish_request(method, path, route, status, t0)
 
-    def _handle_matched(self, route, path_params: dict[str, str], registry) -> None:
+    def _handle_matched(self, route, path_params: dict[str, str], registry) -> int:
+        # The request's root span: its id was already promised to the
+        # client in the response ``traceparent`` (the ambient context's
+        # span id), and its parent is the remote caller's span when one
+        # came in.  Child spans — pool build, dataset builds on executor
+        # threads — parent onto it through the ambient context.
+        ctx = self._trace_ctx
+        span = get_tracer().span(
+            f"serve.request.{route.name}",
+            span_id=ctx.span_id,
+            parent_id=self._root_parent,
+        )
+        with span:
+            status = self._render_and_send(route, path_params, registry)
+        self._export_trace()
+        return status
+
+    def _render_and_send(self, route, path_params: dict[str, str], registry) -> int:
         # Render under the timer, write to the socket after it: every
         # metric for the request is recorded before the client can read
         # the body, so observers never see a completed response whose
@@ -193,7 +255,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     )
         except HTTPError as err:
             self._send_error(err)
-            return
+            return err.status
         except (BreakerOpenError, PoolTimeoutError, DeadlineExpired) as exc:
             retry_after = max(1, math.ceil(getattr(exc, "retry_after", 1.0)))
             self._send_error(
@@ -204,7 +266,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     reason=type(exc).__name__,
                 )
             )
-            return
+            return 503
         except DatasetDegradedError as err:
             # Endpoints that can annotate coverage (report, scorecard)
             # never raise this; the rest degrade to a structured 503.
@@ -216,11 +278,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     dataset=err.name,
                 )
             )
-            return
-        except Exception:
+            return 503
+        except Exception as exc:
             registry.counter("serve.errors").inc()
             registry.counter(f"serve.errors.{route.name}").inc()
-            traceback.print_exc(file=sys.stderr)
+            _LOG.exception(
+                "serve.request.error",
+                exc,
+                endpoint=route.name,
+                method=self.command,
+                path=self.path,
+            )
             status, body, content_type, etag = (
                 500,
                 error_bytes(500, "internal server error"),
@@ -231,11 +299,51 @@ class _RequestHandler(BaseHTTPRequestHandler):
             if status == 304:
                 self.send_response(304)
                 self.send_header("ETag", etag or "")
+                for name, value in self._trace_headers().items():
+                    self.send_header(name, value)
                 self.end_headers()
             else:
                 self._send(status, body, content_type, etag)
         except BrokenPipeError:  # client went away mid-response
             pass
+        return status
+
+    def _finish_request(
+        self, method: str, path: str, route, status: int, t0: float
+    ) -> None:
+        """Post-response bookkeeping: SLO observation and the access log."""
+        duration = time.perf_counter() - t0
+        slo = self.server.context.slo
+        if slo is not None:
+            slo.record(ok=status < 500, latency_seconds=duration)
+        if self.server.verbose:
+            _LOG.info(
+                "serve.request.access",
+                method=method,
+                path=path,
+                status=status,
+                duration_ms=round(duration * 1e3, 2),
+                endpoint=route.name if route is not None else None,
+            )
+
+    def _export_trace(self) -> None:
+        """Write the request's ``repro.trace/1`` artifact when sampled."""
+        ctx = self._trace_ctx
+        if not ctx.sampled or self.server.trace_dir is None:
+            return
+        spans = get_tracer().take_trace(ctx.trace_id)
+        if not spans:
+            return
+        try:
+            write_trace_json(
+                self.server.trace_dir, ctx.trace_id, spans, ctx.request_id
+            )
+        except OSError as exc:
+            _LOG.warning(
+                "serve.trace.export_failed",
+                trace_id=ctx.trace_id,
+                error=str(exc),
+            )
 
     def _render(
         self, route, path_params: dict[str, str]
@@ -272,6 +380,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     # -- response writing ----------------------------------------------------
 
+    def _trace_headers(self) -> dict[str, str]:
+        """The correlation headers every response carries."""
+        ctx = getattr(self, "_trace_ctx", None)
+        if ctx is None:
+            return {}
+        return {"X-Request-Id": ctx.request_id, "traceparent": ctx.traceparent()}
+
     def _send(
         self,
         status: int,
@@ -285,6 +400,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if etag is not None:
             self.send_header("ETag", etag)
+        for name, value in self._trace_headers().items():
+            self.send_header(name, value)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -302,8 +419,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
             pass
 
     def log_message(self, format: str, *args: object) -> None:
+        # The structured access log in _finish_request replaces the
+        # stdlib's per-request stderr line; the raw http.server chatter
+        # (send_response, send_error) survives only at debug level.
         if self.server.verbose:
-            super().log_message(format, *args)
+            _LOG.debug("serve.http.line", message=format % args)
 
 
 def create_server(
@@ -319,6 +439,8 @@ def create_server(
     deadline_seconds: float | None = None,
     max_inflight: int | None = None,
     breaker: CircuitBreaker | None = None,
+    trace_sample_rate: float = 0.0,
+    trace_dir: Path | None = None,
 ) -> ReproServer:
     """A ready-to-serve :class:`ReproServer` (socket bound, not serving).
 
@@ -339,6 +461,10 @@ def create_server(
         max_inflight: Optional load-shedding bound on concurrent
             requests (``/healthz`` and ``/metrics`` exempt).
         breaker: Optional preconfigured circuit breaker for the pool.
+        trace_sample_rate: Fraction of requests whose spans are recorded
+            (deterministic head sampling on the trace id; 0 disables).
+        trace_dir: Directory sampled requests export ``repro.trace/1``
+            artifacts into; None keeps spans in memory.
     """
     pool = ScenarioPool(
         cache=cache, build_workers=jobs, strict=strict, breaker=breaker
@@ -351,6 +477,8 @@ def create_server(
         verbose=verbose,
         deadline_seconds=deadline_seconds,
         max_inflight=max_inflight,
+        trace_sample_rate=trace_sample_rate,
+        trace_dir=trace_dir,
     )
     if prebuild:
         context.scenario()

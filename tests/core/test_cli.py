@@ -266,3 +266,107 @@ def test_exhibit_records_no_spans_without_trace_flag(capsys):
 
     assert main(["exhibit", "fig04"]) == 0
     assert get_tracer().finished() == []
+
+
+# -- profile ------------------------------------------------------------------
+
+
+def test_profile_command_emits_artifact_and_top_generators(capsys, tmp_path):
+    from repro.obs.profiling import profile_from_json
+
+    out = tmp_path / "prof" / "profile.json"
+    folded = tmp_path / "prof" / "stacks.folded"
+    assert main(
+        [
+            "--no-cache",
+            "profile",
+            "--scenario",
+            "small",
+            "--interval",
+            "0.002",
+            "--out",
+            str(out),
+            "--folded",
+            str(folded),
+        ]
+    ) == 0
+    captured = capsys.readouterr()
+    assert captured.out.startswith("profile:")
+    # the acceptance criterion: the profile names top dataset generators
+    assert "dataset generators by self time" in captured.out
+
+    doc = profile_from_json(out.read_text(encoding="utf-8"))
+    assert doc["samples"] > 0
+    assert any(
+        str(row["label"]).startswith("scenario.build.") for row in doc["labels"]
+    )
+    for line in folded.read_text(encoding="utf-8").strip().splitlines():
+        assert line.rpartition(" ")[2].isdigit()
+
+
+# -- bench gate ---------------------------------------------------------------
+
+
+def _bench_baseline_path():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[2] / "BENCH_scenario.json"
+
+
+def test_bench_gate_self_check_passes(capsys, tmp_path):
+    gate_out = tmp_path / "gate.json"
+    assert main(
+        [
+            "bench",
+            "gate",
+            "--baseline",
+            str(_bench_baseline_path()),
+            "--gate-out",
+            str(gate_out),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "verdict: PASS" in out
+
+    import json
+
+    doc = json.loads(gate_out.read_text(encoding="utf-8"))
+    assert doc["schema"] == "repro.gate/1"
+    assert doc["passed"] is True
+
+
+def test_bench_gate_fails_on_synthetic_regression(capsys, tmp_path):
+    import json
+
+    baseline = _bench_baseline_path()
+    doc = json.loads(baseline.read_text(encoding="utf-8"))
+    for entry in doc["timings_seconds"].values():
+        entry["min"] = entry["min"] * 2  # a clean 2x regression
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(doc), encoding="utf-8")
+
+    assert main(
+        ["bench", "gate", "--baseline", str(baseline), "--fresh", str(fresh)]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "regressed" in out
+
+
+def test_bench_gate_missing_artifact_exits_two(capsys, tmp_path):
+    assert main(
+        ["bench", "gate", "--baseline", str(tmp_path / "nope.json")]
+    ) == 2
+    assert "bench gate:" in capsys.readouterr().err
+
+
+def test_report_bytes_unchanged_by_tracing_and_json_logging(capsys):
+    assert main(["--no-cache", "report"]) == 0
+    plain = capsys.readouterr().out
+    assert main(
+        ["--no-cache", "--trace", "--log-format", "json", "--log-level", "debug",
+         "report"]
+    ) == 0
+    traced = capsys.readouterr().out
+    # observability writes to stderr only; stdout stays byte-identical
+    assert traced == plain

@@ -69,3 +69,22 @@ def test_clean_plan_is_complete():
 def test_strict_mode_propagates_the_injected_failure():
     with pytest.raises(Exception):
         run_chaos(seed=0, specs=["cables:truncate"], strict=True, **SMALL)
+
+
+def test_artifact_embeds_deterministic_metrics(report):
+    doc = json.loads(report.to_json())
+    metrics = doc["metrics"]
+    # the drill always quarantines, so ingest counters must be present
+    assert any(name.startswith("ingest.") for name in metrics)
+    assert all(isinstance(value, int) and value > 0 for value in metrics.values())
+    # only the deterministic counter families are embedded
+    allowed = ("ingest.", "retry.", "breaker.", "faults.", "scenario.dataset.")
+    assert all(name.startswith(allowed) for name in metrics)
+
+
+def test_metrics_delta_is_stable_across_inprocess_runs(report):
+    # a second run in the same process starts from non-zero registry
+    # counters; the delta must match the first run's exactly (CI cmp's
+    # two artifacts produced by consecutive invocations)
+    again = run_chaos(seed=42, **SMALL)
+    assert again.metrics == report.metrics

@@ -192,3 +192,56 @@ def test_isolation_fixture_resets_global_registry_part1():
 
 def test_isolation_fixture_resets_global_registry_part2():
     assert "leak.check.count" not in get_registry().snapshot()["counters"]
+
+
+# -- reservoir sampling --------------------------------------------------------
+
+
+def test_reservoir_is_deterministic_across_timers():
+    stream = [float(i % 17) / 10 for i in range(500)]
+    a = MetricsRegistry().timer("test.stage.run")
+    b = MetricsRegistry().timer("test.stage.run")
+    a.max_samples = 32
+    b.max_samples = 32
+    for value in stream:
+        a.observe(value)
+        b.observe(value)
+    assert a._samples == b._samples
+    assert a.snapshot() == b.snapshot()
+
+
+def test_reservoir_length_is_capped():
+    timer = MetricsRegistry().timer("test.stage.run")
+    timer.max_samples = 16
+    for i in range(1000):
+        timer.observe(float(i))
+    assert len(timer._samples) == 16
+    # every retained sample was actually observed
+    assert all(s in {float(i) for i in range(1000)} for s in timer._samples)
+
+
+def test_reservoir_keeps_sampling_the_tail():
+    # After 10x overflow the reservoir must hold late observations too —
+    # the whole point of algorithm R over keep-the-first-N.
+    timer = MetricsRegistry().timer("test.stage.run")
+    timer.max_samples = 50
+    for i in range(5000):
+        timer.observe(float(i))
+    assert any(s >= 2500.0 for s in timer._samples)
+
+
+def test_bucket_counts_are_cumulative_and_end_at_inf():
+    import math
+
+    timer = MetricsRegistry().timer("test.stage.run")
+    for value in (0.0005, 0.003, 0.003, 0.2, 100.0):
+        timer.observe(value)
+    pairs = timer.bucket_counts()
+    bounds = [bound for bound, _ in pairs]
+    counts = [count for _, count in pairs]
+    assert bounds == sorted(bounds)
+    assert bounds[-1] == math.inf
+    assert counts == sorted(counts)
+    assert counts[-1] == timer.count == 5
+    # the 100.0 observation lands only in the +Inf bucket
+    assert pairs[-2][1] == 4

@@ -1,0 +1,215 @@
+"""Tests for the OpenMetrics exposition and its strict validator."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    ACCEPT_TOKEN,
+    CONTENT_TYPE,
+    metric_family,
+    negotiates_openmetrics,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.cache.hit").inc(3)
+    registry.counter("ingest.rows.quarantined").inc()
+    registry.gauge("serve.inflight.requests").set(2)
+    timer = registry.timer("scenario.build.asrel")
+    for value in (0.002, 0.004, 0.2, 1.5):
+        timer.observe(value)
+    return registry
+
+
+def test_render_parses_clean():
+    families = parse_openmetrics(render_openmetrics(_populated_registry()))
+    assert set(families) == {
+        "serve_cache_hit",
+        "ingest_rows_quarantined",
+        "serve_inflight_requests",
+        "scenario_build_asrel_seconds",
+    }
+
+
+def test_counter_family_shape():
+    families = parse_openmetrics(render_openmetrics(_populated_registry()))
+    family = families["serve_cache_hit"]
+    assert family.type == "counter"
+    assert family.samples == [("serve_cache_hit_total", {}, 3.0)]
+
+
+def test_gauge_family_shape():
+    families = parse_openmetrics(render_openmetrics(_populated_registry()))
+    family = families["serve_inflight_requests"]
+    assert family.type == "gauge"
+    assert family.samples == [("serve_inflight_requests", {}, 2.0)]
+
+
+def test_histogram_family_shape():
+    families = parse_openmetrics(render_openmetrics(_populated_registry()))
+    family = families["scenario_build_asrel_seconds"]
+    assert family.type == "histogram"
+    assert family.unit == "seconds"
+    buckets = [
+        (labels["le"], value)
+        for name, labels, value in family.samples
+        if name == "scenario_build_asrel_seconds_bucket"
+    ]
+    # cumulative, ending at +Inf == count
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1][0] == "+Inf" and buckets[-1][1] == 4.0
+    count = next(
+        value
+        for name, _, value in family.samples
+        if name == "scenario_build_asrel_seconds_count"
+    )
+    assert count == 4.0
+    total = next(
+        value
+        for name, _, value in family.samples
+        if name == "scenario_build_asrel_seconds_sum"
+    )
+    assert total == pytest.approx(0.002 + 0.004 + 0.2 + 1.5)
+
+
+def test_render_is_deterministic():
+    registry = _populated_registry()
+    assert render_openmetrics(registry) == render_openmetrics(registry)
+
+
+def test_render_empty_registry_is_just_eof():
+    assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+
+def test_metric_family_mapping():
+    assert metric_family("serve.cache.hit") == "serve_cache_hit"
+    assert metric_family("retry.sleep", unit="seconds") == "retry_sleep_seconds"
+    with pytest.raises(ValueError):
+        metric_family("Bad-Name!")
+
+
+# -- parser rejections --------------------------------------------------------
+
+
+def test_parser_rejects_missing_eof():
+    with pytest.raises(ValueError, match="EOF"):
+        parse_openmetrics("# TYPE a_b counter\na_b_total 1\n")
+
+
+def test_parser_rejects_content_after_eof():
+    with pytest.raises(ValueError, match="after # EOF"):
+        parse_openmetrics("# EOF\na_b_total 1\n")
+
+
+def test_parser_rejects_sample_before_type():
+    with pytest.raises(ValueError, match="before any # TYPE"):
+        parse_openmetrics("a_b_total 1\n# EOF\n")
+
+
+def test_parser_rejects_interleaved_families():
+    doc = (
+        "# TYPE a_b counter\n"
+        "a_b_total 1\n"
+        "# TYPE c_d counter\n"
+        "a_b_total 2\n"
+        "# EOF\n"
+    )
+    with pytest.raises(ValueError, match="outside its family"):
+        parse_openmetrics(doc)
+
+
+def test_parser_rejects_redeclared_family():
+    doc = (
+        "# TYPE a_b counter\n"
+        "a_b_total 1\n"
+        "# TYPE a_b counter\n"
+        "a_b_total 2\n"
+        "# EOF\n"
+    )
+    with pytest.raises(ValueError, match="re-declared"):
+        parse_openmetrics(doc)
+
+
+def test_parser_rejects_bare_counter_sample():
+    # a counter sample must carry the _total suffix
+    doc = "# TYPE a_b counter\na_b 1\n# EOF\n"
+    with pytest.raises(ValueError, match="not a valid"):
+        parse_openmetrics(doc)
+
+
+def test_parser_rejects_non_cumulative_buckets():
+    doc = (
+        "# TYPE a_b_seconds histogram\n"
+        '# UNIT a_b_seconds seconds\n'
+        'a_b_seconds_bucket{le="0.1"} 5\n'
+        'a_b_seconds_bucket{le="1"} 3\n'
+        'a_b_seconds_bucket{le="+Inf"} 6\n'
+        "a_b_seconds_count 6\n"
+        "a_b_seconds_sum 1.0\n"
+        "# EOF\n"
+    )
+    with pytest.raises(ValueError, match="not cumulative"):
+        parse_openmetrics(doc)
+
+
+def test_parser_rejects_missing_inf_bucket():
+    doc = (
+        "# TYPE a_b_seconds histogram\n"
+        'a_b_seconds_bucket{le="0.1"} 5\n'
+        "a_b_seconds_count 5\n"
+        "a_b_seconds_sum 1.0\n"
+        "# EOF\n"
+    )
+    with pytest.raises(ValueError, match=r"\+Inf"):
+        parse_openmetrics(doc)
+
+
+def test_parser_rejects_count_bucket_mismatch():
+    doc = (
+        "# TYPE a_b_seconds histogram\n"
+        'a_b_seconds_bucket{le="+Inf"} 5\n'
+        "a_b_seconds_count 7\n"
+        "a_b_seconds_sum 1.0\n"
+        "# EOF\n"
+    )
+    with pytest.raises(ValueError, match="_count"):
+        parse_openmetrics(doc)
+
+
+def test_parser_rejects_unit_family_mismatch():
+    doc = (
+        "# TYPE a_b histogram\n"
+        "# UNIT a_b seconds\n"
+        'a_b_bucket{le="+Inf"} 1\n'
+        "# EOF\n"
+    )
+    with pytest.raises(ValueError, match="unit"):
+        parse_openmetrics(doc)
+
+
+def test_parser_parses_inf_values():
+    doc = "# TYPE a_b gauge\na_b +Inf\n# EOF\n"
+    families = parse_openmetrics(doc)
+    assert families["a_b"].samples[0][2] == math.inf
+
+
+# -- negotiation --------------------------------------------------------------
+
+
+def test_negotiation():
+    assert negotiates_openmetrics(ACCEPT_TOKEN)
+    assert negotiates_openmetrics(
+        "application/openmetrics-text; version=1.0.0, text/plain;q=0.5"
+    )
+    assert not negotiates_openmetrics("text/plain")
+    assert not negotiates_openmetrics("")
+    assert not negotiates_openmetrics(None)
+    assert ACCEPT_TOKEN in CONTENT_TYPE

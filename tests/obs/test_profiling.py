@@ -1,0 +1,206 @@
+"""Tests for the sampling profiler and the ``repro.prof/1`` artifact."""
+
+import json
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs import profiling
+from repro.obs.profiling import (
+    SCHEMA,
+    SamplingProfiler,
+    collapsed_text,
+    label_scope,
+    profile_from_json,
+    profiling_active,
+    render_profile,
+    top_labels,
+    write_profile_json,
+)
+
+# -- label scopes -------------------------------------------------------------
+
+
+def test_label_scope_noop_when_no_profiler_running():
+    assert not profiling_active()
+    with label_scope("scenario.build.asrel"):
+        with profiling._LABELS_LOCK:
+            assert threading.get_ident() not in profiling._LABELS
+
+
+def test_label_scope_pushes_and_pops(monkeypatch):
+    monkeypatch.setattr(profiling, "_ACTIVE_PROFILERS", 1)
+    ident = threading.get_ident()
+    with label_scope("scenario.build.asrel"):
+        with profiling._LABELS_LOCK:
+            assert profiling._LABELS[ident] == ["scenario.build.asrel"]
+    with profiling._LABELS_LOCK:
+        assert ident not in profiling._LABELS
+
+
+def test_sample_once_attributes_innermost_label(monkeypatch):
+    monkeypatch.setattr(profiling, "_ACTIVE_PROFILERS", 1)
+    prof = SamplingProfiler(interval=0.001)
+    ident = threading.get_ident()
+    with label_scope("serve.request.report"):
+        with label_scope("scenario.build.asrel"):
+            prof.sample_once({ident: sys._getframe()})
+    result = prof.result()
+    assert result["samples"] == 1
+    (label_row,) = result["labels"]
+    assert label_row["label"] == "scenario.build.asrel"
+    assert label_row["samples"] == 1
+    assert label_row["share"] == 1.0
+
+
+def test_sample_once_skips_requested_threads(monkeypatch):
+    monkeypatch.setattr(profiling, "_ACTIVE_PROFILERS", 1)
+    prof = SamplingProfiler(interval=0.001)
+    ident = threading.get_ident()
+    with label_scope("scenario.build.asrel"):
+        prof.sample_once({ident: sys._getframe()}, skip={ident})
+    result = prof.result()
+    assert result["samples"] == 1
+    assert result["labels"] == []
+    assert result["collapsed"] == []
+
+
+def test_collapsed_stacks_are_leaf_last(monkeypatch):
+    monkeypatch.setattr(profiling, "_ACTIVE_PROFILERS", 1)
+
+    def inner_marker_fn():
+        prof.sample_once({threading.get_ident(): sys._getframe()})
+
+    prof = SamplingProfiler(interval=0.001)
+    inner_marker_fn()
+    (line,) = prof.result()["collapsed"]
+    stack, _, count = line.rpartition(" ")
+    assert count == "1"
+    assert stack.endswith("inner_marker_fn")
+    # the test function appears before (outer frame of) the marker
+    frames = stack.split(";")
+    outer = next(
+        i for i, f in enumerate(frames)
+        if f.endswith("test_collapsed_stacks_are_leaf_last")
+    )
+    inner = next(i for i, f in enumerate(frames) if f.endswith("inner_marker_fn"))
+    assert outer < inner
+
+
+def test_stack_kind_cap(monkeypatch):
+    monkeypatch.setattr(profiling, "_ACTIVE_PROFILERS", 1)
+    prof = SamplingProfiler(interval=0.001, max_stack_kinds=1)
+
+    def one():
+        prof.sample_once({threading.get_ident(): sys._getframe()})
+
+    def two():
+        prof.sample_once({threading.get_ident(): sys._getframe()})
+
+    one()
+    two()
+    assert len(prof.result()["collapsed"]) == 1
+
+
+# -- live profiling -----------------------------------------------------------
+
+
+def test_live_profiler_collects_labelled_samples():
+    prof = SamplingProfiler(interval=0.001)
+    deadline = time.perf_counter() + 5.0
+    with prof:
+        assert profiling_active()
+        with label_scope("scenario.build.spin"):
+            while time.perf_counter() < deadline:
+                sum(range(1000))
+                if top_labels(prof.result(), prefix="scenario.build."):
+                    break
+    assert not profiling_active()
+    result = prof.result()
+    assert result["samples"] >= 1
+    labels = top_labels(result, prefix="scenario.build.")
+    assert labels and labels[0]["label"] == "scenario.build.spin"
+    assert result["duration_seconds"] > 0
+
+
+def test_profiler_cannot_start_twice():
+    prof = SamplingProfiler(interval=0.001)
+    prof.start()
+    try:
+        with pytest.raises(RuntimeError):
+            prof.start()
+    finally:
+        prof.stop()
+    prof.stop()  # idempotent
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval=0)
+
+
+# -- artifact + rendering -----------------------------------------------------
+
+
+def _synthetic_result(monkeypatch) -> dict:
+    monkeypatch.setattr(profiling, "_ACTIVE_PROFILERS", 1)
+    prof = SamplingProfiler(interval=0.005)
+    ident = threading.get_ident()
+    for _ in range(3):
+        with label_scope("scenario.build.asrel"):
+            prof.sample_once({ident: sys._getframe()})
+    with label_scope("exhibit.run.fig01"):
+        prof.sample_once({ident: sys._getframe()})
+    return prof.result()
+
+
+def test_artifact_roundtrip(tmp_path, monkeypatch):
+    result = _synthetic_result(monkeypatch)
+    path = write_profile_json(tmp_path / "prof" / "profile.json", result)
+    doc = profile_from_json(path.read_text(encoding="utf-8"))
+    assert doc["schema"] == SCHEMA
+    assert doc["samples"] == 4
+    assert [row["label"] for row in doc["labels"]] == [
+        "scenario.build.asrel",
+        "exhibit.run.fig01",
+    ]
+
+
+def test_profile_from_json_rejects_bad_docs():
+    with pytest.raises(ValueError, match="artifact"):
+        profile_from_json(json.dumps({"schema": "other/1"}))
+    with pytest.raises(ValueError, match="samples"):
+        profile_from_json(
+            json.dumps(
+                {
+                    "schema": SCHEMA,
+                    "interval_seconds": 0.005,
+                    "duration_seconds": 1.0,
+                    "samples": "many",
+                }
+            )
+        )
+
+
+def test_render_profile_lists_top_stages(monkeypatch):
+    result = _synthetic_result(monkeypatch)
+    text = render_profile(result)
+    assert "4 samples" in text
+    assert "scenario.build.asrel" in text
+    assert text.index("scenario.build.asrel") < text.index("exhibit.run.fig01")
+
+
+def test_render_profile_without_labels():
+    prof = SamplingProfiler(interval=0.001)
+    assert "no labelled samples" in render_profile(prof.result())
+
+
+def test_collapsed_text_shape(monkeypatch):
+    result = _synthetic_result(monkeypatch)
+    text = collapsed_text(result)
+    assert text.endswith("\n")
+    for line in text.strip().splitlines():
+        stack, _, count = line.rpartition(" ")
+        assert stack and count.isdigit()

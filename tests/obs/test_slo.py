@@ -1,0 +1,151 @@
+"""Tests for SLO definitions, rolling-window compliance, and burn rate."""
+
+import pytest
+
+from repro.obs.slo import DEFAULT_SLOS, SLODefinition, SLOTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _tracker(window=300.0) -> tuple[SLOTracker, FakeClock]:
+    clock = FakeClock()
+    return SLOTracker(window_seconds=window, clock=clock), clock
+
+
+# -- definitions --------------------------------------------------------------
+
+
+def test_definition_validation():
+    with pytest.raises(ValueError):
+        SLODefinition(name="bad", objective=1.0)
+    with pytest.raises(ValueError):
+        SLODefinition(name="bad", objective=0.0)
+    with pytest.raises(ValueError):
+        SLODefinition(name="bad", objective=0.9, latency_threshold=0)
+
+
+def test_is_good_semantics():
+    availability = SLODefinition(name="availability", objective=0.995)
+    latency = SLODefinition(name="fast", objective=0.99, latency_threshold=0.25)
+    assert availability.is_good(True, 10.0)  # slow but served
+    assert not availability.is_good(False, 0.001)
+    assert latency.is_good(True, 0.25)
+    assert not latency.is_good(True, 0.26)
+    assert not latency.is_good(False, 0.001)  # errors never count as good
+
+
+def test_default_slos_shape():
+    names = [slo.name for slo in DEFAULT_SLOS]
+    assert names == ["availability", "latency_fast"]
+
+
+def test_tracker_rejects_bad_config():
+    with pytest.raises(ValueError):
+        SLOTracker(window_seconds=0)
+    dup = (
+        SLODefinition(name="x", objective=0.9),
+        SLODefinition(name="x", objective=0.99),
+    )
+    with pytest.raises(ValueError):
+        SLOTracker(slos=dup)
+
+
+# -- compliance and burn rate -------------------------------------------------
+
+
+def test_empty_window_is_healthy_with_zero_burn():
+    tracker, _ = _tracker()
+    summary = tracker.summary()
+    assert summary["requests"] == 0
+    assert summary["healthy"] is True
+    assert summary["worst_burn_rate"] == 0.0
+    for objective in summary["objectives"]:
+        assert objective["compliance"] == 1.0
+        assert objective["burn_rate"] == 0.0
+        assert objective["met"] is True
+
+
+def test_all_good_requests_meet_objectives():
+    tracker, _ = _tracker()
+    for _ in range(100):
+        tracker.record(ok=True, latency_seconds=0.01)
+    summary = tracker.summary()
+    assert summary["healthy"] is True
+    assert summary["worst_burn_rate"] == 0.0
+
+
+def test_burn_rate_math():
+    tracker, _ = _tracker()
+    tracker.record(ok=True, latency_seconds=0.01)
+    tracker.record(ok=False, latency_seconds=0.01)
+    summary = tracker.summary()
+    availability = next(
+        o for o in summary["objectives"] if o["name"] == "availability"
+    )
+    # compliance 0.5 against a 0.5% budget: burn = 0.5 / 0.005 = 100
+    assert availability["compliance"] == 0.5
+    assert availability["burn_rate"] == pytest.approx(100.0)
+    assert availability["met"] is False
+    assert summary["healthy"] is False
+    assert summary["worst_burn_rate"] == pytest.approx(100.0)
+
+
+def test_latency_objective_counts_slow_requests():
+    tracker, _ = _tracker()
+    for _ in range(99):
+        tracker.record(ok=True, latency_seconds=0.01)
+    tracker.record(ok=True, latency_seconds=1.5)  # served, but slow
+    summary = tracker.summary()
+    availability, latency = summary["objectives"]
+    assert availability["good"] == 100
+    assert latency["good"] == 99
+    assert latency["compliance"] == pytest.approx(0.99)
+    assert latency["met"] is True  # exactly on objective
+    assert latency["burn_rate"] == pytest.approx(1.0)
+
+
+def test_window_pruning_forgets_old_failures():
+    tracker, clock = _tracker(window=60.0)
+    tracker.record(ok=False, latency_seconds=0.01)
+    assert tracker.summary()["healthy"] is False
+    clock.advance(61.0)
+    tracker.record(ok=True, latency_seconds=0.01)
+    summary = tracker.summary()
+    assert summary["requests"] == 1
+    assert summary["healthy"] is True
+
+
+def test_summary_prunes_without_new_records():
+    tracker, clock = _tracker(window=60.0)
+    tracker.record(ok=False, latency_seconds=0.01)
+    clock.advance(61.0)
+    assert tracker.summary()["requests"] == 0
+
+
+def test_healthz_fields_is_compact_slice():
+    tracker, _ = _tracker()
+    tracker.record(ok=True, latency_seconds=0.01)
+    fields = tracker.healthz_fields()
+    assert set(fields) == {
+        "window_seconds",
+        "requests",
+        "worst_burn_rate",
+        "healthy",
+    }
+    assert fields["requests"] == 1
+
+
+def test_reset_clears_window():
+    tracker, _ = _tracker()
+    tracker.record(ok=False, latency_seconds=0.01)
+    tracker.reset()
+    assert tracker.summary()["requests"] == 0

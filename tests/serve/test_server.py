@@ -299,3 +299,60 @@ def test_graceful_shutdown_drains_inflight_requests():
 
     assert result.get("status") == 200
     assert b"report" in result.get("body", b"")
+
+
+# -- observability endpoints -------------------------------------------------
+
+
+def test_metrics_negotiates_openmetrics(warm_server):
+    from repro.obs import parse_openmetrics
+    from repro.obs.openmetrics import CONTENT_TYPE
+
+    status, headers, body = _get(
+        warm_server, "/metrics", {"Accept": "application/openmetrics-text"}
+    )
+    assert status == 200
+    assert headers["Content-Type"] == CONTENT_TYPE
+    families = parse_openmetrics(body.decode("utf-8"))
+    # the counter this very request incremented, as a spec-valid family
+    assert families["serve_requests"].type == "counter"
+    histograms = [f for f in families.values() if f.type == "histogram"]
+    assert all(f.unit == "seconds" for f in histograms)
+
+
+def test_slo_endpoint_reports_objectives(warm_server):
+    _get(warm_server, "/v1/report")
+    status, _, body = _get(warm_server, "/v1/slo")
+    assert status == 200
+    data = json.loads(body)["data"]
+    assert data["requests"] >= 1
+    assert [o["name"] for o in data["objectives"]] == [
+        "availability",
+        "latency_fast",
+    ]
+    for objective in data["objectives"]:
+        assert 0.0 < objective["objective"] < 1.0
+        assert "burn_rate" in objective and "compliance" in objective
+    assert isinstance(data["healthy"], bool)
+
+
+def test_healthz_embeds_slo_summary(warm_server):
+    status, _, body = _get(warm_server, "/healthz")
+    assert status == 200
+    slo = json.loads(body)["data"]["slo"]
+    assert set(slo) == {"window_seconds", "requests", "worst_burn_rate", "healthy"}
+
+
+def test_every_response_carries_request_id_and_traceparent(warm_server):
+    from repro.obs import parse_traceparent
+
+    for path, expected in (
+        ("/healthz", 200),
+        ("/v1/report", 200),
+        ("/v1/nope", 404),        # error envelopes carry the headers too
+        ("/v1/scorecard/us", 422),
+    ):
+        status, headers, _ = _get(warm_server, path)
+        assert status == expected
+        assert headers["X-Request-Id"].startswith("req-")
+        assert parse_traceparent(headers["traceparent"]) is not None
