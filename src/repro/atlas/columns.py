@@ -1,0 +1,223 @@
+"""Packed column forms of the Atlas measurement campaigns.
+
+:class:`TracerouteColumns` replaces ``list[TracerouteResult]`` for the
+GPDNS campaign and :class:`ChaosColumns` replaces
+``list[ChaosObservation]`` for the CHAOS campaign.  Both store a handful
+of parallel arrays plus small string pools; row access rebuilds the
+original record dataclasses on demand.
+
+Traceroute hop structure is not stored at all: the synthetic campaign
+derives every hop deterministically from (probe id, probe country,
+final RTT) — the same arithmetic the generator used — so the view
+recomputes hops bit-identically from three columns instead of pickling
+four ``Hop`` objects per row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.columnar import ColumnBatch
+from repro.atlas.traceroute import Hop, TracerouteResult
+from repro.rootdns.analysis import ChaosObservation
+from repro.timeseries.month import Month
+
+
+class TracerouteColumns(ColumnBatch):
+    """The GPDNS traceroute campaign as packed columns."""
+
+    kind = "atlas.traceroute/1"
+    COLUMNS = (
+        "probe_id",
+        "country_idx",
+        "month_ordinal",
+        "sample",
+        "timestamp",
+        "final_rtt",
+    )
+
+    def __init__(
+        self,
+        countries: list[str],
+        msm_id: int,
+        dst_addr: str,
+        probe_id: np.ndarray,
+        country_idx: np.ndarray,
+        month_ordinal: np.ndarray,
+        sample: np.ndarray,
+        timestamp: np.ndarray,
+        final_rtt: np.ndarray,
+    ):
+        self.countries = list(countries)
+        self.msm_id = int(msm_id)
+        self.dst_addr = dst_addr
+        self.probe_id = probe_id
+        self.country_idx = country_idx
+        self.month_ordinal = month_ordinal
+        self.sample = sample
+        self.timestamp = timestamp
+        self.final_rtt = final_rtt
+
+    def meta(self) -> dict[str, Any]:
+        return {
+            "countries": self.countries,
+            "msm_id": self.msm_id,
+            "dst_addr": self.dst_addr,
+        }
+
+    @classmethod
+    def from_columns(
+        cls, meta: dict[str, Any], columns: dict[str, np.ndarray]
+    ) -> "TracerouteColumns":
+        return cls(
+            countries=list(meta["countries"]),
+            msm_id=int(meta["msm_id"]),
+            dst_addr=meta["dst_addr"],
+            **columns,
+        )
+
+    def _view(self, pid: int, cc: str, timestamp: int, rtt: float) -> TracerouteResult:
+        # Recomputes the generator's hop arithmetic on the stored final
+        # RTT; identical doubles in, identical doubles out.
+        from repro.atlas.frontends import edge_address
+
+        hops = (
+            Hop(1, (("192.168.1.1", 1.4),)),
+            Hop(2, ((f"10.{pid % 200}.0.1", rtt * 0.3),)),
+            Hop(3, ((edge_address(cc, pid), rtt * 0.9),)),
+            Hop(4, ((self.dst_addr, rtt),)),
+        )
+        return TracerouteResult(
+            probe_id=pid,
+            msm_id=self.msm_id,
+            timestamp=timestamp,
+            dst_addr=self.dst_addr,
+            hops=hops,
+        )
+
+    def _record(self, index: int) -> TracerouteResult:
+        return self._view(
+            int(self.probe_id[index]),
+            self.countries[int(self.country_idx[index])],
+            int(self.timestamp[index]),
+            float(self.final_rtt[index]),
+        )
+
+    def __iter__(self) -> Iterator[TracerouteResult]:
+        rows = zip(
+            self.probe_id.tolist(),
+            self.country_idx.tolist(),
+            self.timestamp.tolist(),
+            self.final_rtt.tolist(),
+        )
+        for pid, cc, timestamp, rtt in rows:
+            yield self._view(pid, self.countries[cc], timestamp, rtt)
+
+    # -- column-plane helpers ------------------------------------------------
+
+    def min_rtt_per_probe_month(self) -> dict[tuple[int, Month], float]:
+        """Per-probe monthly minimum destination RTT over the columns.
+
+        Matches :func:`repro.atlas.traceroute.min_rtt_per_probe_month`
+        on the record view exactly: every synthetic traceroute reaches
+        the destination, keys appear in first-encounter (generation)
+        order, and minima are taken over the same doubles.
+        """
+        n = len(self)
+        if n == 0:
+            return {}
+        mo = self.month_ordinal
+        pid = self.probe_id
+        change = np.flatnonzero((mo[1:] != mo[:-1]) | (pid[1:] != pid[:-1])) + 1
+        starts = np.concatenate(([0], change))
+        minima = np.minimum.reduceat(self.final_rtt, starts)
+        best: dict[tuple[int, Month], float] = {}
+        months = {o: Month.from_ordinal(o) for o in np.unique(mo).tolist()}
+        for start, value in zip(starts.tolist(), minima.tolist()):
+            key = (int(pid[start]), months[int(mo[start])])
+            previous = best.get(key)
+            if previous is None or value < previous:
+                best[key] = value
+        return best
+
+
+class ChaosColumns(ColumnBatch):
+    """The CHAOS campaign, observation-level, as packed columns."""
+
+    kind = "rootdns.chaos/1"
+    COLUMNS = (
+        "month_ordinal",
+        "probe_id",
+        "probe_country_idx",
+        "letter_idx",
+        "answer_idx",
+    )
+
+    def __init__(
+        self,
+        countries: list[str],
+        letters: list[str],
+        answers: list[str],
+        month_ordinal: np.ndarray,
+        probe_id: np.ndarray,
+        probe_country_idx: np.ndarray,
+        letter_idx: np.ndarray,
+        answer_idx: np.ndarray,
+    ):
+        self.countries = list(countries)
+        self.letters = list(letters)
+        self.answers = list(answers)
+        self.month_ordinal = month_ordinal
+        self.probe_id = probe_id
+        self.probe_country_idx = probe_country_idx
+        self.letter_idx = letter_idx
+        self.answer_idx = answer_idx
+
+    def meta(self) -> dict[str, Any]:
+        return {
+            "countries": self.countries,
+            "letters": self.letters,
+            "answers": self.answers,
+        }
+
+    @classmethod
+    def from_columns(
+        cls, meta: dict[str, Any], columns: dict[str, np.ndarray]
+    ) -> "ChaosColumns":
+        return cls(
+            countries=list(meta["countries"]),
+            letters=list(meta["letters"]),
+            answers=list(meta["answers"]),
+            **columns,
+        )
+
+    def _record(self, index: int) -> ChaosObservation:
+        return ChaosObservation(
+            month=Month.from_ordinal(int(self.month_ordinal[index])),
+            probe_id=int(self.probe_id[index]),
+            probe_country=self.countries[int(self.probe_country_idx[index])],
+            letter=self.letters[int(self.letter_idx[index])],
+            answer=self.answers[int(self.answer_idx[index])],
+        )
+
+    def __iter__(self) -> Iterator[ChaosObservation]:
+        months = {
+            o: Month.from_ordinal(o) for o in np.unique(self.month_ordinal).tolist()
+        }
+        rows = zip(
+            self.month_ordinal.tolist(),
+            self.probe_id.tolist(),
+            self.probe_country_idx.tolist(),
+            self.letter_idx.tolist(),
+            self.answer_idx.tolist(),
+        )
+        for mo, pid, cc, letter, answer in rows:
+            yield ChaosObservation(
+                month=months[mo],
+                probe_id=pid,
+                probe_country=self.countries[cc],
+                letter=self.letters[letter],
+                answer=self.answers[answer],
+            )

@@ -21,6 +21,9 @@ from __future__ import annotations
 import datetime as _dt
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
+from repro.atlas.columns import ChaosColumns, TracerouteColumns
 from repro.atlas.dnsbuiltin import DNSBuiltinResult
 from repro.atlas.probes import Probe, ProbeRegistry
 from repro.atlas.rttmodel import (
@@ -191,6 +194,100 @@ def _traceroute(probe: Probe, month: Month, sample: int, final_rtt: float) -> Tr
     )
 
 
+def synthesize_gpdns_columns(
+    registry: ProbeRegistry,
+    start: Month = CAMPAIGN_START,
+    end: Month = CAMPAIGN_END,
+    samples_per_month: int = 2,
+    countries: Sequence[str] | None = None,
+) -> TracerouteColumns:
+    """Replay the monthly 5-day windows of the GPDNS campaign, columnar.
+
+    The first sample of each probe-month carries the model's minimum RTT;
+    later samples add congestion, so per-probe monthly minima recover the
+    model exactly.  Per-probe base RTTs still come from the scalar
+    :func:`gpdns_probe_rtt` (bit-identical to the row generator); only
+    the sample expansion, timestamps and record packing are vectorized.
+
+    Emitted rows land in the ``atlas.traceroutes.rows_emitted`` counter,
+    tallied per month batch so the hot loop stays unburdened.
+    """
+    wanted = {c.upper() for c in countries} if countries else None
+    probes = [
+        p for p in registry.probes if wanted is None or p.country in wanted
+    ]
+    country_pool = sorted({p.country for p in probes})
+    cc_code = {cc: i for i, cc in enumerate(country_pool)}
+    pid = np.array([p.probe_id for p in probes], dtype=np.int64)
+    cc_idx = np.array([cc_code[p.country] for p in probes], dtype=np.uint16)
+    start_ord = np.array([p.start.ordinal() for p in probes], dtype=np.int64)
+    never = np.iinfo(np.int64).max
+    end_ord = np.array(
+        [p.end.ordinal() if p.end is not None else never for p in probes],
+        dtype=np.int64,
+    )
+    s = samples_per_month
+    # congestion factor 1.0 + 0.08 * sample and the timestamp offset of
+    # datetime(year, month, 1 + sample, 6 * (sample % 4), utc) relative
+    # to the first of the month — the exact arithmetic of the row code.
+    congestion = 1.0 + 0.08 * np.arange(s, dtype=np.float64)
+    day_offsets = (
+        np.arange(s, dtype=np.int64) * 86_400
+        + (np.arange(s, dtype=np.int64) % 4) * 21_600
+    )
+    sample_ids = np.arange(s, dtype=np.uint8)
+    epoch = _dt.datetime(1970, 1, 1, tzinfo=_dt.timezone.utc)
+    chunks: dict[str, list[np.ndarray]] = {
+        name: [] for name in TracerouteColumns.COLUMNS
+    }
+    emitted = 0
+    for month in month_range(start, end):
+        mo = month.ordinal()
+        active = np.flatnonzero((start_ord <= mo) & (mo <= end_ord))
+        if active.size == 0 or s == 0:
+            continue
+        base = np.array(
+            [gpdns_probe_rtt(probes[j], month) for j in active.tolist()],
+            dtype=np.float64,
+        )
+        month_ts = int(
+            (
+                _dt.datetime(month.year, month.month, 1, tzinfo=_dt.timezone.utc)
+                - epoch
+            ).total_seconds()
+        )
+        n = active.size
+        emitted += n * s
+        chunks["probe_id"].append(np.repeat(pid[active], s))
+        chunks["country_idx"].append(np.repeat(cc_idx[active], s))
+        chunks["month_ordinal"].append(np.full(n * s, mo, dtype=np.int32))
+        chunks["sample"].append(np.tile(sample_ids, n))
+        chunks["timestamp"].append(np.tile(month_ts + day_offsets, n))
+        chunks["final_rtt"].append((base[:, None] * congestion[None, :]).ravel())
+    if emitted:
+        get_registry().counter("atlas.traceroutes.rows_emitted").inc(emitted)
+    empty_dtypes = {
+        "probe_id": np.int64,
+        "country_idx": np.uint16,
+        "month_ordinal": np.int32,
+        "sample": np.uint8,
+        "timestamp": np.int64,
+        "final_rtt": np.float64,
+    }
+    columns = {
+        name: np.concatenate(parts)
+        if parts
+        else np.empty(0, dtype=empty_dtypes[name])
+        for name, parts in chunks.items()
+    }
+    return TracerouteColumns(
+        countries=country_pool,
+        msm_id=GPDNS_MSM_ID,
+        dst_addr=GPDNS_ADDR,
+        **columns,
+    )
+
+
 def synthesize_gpdns_campaign(
     registry: ProbeRegistry,
     start: Month = CAMPAIGN_START,
@@ -198,30 +295,16 @@ def synthesize_gpdns_campaign(
     samples_per_month: int = 2,
     countries: Sequence[str] | None = None,
 ) -> Iterator[TracerouteResult]:
-    """Replay the monthly 5-day windows of the GPDNS campaign.
-
-    The first sample of each probe-month carries the model's minimum RTT;
-    later samples add congestion, so per-probe monthly minima recover the
-    model exactly.
-
-    Emitted rows land in the ``atlas.traceroutes.rows_emitted`` counter,
-    tallied per probe-month batch so the hot loop stays unburdened.
-    """
-    wanted = {c.upper() for c in countries} if countries else None
-    emitted = 0
-    try:
-        for month in month_range(start, end):
-            for probe in registry.active(month):
-                if wanted is not None and probe.country not in wanted:
-                    continue
-                base = gpdns_probe_rtt(probe, month)
-                emitted += samples_per_month
-                for sample in range(samples_per_month):
-                    congestion = 1.0 + 0.08 * sample
-                    yield _traceroute(probe, month, sample, base * congestion)
-    finally:
-        if emitted:
-            get_registry().counter("atlas.traceroutes.rows_emitted").inc(emitted)
+    """Record-view wrapper over :func:`synthesize_gpdns_columns`."""
+    return iter(
+        synthesize_gpdns_columns(
+            registry,
+            start=start,
+            end=end,
+            samples_per_month=samples_per_month,
+            countries=countries,
+        )
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -279,6 +362,184 @@ def _serving_site(
     return active[probe.probe_id % len(active)]
 
 
+def _selection_table(
+    letter: str,
+    active_sites: list[tuple[str, int]],
+    country_pool: list[str],
+    regional: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened per-probe-country candidate lists for one (letter, month).
+
+    ``active_sites`` is the month's active (site country, answer code)
+    list in deployment order.  For probe country ``i`` the candidates
+    are ``flat[base[i] : base[i] + length[i]]`` and a probe picks
+    ``candidates[probe_id % length[i]]`` — exactly the domestic-first /
+    policy-preference / all-active fallback chain of the row generator.
+    """
+    by_country: dict[str, list[int]] = {}
+    for site_country, code in active_sites:
+        by_country.setdefault(site_country, []).append(code)
+    all_codes = [code for _cc, code in active_sites]
+    flat: list[int] = []
+    base = np.empty(len(country_pool), dtype=np.int64)
+    length = np.empty(len(country_pool), dtype=np.int64)
+    for i, probe_country in enumerate(country_pool):
+        candidates = by_country.get(probe_country)
+        if not candidates:
+            if not regional:
+                preference: tuple[str, ...] = (_EU_POLICY.get(letter, "US"), "US")
+            else:
+                preference = _REGIONAL_POLICY.get(letter, ("US",))
+            for cc in preference:
+                fallback = by_country.get(cc)
+                if fallback:
+                    candidates = fallback
+                    break
+            if not candidates:
+                candidates = all_codes
+        base[i] = len(flat)
+        length[i] = len(candidates)
+        flat.extend(candidates)
+    return np.asarray(flat, dtype=np.int64), base, length
+
+
+def synthesize_chaos_columns(
+    registry: ProbeRegistry,
+    deployment: RootDeployment,
+    start: Month = Month(2016, 1),
+    end: Month = Month(2024, 1),
+    letters: Iterable[str] = ROOT_LETTERS,
+    countries: Sequence[str] | None = None,
+) -> ChaosColumns:
+    """Replay the monthly built-in CHAOS snapshots as packed columns.
+
+    One representative answer per (probe, letter, month) stands in for
+    the 5-day batch the paper keeps.  Site selection is the row
+    generator's logic turned into per-country candidate tables: for each
+    (month, letter) the table maps a probe country to its candidate
+    answer list (domestic sites, else the policy preference chain, else
+    every active site) and the whole probe fleet indexes it with
+    ``probe_id % len(candidates)`` in one vector operation.  Tables are
+    memoised on the active-site set, which only changes when the
+    deployment schedule does.
+
+    Emitted rows land in the ``atlas.chaos.rows_emitted`` counter.
+    """
+    wanted = {c.upper() for c in countries} if countries else None
+    letter_list = [letter.upper() for letter in letters]
+    probes = [
+        p for p in registry.probes if wanted is None or p.country in wanted
+    ]
+    country_pool = sorted({p.country for p in probes})
+    cc_code = {cc: i for i, cc in enumerate(country_pool)}
+    pid = np.array([p.probe_id for p in probes], dtype=np.int64)
+    cc_idx = np.array([cc_code[p.country] for p in probes], dtype=np.uint16)
+    start_ord = np.array([p.start.ordinal() for p in probes], dtype=np.int64)
+    never = np.iinfo(np.int64).max
+    end_ord = np.array(
+        [p.end.ordinal() if p.end is not None else never for p in probes],
+        dtype=np.int64,
+    )
+
+    # Per letter: site activity windows, hosting countries and answer
+    # codes, in deployment order (the order active_sites() preserves).
+    answer_pool: list[str] = []
+    answer_code: dict[str, int] = {}
+    site_info: dict[str, tuple[np.ndarray, np.ndarray, list[tuple[str, int]]]] = {}
+    for letter in letter_list:
+        sites = [s for s in deployment.sites if s.letter == letter]
+        starts = np.array([s.start.ordinal() for s in sites], dtype=np.int64)
+        ends = np.array(
+            [s.end.ordinal() if s.end is not None else never for s in sites],
+            dtype=np.int64,
+        )
+        rows: list[tuple[str, int]] = []
+        for site in sites:
+            answer = site.chaos_string()
+            code = answer_code.get(answer)
+            if code is None:
+                code = len(answer_pool)
+                answer_code[answer] = code
+                answer_pool.append(answer)
+            rows.append((site.country, code))
+        site_info[letter] = (starts, ends, rows)
+
+    tables: dict[
+        tuple[int, bytes, bool], tuple[np.ndarray, np.ndarray, np.ndarray]
+    ] = {}
+    chunks: dict[str, list[np.ndarray]] = {
+        name: [] for name in ChaosColumns.COLUMNS
+    }
+    emitted = 0
+    for month in month_range(start, end):
+        mo = month.ordinal()
+        active_probes = np.flatnonzero((start_ord <= mo) & (mo <= end_ord))
+        if active_probes.size == 0:
+            continue
+        pids_m = pid[active_probes]
+        cc_m = cc_idx[active_probes]
+        regional = month >= REGIONAL_SHIFT
+        answer_columns: list[np.ndarray] = []
+        letter_ids: list[int] = []
+        for li, letter in enumerate(letter_list):
+            starts, ends, rows = site_info[letter]
+            if starts.size == 0:
+                continue
+            active_sites = np.flatnonzero((starts <= mo) & (mo <= ends))
+            if active_sites.size == 0:
+                continue
+            key = (li, active_sites.tobytes(), regional)
+            table = tables.get(key)
+            if table is None:
+                table = _selection_table(
+                    letter,
+                    [rows[j] for j in active_sites.tolist()],
+                    country_pool,
+                    regional,
+                )
+                tables[key] = table
+            flat, bases, lengths = table
+            answer_columns.append(flat[bases[cc_m] + pids_m % lengths[cc_m]])
+            letter_ids.append(li)
+        if not answer_columns:
+            continue
+        n = active_probes.size
+        width = len(letter_ids)
+        emitted += n * width
+        # Row order: probe-major, letter-minor — the row generator's
+        # nesting — so stack per-letter columns and ravel row-wise.
+        chunks["answer_idx"].append(
+            np.stack(answer_columns, axis=1).ravel().astype(np.int32)
+        )
+        chunks["letter_idx"].append(
+            np.tile(np.array(letter_ids, dtype=np.uint8), n)
+        )
+        chunks["probe_id"].append(np.repeat(pids_m, width))
+        chunks["probe_country_idx"].append(np.repeat(cc_m, width))
+        chunks["month_ordinal"].append(np.full(n * width, mo, dtype=np.int32))
+    if emitted:
+        get_registry().counter("atlas.chaos.rows_emitted").inc(emitted)
+    empty_dtypes = {
+        "month_ordinal": np.int32,
+        "probe_id": np.int64,
+        "probe_country_idx": np.uint16,
+        "letter_idx": np.uint8,
+        "answer_idx": np.int32,
+    }
+    columns = {
+        name: np.concatenate(parts)
+        if parts
+        else np.empty(0, dtype=empty_dtypes[name])
+        for name, parts in chunks.items()
+    }
+    return ChaosColumns(
+        countries=country_pool,
+        letters=letter_list,
+        answers=answer_pool,
+        **columns,
+    )
+
+
 def synthesize_chaos_campaign(
     registry: ProbeRegistry,
     deployment: RootDeployment,
@@ -287,63 +548,35 @@ def synthesize_chaos_campaign(
     letters: Iterable[str] = ROOT_LETTERS,
     countries: Sequence[str] | None = None,
 ) -> Iterator[DNSBuiltinResult]:
-    """Replay the monthly built-in CHAOS snapshots.
+    """Record-view wrapper over :func:`synthesize_chaos_columns`.
 
-    One representative answer per (probe, letter, month) stands in for
-    the 5-day batch the paper keeps.
-
-    Emitted rows land in the ``atlas.chaos.rows_emitted`` counter.  The
-    tally is kept per probe (every active letter yields exactly one row),
-    so the ~500k-row hot loop carries no per-row instrumentation.
+    Yields the historical wire-level :class:`DNSBuiltinResult` records,
+    built lazily from the column batch.
     """
-    wanted = {c.upper() for c in countries} if countries else None
-    letter_list = [letter.upper() for letter in letters]
-    chaos_cache: dict[int, str] = {}
-    emitted = 0
-    try:
-        for month in month_range(start, end):
-            index = _index_sites(deployment, month, letter_list)
-            active_letter_count = sum(
-                1 for letter in letter_list if index[letter][0]
-            )
-            for probe in registry.active(month):
-                if wanted is not None and probe.country not in wanted:
-                    continue
-                emitted += active_letter_count
-                for letter in letter_list:
-                    active, by_country = index[letter]
-                    if not active:
-                        continue
-                    domestic = by_country.get(probe.country)
-                    if domestic:
-                        site = domestic[probe.probe_id % len(domestic)]
-                    else:
-                        if month < REGIONAL_SHIFT:
-                            preference: tuple[str, ...] = (
-                                _EU_POLICY.get(letter, "US"), "US",
-                            )
-                        else:
-                            preference = _REGIONAL_POLICY.get(letter, ("US",))
-                        site = None
-                        for cc in preference:
-                            candidates = by_country.get(cc)
-                            if candidates:
-                                site = candidates[probe.probe_id % len(candidates)]
-                                break
-                        if site is None:
-                            site = active[probe.probe_id % len(active)]
-                    key = id(site)
-                    answer = chaos_cache.get(key)
-                    if answer is None:
-                        answer = site.chaos_string()
-                        chaos_cache[key] = answer
-                    yield DNSBuiltinResult(
-                        probe_id=probe.probe_id,
-                        probe_country=probe.country,
-                        root_letter=letter,
-                        answer=answer,
-                        month=month,
-                    )
-    finally:
-        if emitted:
-            get_registry().counter("atlas.chaos.rows_emitted").inc(emitted)
+    batch = synthesize_chaos_columns(
+        registry,
+        deployment,
+        start=start,
+        end=end,
+        letters=letters,
+        countries=countries,
+    )
+    months = {
+        o: Month.from_ordinal(o)
+        for o in np.unique(batch.month_ordinal).tolist()
+    }
+    rows = zip(
+        batch.month_ordinal.tolist(),
+        batch.probe_id.tolist(),
+        batch.probe_country_idx.tolist(),
+        batch.letter_idx.tolist(),
+        batch.answer_idx.tolist(),
+    )
+    for mo, probe_id, cc, letter, answer in rows:
+        yield DNSBuiltinResult(
+            probe_id=probe_id,
+            probe_country=batch.countries[cc],
+            root_letter=batch.letters[letter],
+            answer=batch.answers[answer],
+            month=months[mo],
+        )

@@ -122,7 +122,14 @@ def min_rtt_per_probe_month(
 
     Taking the monthly minimum strips transient noise such as diurnal
     congestion (Section 7.2).  Unreached traceroutes are ignored.
+
+    Column batches (:class:`repro.atlas.columns.TracerouteColumns`)
+    carry their own reduction over the RTT array; dispatching on the
+    bound method rather than the type avoids a circular import.
     """
+    columnar = getattr(results, "min_rtt_per_probe_month", None)
+    if columnar is not None:
+        return columnar()
     best: dict[tuple[int, Month], float] = {}
     for result in results:
         rtt = result.destination_rtt()

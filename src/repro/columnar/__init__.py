@@ -1,0 +1,15 @@
+"""Columnar data plane: packed batches behind record-view sequences."""
+
+from repro.columnar.batch import (
+    ColumnBatch,
+    UnknownBatchKind,
+    batch_class,
+    registered_kinds,
+)
+
+__all__ = [
+    "ColumnBatch",
+    "UnknownBatchKind",
+    "batch_class",
+    "registered_kinds",
+]

@@ -1,0 +1,150 @@
+"""Packed column batches: the vectorized data plane's core abstraction.
+
+A :class:`ColumnBatch` holds one dataset as a handful of parallel numpy
+arrays plus a small JSON-safe ``meta`` dict (string pools, campaign
+constants).  Batches behave like the ``list[Record]`` they replaced —
+``len``, indexing, slicing and iteration all yield the original record
+dataclasses, built lazily as thin views over the columns — while the
+hot paths (aggregations, the disk cache codec) read the arrays
+directly and never materialise a single record object.
+
+Every concrete batch declares a ``kind`` string (``"mlab.ndt/1"``) and
+registers itself on subclassing; :func:`batch_class` resolves kinds back
+to classes, which is how the ``repro.cache/2`` codec revives a batch
+from its on-disk column buffers without pickle.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Sequence
+from importlib import import_module
+from typing import Any, ClassVar, Iterator
+
+import numpy as np
+
+#: kind string -> concrete batch class, filled by ``__init_subclass__``.
+_REGISTRY: dict[str, type["ColumnBatch"]] = {}
+
+#: Modules that define batch classes; imported on a registry miss so the
+#: cache codec can revive a kind without the caller importing it first.
+_BATCH_MODULES = (
+    "repro.mlab.columns",
+    "repro.atlas.columns",
+)
+
+
+class UnknownBatchKind(KeyError):
+    """No registered :class:`ColumnBatch` subclass for a kind string."""
+
+
+def batch_class(kind: str) -> type["ColumnBatch"]:
+    """The batch class registered under *kind*.
+
+    Lazily imports the known column modules on a first miss, so codec
+    loads work regardless of what the process imported before.
+    """
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        for module in _BATCH_MODULES:
+            import_module(module)
+        cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise UnknownBatchKind(kind)
+    return cls
+
+
+def registered_kinds() -> list[str]:
+    """Every registered kind string, sorted (for tests/debugging)."""
+    for module in _BATCH_MODULES:
+        import_module(module)
+    return sorted(_REGISTRY)
+
+
+class ColumnBatch(Sequence):
+    """Base class for packed column containers.
+
+    Subclasses set :attr:`kind`, a ``COLUMNS`` tuple naming their array
+    attributes in canonical (wire) order, and implement ``meta()``,
+    ``from_columns()`` and ``_record()``.
+    """
+
+    #: Registry key; also the codec's on-disk ``kind`` field.
+    kind: ClassVar[str] = ""
+    #: Attribute names of the column arrays, in wire order.
+    COLUMNS: ClassVar[tuple[str, ...]] = ()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.kind:
+            existing = _REGISTRY.get(cls.kind)
+            if existing is not None and existing is not cls:
+                raise ValueError(
+                    f"batch kind {cls.kind!r} already registered by {existing!r}"
+                )
+            _REGISTRY[cls.kind] = cls
+
+    # -- subclass contract ---------------------------------------------------
+
+    def meta(self) -> dict[str, Any]:
+        """JSON-safe metadata (string pools, constants)."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_columns(
+        cls, meta: dict[str, Any], columns: dict[str, np.ndarray]
+    ) -> "ColumnBatch":
+        """Rebuild a batch from codec-loaded (meta, column arrays)."""
+        raise NotImplementedError
+
+    def _record(self, index: int) -> Any:
+        """The record-dataclass view of row *index* (0 <= index < len)."""
+        raise NotImplementedError
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Column name -> array, in :attr:`COLUMNS` order."""
+        return {name: getattr(self, name) for name in self.COLUMNS}
+
+    def __len__(self) -> int:
+        if not self.COLUMNS:
+            return 0
+        return len(getattr(self, self.COLUMNS[0]))
+
+    def __getitem__(self, index: "int | slice") -> Any:
+        if isinstance(index, slice):
+            return [self._record(i) for i in range(*index.indices(len(self)))]
+        i = operator.index(index)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(f"row {index} out of range for {len(self)} rows")
+        return self._record(i)
+
+    def __iter__(self) -> Iterator[Any]:
+        return (self._record(i) for i in range(len(self)))
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if isinstance(other, ColumnBatch):
+            return (
+                type(other) is type(self)
+                and other.meta() == self.meta()
+                and all(
+                    np.array_equal(a, b)
+                    for a, b in zip(self.columns().values(), other.columns().values())
+                )
+            )
+        if isinstance(other, (list, tuple)):
+            # Record-level equality against the list the batch replaced.
+            return len(other) == len(self) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rows={len(self)})"

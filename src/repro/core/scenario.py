@@ -45,13 +45,13 @@ from typing import TYPE_CHECKING, Callable, TypeVar
 
 from repro.apnic.model import APNICEstimates
 from repro.apnic.synthetic import synthesize_populations
+from repro.atlas.columns import ChaosColumns, TracerouteColumns
 from repro.atlas.probes import ProbeRegistry
 from repro.atlas.synthetic import (
-    synthesize_chaos_campaign,
-    synthesize_gpdns_campaign,
+    synthesize_chaos_columns,
+    synthesize_gpdns_columns,
     synthesize_probe_registry,
 )
-from repro.atlas.traceroute import TracerouteResult
 from repro.bgp.archive import ASRelArchive, Prefix2ASArchive
 from repro.bgp.synthetic import synthesize_asrel_archive, synthesize_prefix2as_archive
 from repro.core.degrade import DatasetDegradedError, DegradedDataset
@@ -60,8 +60,8 @@ from repro.ipv6.model import AdoptionDataset
 from repro.ipv6.synthetic import synthesize_ipv6_adoption
 from repro.macro.store import IndicatorStore
 from repro.macro.synthetic import synthesize_macro
-from repro.mlab.ndt import NDTResult
-from repro.mlab.synthetic import NDTLoadModel, synthesize_ndt_tests
+from repro.mlab.columns import NDTColumns
+from repro.mlab.synthetic import NDTLoadModel, synthesize_ndt_columns
 from repro.obs import get_registry, timed
 from repro.offnets.as2org import OrgMap
 from repro.offnets.records import OffnetArchive
@@ -70,7 +70,6 @@ from repro.peeringdb.archive import PeeringDBArchive
 from repro.peeringdb.synthetic import synthesize_peeringdb_archive
 from repro.registry.delegation import DelegationFile
 from repro.registry.synthetic import synthesize_ve_delegations
-from repro.rootdns.analysis import ChaosObservation
 from repro.rootdns.deployment import RootDeployment
 from repro.rootdns.synthetic import synthesize_root_deployment
 from repro.telegeography.model import CableMap
@@ -129,6 +128,11 @@ class Scenario:
         self._registry_lock = threading.Lock()
         self._dataset_locks: dict[str, threading.Lock] = {}
         self._materialised: dict[str, object] = {}
+        # name -> zero-arg builder producing an already-built value from
+        # outside this process (the process-pool dispatcher).  Consumed
+        # (popped) on first use; any failure falls back to the in-thread
+        # thunk, so the pool can never make a build fail.
+        self._external_builders: dict[str, Callable[[], object]] = {}
 
     def cache_params(self) -> dict[str, int]:
         """The scenario parameters that key every cache entry."""
@@ -195,7 +199,15 @@ class Scenario:
         policy = self.retry if self.retry is not None else DEFAULT_RETRY
 
         def build_once() -> T:
-            value = thunk()
+            external = self._external_builders.pop(name, None)
+            if external is not None:
+                try:
+                    value: T = external()  # type: ignore[assignment]
+                except Exception:
+                    registry.counter("build.procpool.fallback").inc()
+                    value = thunk()
+            else:
+                value = thunk()
             if self.fault_plan is not None:
                 value = self.fault_plan.gate(name, value)  # type: ignore[assignment]
             return value
@@ -310,14 +322,13 @@ class Scenario:
         return self._build("probes", synthesize_probe_registry)
 
     @cached_property
-    def chaos_observations(self) -> list[ChaosObservation]:
-        """Parsed CHAOS TXT answers (Figs. 6, 16, 17)."""
+    def chaos_observations(self) -> ChaosColumns:
+        """Parsed CHAOS TXT answers (Figs. 6, 16, 17), packed columns."""
 
-        def build() -> list[ChaosObservation]:
-            observations = [
-                r.to_observation()
-                for r in synthesize_chaos_campaign(self.probes, self.root_deployment)
-            ]
+        def build() -> ChaosColumns:
+            observations = synthesize_chaos_columns(
+                self.probes, self.root_deployment
+            )
             get_registry().counter("rootdns.chaos.rows_emitted").inc(
                 len(observations)
             )
@@ -357,26 +368,24 @@ class Scenario:
     # -- Section 7: performance ----------------------------------------------------
 
     @cached_property
-    def ndt_tests(self) -> list[NDTResult]:
-        """Synthetic M-Lab NDT test load (Fig. 11)."""
+    def ndt_tests(self) -> NDTColumns:
+        """Synthetic M-Lab NDT test load (Fig. 11), packed columns."""
 
-        def build() -> list[NDTResult]:
+        def build() -> NDTColumns:
             model = NDTLoadModel(
                 seed=self.seed, tests_per_month=self.ndt_tests_per_month
             )
-            return list(synthesize_ndt_tests(model))
+            return synthesize_ndt_columns(model)
 
         return self._build("ndt_tests", build)
 
     @cached_property
-    def gpdns_traceroutes(self) -> list[TracerouteResult]:
-        """GPDNS traceroute campaign results (Figs. 12, 20)."""
+    def gpdns_traceroutes(self) -> TracerouteColumns:
+        """GPDNS traceroute campaign results (Figs. 12, 20), packed columns."""
 
-        def build() -> list[TracerouteResult]:
-            return list(
-                synthesize_gpdns_campaign(
-                    self.probes, samples_per_month=self.gpdns_samples_per_month
-                )
+        def build() -> TracerouteColumns:
+            return synthesize_gpdns_columns(
+                self.probes, samples_per_month=self.gpdns_samples_per_month
             )
 
         return self._build("gpdns_traceroutes", build)

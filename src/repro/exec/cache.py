@@ -3,27 +3,44 @@
 Every dataset a ``Scenario`` builds is deterministic in (its name, the
 scenario parameters, the seed, and the generator code), so the cache key
 is a hash of exactly those four things — "fingerprint once, reuse
-forever".  A warm cache turns the ~4.5 s full build into a pickle load.
+forever".  A warm cache turns the full build into a column load.
 
 Entry layout (one file per dataset under the cache root)::
 
-    <root>/<dataset>-<key prefix>.pkl
+    <root>/<dataset>-<key prefix>.dat
 
-    {"schema": "repro.cache/1", "dataset": ..., "key": ...,
-     "payload_sha256": ..., "payload_bytes": ...}\\n
-    <pickle payload>
+    {"schema": "repro.cache/2", "dataset": ..., "key": ..., "kind": ...,
+     "meta": {...}, "columns": [
+        {"name": ..., "dtype": ..., "shape": [...],
+         "nbytes": ..., "sha256": ...}, ...]}\\n
+    <column 0 raw bytes><column 1 raw bytes>...
 
-The JSON header line is the envelope version stamp; the payload checksum
-makes torn writes and bit rot detectable.  **Any** load failure — missing
-file, foreign header, checksum mismatch, unpicklable payload — is
-reported as a miss, so a corrupt cache can never do worse than a cold
-one.  The damaged entry is *quarantined* (renamed to ``*.quarantined``),
-not deleted — the evidence survives for post-mortem while the rebuild
-overwrites the live path — and each quarantining bumps the
-``cache.corrupt`` counter and prints a one-line warning naming the
-dataset and the corruption reason.  Writes go through a temp file and
-``os.replace`` so concurrent builders and crashes leave either the old
-entry or the new one, never a hybrid.
+Column batches (:class:`repro.columnar.ColumnBatch`) are stored as their
+raw numpy buffers: ``kind`` names the registered batch class, ``meta``
+its JSON pools, and each column is one contiguous little-endian buffer
+with its own SHA-256.  Loading is near-zero-copy — ``np.frombuffer``
+views straight into the file bytes — so a warm start never materialises
+a single record object.  Everything that is not a column batch (probe
+registries, panels, degradation sentinels) uses ``"kind": "pickle"``
+with the pickle bytes as a single ``uint8`` column.
+
+Load outcomes are deliberately asymmetric:
+
+* **absent** — no file, a *foreign schema* (e.g. a leftover
+  ``repro.cache/1`` entry after an upgrade), or a filename-prefix
+  collision with a different full key.  These are plain misses: the
+  rebuild overwrites the path and nothing is quarantined, so a format
+  migration costs one cold build, not a warning storm.
+* **corrupt** — a structurally damaged current-schema entry
+  (unparseable header, truncation, checksum mismatch, unknown batch
+  kind, unpicklable payload).  The entry is *quarantined* (renamed to
+  ``<entry>.quarantined-<digest8>``, a content-digest suffix so repeated
+  corruption of the same path never overwrites earlier evidence), the
+  ``cache.corrupt`` counter is bumped and a one-line warning names the
+  dataset and reason.
+
+Writes go through a temp file and ``os.replace`` so concurrent builders
+and crashes leave either the old entry or the new one, never a hybrid.
 
 Higher-level obs wiring stays in the caller (``Scenario._build`` bumps
 ``scenario.cache.hit`` / ``.miss`` / ``.corrupt`` / ``.store``).
@@ -42,18 +59,28 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Iterator
 
+import numpy as np
+
+from repro.columnar import ColumnBatch, UnknownBatchKind, batch_class
 from repro.exec.dag import code_fingerprint
 from repro.obs import get_registry
 
 #: Envelope schema stamped into (and required from) every entry.
-CACHE_SCHEMA = "repro.cache/1"
+CACHE_SCHEMA = "repro.cache/2"
+
+#: ``kind`` value for entries whose payload is a pickle blob instead of
+#: registered column buffers.
+PICKLE_KIND = "pickle"
 
 #: Hex digits of the key used in entry filenames (collisions across
 #: different keys of the *same* dataset are resolved by the full key in
 #: the header, which load() verifies).
 _KEY_PREFIX_LEN = 16
+
+#: Hex digits of the content digest suffixed to quarantined entries.
+_QUARANTINE_DIGEST_LEN = 8
 
 _GC_PAUSE_LOCK = threading.Lock()
 _GC_PAUSE_DEPTH = 0
@@ -64,11 +91,12 @@ _GC_WAS_ENABLED = True
 def _gc_paused():
     """Suspend the cyclic GC for the block (re-entrant, thread-safe).
 
-    (Un)pickling a dataset means allocating millions of tracked objects
-    in one burst, which triggers repeated full collections and nearly
-    doubles load time; none of those objects can be garbage mid-load.
-    A depth counter makes concurrent loads from pool workers share one
-    pause instead of re-enabling the GC under each other.
+    (Un)pickling a large object graph means allocating a burst of
+    tracked objects, which triggers repeated full collections; none of
+    those objects can be garbage mid-load.  A depth counter makes
+    concurrent loads from pool workers share one pause instead of
+    re-enabling the GC under each other.  Column-batch entries never
+    need this — their load is a header parse plus buffer views.
     """
     global _GC_PAUSE_DEPTH, _GC_WAS_ENABLED
     with _GC_PAUSE_LOCK:
@@ -124,8 +152,24 @@ def default_cache_dir() -> Path:
     return base / "repro"
 
 
+def _buffers(value: ColumnBatch) -> list[tuple[dict[str, Any], np.ndarray]]:
+    """(column spec, contiguous array) per column, in wire order."""
+    out = []
+    for name, array in value.columns().items():
+        array = np.ascontiguousarray(array)
+        spec = {
+            "name": name,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "nbytes": int(array.nbytes),
+            "sha256": hashlib.sha256(array.data).hexdigest(),
+        }
+        out.append((spec, array))
+    return out
+
+
 class DatasetCache:
-    """Content-keyed pickle store under one directory.
+    """Content-keyed columnar store under one directory.
 
     The directory is created lazily on the first store, so pointing
     ``--cache-dir`` at a read-only location still works for pure lookups.
@@ -144,6 +188,8 @@ class DatasetCache:
         fingerprint).  Params include the seed; the code fingerprint
         covers the dataset's generator modules and those of every
         transitive dependency (see :func:`repro.exec.dag.code_fingerprint`).
+        The schema is part of the document, so a codec bump rekeys every
+        dataset at once.
         """
         document = json.dumps(
             {
@@ -158,18 +204,38 @@ class DatasetCache:
 
     def entry_path(self, name: str, params: dict[str, object]) -> Path:
         """Where the entry for (*name*, *params*) lives on disk."""
-        return self.root / f"{name}-{self.key(name, params)[:_KEY_PREFIX_LEN]}.pkl"
+        return self.root / f"{name}-{self.key(name, params)[:_KEY_PREFIX_LEN]}.dat"
 
     # -- load / store -------------------------------------------------------
+
+    def probe(self, name: str, params: dict[str, object]) -> bool:
+        """Whether a loadable-looking entry exists (header check only).
+
+        Reads just the JSON header line and verifies schema + full key;
+        no payload bytes are touched, no checksums run, and nothing is
+        ever quarantined.  Used by the process-pool dispatcher to skip
+        subprocess builds whose result a warm load would beat.
+        """
+        path = self.entry_path(name, params)
+        try:
+            with open(path, "rb") as handle:
+                header = json.loads(handle.readline())
+        except Exception:
+            return False
+        return (
+            header.get("schema") == CACHE_SCHEMA
+            and header.get("key") == self.key(name, params)
+        )
 
     def load(self, name: str, params: dict[str, object]) -> object | CacheMiss:
         """The cached dataset, or a :class:`CacheMiss` telling why not.
 
-        A structurally damaged entry (foreign schema, checksum mismatch,
-        unpicklable payload, truncation) is quarantined — renamed to
-        ``<entry>.quarantined`` so the evidence survives — and reported
-        as a ``corrupt`` miss; the caller rebuilds and overwrites the
-        live path.
+        Foreign-schema entries and filename-prefix collisions are plain
+        ``absent`` misses (rebuilt in place, no quarantine).  A
+        structurally damaged current-schema entry is quarantined —
+        renamed to ``<entry>.quarantined-<digest8>`` so the evidence
+        survives — and reported as a ``corrupt`` miss; the caller
+        rebuilds and overwrites the live path.
         """
         path = self.entry_path(name, params)
         try:
@@ -179,51 +245,111 @@ class DatasetCache:
         except OSError:
             return CacheMiss("corrupt")
         try:
-            header_line, _, payload = blob.partition(b"\n")
+            header_line, _, _ = blob.partition(b"\n")
             header = json.loads(header_line)
-            if header.get("schema") != CACHE_SCHEMA:
-                raise ValueError(f"foreign schema {header.get('schema')!r}")
-            if header.get("key") != self.key(name, params):
-                # Filename-prefix collision with a different full key:
-                # treat as absent so the rebuild overwrites it.
-                raise ValueError("key mismatch")
-            if header.get("payload_bytes") != len(payload):
-                raise ValueError("truncated payload")
-            digest = hashlib.sha256(payload).hexdigest()
-            if header.get("payload_sha256") != digest:
-                raise ValueError("checksum mismatch")
-            with _gc_paused():
-                return pickle.loads(payload)
+            schema = header.get("schema")
         except Exception as exc:
-            self._quarantine(path, name, exc)
+            self._quarantine(path, name, exc, blob)
+            return CacheMiss("corrupt")
+        if schema != CACHE_SCHEMA:
+            # Foreign (e.g. v1) entry left over from before an upgrade:
+            # a plain miss, not corruption — rebuild, don't quarantine.
+            return CacheMiss("absent")
+        if header.get("key") != self.key(name, params):
+            # Filename-prefix collision with a different full key: the
+            # entry belongs to another configuration, so it is absent
+            # for this one; the rebuild overwrites it.
+            return CacheMiss("absent")
+        try:
+            return self._decode(header, blob, len(header_line) + 1)
+        except Exception as exc:
+            self._quarantine(path, name, exc, blob)
             return CacheMiss("corrupt")
 
-    def _quarantine(self, path: Path, name: str, exc: Exception) -> None:
-        """Set a corrupt entry aside (rename, never delete) and report it."""
+    def _decode(self, header: dict[str, Any], blob: bytes, base: int) -> object:
+        """Revive the stored value from the entry bytes (views, no copy)."""
+        kind = header.get("kind")
+        specs = header.get("columns")
+        if not isinstance(kind, str) or not isinstance(specs, list):
+            raise ValueError("malformed header")
+        payload_bytes = sum(int(spec["nbytes"]) for spec in specs)
+        if base + payload_bytes != len(blob):
+            raise ValueError("truncated payload")
+        view = memoryview(blob)
+        arrays: dict[str, np.ndarray] = {}
+        offset = base
+        for spec in specs:
+            nbytes = int(spec["nbytes"])
+            segment = view[offset : offset + nbytes]
+            digest = hashlib.sha256(segment).hexdigest()
+            if spec.get("sha256") != digest:
+                raise ValueError(f"checksum mismatch in column {spec.get('name')!r}")
+            count = int(np.prod(spec["shape"], dtype=np.int64))
+            arrays[spec["name"]] = np.frombuffer(
+                blob, dtype=np.dtype(spec["dtype"]), count=count, offset=offset
+            ).reshape(spec["shape"])
+            offset += nbytes
+        if kind == PICKLE_KIND:
+            with _gc_paused():
+                return pickle.loads(arrays["payload"].tobytes())
+        try:
+            cls = batch_class(kind)
+        except UnknownBatchKind:
+            raise ValueError(f"unknown batch kind {kind!r}") from None
+        return cls.from_columns(header.get("meta", {}), arrays)
+
+    def _quarantine(
+        self, path: Path, name: str, exc: Exception, blob: bytes
+    ) -> None:
+        """Set a corrupt entry aside (rename, never delete) and report it.
+
+        The quarantine name carries a short digest of the damaged bytes,
+        so successive corruptions of the same entry each keep their own
+        evidence file instead of overwriting the previous one.
+        """
         reason = str(exc) or type(exc).__name__
+        digest = hashlib.sha256(blob).hexdigest()[:_QUARANTINE_DIGEST_LEN]
+        target = path.with_name(f"{path.name}.quarantined-{digest}")
         get_registry().counter("cache.corrupt").inc()
         print(
             f"warning: cache entry for dataset {name!r} is corrupt "
-            f"({reason}); quarantined {path.name}.quarantined",
+            f"({reason}); quarantined {target.name}",
             file=sys.stderr,
         )
         try:
-            path.replace(path.with_name(path.name + ".quarantined"))
+            path.replace(target)
         except OSError:
             self._discard(path)  # rename failed; fall back to removal
 
     def store(self, name: str, params: dict[str, object], value: object) -> Path:
-        """Write (*name*, *params*) -> *value* atomically; returns the path."""
+        """Write (*name*, *params*) -> *value* atomically; returns the path.
+
+        Column batches are written as raw column buffers (their ``kind``
+        and ``meta()`` in the header); everything else falls back to a
+        single pickle column under ``"kind": "pickle"``.
+        """
         path = self.entry_path(name, params)
-        with _gc_paused():
-            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if isinstance(value, ColumnBatch):
+            kind = value.kind
+            meta = value.meta()
+            columns = _buffers(value)
+        else:
+            kind = PICKLE_KIND
+            meta = {}
+            with _gc_paused():
+                payload = np.frombuffer(
+                    pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+                    dtype=np.uint8,
+                )
+            columns = _buffers_pickle(payload)
         header = json.dumps(
             {
                 "schema": CACHE_SCHEMA,
                 "dataset": name,
                 "key": self.key(name, params),
-                "payload_sha256": hashlib.sha256(payload).hexdigest(),
-                "payload_bytes": len(payload),
+                "kind": kind,
+                "meta": meta,
+                "columns": [spec for spec, _array in columns],
             },
             sort_keys=True,
         )
@@ -234,7 +360,8 @@ class DatasetCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(header.encode() + b"\n")
-                handle.write(payload)
+                for _spec, array in columns:
+                    handle.write(array.data)
             os.replace(tmp_name, path)
         except BaseException:
             self._discard(Path(tmp_name))
@@ -244,16 +371,18 @@ class DatasetCache:
     # -- maintenance --------------------------------------------------------
 
     def entries(self) -> Iterator[Path]:
-        """Every entry file currently in the cache directory."""
+        """Every entry file in the cache directory (legacy v1 included)."""
         if not self.root.is_dir():
             return
-        yield from sorted(self.root.glob("*.pkl"))
+        yield from sorted(
+            list(self.root.glob("*.dat")) + list(self.root.glob("*.pkl"))
+        )
 
     def quarantined(self) -> Iterator[Path]:
         """Every quarantined (corrupt, set-aside) entry file."""
         if not self.root.is_dir():
             return
-        yield from sorted(self.root.glob("*.pkl.quarantined"))
+        yield from sorted(self.root.glob("*.quarantined*"))
 
     def info(self) -> CacheInfo:
         """Entry count and total size (``repro cache info``)."""
@@ -266,10 +395,10 @@ class DatasetCache:
         )
 
     def clear(self) -> int:
-        """Delete every entry (quarantined included); returns the count.
+        """Delete every entry (legacy and quarantined included).
 
-        Quarantined files count toward the total so ``repro cache clear``
-        genuinely empties the directory.
+        Quarantined and leftover v1 files count toward the total so
+        ``repro cache clear`` genuinely empties the directory.
         """
         removed = 0
         for path in list(self.entries()) + list(self.quarantined()):
@@ -283,3 +412,15 @@ class DatasetCache:
             path.unlink()
         except OSError:
             pass
+
+
+def _buffers_pickle(payload: np.ndarray) -> list[tuple[dict[str, Any], np.ndarray]]:
+    """The single-column layout of a pickle-kind entry."""
+    spec = {
+        "name": "payload",
+        "dtype": payload.dtype.str,
+        "shape": list(payload.shape),
+        "nbytes": int(payload.nbytes),
+        "sha256": hashlib.sha256(payload.data).hexdigest(),
+    }
+    return [(spec, payload)]

@@ -53,14 +53,27 @@ GENERATOR_MODULES: dict[str, tuple[str, ...]] = {
     "ipv6": ("repro.ipv6.synthetic",),
     "root_deployment": ("repro.rootdns.synthetic",),
     "probes": ("repro.atlas.synthetic",),
-    "chaos_observations": ("repro.atlas.synthetic", "repro.rootdns.analysis"),
+    "chaos_observations": (
+        "repro.atlas.synthetic",
+        "repro.atlas.columns",
+        "repro.columnar.batch",
+        "repro.rootdns.analysis",
+    ),
     "populations": ("repro.apnic.synthetic",),
     "offnets": ("repro.offnets.synthetic",),
     "orgmap": ("repro.offnets.synthetic",),
     "site_survey": ("repro.webdeps.synthetic",),
     "asrel": ("repro.bgp.synthetic",),
-    "ndt_tests": ("repro.mlab.synthetic",),
-    "gpdns_traceroutes": ("repro.atlas.synthetic",),
+    "ndt_tests": (
+        "repro.mlab.synthetic",
+        "repro.mlab.columns",
+        "repro.columnar.batch",
+    ),
+    "gpdns_traceroutes": (
+        "repro.atlas.synthetic",
+        "repro.atlas.columns",
+        "repro.columnar.batch",
+    ),
 }
 
 

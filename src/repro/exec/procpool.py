@@ -1,0 +1,168 @@
+"""Process-pool cold builds of the heavy datasets.
+
+The three dominant generators (``chaos_observations``, ``ndt_tests``,
+``gpdns_traceroutes``) are pure Python + numpy and hold the GIL for
+most of their build, so the thread-pool executor cannot overlap them.
+When more than one core is available, :func:`dispatch` farms their cold
+builds out to a ``ProcessPoolExecutor`` *before* the DAG sweep starts;
+the thread workers then consume the subprocess results through
+``Scenario._external_builders`` when the DAG reaches each dataset.
+
+Division of labour keeps the parent authoritative: the child builds a
+bare ``Scenario`` (no cache, no faults, no retries — just the
+deterministic generators) and ships back the value plus its
+``*.rows_emitted`` counter deltas.  The parent replays those deltas,
+then applies the fault gate, cache store, and ``scenario.*`` accounting
+exactly as an in-process build would — so metrics assertions
+(``scenario.dataset.built``, ``scenario.cache.store``) hold regardless
+of where the generator ran.
+
+Safety valves, in order:
+
+* ``REPRO_PROCESS_BUILDS`` (set by the ``--process-builds`` CLI flag):
+  ``off``/``0`` disables dispatch, ``force``/``1`` dispatches even on a
+  single core, anything else is ``auto`` — processes only when the pool
+  is parallel (``--jobs >= 2``) and the machine has >= 2 cores.
+* Only a plain ``Scenario`` qualifies: subclasses (test doubles with
+  overridden builders) and fault-plan scenarios always build in-process.
+* Datasets with a loadable cache entry are skipped — a warm load is
+  cheaper than a subprocess round-trip.
+* Any subprocess failure (spawn error, crash, pickling) falls back to
+  the in-thread builder and bumps ``build.procpool.fallback``; the
+  sweep never fails because of the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.scenario import Scenario
+
+#: Datasets worth a subprocess: the generators that dominate cold builds.
+HEAVY_DATASETS = ("chaos_observations", "ndt_tests", "gpdns_traceroutes")
+
+#: Environment override for the dispatch policy (see module docstring).
+ENV_FLAG = "REPRO_PROCESS_BUILDS"
+
+#: Row-emission counters the parent replays from the child registry,
+#: per dataset.  Only the *target* dataset's counters cross the process
+#: boundary: its dependencies (probes, root_deployment) are built again
+#: by the parent's own DAG sweep, which records their counters, and
+#: everything else (cache, build, retry accounting) is parent-side only.
+_REPLAY_COUNTERS: dict[str, tuple[str, ...]] = {
+    "ndt_tests": ("mlab.ndt.rows_emitted",),
+    "gpdns_traceroutes": ("atlas.traceroutes.rows_emitted",),
+    "chaos_observations": (
+        "atlas.chaos.rows_emitted",
+        "rootdns.chaos.rows_emitted",
+    ),
+}
+
+
+def _build_in_subprocess(
+    name: str, params: dict[str, int]
+) -> tuple[object, dict[str, int]]:
+    """Child-side entry point: build one dataset in a fresh interpreter.
+
+    Must stay a module-level function (spawned workers import it by
+    qualified name).  Returns the built value and the child registry's
+    ``*.rows_emitted`` counters for the parent to replay.
+    """
+    from repro.core.scenario import Scenario
+
+    scenario = Scenario(**params)
+    value = getattr(scenario, name)
+    replay = _REPLAY_COUNTERS.get(name, ())
+    deltas = {
+        counter.name: counter.value
+        for counter in get_registry().counters()
+        if counter.name in replay and counter.value
+    }
+    return value, deltas
+
+
+def policy() -> str:
+    """The dispatch policy: ``"off"``, ``"force"`` or ``"auto"``."""
+    raw = os.environ.get(ENV_FLAG, "").strip().lower()
+    if raw in ("0", "off", "no", "false"):
+        return "off"
+    if raw in ("1", "on", "force", "yes", "true"):
+        return "force"
+    return "auto"
+
+
+def _want_processes(max_workers: int) -> bool:
+    mode = policy()
+    if mode == "off":
+        return False
+    if mode == "force":
+        return True
+    return max_workers >= 2 and (os.cpu_count() or 1) >= 2
+
+
+def _cached(scenario: "Scenario", name: str) -> bool:
+    """Whether a loadable-looking cache entry already covers *name*."""
+    if scenario.cache is None:
+        return False
+    return scenario.cache.probe(name, scenario.cache_params())
+
+
+def _consume(name: str, future: "Future[tuple[object, dict[str, int]]]"):
+    def build() -> object:
+        value, deltas = future.result()
+        registry = get_registry()
+        for metric, count in sorted(deltas.items()):
+            registry.counter(metric).inc(count)
+        registry.counter("build.procpool.built").inc()
+        return value
+
+    return build
+
+
+def dispatch(
+    scenario: "Scenario", order: list[str], max_workers: int
+) -> dict[str, Callable[[], object]]:
+    """Kick off subprocess builds; returns name -> result-consumer.
+
+    Returns an empty dict whenever processes are ineligible (policy,
+    scenario subclass, fault plan, everything cached, spawn failure); the
+    caller then proceeds with plain in-thread builds.  On success the
+    returned callables are installed as ``Scenario._external_builders``
+    and each blocks until its subprocess result arrives.
+    """
+    from repro.core.scenario import Scenario
+
+    if type(scenario) is not Scenario or scenario.fault_plan is not None:
+        return {}
+    if not _want_processes(max_workers):
+        return {}
+    targets = [
+        name
+        for name in order
+        if name in HEAVY_DATASETS and not _cached(scenario, name)
+    ]
+    if not targets:
+        return {}
+    params = scenario.cache_params()
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=min(len(targets), max(1, max_workers)),
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        futures = {
+            name: pool.submit(_build_in_subprocess, name, params)
+            for name in targets
+        }
+    except Exception:
+        get_registry().counter("build.procpool.fallback").inc()
+        return {}
+    # Freed once the submitted futures finish; no new work is coming.
+    pool.shutdown(wait=False)
+    get_registry().gauge("build.procpool.dispatched").set(len(futures))
+    return {name: _consume(name, future) for name, future in futures.items()}

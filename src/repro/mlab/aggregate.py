@@ -10,6 +10,7 @@ from __future__ import annotations
 import statistics
 from typing import Iterable
 
+from repro.mlab.columns import NDTColumns
 from repro.mlab.ndt import NDTResult
 from repro.timeseries.month import Month
 from repro.timeseries.panel import CountryPanel
@@ -17,6 +18,11 @@ from repro.timeseries.series import MonthlySeries
 
 
 def _group(results: Iterable[NDTResult]) -> dict[tuple[str, Month], list[float]]:
+    if isinstance(results, NDTColumns):
+        # Column plane: group over run boundaries in the arrays instead
+        # of materialising one NDTResult per row.  Key order and group
+        # contents are identical to the row loop below.
+        return results.download_groups()
     groups: dict[tuple[str, Month], list[float]] = {}
     for r in results:
         groups.setdefault((r.country, r.month), []).append(r.download_mbps)
@@ -68,8 +74,15 @@ def median_download_by_asn(
     plans vs the fibre newcomers).  Networks with fewer than five tests
     in the window are dropped as statistically meaningless.
     """
+    if isinstance(results, NDTColumns):
+        by_asn = results.asn_downloads(country, start, end)
+        return {
+            asn: statistics.median(values)
+            for asn, values in by_asn.items()
+            if len(values) >= 5
+        }
     cc = country.upper()
-    by_asn: dict[int, list[float]] = {}
+    by_asn = {}
     for r in results:
         if r.country == cc and start <= r.month <= end:
             by_asn.setdefault(r.asn, []).append(r.download_mbps)

@@ -1,0 +1,159 @@
+"""Packed column form of the synthetic NDT test load.
+
+One :class:`NDTColumns` batch replaces ``list[NDTResult]``: eight
+parallel arrays (month ordinal, day, country index, ASN, four float
+metrics) plus a country string pool.  Rows come back as genuine
+:class:`~repro.mlab.ndt.NDTResult` records on demand, so every existing
+consumer keeps working, while the aggregations in
+:mod:`repro.mlab.aggregate` group directly over the arrays.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.columnar import ColumnBatch
+from repro.mlab.ndt import NDTResult
+from repro.timeseries.month import Month
+
+
+class NDTColumns(ColumnBatch):
+    """The NDT test load as packed columns."""
+
+    kind = "mlab.ndt/1"
+    COLUMNS = (
+        "month_ordinal",
+        "day",
+        "country_idx",
+        "asn",
+        "download_mbps",
+        "upload_mbps",
+        "min_rtt_ms",
+        "loss_rate",
+    )
+
+    def __init__(
+        self,
+        countries: list[str],
+        month_ordinal: np.ndarray,
+        day: np.ndarray,
+        country_idx: np.ndarray,
+        asn: np.ndarray,
+        download_mbps: np.ndarray,
+        upload_mbps: np.ndarray,
+        min_rtt_ms: np.ndarray,
+        loss_rate: np.ndarray,
+    ):
+        self.countries = list(countries)
+        self.month_ordinal = month_ordinal
+        self.day = day
+        self.country_idx = country_idx
+        self.asn = asn
+        self.download_mbps = download_mbps
+        self.upload_mbps = upload_mbps
+        self.min_rtt_ms = min_rtt_ms
+        self.loss_rate = loss_rate
+
+    def meta(self) -> dict[str, Any]:
+        return {"countries": self.countries}
+
+    @classmethod
+    def from_columns(
+        cls, meta: dict[str, Any], columns: dict[str, np.ndarray]
+    ) -> "NDTColumns":
+        return cls(countries=list(meta["countries"]), **columns)
+
+    def _record(self, index: int) -> NDTResult:
+        ordinal = int(self.month_ordinal[index])
+        return NDTResult(
+            date=_dt.date(ordinal // 12, ordinal % 12 + 1, int(self.day[index])),
+            country=self.countries[int(self.country_idx[index])],
+            asn=int(self.asn[index]),
+            download_mbps=float(self.download_mbps[index]),
+            upload_mbps=float(self.upload_mbps[index]),
+            min_rtt_ms=float(self.min_rtt_ms[index]),
+            loss_rate=float(self.loss_rate[index]),
+        )
+
+    def __iter__(self) -> Iterator[NDTResult]:
+        # Bulk tolist() conversions keep full iteration (exports, the
+        # ingestion drill) an order of magnitude faster than per-index
+        # array item access.
+        date = _dt.date
+        rows = zip(
+            self.month_ordinal.tolist(),
+            self.day.tolist(),
+            self.country_idx.tolist(),
+            self.asn.tolist(),
+            self.download_mbps.tolist(),
+            self.upload_mbps.tolist(),
+            self.min_rtt_ms.tolist(),
+            self.loss_rate.tolist(),
+        )
+        for ordinal, day, cc, asn, down, up, rtt, loss in rows:
+            yield NDTResult(
+                date=date(ordinal // 12, ordinal % 12 + 1, day),
+                country=self.countries[cc],
+                asn=asn,
+                download_mbps=down,
+                upload_mbps=up,
+                min_rtt_ms=rtt,
+                loss_rate=loss,
+            )
+
+    # -- column-plane helpers ------------------------------------------------
+
+    def download_groups(self) -> dict[tuple[str, Month], list[float]]:
+        """Download samples grouped per (country, month), generation order.
+
+        Group keys appear in first-occurrence order and each group keeps
+        its rows in stream order, so the result is indistinguishable
+        from the row-by-row ``dict.setdefault`` accumulation it
+        replaces — including the float values, which are the very same
+        doubles the generator drew.
+        """
+        n = len(self)
+        if n == 0:
+            return {}
+        mo = self.month_ordinal
+        cc = self.country_idx
+        change = np.flatnonzero((mo[1:] != mo[:-1]) | (cc[1:] != cc[:-1])) + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [n]))
+        downloads = self.download_mbps.tolist()
+        groups: dict[tuple[str, Month], list[float]] = {}
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            key = (
+                self.countries[int(cc[start])],
+                Month.from_ordinal(int(mo[start])),
+            )
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = downloads[start:end]
+            else:
+                bucket.extend(downloads[start:end])
+        return groups
+
+    def asn_downloads(
+        self, country: str, start: Month, end: Month
+    ) -> dict[int, list[float]]:
+        """Download samples per ASN for one country over a month window."""
+        cc = country.upper()
+        if cc not in self.countries:
+            return {}
+        cc_code = self.countries.index(cc)
+        mask = (
+            (self.country_idx == cc_code)
+            & (self.month_ordinal >= start.ordinal())
+            & (self.month_ordinal <= end.ordinal())
+        )
+        idx = np.flatnonzero(mask)
+        by_asn: dict[int, list[float]] = {}
+        for asn, value in zip(
+            self.asn[idx].tolist(), self.download_mbps[idx].tolist()
+        ):
+            by_asn.setdefault(asn, []).append(value)
+        return by_asn

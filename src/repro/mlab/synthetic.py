@@ -16,13 +16,13 @@ paper names (Nov 2013, Sep 2019, Jun 2017, Nov 2013, Apr 2018).
 
 from __future__ import annotations
 
-import datetime as _dt
 import math
 from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
+from repro.mlab.columns import NDTColumns
 from repro.mlab.ndt import NDTResult
 from repro.obs import get_registry
 from repro.timeseries.month import Month, month_range
@@ -193,15 +193,21 @@ def _ve_multipliers(asns: list[int], weights: list[float]) -> np.ndarray:
     )
 
 
-def synthesize_ndt_tests(model: NDTLoadModel = NDTLoadModel()) -> Iterator[NDTResult]:
-    """Generate the synthetic test stream, month-major then country order.
+def synthesize_ndt_columns(model: NDTLoadModel = NDTLoadModel()) -> NDTColumns:
+    """Generate the synthetic test load as packed columns.
 
     Speeds are lognormal around the calibrated median; RTT and loss are
     drawn with plausible access-network statistics; upload tracks download
     at roughly a third.  Each test is attributed to an access network
     drawn by market share, and from 2021 the Venezuelan networks diverge
-    (CANTV below the country curve, the fibre newcomers above it).  The
-    stream is fully deterministic for a given model configuration.
+    (CANTV below the country curve, the fibre newcomers above it).
+
+    Seed-stream contract: the RNG draws happen per country-month batch in
+    the exact order the historical row generator used (choice, lognormal,
+    gamma, beta, integers, uniform), so the columns carry bit-for-bit the
+    same doubles the row-by-row code yielded — only the per-row object
+    construction is gone.  ``tests/mlab/test_seed_stream.py`` pins this
+    against the pre-columnar implementation.
 
     Emitted rows land in the ``mlab.ndt.rows_emitted`` counter, tallied
     per country-month batch (the same granularity the numpy draws use).
@@ -211,34 +217,60 @@ def synthesize_ndt_tests(model: NDTLoadModel = NDTLoadModel()) -> Iterator[NDTRe
     mixtures = {cc: _market_mixture(cc) for cc in countries}
     ve_asns, ve_weights = mixtures["VE"]
     ve_mults = _ve_multipliers(ve_asns, ve_weights)
+    asn_pools = {cc: np.asarray(asns, dtype=np.int64) for cc, (asns, _w) in mixtures.items()}
+    country_code = {cc: i for i, cc in enumerate(countries)}
+    n = model.tests_per_month
+    chunks: dict[str, list[np.ndarray]] = {name: [] for name in NDTColumns.COLUMNS}
     emitted = 0
-    try:
-        for month in month_range(model.start, model.end):
-            for cc in countries:
-                median = median_target(cc, month)
-                mu = math.log(median)
-                asns, weights = mixtures[cc]
-                asn_idx = rng.choice(len(asns), size=model.tests_per_month, p=weights)
-                mus = np.full(model.tests_per_month, mu)
-                if cc == "VE" and month >= VE_MULTIPLIER_START:
-                    mus = mus + np.log(ve_mults[asn_idx])
-                speeds = rng.lognormal(mean=0.0, sigma=SIGMA, size=model.tests_per_month)
-                speeds = speeds * np.exp(mus)
-                rtts = rng.gamma(shape=4.0, scale=12.0, size=model.tests_per_month)
-                losses = rng.beta(1.0, 200.0, size=model.tests_per_month)
-                days = rng.integers(1, 28, size=model.tests_per_month)
-                uploads = speeds * rng.uniform(0.25, 0.45, size=model.tests_per_month)
-                emitted += model.tests_per_month
-                for i in range(model.tests_per_month):
-                    yield NDTResult(
-                        date=_dt.date(month.year, month.month, int(days[i])),
-                        country=cc,
-                        asn=int(asns[asn_idx[i]]),
-                        download_mbps=float(speeds[i]),
-                        upload_mbps=float(uploads[i]),
-                        min_rtt_ms=float(rtts[i]),
-                        loss_rate=float(losses[i]),
-                    )
-    finally:
-        if emitted:
-            get_registry().counter("mlab.ndt.rows_emitted").inc(emitted)
+    for month in month_range(model.start, model.end):
+        ordinal = month.ordinal()
+        for cc in countries:
+            median = median_target(cc, month)
+            mu = math.log(median)
+            asns, weights = mixtures[cc]
+            asn_idx = rng.choice(len(asns), size=n, p=weights)
+            mus = np.full(n, mu)
+            if cc == "VE" and month >= VE_MULTIPLIER_START:
+                mus = mus + np.log(ve_mults[asn_idx])
+            speeds = rng.lognormal(mean=0.0, sigma=SIGMA, size=n)
+            speeds = speeds * np.exp(mus)
+            rtts = rng.gamma(shape=4.0, scale=12.0, size=n)
+            losses = rng.beta(1.0, 200.0, size=n)
+            days = rng.integers(1, 28, size=n)
+            uploads = speeds * rng.uniform(0.25, 0.45, size=n)
+            emitted += n
+            chunks["month_ordinal"].append(np.full(n, ordinal, dtype=np.int32))
+            chunks["day"].append(days.astype(np.uint8))
+            chunks["country_idx"].append(
+                np.full(n, country_code[cc], dtype=np.uint16)
+            )
+            chunks["asn"].append(asn_pools[cc][asn_idx])
+            chunks["download_mbps"].append(speeds)
+            chunks["upload_mbps"].append(uploads)
+            chunks["min_rtt_ms"].append(rtts)
+            chunks["loss_rate"].append(losses)
+    if emitted:
+        get_registry().counter("mlab.ndt.rows_emitted").inc(emitted)
+    empty_dtypes = {
+        "month_ordinal": np.int32,
+        "day": np.uint8,
+        "country_idx": np.uint16,
+        "asn": np.int64,
+    }
+    columns = {
+        name: np.concatenate(parts)
+        if parts
+        else np.empty(0, dtype=empty_dtypes.get(name, np.float64))
+        for name, parts in chunks.items()
+    }
+    return NDTColumns(countries=countries, **columns)
+
+
+def synthesize_ndt_tests(model: NDTLoadModel = NDTLoadModel()) -> Iterator[NDTResult]:
+    """Generate the synthetic test stream, month-major then country order.
+
+    Record-view wrapper over :func:`synthesize_ndt_columns`, kept for
+    callers that want the historical ``Iterator[NDTResult]`` shape.  The
+    stream is fully deterministic for a given model configuration.
+    """
+    return iter(synthesize_ndt_columns(model))

@@ -10,12 +10,17 @@ probe that month.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from repro.geo.countries import is_lacnic
 from repro.rootdns.naming import ChaosParseError, parse_chaos_string
 from repro.timeseries.month import Month
 from repro.timeseries.panel import CountryPanel
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime, types only
+    from repro.atlas.columns import ChaosColumns
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +34,71 @@ class ChaosObservation:
     answer: str
 
 
+def _is_chaos_columns(observations: object) -> bool:
+    from repro.atlas.columns import ChaosColumns
+
+    return isinstance(observations, ChaosColumns)
+
+
+def _columns_sites_by_country(
+    batch: "ChaosColumns", row_mask: np.ndarray | None = None
+) -> dict[tuple[str, Month], set[str]]:
+    """Column-plane :func:`sites_by_country` over a :class:`ChaosColumns`.
+
+    Parses each distinct (letter, answer) pool pair exactly once instead
+    of once per row, then reduces the half-million observation rows with
+    ``np.unique``.  Key order (first occurrence among parseable rows, in
+    stream order) and set contents match the row loop bit for bit.
+    """
+    months_col = batch.month_ordinal
+    letters_col = batch.letter_idx
+    answers_col = batch.answer_idx
+    if row_mask is not None:
+        months_col = months_col[row_mask]
+        letters_col = letters_col[row_mask]
+        answers_col = answers_col[row_mask]
+    if len(months_col) == 0:
+        return {}
+    n_answers = len(batch.answers)
+    pair = letters_col.astype(np.int64) * n_answers + answers_col
+    # Host-country code per distinct (letter, answer) pair; -1 = unparseable.
+    host_pool: list[str] = []
+    host_code: dict[str, int] = {}
+    table = np.full(len(batch.letters) * n_answers, -1, dtype=np.int64)
+    for p in np.unique(pair).tolist():
+        letter, answer = divmod(p, n_answers)
+        try:
+            cc = parse_chaos_string(batch.letters[letter], batch.answers[answer]).country
+        except ChaosParseError:
+            continue
+        code = host_code.get(cc)
+        if code is None:
+            code = host_code[cc] = len(host_pool)
+            host_pool.append(cc)
+        table[p] = code
+    host = table[pair]
+    keep = np.flatnonzero(host >= 0)
+    if len(keep) == 0:
+        return {}
+    host = host[keep]
+    month_ord = months_col[keep].astype(np.int64)
+    answer_idx = answers_col[keep].astype(np.int64)
+    stride = int(month_ord.max()) + 1
+    key_id = host * stride + month_ord
+    unique_keys, first_row = np.unique(key_id, return_index=True)
+    months = {o: Month.from_ordinal(o) for o in np.unique(month_ord).tolist()}
+    seen: dict[tuple[str, Month], set[str]] = {}
+    strings_of: dict[int, set[str]] = {}
+    for k in unique_keys[np.argsort(first_row, kind="stable")].tolist():
+        code, ordinal = divmod(k, stride)
+        strings = strings_of[k] = set()
+        seen[(host_pool[code], months[ordinal])] = strings
+    for c in np.unique(key_id * n_answers + answer_idx).tolist():
+        k, answer = divmod(c, n_answers)
+        strings_of[k].add(batch.answers[answer])
+    return seen
+
+
 def sites_by_country(
     observations: Iterable[ChaosObservation],
 ) -> dict[tuple[str, Month], set[str]]:
@@ -37,6 +107,8 @@ def sites_by_country(
     Unparseable answers are skipped, mirroring the paper's treatment of
     identifiers without a recognisable location tag.
     """
+    if _is_chaos_columns(observations):
+        return _columns_sites_by_country(observations)
     seen: dict[tuple[str, Month], set[str]] = {}
     for obs in observations:
         try:
@@ -68,6 +140,14 @@ def sites_seen_from_country(
     probes located in *probe_country* that month.
     """
     cc = probe_country.upper()
+    if _is_chaos_columns(observations):
+        if cc not in observations.countries:
+            return {}
+        code = observations.countries.index(cc)
+        sites = _columns_sites_by_country(
+            observations, observations.probe_country_idx == code
+        )
+        return {key: len(strings) for key, strings in sites.items()}
     filtered = [o for o in observations if o.probe_country == cc]
     return {
         key: len(strings) for key, strings in sites_by_country(filtered).items()
@@ -76,6 +156,26 @@ def sites_seen_from_country(
 
 def probe_count_panel(observations: Iterable[ChaosObservation]) -> CountryPanel:
     """Fig. 17: probes participating in the measurements, per country."""
+    if _is_chaos_columns(observations) and len(observations):
+        month_ord = observations.month_ordinal.astype(np.int64)
+        country = observations.probe_country_idx.astype(np.int64)
+        probe = observations.probe_id.astype(np.int64)
+        stride = int(month_ord.max()) + 1
+        key_id = country * stride + month_ord
+        unique_keys, first_row = np.unique(key_id, return_index=True)
+        probe_stride = int(probe.max()) + 1
+        distinct = np.unique(key_id * probe_stride + probe) // probe_stride
+        keys, counts = np.unique(distinct, return_counts=True)
+        count_of = dict(zip(keys.tolist(), counts.tolist()))
+        months = {o: Month.from_ordinal(o) for o in np.unique(month_ord).tolist()}
+        return CountryPanel.from_records(
+            (
+                observations.countries[k // stride],
+                months[k % stride],
+                float(count_of[k]),
+            )
+            for k in unique_keys[np.argsort(first_row, kind="stable")].tolist()
+        )
     seen: dict[tuple[str, Month], set[int]] = {}
     for obs in observations:
         seen.setdefault((obs.probe_country, obs.month), set()).add(obs.probe_id)

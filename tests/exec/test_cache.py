@@ -52,11 +52,25 @@ def test_corrupt_payload_is_quarantined_not_deleted(cache, capsys):
     # The damaged entry is set aside for post-mortem, never destroyed.
     assert not path.exists()
     quarantined = list(cache.quarantined())
-    assert [p.name for p in quarantined] == [path.name + ".quarantined"]
+    assert len(quarantined) == 1
+    # Unique content-digest suffix: repeated corruption never overwrites
+    # earlier evidence.
+    assert quarantined[0].name.startswith(path.name + ".quarantined-")
     assert get_registry().counter("cache.corrupt").value == 1
     warning = capsys.readouterr().err
     assert "cache entry for dataset 'macro' is corrupt" in warning
     assert "checksum mismatch" in warning
+
+
+def test_repeated_corruption_keeps_every_evidence_file(cache):
+    for garbage in (b"first corruption", b"second corruption"):
+        path = cache.store("macro", PARAMS, [1, 2, 3])
+        blob = path.read_bytes()
+        path.write_bytes(blob[: -len(garbage)] + garbage)
+        assert cache.load("macro", PARAMS).reason == "corrupt"
+    names = [p.name for p in cache.quarantined()]
+    assert len(names) == 2
+    assert len(set(names)) == 2, "each corruption must keep its own file"
 
 
 def test_flipped_bit_triggers_rebuild_and_quarantine(tmp_path):
@@ -98,14 +112,54 @@ def test_non_envelope_file_is_corrupt(cache):
     assert cache.load("macro", PARAMS).reason == "corrupt"
 
 
-def test_foreign_key_in_envelope_is_not_served(cache):
-    # Same file path, different full key inside: must not be served.
+def test_foreign_key_in_envelope_is_absent_not_corrupt(cache):
+    # Same file path, different full key inside: not served, but also
+    # not corruption — the entry belongs to another configuration, so
+    # the rebuild just overwrites it without quarantining anything.
     path = cache.store("macro", PARAMS, "right")
     other = cache.store("macro", {**PARAMS, "seed": 99}, "wrong")
     assert path != other
     blob = other.read_bytes()
     path.write_bytes(blob)
-    assert isinstance(cache.load("macro", PARAMS), CacheMiss)
+    miss = cache.load("macro", PARAMS)
+    assert isinstance(miss, CacheMiss)
+    assert miss.reason == "absent"
+    assert list(cache.quarantined()) == []
+    assert get_registry().counter("cache.corrupt").value == 0
+
+
+def test_v1_entry_is_plain_miss_not_quarantined(cache):
+    # A leftover repro.cache/1 entry after the codec upgrade: a plain
+    # rebuild, never a corruption warning.
+    import json as _json
+
+    path = cache.entry_path("macro", PARAMS)
+    path.parent.mkdir(parents=True)
+    payload = pickle.dumps([1, 2, 3])
+    header = _json.dumps(
+        {"schema": "repro.cache/1", "dataset": "macro",
+         "key": cache.key("macro", PARAMS), "payload_bytes": len(payload)}
+    )
+    path.write_bytes(header.encode() + b"\n" + payload)
+    miss = cache.load("macro", PARAMS)
+    assert isinstance(miss, CacheMiss)
+    assert miss.reason == "absent"
+    assert list(cache.quarantined()) == []
+    assert get_registry().counter("cache.corrupt").value == 0
+    # The rebuild overwrites the stale entry in place.
+    cache.store("macro", PARAMS, [1, 2, 3])
+    assert cache.load("macro", PARAMS) == [1, 2, 3]
+
+
+def test_legacy_pkl_files_are_accounted_and_cleared(cache):
+    cache.store("macro", PARAMS, "a")
+    legacy = cache.root / "cables-0123456789abcdef.pkl"
+    legacy.write_bytes(b"old v1 entry")
+    info = cache.info()
+    assert info.entries == 2
+    assert cache.clear() == 2
+    assert not legacy.exists()
+    assert cache.info().entries == 0
 
 
 def test_info_and_clear(cache):
