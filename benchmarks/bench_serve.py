@@ -1,150 +1,419 @@
 """Benchmark the HTTP serving layer and emit ``BENCH_serve.json``.
 
-Boots an in-process :mod:`repro.serve` server and drives it with a
-threaded load-generating client, measuring two regimes:
+Forks one server process per engine (the client and server must not
+share a GIL — on the single-core CI box an in-process server would
+serialise against its own load generator), waits for readiness, then
+drives the static response surface with raw-socket **keep-alive**
+clients:
 
-* ``cold``  -- first contact: the opening burst pays one single-flight
-  scenario build and every response render.
-* ``warm``  -- steady state: every request replays from the LRU
-  response cache.
+* ``threaded`` -- the original ``http.server`` engine: per-request
+  render + response cache, HTTP/1.0 (one connection per request; the
+  client transparently reconnects).
+* ``asyncio``  -- the artifact plane: sealed precomputed bytes over
+  HTTP/1.1 keep-alive.
 
-For each regime the artifact (schema ``repro.bench.serve/1``) records
-requests/sec and latency percentiles, plus the obs counters that prove
-the serving invariants: a warm server rebuilds **zero** datasets under
-concurrent load (``scenario.dataset.built`` stays flat while
-``serve.cache.hit`` grows) — the script exits non-zero if that does not
-hold.
+Each engine runs a **warmup phase that is excluded from measurement**
+(connections established, caches populated, branch predictors warm),
+then a timed phase.  Client-side failures never crash the run: errors
+and timeouts are counted per phase and recorded in the artifact
+(schema ``repro.bench.serve/2``).
+
+The serving invariants are proven from the *server's own* ``/metrics``
+exposition, scraped before and after the timed phase: zero datasets
+rebuild under load, and the phase is served from the artifact plane
+(asyncio) / response cache (threaded).  The script exits non-zero if
+either fails.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py \
-        [--out BENCH_serve.json] [--threads 8] [--requests-per-thread 25] \
-        [--jobs 4]
+        [--out BENCH_serve.json] [--connections 4] \
+        [--asyncio-requests 4000] [--threaded-requests 50] [--jobs 2]
 """
 
 from __future__ import annotations
 
 import argparse
-import http.client
 import json
+import os
 import platform
+import signal
+import socket
 import sys
 import threading
 import time
 from pathlib import Path
 
 from repro.core import exhibit_ids
-from repro.obs import get_registry, percentile
-from repro.serve import create_server
+from repro.obs import percentile
+from repro.obs.openmetrics import ACCEPT_TOKEN, parse_openmetrics
 
-SCHEMA = "repro.bench.serve/1"
+SCHEMA = "repro.bench.serve/2"
+
+#: Counters scraped around the timed phase (OpenMetrics family names).
+_COUNTER_FAMILIES = (
+    "scenario_dataset_built",
+    "serve_requests",
+    "serve_artifact_hit",
+    "serve_cache_hit",
+)
+
+
+def _request_mix() -> list[str]:
+    """The static surface every client cycles through."""
+    paths = [f"/v1/exhibit/{exhibit_id}" for exhibit_id in exhibit_ids()]
+    paths += ["/v1/report", "/v1/narrative", "/v1/scorecard/VE", "/v1/exhibits"]
+    return paths
+
+
+class KeepAliveClient:
+    """A raw-socket HTTP client that reuses one connection when it can.
+
+    Against the asyncio engine every request rides the same HTTP/1.1
+    keep-alive connection; against the HTTP/1.0 threaded engine the
+    server closes after each response and the client reconnects,
+    counting the reconnect.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.reconnects = -1  # the initial connect is not a reconnect
+        self._sock: socket.socket | None = None
+        self._buf = b""
+        self._connect()
+
+    def _connect(self) -> None:
+        self.close()
+        sock = socket.create_connection((self.host, self.port), self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._buf = b""
+        self.reconnects += 1
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def reconnect(self) -> None:
+        """Recover after an error/timeout (the old connection is suspect)."""
+        self._connect()
+
+    def _recv(self) -> None:
+        assert self._sock is not None
+        chunk = self._sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed the connection mid-response")
+        self._buf += chunk
+
+    def get(self, path: str, accept: str | None = None) -> tuple[int, bytes]:
+        """GET *path*; returns (status, body).  Reconnects on 1.0 close."""
+        if self._sock is None:
+            self._connect()
+        extra = f"Accept: {accept}\r\n" if accept else ""
+        request = f"GET {path} HTTP/1.1\r\nHost: bench\r\n{extra}\r\n"
+        self._sock.sendall(request.encode("latin-1"))
+        while b"\r\n\r\n" not in self._buf:
+            self._recv()
+        head, self._buf = self._buf.split(b"\r\n\r\n", 1)
+        status = int(head.split(b" ", 2)[1])
+        lower = head.lower()
+        length = 0
+        marker = lower.find(b"content-length:")
+        if marker >= 0:
+            line_end = lower.find(b"\r\n", marker)
+            if line_end < 0:
+                line_end = len(lower)
+            length = int(lower[marker + 15 : line_end].strip())
+        while len(self._buf) < length:
+            self._recv()
+        body, self._buf = self._buf[:length], self._buf[length:]
+        if head.startswith(b"HTTP/1.0") or b"connection: close" in lower:
+            self._connect()  # the server will not take another request
+        return status, body
+
+
+def _fork_server(engine: str, jobs: int, quiet: bool) -> tuple[int, int]:
+    """Fork a warm server child for *engine*; returns (pid, port).
+
+    The child binds port 0 and reports the resolved port over a pipe
+    *before* paying the scenario/artifact build, so the parent can start
+    its readiness probe immediately (connections queue in the backlog).
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child: serve until SIGTERM, then drain and exit
+        os.close(read_fd)
+        status = 0
+        try:
+            if quiet:
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                os.dup2(devnull, 2)
+            if engine == "asyncio":
+                from repro.serve.aio import (
+                    _reuseport_socket,
+                    create_aio_server,
+                    run_aio,
+                )
+
+                sock = _reuseport_socket("127.0.0.1", 0)
+                os.write(write_fd, str(sock.getsockname()[1]).encode())
+                os.close(write_fd)
+                run_aio(create_aio_server(jobs=jobs, sock=sock))
+            else:
+                from repro.serve import create_server, run
+
+                server = create_server(port=0, jobs=jobs, prebuild=True)
+                os.write(write_fd, str(server.server_address[1]).encode())
+                os.close(write_fd)
+                run(server)
+        except BaseException:  # noqa: BLE001 - report, then hard-exit
+            import traceback
+
+            traceback.print_exc()
+            status = 1
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    port = int(os.read(read_fd, 16))
+    os.close(read_fd)
+    return pid, port
+
+
+def _wait_ready(host: str, port: int, deadline_seconds: float = 300.0) -> None:
+    """Block until /healthz answers (the child may still be building)."""
+    deadline = time.monotonic() + deadline_seconds
+    while True:
+        try:
+            client = KeepAliveClient(host, port, timeout=deadline_seconds)
+            status, _ = client.get("/healthz")
+            client.close()
+            if status == 200:
+                return
+        except OSError:
+            pass
+        if time.monotonic() > deadline:
+            raise SystemExit(f"{host}:{port} not ready after {deadline_seconds}s")
+        time.sleep(0.2)
+
+
+def _scrape_counters(host: str, port: int) -> dict[str, float]:
+    """The interesting counter totals from the server's own /metrics."""
+    client = KeepAliveClient(host, port)
+    status, body = client.get("/metrics", accept=ACCEPT_TOKEN)
+    client.close()
+    if status != 200:
+        raise SystemExit(f"/metrics scrape failed: {status}")
+    families = parse_openmetrics(body.decode("utf-8"))
+    out: dict[str, float] = {}
+    for name in _COUNTER_FAMILIES:
+        family = families.get(name)
+        value = 0.0
+        if family is not None:
+            value = sum(
+                sample_value
+                for sample_name, _, sample_value in family.samples
+                if sample_name == f"{name}_total"
+            )
+        out[name] = value
+    return out
 
 
 def _load(
-    host: str, port: int, paths: list[str], threads: int, requests_per_thread: int
+    host: str,
+    port: int,
+    paths: list[str],
+    connections: int,
+    requests_per_connection: int,
+    warmup_per_connection: int,
+    timeout: float,
 ) -> dict:
-    """Fire the request mix from N threads; returns timing + latencies."""
-    latencies: list[float] = []
-    failures: list[str] = []
-    lock = threading.Lock()
-    barrier = threading.Barrier(threads)
+    """One measured phase: warmup (excluded), barrier, timed burst."""
+    latencies_per_worker: list[list[float]] = [[] for _ in range(connections)]
+    stats_lock = threading.Lock()
+    totals = {"errors": 0, "timeouts": 0, "reconnects": 0}
+    barrier = threading.Barrier(connections + 1)  # workers + the clock
 
     def worker(worker_id: int) -> None:
-        # One connection per request (the server is HTTP/1.0) — this is
-        # the per-request cost a shell `curl` loop would see.
+        latencies = latencies_per_worker[worker_id]
+        errors = timeouts = 0
+        client: KeepAliveClient | None = None
+        try:
+            client = KeepAliveClient(host, port, timeout)
+        except OSError:
+            errors += 1
+        # Warmup covers every path in the mix at least once per
+        # connection, whatever the configured count: the first render of
+        # a heavy endpoint (seconds of exhibit runs on the threaded
+        # engine) must never land in the timed phase.
+        for i in range(max(warmup_per_connection, len(paths))):
+            if client is None:
+                break
+            try:
+                client.get(paths[(worker_id + i) % len(paths)])
+            except TimeoutError:
+                timeouts += 1
+                client.reconnect()
+            except OSError:
+                errors += 1
+                try:
+                    client.reconnect()
+                except OSError:
+                    client = None
         barrier.wait()
-        for i in range(requests_per_thread):
+        for i in range(requests_per_connection):
+            if client is None:
+                errors += 1
+                continue
             path = paths[(worker_id + i) % len(paths)]
             t0 = time.perf_counter()
             try:
-                connection = http.client.HTTPConnection(host, port, timeout=120)
-                connection.request("GET", path)
-                response = connection.getresponse()
-                body = response.read()
-                connection.close()
-                if response.status != 200 or not body:
-                    raise RuntimeError(f"{path} -> {response.status}")
-            except Exception as exc:  # noqa: BLE001 - recorded, not hidden
-                with lock:
-                    failures.append(f"{path}: {exc}")
+                status, body = client.get(path)
+                if status != 200 or not body:
+                    errors += 1
+                    continue
+            except TimeoutError:
+                timeouts += 1
+                try:
+                    client.reconnect()
+                except OSError:
+                    client = None
                 continue
-            with lock:
-                latencies.append(time.perf_counter() - t0)
+            except OSError:
+                errors += 1
+                try:
+                    client.reconnect()
+                except OSError:
+                    client = None
+                continue
+            latencies.append(time.perf_counter() - t0)
+        reconnects = client.reconnects if client is not None else 0
+        if client is not None:
+            client.close()
+        with stats_lock:
+            totals["errors"] += errors
+            totals["timeouts"] += timeouts
+            totals["reconnects"] += reconnects
 
-    workers = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
-    t0 = time.perf_counter()
+    workers = [
+        threading.Thread(target=worker, args=(i,)) for i in range(connections)
+    ]
     for w in workers:
         w.start()
+    barrier.wait()  # releases the timed phase on every worker at once
+    t0 = time.perf_counter()
     for w in workers:
         w.join()
     elapsed = time.perf_counter() - t0
 
-    if failures:
-        raise SystemExit(f"{len(failures)} failed requests, first: {failures[0]}")
+    latencies = [value for bucket in latencies_per_worker for value in bucket]
+    if not latencies:
+        raise SystemExit(
+            f"no successful requests ({totals['errors']} errors, "
+            f"{totals['timeouts']} timeouts)"
+        )
     return {
         "requests": len(latencies),
         "seconds": round(elapsed, 4),
         "requests_per_second": round(len(latencies) / elapsed, 1),
         "latency_ms": {
-            "p50": round(percentile(latencies, 0.50) * 1e3, 2),
-            "p95": round(percentile(latencies, 0.95) * 1e3, 2),
-            "max": round(max(latencies) * 1e3, 2),
+            "p50": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p95": round(percentile(latencies, 0.95) * 1e3, 3),
+            "p99": round(percentile(latencies, 0.99) * 1e3, 3),
+            "max": round(max(latencies) * 1e3, 3),
         },
+        "client_errors": totals["errors"],
+        "client_timeouts": totals["timeouts"],
+        "client_reconnects": totals["reconnects"],
     }
 
 
-def bench(threads: int, requests_per_thread: int, jobs: int) -> dict:
-    """Run the cold and warm load phases; returns the artifact dict."""
-    server = create_server(jobs=jobs)  # cold: no prebuild, empty caches
-    host, port = server.server_address[:2]
-    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
-    serve_thread.start()
-
-    registry = get_registry()
-    # The mix every worker cycles through: all 23 exhibits + the reports.
-    paths = [f"/v1/exhibit/{exhibit_id}" for exhibit_id in exhibit_ids()]
-    paths += ["/v1/report", "/v1/narrative", "/v1/scorecard/VE", "/v1/exhibits"]
-
+def bench_engine(
+    engine: str,
+    jobs: int,
+    connections: int,
+    requests_per_connection: int,
+    warmup_per_connection: int,
+    timeout: float,
+    quiet: bool,
+) -> dict:
+    """Fork, warm up, measure, verify invariants, drain one engine."""
+    paths = _request_mix()
+    pid, port = _fork_server(engine, jobs, quiet)
     try:
-        cold = _load(host, port, paths, threads, requests_per_thread)
-        built_after_cold = registry.counter("scenario.dataset.built").value
-        hits_after_cold = registry.counter("serve.cache.hit").value
-
-        warm = _load(host, port, paths, threads, requests_per_thread)
-        built_after_warm = registry.counter("scenario.dataset.built").value
-        hits_after_warm = registry.counter("serve.cache.hit").value
+        _wait_ready("127.0.0.1", port)
+        before = _scrape_counters("127.0.0.1", port)
+        warm = _load(
+            "127.0.0.1",
+            port,
+            paths,
+            connections,
+            requests_per_connection,
+            warmup_per_connection,
+            timeout,
+        )
+        after = _scrape_counters("127.0.0.1", port)
     finally:
-        server.shutdown()
-        server.server_close()
-        serve_thread.join(timeout=10)
+        os.kill(pid, signal.SIGTERM)
+        _, status = os.waitpid(pid, 0)
+    if status != 0:
+        raise SystemExit(f"{engine} server exited abnormally (status {status})")
 
     # The serving invariants this benchmark exists to defend.
-    if built_after_warm != built_after_cold:
-        raise SystemExit(
-            f"warm phase rebuilt datasets: {built_after_cold} -> {built_after_warm}"
-        )
-    if hits_after_warm <= hits_after_cold:
-        raise SystemExit("warm phase did not grow serve.cache.hit")
+    built_delta = after["scenario_dataset_built"] - before["scenario_dataset_built"]
+    if built_delta != 0:
+        raise SystemExit(f"{engine}: {built_delta:.0f} datasets rebuilt under load")
+    hot_counter = "serve_artifact_hit" if engine == "asyncio" else "serve_cache_hit"
+    if after[hot_counter] <= before[hot_counter]:
+        raise SystemExit(f"{engine}: warm phase did not grow {hot_counter}")
 
     return {
+        "connections": connections,
+        "requests_per_connection": requests_per_connection,
+        "warmup_requests": max(warmup_per_connection, len(paths)) * connections,
+        "warm": warm,
+        "counters": {name: after[name] for name in _COUNTER_FAMILIES},
+    }
+
+
+def bench(
+    jobs: int,
+    connections: int,
+    asyncio_requests: int,
+    threaded_requests: int,
+    warmup: int,
+    timeout: float,
+    quiet: bool,
+) -> dict:
+    """Both engines end to end; returns the ``repro.bench.serve/2`` dict."""
+    threaded = bench_engine(
+        "threaded",
+        jobs,
+        connections,
+        threaded_requests,
+        max(1, warmup // 10),  # HTTP/1.0 warmup is slow; a taste suffices
+        timeout,
+        quiet,
+    )
+    aio = bench_engine(
+        "asyncio", jobs, connections, asyncio_requests, warmup, timeout, quiet
+    )
+    return {
         "schema": SCHEMA,
-        "threads": threads,
-        "requests_per_thread": requests_per_thread,
         "jobs": jobs,
-        "endpoints": len(paths),
+        "endpoints": len(_request_mix()),
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "phases": {"cold": cold, "warm": warm},
-        "counters": {
-            "scenario.dataset.built": built_after_warm,
-            "serve.cache.hit": hits_after_warm,
-            "serve.inflight.coalesced": registry.counter(
-                "serve.inflight.coalesced"
-            ).value,
-            "serve.requests": registry.counter("serve.requests").value,
-        },
-        "speedup_warm_vs_cold": round(
-            warm["requests_per_second"] / cold["requests_per_second"], 2
+        "engines": {"threaded": threaded, "asyncio": aio},
+        "speedup_asyncio_vs_threaded": round(
+            aio["warm"]["requests_per_second"]
+            / threaded["warm"]["requests_per_second"],
+            2,
         ),
     }
 
@@ -152,26 +421,55 @@ def bench(threads: int, requests_per_thread: int, jobs: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_serve.json")
-    parser.add_argument("--threads", type=int, default=8)
-    parser.add_argument("--requests-per-thread", type=int, default=25)
-    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument(
+        "--asyncio-requests",
+        type=int,
+        default=4000,
+        help="timed requests per connection against the asyncio engine",
+    )
+    parser.add_argument(
+        "--threaded-requests",
+        type=int,
+        default=150,
+        help="timed requests per connection against the threaded engine",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=200,
+        help="excluded warmup requests per connection (asyncio engine; "
+        "the threaded engine gets a tenth)",
+    )
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--server-logs",
+        action="store_true",
+        help="let the forked servers write their logs to stderr",
+    )
     args = parser.parse_args(argv)
 
     artifact = bench(
-        threads=args.threads,
-        requests_per_thread=args.requests_per_thread,
         jobs=args.jobs,
+        connections=args.connections,
+        asyncio_requests=args.asyncio_requests,
+        threaded_requests=args.threaded_requests,
+        warmup=args.warmup,
+        timeout=args.timeout,
+        quiet=not args.server_logs,
     )
     Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
-    for phase in ("cold", "warm"):
-        stats = artifact["phases"][phase]
+    for engine in ("threaded", "asyncio"):
+        stats = artifact["engines"][engine]["warm"]
         print(
-            f"{phase:<5}: {stats['requests_per_second']:>8.1f} req/s   "
-            f"p50 {stats['latency_ms']['p50']:>8.2f}ms   "
-            f"p95 {stats['latency_ms']['p95']:>8.2f}ms   "
-            f"({stats['requests']} requests in {stats['seconds']:.2f}s)"
+            f"{engine:<8}: {stats['requests_per_second']:>9.1f} req/s   "
+            f"p50 {stats['latency_ms']['p50']:>7.3f}ms   "
+            f"p99 {stats['latency_ms']['p99']:>7.3f}ms   "
+            f"({stats['requests']} requests, {stats['client_errors']} errors, "
+            f"{stats['client_timeouts']} timeouts)"
         )
-    print(f"warm/cold speedup: {artifact['speedup_warm_vs_cold']}x")
+    print(f"asyncio/threaded speedup: {artifact['speedup_asyncio_vs_threaded']}x")
     print(f"wrote {args.out}")
     return 0
 

@@ -236,8 +236,13 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.engine == "asyncio":
+        return _serve_asyncio(args)
     from repro.serve import create_server, run
 
+    cache_max_bytes = (
+        args.response_cache_mb * 1024 * 1024 if args.response_cache_mb else None
+    )
     server = create_server(
         host=args.host,
         port=args.port,
@@ -250,11 +255,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         trace_sample_rate=args.trace_sample_rate,
         trace_dir=args.trace_dir,
+        cache_max_bytes=cache_max_bytes,
     )
     if not args.no_prebuild:
         print("scenario prebuilt; serving warm", file=sys.stderr)
     print(f"serving on {server.url} (SIGTERM or Ctrl-C to stop)", file=sys.stderr)
     run(server)  # returns after the drain completes
+    print("server drained; exiting", file=sys.stderr)
+    return 0
+
+
+def _serve_asyncio(args: argparse.Namespace) -> int:
+    """The asyncio engine: sealed artifact plane, optional pre-forked workers.
+
+    The scenario builds and the whole static surface is materialized
+    *before* any socket accepts (and before any fork, so workers share
+    the sealed store copy-on-write).
+    """
+    from repro.serve.aio import create_aio_server, run_aio, run_workers
+    from repro.serve.artifacts import build_artifact_store
+    from repro.serve.handlers import ServeContext
+    from repro.serve.pool import ScenarioPool
+
+    pool = ScenarioPool(
+        cache=_resolve_cache(args), build_workers=args.jobs, strict=args.strict
+    )
+    context = ServeContext(pool=pool, params={})
+    store = build_artifact_store(context, workers=args.jobs)
+    print(
+        f"artifact plane sealed: {len(store)} responses, "
+        f"{store.total_bytes} bytes, fingerprint {store.fingerprint()[:12]}",
+        file=sys.stderr,
+    )
+
+    def _make(sock):
+        return create_aio_server(
+            verbose=args.verbose,
+            deadline_seconds=args.deadline,
+            max_inflight=args.max_inflight,
+            artifacts=store,
+            context=context,
+            sock=sock,
+        )
+
+    def _announce(port: int) -> None:
+        print(
+            f"serving on http://{args.host}:{port} "
+            f"[engine=asyncio workers={args.workers}] "
+            "(SIGTERM or Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+
+    if args.workers > 1:
+        run_workers(
+            _make, args.workers, args.host, args.port, on_bound=_announce
+        )
+    else:
+        from repro.serve.aio import _reuseport_socket
+
+        sock = _reuseport_socket(args.host, args.port)
+        _announce(sock.getsockname()[1])
+        run_aio(_make(sock))
     print("server drained; exiting", file=sys.stderr)
     return 0
 
@@ -512,6 +573,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8321,
         help="bind port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=["threaded", "asyncio"],
+        default="threaded",
+        help="serving engine: 'threaded' (http.server, per-request "
+        "render + response cache) or 'asyncio' (precomputed artifact "
+        "plane, keep-alive, 10k+ req/s on one core)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="asyncio engine only: pre-fork N worker processes sharing "
+        "the port via SO_REUSEPORT (default: 1, single process)",
+    )
+    serve.add_argument(
+        "--response-cache-mb",
+        type=_positive_int,
+        default=None,
+        metavar="MB",
+        help="threaded engine only: bound the response cache by total "
+        "body bytes as well as entry count (default: entries only)",
     )
     serve.add_argument(
         "--no-prebuild",

@@ -37,7 +37,7 @@ from repro.exec.dag import (
     transitive_dependencies,
     validate_graph,
 )
-from repro.exec.executor import build_parallel
+from repro.exec.executor import build_parallel, parallel_map
 from repro.exec.retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy, retry_call
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "default_cache_dir",
     "dependencies",
     "dependents",
+    "parallel_map",
     "retry_call",
     "topological_order",
     "transitive_dependencies",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Iterable, TypeVar
 
 from repro.exec.dag import dependencies, topological_order, validate_graph
 from repro.obs import ambient_scope, current_handle, get_registry, trace_span
@@ -40,6 +40,49 @@ def _worker_timer_name() -> str:
     if not index.isdigit():  # not a pool thread (direct call in tests)
         index = "0"
     return f"exec.worker_{index}.busy"
+
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(
+    func: Callable[[_T], _R],
+    items: Iterable[_T],
+    max_workers: int,
+    label: str = "exec.map",
+) -> list[_R]:
+    """Apply *func* to every item on a bounded worker pool, in order.
+
+    The dependency-free sibling of :func:`build_parallel` for
+    embarrassingly-parallel fan-outs (the serve layer renders its static
+    artifact plane through this).  Results come back in input order;
+    the first exception propagates.  Workers record the same
+    ``exec.worker_<n>.busy`` timers as DAG builds and the whole sweep
+    runs under a *label* span, re-homed onto the caller's trace exactly
+    like :func:`build_parallel` workers are.
+
+    ``max_workers <= 1`` (or a single item) runs inline — no pool, no
+    worker timers — which keeps the serial path allocation-free.
+    """
+    work = list(items)
+    if max_workers <= 1 or len(work) <= 1:
+        return [func(item) for item in work]
+
+    registry = get_registry()
+
+    with trace_span(label):
+        handle = current_handle()
+
+        def run(item: _T) -> _R:
+            with ambient_scope(handle):
+                with registry.timer(_worker_timer_name()).time():
+                    return func(item)
+
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=_WORKER_PREFIX
+        ) as pool:
+            return list(pool.map(run, work))
 
 
 def build_parallel(

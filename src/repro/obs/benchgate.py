@@ -11,6 +11,10 @@ tolerance.  Both artifact families are understood:
   (**higher is better**) and warm latency percentiles (**lower is
   better**).  The cold phase is deliberately ungated: its first-contact
   cost is dominated by the machine's disk and is too noisy to gate on.
+* ``repro.bench.serve/2`` (two-engine serving layer) — warm throughput
+  per engine (**higher is better**) and the asyncio engine's warm
+  p50/p99 (**lower is better**).  Warmup is excluded by the harness,
+  so every gated number is steady-state.
 
 The comparison is direction-aware and one-sided: an *improvement* of any
 size passes.  A lower-is-better metric fails only when
@@ -67,6 +71,23 @@ def extract_gate_metrics(artifact: dict) -> dict[str, tuple[float, str]]:
             value = _dig(artifact, "phases", "warm", "latency_ms", quantile)
             if isinstance(value, (int, float)):
                 metrics[f"phases.warm.latency_ms.{quantile}"] = (float(value), LOWER)
+    elif schema == "repro.bench.serve/2":
+        for engine in ("threaded", "asyncio"):
+            rps = _dig(artifact, "engines", engine, "warm", "requests_per_second")
+            if isinstance(rps, (int, float)):
+                metrics[f"engines.{engine}.warm.requests_per_second"] = (
+                    float(rps),
+                    HIGHER,
+                )
+        for quantile in ("p50", "p99"):
+            value = _dig(
+                artifact, "engines", "asyncio", "warm", "latency_ms", quantile
+            )
+            if isinstance(value, (int, float)):
+                metrics[f"engines.asyncio.warm.latency_ms.{quantile}"] = (
+                    float(value),
+                    LOWER,
+                )
     else:
         raise ValueError(f"not a gateable bench artifact (schema={schema!r})")
     if not metrics:

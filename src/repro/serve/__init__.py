@@ -1,7 +1,11 @@
 """repro.serve: a concurrent HTTP API over the paper pipeline.
 
-Turns the one-shot CLI into a long-lived service (stdlib only — built on
-``http.server.ThreadingHTTPServer``).  Four pieces, smallest first:
+Turns the one-shot CLI into a long-lived service (stdlib only).  Two
+engines share one routing/envelope/artifact substrate: the original
+threaded engine (``http.server.ThreadingHTTPServer``) and the asyncio
+engine (:mod:`repro.serve.aio`), which serves a precomputed, sealed
+:class:`~repro.serve.artifacts.ArtifactStore` at 10k+ req/s on one
+core.  The pieces, smallest first:
 
 * :mod:`repro.serve.router` -- the route table, typed path parameters,
   and the uniform ``{"data": ...}`` / ``{"error": ...}`` JSON envelopes
@@ -11,24 +15,39 @@ Turns the one-shot CLI into a long-lived service (stdlib only — built on
   request threads, with single-flight deduplication so N concurrent cold
   requests trigger exactly one ``build_all``.
 * :mod:`repro.serve.respcache` -- :class:`ResponseCache`: an in-memory
-  LRU of rendered responses keyed by (scenario params, endpoint, args);
-  every replay is byte-identical and ``If-None-Match`` revalidates to 304.
-* :mod:`repro.serve.server` / :mod:`repro.serve.handlers` -- the HTTP
-  plumbing, graceful SIGTERM drain, and the endpoint implementations:
-  ``/healthz``, ``/metrics``, ``/v1/exhibits``, ``/v1/exhibit/<id>``,
-  ``/v1/report``, ``/v1/narrative``, ``/v1/scorecard/<cc>``.
+  LRU of rendered responses keyed by (scenario params, endpoint, args),
+  bounded by entries and bytes; every replay is byte-identical and
+  ``If-None-Match`` revalidates to 304.
+* :mod:`repro.serve.artifacts` -- :class:`ArtifactStore`: the whole
+  static response surface pre-rendered at pool-build time,
+  content-addressed (strong SHA-256 ETags) and sealed immutable.
+* :mod:`repro.serve.server` / :mod:`repro.serve.handlers` -- the
+  threaded HTTP plumbing, graceful SIGTERM drain, and the endpoint
+  implementations: ``/healthz``, ``/metrics``, ``/v1/slo``,
+  ``/v1/exhibits``, ``/v1/exhibit/<id>``, ``/v1/report``,
+  ``/v1/narrative``, ``/v1/scorecard/<cc>``.
+* :mod:`repro.serve.aio` -- the asyncio front end: keep-alive HTTP/1.1,
+  zero-copy writes of sealed artifacts, optional pre-forked
+  ``SO_REUSEPORT`` workers, identical bytes to the threaded engine.
 
-Entry points: ``python -m repro serve`` (CLI) or, embedded::
+Entry points: ``python -m repro serve [--engine asyncio|threaded]``
+(CLI) or, embedded::
 
     from repro.serve import create_server, run
 
     server = create_server(port=8321, jobs=4, prebuild=True)
     run(server)        # serves until SIGTERM/SIGINT, then drains
 
+    from repro.serve import create_aio_server, run_aio
+
+    run_aio(create_aio_server(port=8321, jobs=4))   # artifact plane
+
 See ``docs/SERVING.md`` for endpoint shapes, caching semantics, and
 tuning guidance.
 """
 
+from repro.serve.aio import AioReproServer, create_aio_server, run_aio, run_workers
+from repro.serve.artifacts import Artifact, ArtifactStore, build_artifact_store
 from repro.serve.breaker import BreakerOpenError, CircuitBreaker
 from repro.serve.deadline import DeadlineExpired, deadline_scope
 from repro.serve.handlers import ServeContext, build_router
@@ -48,6 +67,9 @@ from repro.serve.router import (
 from repro.serve.server import ReproServer, create_server, run
 
 __all__ = [
+    "AioReproServer",
+    "Artifact",
+    "ArtifactStore",
     "BreakerOpenError",
     "CachedResponse",
     "CircuitBreaker",
@@ -61,7 +83,9 @@ __all__ = [
     "ScenarioPool",
     "ServeContext",
     "ResponseCache",
+    "build_artifact_store",
     "build_router",
+    "create_aio_server",
     "create_server",
     "deadline_scope",
     "envelope_bytes",
@@ -70,5 +94,7 @@ __all__ = [
     "etag_matches",
     "params_key",
     "run",
+    "run_aio",
+    "run_workers",
     "to_json_bytes",
 ]

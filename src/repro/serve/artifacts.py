@@ -1,0 +1,272 @@
+"""The precomputed static artifact plane behind :mod:`repro.serve`.
+
+Every cacheable endpoint is a pure function of ``(scenario parameters,
+endpoint, path args)``, so instead of rendering on demand and caching,
+the whole response surface can be **materialised once at pool-build
+time**: all 23 exhibits, the report, the narrative, the exhibit catalog,
+and one scorecard per LACNIC country — 59 responses, well under 100 KB
+total on default parameters.
+
+:func:`build_artifact_store` renders each of them through the exact
+handler + envelope code path the live server uses (so the bytes are
+provably identical to what on-demand rendering would produce), stamps a
+strong ETag (quoted SHA-256 of the body — the body's content address),
+and seals the result into an immutable :class:`ArtifactStore`.  Both
+engines consult it:
+
+* the asyncio engine (:mod:`repro.serve.aio`) precompiles the store
+  into full wire images and serves them zero-copy;
+* the threaded engine treats it as a pre-warmed tier in front of its
+  LRU response cache.
+
+Because every artifact records its content address, a served byte
+stream is traceable to its inputs: :meth:`ArtifactStore.manifest`
+emits the ``repro.artifacts/1`` inventory (path, endpoint, sha256,
+size) and a combined fingerprint over the whole plane.
+
+Observability: the build runs under the ``serve.artifacts.build`` timer
+and sets the ``serve.artifacts.count`` / ``serve.artifacts.bytes``
+gauges; per-request hits are counted in ``serve.artifact.hit`` by the
+engines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.obs import get_registry
+from repro.serve.router import JSON_CONTENT_TYPE, envelope_bytes, etag_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.handlers import ServeContext
+
+#: Schema identifier of the store manifest.
+MANIFEST_SCHEMA = "repro.artifacts/1"
+
+
+@dataclass(frozen=True, slots=True)
+class Artifact:
+    """One immutable pre-rendered response.
+
+    Attributes:
+        path: Canonical request path (``/v1/exhibit/fig01``).
+        endpoint: Route name that produced it (``exhibit``).
+        body: The exact response body bytes.
+        etag: Strong ETag — quoted SHA-256 of *body*, the artifact's
+            content address.
+        content_type: Response media type.
+    """
+
+    path: str
+    endpoint: str
+    body: bytes
+    etag: str
+    content_type: str = JSON_CONTENT_TYPE
+
+    @property
+    def sha256(self) -> str:
+        """The bare content address (the ETag without quotes)."""
+        return self.etag.strip('"')
+
+
+def static_surface() -> list[tuple[str, dict[str, str]]]:
+    """Every ``(endpoint, path_params)`` the artifact plane materialises.
+
+    The enumeration is closed because each parameterised route has a
+    finite domain: exhibit ids come from the registry and scorecards
+    exist only for LACNIC countries (everything else is a 404/422 error
+    envelope, which stays on the live path).
+    """
+    from repro.core import exhibit_ids
+    from repro.geo.countries import LACNIC_CODES
+
+    surface: list[tuple[str, dict[str, str]]] = [
+        ("exhibits", {}),
+        ("report", {}),
+        ("narrative", {}),
+    ]
+    surface += [("exhibit", {"exhibit_id": eid}) for eid in exhibit_ids()]
+    surface += [("scorecard", {"country": code}) for code in LACNIC_CODES]
+    return surface
+
+
+def canonical_params(endpoint: str, params: dict[str, str]) -> dict[str, str]:
+    """Path params normalised the way the handler would (case folding).
+
+    Scorecard country codes are case-insensitive on the live path
+    (``/v1/scorecard/ve`` == ``/v1/scorecard/VE``); the store keys
+    artifacts by the canonical form so both spellings hit.
+    """
+    if endpoint == "scorecard":
+        return {**params, "country": params["country"].upper()}
+    return dict(params)
+
+
+def path_for(endpoint: str, params: dict[str, str]) -> str:
+    """The canonical request path for one static endpoint instance."""
+    if endpoint == "exhibits":
+        return "/v1/exhibits"
+    if endpoint == "report":
+        return "/v1/report"
+    if endpoint == "narrative":
+        return "/v1/narrative"
+    if endpoint == "exhibit":
+        return f"/v1/exhibit/{params['exhibit_id']}"
+    if endpoint == "scorecard":
+        return f"/v1/scorecard/{params['country']}"
+    raise KeyError(f"not a static endpoint: {endpoint}")
+
+
+def _params_key(params: dict[str, str]) -> tuple:
+    return tuple(sorted(params.items()))
+
+
+class ArtifactStore:
+    """Sealed, content-addressed map of the full static response surface.
+
+    Immutable after construction: the path and endpoint indexes are
+    exposed through :class:`~types.MappingProxyType`, artifact bodies
+    are ``bytes``, and there is deliberately no mutation API — a store
+    is rebuilt, never patched, so a served byte stream always traces to
+    exactly one build.
+    """
+
+    __slots__ = ("_by_path", "_by_endpoint", "scenario_key", "total_bytes")
+
+    def __init__(
+        self, artifacts: list[Artifact], scenario_key: tuple = ()
+    ) -> None:
+        by_path: dict[str, Artifact] = {}
+        by_endpoint: dict[tuple, Artifact] = {}
+        for artifact in artifacts:
+            if artifact.path in by_path:
+                raise ValueError(f"duplicate artifact path: {artifact.path}")
+            by_path[artifact.path] = artifact
+        for artifact in artifacts:
+            # Endpoint index keyed by canonical params: the engines use
+            # it to resolve case-folded lookups through the router.
+            canonical = canonical_params(
+                artifact.endpoint, _route_params(artifact)
+            )
+            by_endpoint[(artifact.endpoint, _params_key(canonical))] = artifact
+        self._by_path: Mapping[str, Artifact] = MappingProxyType(by_path)
+        self._by_endpoint: Mapping[tuple, Artifact] = MappingProxyType(
+            by_endpoint
+        )
+        self.scenario_key = scenario_key
+        self.total_bytes = sum(len(a.body) for a in artifacts)
+
+    def __len__(self) -> int:
+        return len(self._by_path)
+
+    def __iter__(self) -> Iterator[Artifact]:
+        return iter(self._by_path.values())
+
+    def get(self, path: str) -> Artifact | None:
+        """The artifact served at exactly *path*, or None."""
+        return self._by_path.get(path)
+
+    def find(self, endpoint: str, params: dict[str, str]) -> Artifact | None:
+        """The artifact for a routed ``(endpoint, path_params)`` pair.
+
+        Case-folds parameters the same way the live handler would, so a
+        request the router matched always resolves to the same artifact
+        the canonical path serves.
+        """
+        canonical = canonical_params(endpoint, params)
+        return self._by_endpoint.get((endpoint, _params_key(canonical)))
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every artifact's (path, content address), sorted.
+
+        Two stores built from the same scenario parameters are
+        guaranteed the same fingerprint; any byte of drift in any
+        response changes it.
+        """
+        digest = hashlib.sha256()
+        for path in sorted(self._by_path):
+            artifact = self._by_path[path]
+            digest.update(path.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(artifact.sha256.encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def manifest(self) -> dict:
+        """The ``repro.artifacts/1`` inventory of the sealed plane."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "count": len(self),
+            "total_bytes": self.total_bytes,
+            "fingerprint": self.fingerprint(),
+            "artifacts": [
+                {
+                    "path": artifact.path,
+                    "endpoint": artifact.endpoint,
+                    "sha256": artifact.sha256,
+                    "bytes": len(artifact.body),
+                }
+                for _, artifact in sorted(self._by_path.items())
+            ],
+        }
+
+
+def _route_params(artifact: Artifact) -> dict[str, str]:
+    """Recover the path params an artifact was rendered with."""
+    if artifact.endpoint == "exhibit":
+        return {"exhibit_id": artifact.path.rsplit("/", 1)[-1]}
+    if artifact.endpoint == "scorecard":
+        return {"country": artifact.path.rsplit("/", 1)[-1]}
+    return {}
+
+
+def build_artifact_store(
+    context: "ServeContext", workers: int = 1
+) -> ArtifactStore:
+    """Materialise the full static response surface for *context*.
+
+    Pays the (single-flight) scenario build if the pool is cold, then
+    renders every static endpoint through the live handler + envelope
+    path — in parallel on *workers* threads via the executor's
+    :func:`repro.exec.parallel_map` when asked — and seals the result.
+
+    Args:
+        context: The server's shared context (pool + scenario params).
+        workers: Threads for the render fan-out; 1 renders serially.
+    """
+    from repro.exec import parallel_map
+    from repro.serve import handlers
+    from repro.serve.pool import params_key
+
+    registry = get_registry()
+    handler_by_endpoint = {
+        "exhibits": handlers.handle_exhibits,
+        "report": handlers.handle_report,
+        "narrative": handlers.handle_narrative,
+        "exhibit": handlers.handle_exhibit,
+        "scorecard": handlers.handle_scorecard,
+    }
+
+    def render(spec: tuple[str, dict[str, str]]) -> Artifact:
+        endpoint, params = spec
+        body = envelope_bytes(handler_by_endpoint[endpoint](context, **params))
+        return Artifact(
+            path=path_for(endpoint, params),
+            endpoint=endpoint,
+            body=body,
+            etag=etag_for(body),
+        )
+
+    with registry.timer("serve.artifacts.build").time():
+        context.scenario()  # warm the pool before fanning out renders
+        artifacts = parallel_map(
+            render, static_surface(), max_workers=workers,
+            label="serve.artifacts.build",
+        )
+    store = ArtifactStore(artifacts, scenario_key=params_key(context.params))
+    registry.gauge("serve.artifacts.count").set(len(store))
+    registry.gauge("serve.artifacts.bytes").set(store.total_bytes)
+    return store

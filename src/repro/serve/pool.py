@@ -111,6 +111,7 @@ class ScenarioPool:
         entry.ready.set()
         with self._lock:
             self._entries[params_key(dict(params))] = entry
+        self._update_warm_gauge()
 
     def get(self, **params: object) -> Scenario:
         """The warm scenario for *params*, building it at most once.
@@ -142,6 +143,7 @@ class ScenarioPool:
             self.breaker.record_success()
             entry.scenario = scenario
             entry.ready.set()
+            self._update_warm_gauge()
             return scenario
 
         if not entry.ready.is_set():
@@ -167,6 +169,10 @@ class ScenarioPool:
         with self._lock:
             if self._entries.get(key) is entry:
                 del self._entries[key]
+
+    def _update_warm_gauge(self) -> None:
+        """Publish warm-scenario count (``serve.pool.warm``) for dashboards."""
+        get_registry().gauge("serve.pool.warm").set(len(self))
 
     def degraded_datasets(self) -> list[str]:
         """Dataset names degraded in any warm scenario (sorted, unique)."""

@@ -6,7 +6,14 @@ end — so the server renders each distinct response once, stamps it with
 a strong ETag (SHA-256 of the body bytes, see
 :func:`repro.serve.router.etag_for`), and replays the identical bytes
 forever after.  Entries are immutable; eviction is least-recently-used
-beyond a fixed capacity.
+past **either** bound: a fixed entry-count capacity and an optional
+total-body-bytes budget (``--response-cache-mb`` on the CLI), so a fan
+of large responses cannot grow the cache without limit even while the
+entry count stays small.
+
+Eviction observability: every evicted entry bumps the
+``serve.cache.evicted`` counter, and the ``serve.cache.bytes`` gauge
+tracks the resident body bytes after every mutation.
 
 The cache stores only *successful* responses: errors are cheap to
 recompute and must never be pinned (a 404 for an exhibit id added later
@@ -18,6 +25,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,18 +40,37 @@ class CachedResponse:
 
 
 class ResponseCache:
-    """Thread-safe LRU map from response keys to rendered responses."""
+    """Thread-safe LRU map from response keys to rendered responses.
 
-    def __init__(self, capacity: int = 256) -> None:
+    Args:
+        capacity: Maximum entry count (must be positive).
+        max_bytes: Optional budget for the sum of cached body bytes;
+            ``None`` disables the byte bound.  A single entry larger
+            than the whole budget is still admitted (correctness first:
+            the alternative is re-rendering it on every request) but
+            evicts everything else.
+    """
+
+    def __init__(self, capacity: int = 256, max_bytes: int | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, CachedResponse]" = OrderedDict()
+        self._bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of cached body bytes currently resident."""
+        with self._lock:
+            return self._bytes
 
     def get(self, key: tuple) -> CachedResponse | None:
         """The cached response for *key* (refreshing its recency), or None."""
@@ -53,13 +81,30 @@ class ResponseCache:
             return response
 
     def put(self, key: tuple, response: CachedResponse) -> None:
-        """Insert (or refresh) *key*, evicting the LRU tail past capacity."""
+        """Insert (or refresh) *key*, evicting LRU entries past either bound."""
         with self._lock:
+            previous = self._entries.get(key)
+            if previous is not None:
+                self._bytes -= len(previous.body)
             self._entries[key] = response
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            self._bytes += len(response.body)
+            evicted = 0
+            while len(self._entries) > self.capacity or (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= len(victim.body)
+                evicted += 1
+            registry = get_registry()
+            if evicted:
+                registry.counter("serve.cache.evicted").inc(evicted)
+            registry.gauge("serve.cache.bytes").set(self._bytes)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
+            get_registry().gauge("serve.cache.bytes").set(0)

@@ -77,6 +77,7 @@ from repro.serve.router import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.cache import DatasetCache
+    from repro.serve.artifacts import ArtifactStore
 
 #: Structured logger for the serving layer; every record emitted inside a
 #: request scope carries that request's ``request_id``/``trace_id``.
@@ -88,6 +89,10 @@ class ReproServer(ThreadingHTTPServer):
 
     daemon_threads = False  # server_close() must drain in-flight requests
     allow_reuse_address = True
+    # http.server's default backlog of 5 overflows under HTTP/1.0
+    # reconnect churn (every request is a fresh connection); overflow
+    # turns into multi-second SYN-retransmit tails on loopback.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -100,12 +105,16 @@ class ReproServer(ThreadingHTTPServer):
         max_inflight: int | None = None,
         trace_sample_rate: float = 0.0,
         trace_dir: Path | None = None,
+        artifacts: "ArtifactStore | None" = None,
     ) -> None:
         self.context = context
         self.router = router if router is not None else build_router()
         self.response_cache = (
             response_cache if response_cache is not None else ResponseCache()
         )
+        #: Optional sealed artifact plane consulted before the LRU
+        #: response cache (see :mod:`repro.serve.artifacts`).
+        self.artifacts = artifacts
         self.verbose = verbose
         #: Per-request wall-time budget; None disables deadlines.
         self.deadline_seconds = deadline_seconds
@@ -355,6 +364,18 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return 200, envelope_bytes(result), JSON_CONTENT_TYPE, None
 
         registry = get_registry()
+        if self.server.artifacts is not None:
+            # The sealed plane serves the whole static surface; the LRU
+            # below only ever sees responses the store does not carry.
+            artifact = self.server.artifacts.find(route.name, path_params)
+            if artifact is not None:
+                registry.counter("serve.artifact.hit").inc()
+                if_none_match = self.headers.get("If-None-Match")
+                if if_none_match and etag_matches(if_none_match, artifact.etag):
+                    registry.counter("serve.response.not_modified").inc()
+                    return 304, b"", artifact.content_type, artifact.etag
+                return 200, artifact.body, artifact.content_type, artifact.etag
+
         key = (
             self.server.scenario_key,
             route.name,
@@ -434,6 +455,7 @@ def create_server(
     params: dict[str, object] | None = None,
     prebuild: bool = False,
     cache_capacity: int = 256,
+    cache_max_bytes: int | None = None,
     verbose: bool = False,
     strict: bool = False,
     deadline_seconds: float | None = None,
@@ -441,6 +463,7 @@ def create_server(
     breaker: CircuitBreaker | None = None,
     trace_sample_rate: float = 0.0,
     trace_dir: Path | None = None,
+    artifacts: bool = False,
 ) -> ReproServer:
     """A ready-to-serve :class:`ReproServer` (socket bound, not serving).
 
@@ -453,7 +476,9 @@ def create_server(
         prebuild: Build the scenario before returning so the first
             request is warm (the ``repro serve`` default); False leaves
             the build to the first request (single-flight).
-        cache_capacity: LRU response-cache capacity.
+        cache_capacity: LRU response-cache capacity (entries).
+        cache_max_bytes: Optional LRU budget on cached body bytes
+            (``--response-cache-mb`` on the CLI); None disables it.
         verbose: Log one line per request to stderr.
         strict: Scenario strictness for pooled builds (lenient default:
             a broken dataset degrades instead of failing every request).
@@ -465,22 +490,34 @@ def create_server(
             (deterministic head sampling on the trace id; 0 disables).
         trace_dir: Directory sampled requests export ``repro.trace/1``
             artifacts into; None keeps spans in memory.
+        artifacts: Build the sealed static artifact plane up front and
+            serve the whole cacheable surface from it (implies paying
+            the scenario build, like ``prebuild``); False keeps the
+            historical render-on-demand + LRU behaviour.
     """
     pool = ScenarioPool(
         cache=cache, build_workers=jobs, strict=strict, breaker=breaker
     )
     context = ServeContext(pool=pool, params=dict(params or {}))
+    store = None
+    if artifacts:
+        from repro.serve.artifacts import build_artifact_store
+
+        store = build_artifact_store(context, workers=jobs)
     server = ReproServer(
         (host, port),
         context,
-        response_cache=ResponseCache(capacity=cache_capacity),
+        response_cache=ResponseCache(
+            capacity=cache_capacity, max_bytes=cache_max_bytes
+        ),
         verbose=verbose,
         deadline_seconds=deadline_seconds,
         max_inflight=max_inflight,
         trace_sample_rate=trace_sample_rate,
         trace_dir=trace_dir,
+        artifacts=store,
     )
-    if prebuild:
+    if prebuild and store is None:
         context.scenario()
     return server
 

@@ -1,0 +1,56 @@
+"""Shared serve-test fixtures: the sealed artifact plane and aio boots.
+
+The artifact store renders the whole static surface once per session
+(from the shared session scenario, so no extra builds), and the
+``aio_served`` factory boots an :class:`AioReproServer` on an ephemeral
+port inside a background event-loop thread, draining it at teardown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.aio import AioReproServer
+from repro.serve.artifacts import build_artifact_store
+from repro.serve.handlers import ServeContext
+from repro.serve.pool import ScenarioPool
+
+
+@pytest.fixture(scope="session")
+def artifact_plane(scenario):
+    """(ServeContext, ArtifactStore) over the session scenario."""
+    pool = ScenarioPool()
+    pool.seed(scenario)
+    context = ServeContext(pool=pool)
+    return context, build_artifact_store(context)
+
+
+@pytest.fixture
+def aio_served(artifact_plane):
+    """Factory booting aio servers; every boot is drained at teardown."""
+    context, store = artifact_plane
+    booted: list[tuple[AioReproServer, threading.Thread]] = []
+
+    def boot(**kwargs) -> AioReproServer:
+        server = AioReproServer(context, store, **kwargs)
+        ready = threading.Event()
+
+        async def main() -> None:
+            await server.start()
+            ready.set()
+            await server.wait_drained()
+            await server._close()
+
+        thread = threading.Thread(target=lambda: asyncio.run(main()), daemon=True)
+        thread.start()
+        assert ready.wait(30), "aio server failed to start"
+        booted.append((server, thread))
+        return server
+
+    yield boot
+    for server, thread in booted:
+        server.initiate_shutdown()
+        thread.join(timeout=30)

@@ -59,3 +59,46 @@ def test_clear_empties():
 def test_rejects_nonpositive_capacity():
     with pytest.raises(ValueError):
         ResponseCache(capacity=0)
+
+
+# -- byte budget -------------------------------------------------------------
+
+
+def test_byte_budget_evicts_lru_past_the_bound():
+    cache = ResponseCache(capacity=100, max_bytes=10)
+    cache.put(("a",), _resp("aaaa"))  # 4 bytes
+    cache.put(("b",), _resp("bbbb"))  # 8 bytes
+    cache.put(("c",), _resp("cccc"))  # 12 bytes: evicts ("a",)
+    assert cache.get(("a",)) is None
+    assert cache.get(("b",)) is not None
+    assert cache.get(("c",)) is not None
+    assert cache.total_bytes == 8
+
+
+def test_oversized_single_entry_is_still_admitted():
+    cache = ResponseCache(capacity=100, max_bytes=4)
+    cache.put(("big",), _resp("x" * 64))
+    assert cache.get(("big",)) is not None  # correctness over the budget
+    assert cache.total_bytes == 64
+    cache.put(("small",), _resp("y"))  # pushes past budget: big is LRU
+    assert cache.get(("big",)) is None
+    assert cache.get(("small",)) is not None
+
+
+def test_eviction_counter_and_bytes_gauge():
+    from repro.obs import get_registry
+
+    cache = ResponseCache(capacity=2)
+    cache.put(("a",), _resp("aa"))
+    cache.put(("b",), _resp("bb"))
+    assert get_registry().gauge("serve.cache.bytes").value == 4
+    cache.put(("c",), _resp("cc"))  # evicts ("a",)
+    assert get_registry().counter("serve.cache.evicted").value == 1
+    assert get_registry().gauge("serve.cache.bytes").value == 4
+    cache.clear()
+    assert get_registry().gauge("serve.cache.bytes").value == 0
+
+
+def test_rejects_nonpositive_max_bytes():
+    with pytest.raises(ValueError):
+        ResponseCache(max_bytes=0)
