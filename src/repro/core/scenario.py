@@ -112,11 +112,19 @@ class Scenario:
             Like ``cache``, the reliability knobs are excluded from
             equality — they change how the world is built, not what it
             describes.
+        overlay: Optional :class:`repro.ingest.overlay.IngestOverlay`
+            of journaled appends merged onto the affected datasets after
+            materialisation.  Unlike the reliability knobs it *does*
+            take part in equality — a scenario with appended months
+            describes a different world — and the base cache entries
+            stay keyed on the overlay-free parameters, so only the
+            dirty partitions pay any rebuild.
     """
 
     ndt_tests_per_month: int = 40
     gpdns_samples_per_month: int = 2
     seed: int = 20_240_804
+    overlay: object | None = field(default=None, repr=False)
     cache: "DatasetCache | None" = field(default=None, compare=False, repr=False)
     strict: bool = field(default=True, compare=False, repr=False)
     retry: RetryPolicy | None = field(default=None, compare=False, repr=False)
@@ -191,7 +199,7 @@ class Scenario:
             cached = self.cache.load(name, params)
             if not isinstance(cached, CacheMiss):
                 registry.counter("scenario.cache.hit").inc()
-                return cached  # type: ignore[return-value]
+                return self._with_overlay(name, cached)  # type: ignore[return-value]
             if cached.reason == "corrupt":
                 registry.counter("scenario.cache.corrupt").inc()
             registry.counter("scenario.cache.miss").inc()
@@ -240,10 +248,25 @@ class Scenario:
             )
 
         if self.cache is not None:
-            self.cache.store(name, self.cache_params(), value)
-            registry.counter("scenario.cache.store").inc()
+            # store() degrades to None on write errors (ENOSPC and kin);
+            # only a landed entry counts as stored.
+            if self.cache.store(name, self.cache_params(), value) is not None:
+                registry.counter("scenario.cache.store").inc()
         registry.counter("scenario.dataset.built").inc()
-        return value
+        return self._with_overlay(name, value)
+
+    def _with_overlay(self, name: str, value: T) -> T:
+        """*value* with any journaled appends for *name* merged in.
+
+        The base value (cached or freshly built) never includes appended
+        records — overlay shards are cached separately and merged here,
+        on the way out, so base cache entries stay valid across appends.
+        """
+        if self.overlay is None:
+            return value
+        from repro.ingest.overlay import apply_overlay
+
+        return apply_overlay(self, name, value)
 
     # -- degradation introspection -------------------------------------------
 

@@ -56,6 +56,7 @@ import pickle
 import sys
 import tempfile
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -65,7 +66,7 @@ import numpy as np
 
 from repro.columnar import ColumnBatch, UnknownBatchKind, batch_class
 from repro.exec.dag import code_fingerprint
-from repro.obs import get_registry
+from repro.obs import get_logger, get_registry
 
 #: Envelope schema stamped into (and required from) every entry.
 CACHE_SCHEMA = "repro.cache/2"
@@ -81,6 +82,12 @@ _KEY_PREFIX_LEN = 16
 
 #: Hex digits of the content digest suffixed to quarantined entries.
 _QUARANTINE_DIGEST_LEN = 8
+
+#: Age (seconds) past which an orphaned ``.*.tmp`` write is presumed
+#: dead and swept; young temp files may belong to a live writer.
+_TMP_SWEEP_AGE = 3600.0
+
+_LOG = get_logger("repro.exec.cache")
 
 _GC_PAUSE_LOCK = threading.Lock()
 _GC_PAUSE_DEPTH = 0
@@ -177,6 +184,7 @@ class DatasetCache:
 
     def __init__(self, root: Path | str | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.sweep_tmp()
 
     # -- keys ---------------------------------------------------------------
 
@@ -190,13 +198,18 @@ class DatasetCache:
         transitive dependency (see :func:`repro.exec.dag.code_fingerprint`).
         The schema is part of the document, so a codec bump rekeys every
         dataset at once.
+
+        Ingest partition shards are named ``<dataset>@<partition>``
+        (see :mod:`repro.ingest.overlay`); the code fingerprint is that
+        of the base dataset, with the partition identity carried in
+        *params* instead.
         """
         document = json.dumps(
             {
                 "schema": CACHE_SCHEMA,
                 "dataset": name,
                 "params": params,
-                "code": code_fingerprint(name),
+                "code": code_fingerprint(name.partition("@")[0]),
             },
             sort_keys=True,
         )
@@ -321,12 +334,20 @@ class DatasetCache:
         except OSError:
             self._discard(path)  # rename failed; fall back to removal
 
-    def store(self, name: str, params: dict[str, object], value: object) -> Path:
+    def store(
+        self, name: str, params: dict[str, object], value: object
+    ) -> Path | None:
         """Write (*name*, *params*) -> *value* atomically; returns the path.
 
         Column batches are written as raw column buffers (their ``kind``
         and ``meta()`` in the header); everything else falls back to a
         single pickle column under ``"kind": "pickle"``.
+
+        Storage failures (ENOSPC, read-only roots, permission walls)
+        degrade to cache-off for this entry: the build's value is still
+        perfectly good, so the error is absorbed — counted in
+        ``cache.write_errors`` and logged as a ``cache.write_failed``
+        warning — and ``None`` comes back instead of a path.
         """
         path = self.entry_path(name, params)
         if isinstance(value, ColumnBatch):
@@ -353,22 +374,63 @@ class DatasetCache:
             },
             sort_keys=True,
         )
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=f".{name}-", suffix=".tmp"
-        )
+        tmp_name = None
         try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=f".{name}-", suffix=".tmp"
+            )
             with os.fdopen(fd, "wb") as handle:
                 handle.write(header.encode() + b"\n")
                 for _spec, array in columns:
                     handle.write(array.data)
             os.replace(tmp_name, path)
+        except OSError as exc:
+            if tmp_name is not None:
+                self._discard(Path(tmp_name))
+            get_registry().counter("cache.write_errors").inc()
+            _LOG.warning(
+                "cache.write_failed",
+                dataset=name,
+                path=str(path),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return None
         except BaseException:
-            self._discard(Path(tmp_name))
+            if tmp_name is not None:
+                self._discard(Path(tmp_name))
             raise
         return path
 
     # -- maintenance --------------------------------------------------------
+
+    def sweep_tmp(self, max_age_seconds: float = _TMP_SWEEP_AGE) -> int:
+        """Remove stale ``.*.tmp`` files left behind by killed writers.
+
+        Atomic stores that die between ``mkstemp`` and ``os.replace``
+        orphan their temp file; those can never become live entries, so
+        they are pure leaked disk.  Swept on every cache construction.
+        Files younger than *max_age_seconds* are left alone — they may
+        belong to a writer that is still running.  Returns the count
+        removed (also in the ``cache.tmp_swept`` counter).
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for path in self.root.glob(".*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue  # racing writer or sweeper; nothing leaked
+        if removed:
+            get_registry().counter("cache.tmp_swept").inc(removed)
+            _LOG.warning(
+                "cache.tmp_swept", directory=str(self.root), removed=removed
+            )
+        return removed
 
     def entries(self) -> Iterator[Path]:
         """Every entry file in the cache directory (legacy v1 included)."""

@@ -32,6 +32,9 @@ SERVE_REQUEST_PREFIX = "serve.request."
 #: quarantine counters, build retries, the serve circuit breaker, and
 #: injected faults.
 INGEST_PREFIX = "ingest."
+#: The durable ingestion journal (see ``docs/INGEST.md``): appends,
+#: replays, torn-tail truncations, checkpoints.
+WAL_PREFIX = "wal."
 RETRY_PREFIX = "retry."
 BREAKER_PREFIX = "breaker."
 FAULTS_PREFIX = "faults."

@@ -703,8 +703,12 @@ def run_workers(
     host: str,
     port: int,
     on_bound=None,
+    max_restarts: int = 5,
+    restart_window: float = 30.0,
+    backoff_base: float = 0.1,
+    backoff_cap: float = 5.0,
 ) -> int:
-    """Pre-forked multi-worker serving over ``SO_REUSEPORT`` sockets.
+    """Pre-forked multi-worker serving with a supervising parent.
 
     Binds once in the parent (so an ephemeral port is resolved before
     forking and printed URLs are accurate), then forks *workers*
@@ -713,6 +717,19 @@ def run_workers(
     spreads accepts across them (platforms without ``SO_REUSEPORT``
     fall back to sharing the one inherited socket).  The parent forwards
     SIGTERM/SIGINT to every worker and waits for all of them to drain.
+
+    The parent *supervises*: a worker that exits without a shutdown
+    having been requested is respawned into its slot after a bounded
+    exponential backoff (``backoff_base * 2^restarts``, capped at
+    ``backoff_cap`` seconds), counted in ``serve.workers.restarted``.
+    More than *max_restarts* exits inside any *restart_window*-second
+    span means the fleet is crash-looping — the supervisor stops
+    respawning, terminates the survivors, and raises ``SystemExit(1)``
+    so the failure is loud instead of a silent capacity leak.
+
+    Only the supervisor's own worker pids are ever reaped (per-pid
+    ``waitpid(WNOHANG)`` polling, never ``wait()``): process-pool
+    children spawned by builds stay untouched.
 
     Args:
         make_server: ``(sock) -> AioReproServer`` factory, called in
@@ -723,16 +740,25 @@ def run_workers(
             shared by every worker.
         on_bound: Optional ``(resolved_port) -> None`` called in the
             parent after binding, before forking (URL announcements).
+        max_restarts: Worker exits tolerated per *restart_window*
+            before the supervisor gives up.
+        restart_window: Sliding window (seconds) for *max_restarts*.
+        backoff_base: First-respawn delay per slot (seconds); doubles
+            per subsequent restart of the same slot.
+        backoff_cap: Upper bound on any respawn delay (seconds).
 
     Returns:
         The resolved port (useful when *port* was 0).
+
+    Raises:
+        SystemExit: code 1 when the crash-loop bound is exceeded.
     """
     sock0 = _reuseport_socket(host, port)
     resolved_port = sock0.getsockname()[1]
     if on_bound is not None:
         on_bound(resolved_port)
     reuseport = hasattr(socket, "SO_REUSEPORT")
-    pids: list[int] = []
+    pids: dict[int, int] = {}  # live pid -> worker slot
     received: list[int] = []
 
     # The forwarder must be installed *before* the first fork: worker 0
@@ -741,7 +767,7 @@ def run_workers(
     # the default disposition and kill the parent without draining.
     def _forward(signum: int, _frame: object) -> None:
         received.append(signum)
-        for child in pids:
+        for child in list(pids):
             try:
                 os.kill(child, signum)
             except ProcessLookupError:
@@ -751,47 +777,124 @@ def run_workers(
         signum: signal.signal(signum, _forward)
         for signum in (signal.SIGTERM, signal.SIGINT)
     }
+
+    def _spawn(index: int) -> None:
+        pid = os.fork()
+        if pid == 0:  # child
+            status = 0
+            try:
+                for signum in previous:  # inherited _forward is the
+                    signal.signal(signum, signal.SIG_DFL)  # parent's
+                if received:  # shutdown already requested pre-fork
+                    os._exit(0)
+                if index == 0 or not reuseport:
+                    sock = sock0
+                else:
+                    sock0.close()
+                    sock = _reuseport_socket(host, resolved_port)
+                server = make_server(sock)
+                run_aio(server)
+            except BaseException:
+                import traceback
+
+                traceback.print_exc()
+                status = 1
+            finally:
+                os._exit(status)
+        pids[pid] = index
+
+    def _terminate_all() -> None:
+        for child in list(pids):
+            try:
+                os.kill(child, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        for child in list(pids):
+            while True:
+                try:
+                    os.waitpid(child, 0)
+                    break
+                except InterruptedError:
+                    continue
+                except ChildProcessError:
+                    break
+            pids.pop(child, None)
+
+    from collections import deque
+
+    restart_times: deque[float] = deque()
+    slot_restarts = [0] * workers
+    pending: list[tuple[float, int]] = []  # (respawn due, worker slot)
     try:
         for index in range(workers):
-            pid = os.fork()
-            if pid == 0:  # child
-                status = 0
-                try:
-                    for signum in previous:  # inherited _forward is the
-                        signal.signal(signum, signal.SIG_DFL)  # parent's
-                    if received:  # shutdown already requested pre-fork
-                        os._exit(0)
-                    if index == 0 or not reuseport:
-                        sock = sock0
-                    else:
-                        sock0.close()
-                        sock = _reuseport_socket(host, resolved_port)
-                    server = make_server(sock)
-                    run_aio(server)
-                except BaseException:
-                    import traceback
-
-                    traceback.print_exc()
-                    status = 1
-                finally:
-                    os._exit(status)
-            pids.append(pid)
-        sock0.close()
+            _spawn(index)
         # A signal handled mid-loop only reached the already-forked
         # subset; resend it now that every pid is known (children that
         # already got it shut down idempotently).
         for signum in list(received):
             _forward(signum, None)
-        for child in pids:
-            while True:
-                try:
-                    os.waitpid(child, 0)
+        while pids or pending:
+            if received:
+                pending.clear()  # shutting down: no more respawns
+                if not pids:
                     break
-                except InterruptedError:  # signal arrived; keep waiting
+            reaped = False
+            for pid in list(pids):
+                try:
+                    done, status = os.waitpid(pid, os.WNOHANG)
+                except InterruptedError:
                     continue
                 except ChildProcessError:
-                    break
+                    done, status = pid, 0
+                if done == 0:
+                    continue
+                slot = pids.pop(pid)
+                reaped = True
+                if received:
+                    continue  # expected exit during shutdown
+                exitcode = os.waitstatus_to_exitcode(status)
+                now = time.monotonic()
+                restart_times.append(now)
+                while restart_times and now - restart_times[0] > restart_window:
+                    restart_times.popleft()
+                if len(restart_times) > max_restarts:
+                    _LOG.error(
+                        "serve.workers.crash_loop",
+                        exits=len(restart_times),
+                        window_seconds=restart_window,
+                        slot=slot,
+                        exitcode=exitcode,
+                    )
+                    _terminate_all()
+                    raise SystemExit(1)
+                delay = min(
+                    backoff_cap, backoff_base * (2 ** slot_restarts[slot])
+                )
+                slot_restarts[slot] += 1
+                pending.append((now + delay, slot))
+                _LOG.warning(
+                    "serve.worker.exited",
+                    slot=slot,
+                    pid=pid,
+                    exitcode=exitcode,
+                    respawn_in_seconds=round(delay, 3),
+                    restarts=slot_restarts[slot],
+                )
+            if not received:
+                now = time.monotonic()
+                for item in list(pending):
+                    due, slot = item
+                    if due <= now:
+                        pending.remove(item)
+                        _spawn(slot)
+                        get_registry().counter("serve.workers.restarted").inc()
+            if (pids or pending) and not reaped:
+                time.sleep(0.05)
     finally:
+        try:
+            sock0.close()
+        except OSError:
+            pass
         for signum, handler in previous.items():
             signal.signal(signum, handler)  # type: ignore[arg-type]
     return resolved_port

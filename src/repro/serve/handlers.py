@@ -41,11 +41,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class ServeContext:
-    """What every handler gets: pool, parameter set, and the SLO tracker."""
+    """What every handler gets: pool, parameter set, and the SLO tracker.
+
+    ``ingest`` is the durable ingestion front-end (a
+    :class:`~repro.serve.ingestor.ServeIngestor`) when the server was
+    started with ``--ingest-dir``; None keeps the API read-only and
+    ``POST /v1/ingest`` answers 503.
+    """
 
     pool: ScenarioPool
     params: dict[str, object] = field(default_factory=dict)
     slo: SLOTracker = field(default_factory=SLOTracker)
+    ingest: object | None = None
 
     def scenario(self) -> "Scenario":
         """The shared warm scenario (single-flight build when cold)."""
@@ -145,7 +152,57 @@ def handle_healthz(ctx: ServeContext) -> dict:
     }
     if degraded:
         payload["degraded_datasets"] = degraded
+    if ctx.ingest is not None:
+        payload["ingest"] = ctx.ingest.status()
     return payload
+
+
+def handle_ingest(
+    ctx: ServeContext, format: str, body: bytes = b"", meta: dict | None = None
+) -> dict:
+    """POST /v1/ingest/{format} — journal one batch, at-least-once.
+
+    The body is the batch (JSONL for row feeds, one whole dump for
+    PeeringDB); query parameters become the batch ``meta`` (PeeringDB
+    needs ``?month=YYYY-MM``).  The 2xx response is the journal receipt
+    — by then the batch is fsync'd, so a crash cannot lose it and an
+    identical retry is re-acked as a duplicate.
+
+    Error mapping: 404 unknown format, 413 oversized body (from the
+    server's cap), 422 invalid batch, 429 + ``Retry-After`` when the
+    un-applied backlog is at its bound, 503 when ingestion is disabled.
+    """
+    from repro.ingest import ErrorBudgetExceeded
+    from repro.ingest.formats import FORMATS
+    from repro.ingest.service import IngestBacklogError, IngestValidationError
+
+    if ctx.ingest is None:
+        raise HTTPError(
+            503,
+            "ingestion disabled; start the server with --ingest-dir",
+            reason="IngestDisabled",
+        )
+    if format not in FORMATS:
+        raise HTTPError(
+            404, f"unknown ingest format: {format}", known=sorted(FORMATS)
+        )
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise HTTPError(422, f"body is not valid UTF-8: {exc}") from None
+    try:
+        receipt = ctx.ingest.submit(format, text.splitlines(), meta)
+    except IngestBacklogError as exc:
+        raise HTTPError(
+            429,
+            str(exc),
+            headers={"Retry-After": str(exc.retry_after)},
+            backlog=exc.backlog,
+            limit=exc.limit,
+        ) from None
+    except (IngestValidationError, ErrorBudgetExceeded, ValueError) as exc:
+        raise HTTPError(422, str(exc)) from None
+    return receipt.to_dict()
 
 
 def handle_metrics(ctx: ServeContext) -> RawResponse:
@@ -182,4 +239,12 @@ def build_router() -> Router:
     router.add("report", "GET", "/v1/report", handle_report)
     router.add("narrative", "GET", "/v1/narrative", handle_narrative)
     router.add("scorecard", "GET", "/v1/scorecard/{country}", handle_scorecard)
+    router.add(
+        "ingest",
+        "POST",
+        "/v1/ingest/{format}",
+        handle_ingest,
+        cacheable=False,
+        accepts_body=True,
+    )
     return router

@@ -1,0 +1,134 @@
+"""The serving side of durable ingestion: accept, apply, hot-swap.
+
+:class:`ServeIngestor` glues the transport-agnostic
+:class:`~repro.ingest.service.IngestService` to a live
+:class:`~repro.serve.server.ReproServer`:
+
+* ``submit`` journals the batch (the caller's 2xx receipt) and nudges
+  the single background apply thread;
+* the apply thread folds the whole journal into an overlay, rebuilds
+  only the dirty partitions plus the sealed artifact store, and
+  atomically swaps the server's :class:`ServingSurface` — the old
+  generation keeps serving until the new fingerprint is ready, and the
+  checkpoint commits only after the rebuild succeeded;
+* an apply failure keeps the old surface and the journal intact
+  (counted in ``ingest.apply.errors``): the batches stay acked and the
+  next apply — or startup recovery — retries them.
+
+One apply covers every batch journaled before it started (folding is
+per-journal, not per-batch), so a burst of submissions coalesces into a
+single rebuild the same way the scenario pool coalesces cold builds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Iterable
+
+from repro.ingest.service import ApplyResult, IngestService, Receipt, apply_ingest
+from repro.obs import get_logger, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.cache import DatasetCache
+    from repro.serve.server import ReproServer
+
+_LOG = get_logger("repro.serve.ingestor")
+
+
+class ServeIngestor:
+    """Background journal application and surface hot-swap for one server."""
+
+    def __init__(
+        self,
+        server: "ReproServer",
+        service: IngestService,
+        cache: "DatasetCache | None" = None,
+        jobs: int = 1,
+        strict: bool = False,
+    ) -> None:
+        self.server = server
+        self.service = service
+        self.cache = cache
+        self.jobs = jobs
+        self.strict = strict
+        self._apply_lock = threading.Lock()
+        self._wakeup = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- the transport-facing API (handle_ingest calls these) ----------------
+
+    def status(self) -> dict:
+        """The ``/healthz`` ingest section."""
+        return self.service.status()
+
+    def submit(
+        self,
+        format_name: str,
+        lines: Iterable[str],
+        meta: dict[str, str] | None = None,
+    ) -> Receipt:
+        """Journal one batch and schedule a background apply."""
+        receipt = self.service.submit(format_name, lines, meta)
+        self._schedule_apply()
+        return receipt
+
+    # -- application ---------------------------------------------------------
+
+    def apply_now(self, force: bool = False) -> ApplyResult | None:
+        """Apply the journal synchronously; None when nothing is pending.
+
+        Serialised with the background thread: concurrent calls fold
+        into one rebuild because the journal is re-read under the lock.
+        *force* rebuilds even with an empty backlog — startup uses it to
+        swap in the already-checkpointed journal the fresh base surface
+        does not carry.
+        """
+        with self._apply_lock:
+            if self.service.backlog() == 0 and not force:
+                return None
+            old = self.server.surface
+            base_params = {
+                key: value
+                for key, value in old.context.params.items()
+                if key != "overlay"
+            }
+            result = apply_ingest(
+                self.service,
+                self.cache,
+                base_params,
+                jobs=self.jobs,
+                strict=self.strict,
+            )
+            context = result.context
+            # The new generation inherits the serving identity that must
+            # span swaps: the SLO window and this ingest front-end.
+            context.slo = old.context.slo
+            context.ingest = self
+            self.server.swap_surface(context, result.store)
+            return result
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the background apply thread to drain (tests, drills)."""
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def _schedule_apply(self) -> None:
+        self._wakeup.set()
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._apply_loop, name="serve-ingest-apply", daemon=True
+            )
+            self._thread.start()
+
+    def _apply_loop(self) -> None:
+        while self._wakeup.is_set():
+            self._wakeup.clear()
+            try:
+                self.apply_now()
+            except Exception as exc:
+                # The old surface keeps serving and the journal keeps the
+                # acked batches; the next submit (or restart) retries.
+                get_registry().counter("ingest.apply.errors").inc()
+                _LOG.exception("ingest.apply_failed", exc)
+                return

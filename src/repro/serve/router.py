@@ -80,6 +80,11 @@ class Route:
         cacheable: Whether responses may enter the LRU response cache
             (and therefore carry ETags).  Live views (``/healthz``,
             ``/metrics``) are not cacheable.
+        accepts_body: Whether the server should read the request body
+            (bounded by its size cap) and pass it to the handler as
+            ``body=`` bytes plus the query string as a ``meta=`` dict.
+            Only mutation endpoints (``POST /v1/ingest/...``) opt in;
+            everything else has its body discarded unread.
     """
 
     name: str
@@ -87,6 +92,7 @@ class Route:
     pattern: str
     handler: Handler
     cacheable: bool = True
+    accepts_body: bool = False
     segments: tuple[str, ...] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -125,9 +131,12 @@ class Router:
         pattern: str,
         handler: Handler,
         cacheable: bool = True,
+        accepts_body: bool = False,
     ) -> Route:
         """Register and return a route."""
-        route = Route(name, method.upper(), pattern, handler, cacheable)
+        route = Route(
+            name, method.upper(), pattern, handler, cacheable, accepts_body
+        )
         self._routes.append(route)
         return route
 

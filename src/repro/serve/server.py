@@ -47,7 +47,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import TYPE_CHECKING
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.degrade import DatasetDegradedError
 from repro.obs import (
@@ -83,6 +83,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: request scope carries that request's ``request_id``/``trace_id``.
 _LOG = get_logger("repro.serve")
 
+#: Bound on request bodies for routes that accept one (``/v1/ingest``);
+#: larger submissions get 413 before a byte of the body is buffered.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class ServingSurface:
+    """One immutable serving generation: context, sealed artifacts, key.
+
+    The server holds exactly one reference to the current surface;
+    swapping generations is a single attribute assignment (atomic under
+    the GIL), and every request captures the surface once at dispatch —
+    so a request either sees the whole old world or the whole new one,
+    never a mix of contexts and artifact stores.
+    """
+
+    __slots__ = ("context", "artifacts", "scenario_key", "generation")
+
+    def __init__(
+        self,
+        context: ServeContext,
+        artifacts: "ArtifactStore | None" = None,
+        generation: int = 0,
+    ) -> None:
+        self.context = context
+        self.artifacts = artifacts
+        self.scenario_key = params_key(context.params)
+        self.generation = generation
+
 
 class ReproServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the API's shared state."""
@@ -107,14 +135,13 @@ class ReproServer(ThreadingHTTPServer):
         trace_dir: Path | None = None,
         artifacts: "ArtifactStore | None" = None,
     ) -> None:
-        self.context = context
+        #: The current serving generation; replaced whole by
+        #: :meth:`swap_surface` after an ingest apply.
+        self.surface = ServingSurface(context, artifacts)
         self.router = router if router is not None else build_router()
         self.response_cache = (
             response_cache if response_cache is not None else ResponseCache()
         )
-        #: Optional sealed artifact plane consulted before the LRU
-        #: response cache (see :mod:`repro.serve.artifacts`).
-        self.artifacts = artifacts
         self.verbose = verbose
         #: Per-request wall-time budget; None disables deadlines.
         self.deadline_seconds = deadline_seconds
@@ -132,9 +159,47 @@ class ReproServer(ThreadingHTTPServer):
         )
         self._inflight_lock = threading.Lock()
         self._inflight_count = 0
-        #: Scenario-parameter component of every response-cache key.
-        self.scenario_key = params_key(context.params)
         super().__init__(address, _RequestHandler)
+
+    # The surface's pieces, exposed under their historical names; reads
+    # that must be generation-consistent capture ``self.surface`` once.
+
+    @property
+    def context(self) -> ServeContext:
+        return self.surface.context
+
+    @property
+    def artifacts(self) -> "ArtifactStore | None":
+        return self.surface.artifacts
+
+    @property
+    def scenario_key(self):
+        """Scenario-parameter component of every response-cache key."""
+        return self.surface.scenario_key
+
+    def swap_surface(
+        self, context: ServeContext, artifacts: "ArtifactStore | None"
+    ) -> ServingSurface:
+        """Atomically replace the serving surface with a new generation.
+
+        The old surface keeps serving any request that captured it; new
+        requests see the new one.  Response-cache entries need no flush:
+        their keys embed the scenario key, which changes with the
+        overlay.
+        """
+        surface = ServingSurface(
+            context, artifacts, generation=self.surface.generation + 1
+        )
+        self.surface = surface
+        registry = get_registry()
+        registry.counter("serve.surface.swapped").inc()
+        registry.gauge("serve.surface.generation").set(surface.generation)
+        _LOG.info(
+            "serve.surface.swapped",
+            generation=surface.generation,
+            artifacts=artifacts.fingerprint() if artifacts is not None else None,
+        )
+        return surface
 
     def inflight_delta(self, delta: int) -> None:
         """Track in-flight requests into the ``serve.inflight.current`` gauge."""
@@ -203,10 +268,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _dispatch_in_context(self, method: str) -> None:
         registry = get_registry()
         registry.counter("serve.requests").inc()
-        path = urlsplit(self.path).path
+        # One surface per request: every lookup below (context,
+        # artifacts, cache key) comes from this capture, so a
+        # mid-request swap_surface() cannot mix generations.
+        self._surface = self.server.surface
+        parts = urlsplit(self.path)
+        path = parts.path
         t0 = time.perf_counter()
         try:
             route, path_params = self.server.router.match(method, path)
+            self._read_body(route, parts.query)
         except HTTPError as err:
             self._send_error(err)
             self._finish_request(method, path, None, err.status, t0)
@@ -317,12 +388,38 @@ class _RequestHandler(BaseHTTPRequestHandler):
             pass
         return status
 
+    def _read_body(self, route, query: str) -> None:
+        """Buffer the request body for routes that accept one.
+
+        Non-body routes never read their body (HTTP/1.0, one request
+        per connection — there is nothing after it on the socket).
+        Oversized submissions fail fast with 413.
+        """
+        self._request_body = b""
+        self._request_meta: dict[str, str] = {}
+        if not route.accepts_body:
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise HTTPError(422, "unparseable Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise HTTPError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte bound",
+            )
+        self._request_body = self.rfile.read(length) if length > 0 else b""
+        self._request_meta = {
+            key: values[-1] for key, values in parse_qs(query).items()
+        }
+
     def _finish_request(
         self, method: str, path: str, route, status: int, t0: float
     ) -> None:
         """Post-response bookkeeping: SLO observation and the access log."""
         duration = time.perf_counter() - t0
-        slo = self.server.context.slo
+        slo = self._surface.context.slo
         if slo is not None:
             slo.record(ok=status < 500, latency_seconds=duration)
         if self.server.verbose:
@@ -357,17 +454,22 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _render(
         self, route, path_params: dict[str, str]
     ) -> tuple[int, bytes, str, str | None]:
+        surface = self._surface
         if not route.cacheable:
-            result = route.handler(self.server.context, **path_params)
+            kwargs: dict[str, object] = dict(path_params)
+            if route.accepts_body:
+                kwargs["body"] = self._request_body
+                kwargs["meta"] = self._request_meta
+            result = route.handler(surface.context, **kwargs)
             if isinstance(result, RawResponse):
                 return result.status, result.body, result.content_type, None
             return 200, envelope_bytes(result), JSON_CONTENT_TYPE, None
 
         registry = get_registry()
-        if self.server.artifacts is not None:
+        if surface.artifacts is not None:
             # The sealed plane serves the whole static surface; the LRU
             # below only ever sees responses the store does not carry.
-            artifact = self.server.artifacts.find(route.name, path_params)
+            artifact = surface.artifacts.find(route.name, path_params)
             if artifact is not None:
                 registry.counter("serve.artifact.hit").inc()
                 if_none_match = self.headers.get("If-None-Match")
@@ -377,14 +479,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 return 200, artifact.body, artifact.content_type, artifact.etag
 
         key = (
-            self.server.scenario_key,
+            surface.scenario_key,
             route.name,
             tuple(sorted(path_params.items())),
         )
         cached = self.server.response_cache.get(key)
         if cached is None:
             registry.counter("serve.cache.miss").inc()
-            payload = route.handler(self.server.context, **path_params)
+            payload = route.handler(surface.context, **path_params)
             body = envelope_bytes(payload)
             cached = CachedResponse(
                 body=body, etag=etag_for(body), content_type=JSON_CONTENT_TYPE
@@ -464,6 +566,8 @@ def create_server(
     trace_sample_rate: float = 0.0,
     trace_dir: Path | None = None,
     artifacts: bool = False,
+    ingest_dir: Path | str | None = None,
+    ingest_max_backlog: int | None = None,
 ) -> ReproServer:
     """A ready-to-serve :class:`ReproServer` (socket bound, not serving).
 
@@ -494,6 +598,14 @@ def create_server(
             serve the whole cacheable surface from it (implies paying
             the scenario build, like ``prebuild``); False keeps the
             historical render-on-demand + LRU behaviour.
+        ingest_dir: Journal directory enabling ``POST /v1/ingest``;
+            startup replays the journal and, when acked batches are
+            still unapplied, applies them (rebuilding dirty partitions
+            and swapping the surface) before the socket starts serving.
+            None keeps the API read-only.
+        ingest_max_backlog: Bound on acked-but-unapplied batches before
+            submissions get 429 (default
+            :data:`repro.ingest.service.DEFAULT_MAX_BACKLOG`).
     """
     pool = ScenarioPool(
         cache=cache, build_workers=jobs, strict=strict, breaker=breaker
@@ -517,6 +629,34 @@ def create_server(
         trace_dir=trace_dir,
         artifacts=store,
     )
+    if ingest_dir is not None:
+        from repro.ingest.service import DEFAULT_MAX_BACKLOG, IngestService
+        from repro.serve.ingestor import ServeIngestor
+
+        service = IngestService(
+            ingest_dir,
+            max_backlog=(
+                ingest_max_backlog
+                if ingest_max_backlog is not None
+                else DEFAULT_MAX_BACKLOG
+            ),
+            strict=strict,
+        )
+        ingestor = ServeIngestor(
+            server, service, cache=cache, jobs=jobs, strict=strict
+        )
+        context.ingest = ingestor
+        if service.backlog() > 0:
+            # Startup recovery: acked-but-unapplied batches (a crash
+            # between journal and checkpoint) are applied before the
+            # first request, swapping in a surface that covers the
+            # whole journal.
+            ingestor.apply_now()
+        elif service.wal.last_seq > 0:
+            # Everything is checkpointed, but the base surface built
+            # above does not carry the journal: swap in the overlay
+            # world now (the fast path — shards come from the cache).
+            ingestor.apply_now(force=True)
     if prebuild and store is None:
         context.scenario()
     return server

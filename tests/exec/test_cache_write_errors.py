@@ -1,0 +1,84 @@
+"""Cache write failures degrade to cache-off; stale tmp files are swept."""
+
+import os
+import time
+
+import pytest
+
+from repro.core import Scenario
+from repro.exec.cache import DatasetCache
+from repro.obs import get_registry
+
+
+def _read_only(monkeypatch, cache):
+    """Make every store fail with ENOSPC at the mkstemp step."""
+
+    def explode(*args, **kwargs):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr("repro.exec.cache.tempfile.mkstemp", explode)
+
+
+def test_store_oserror_degrades_to_cache_off(tmp_path, monkeypatch):
+    cache = DatasetCache(tmp_path / "cache")
+    _read_only(monkeypatch, cache)
+    params = {"ndt_tests_per_month": 2, "gpdns_samples_per_month": 1, "seed": 7}
+    assert cache.store("ndt_tests", params, {"v": 1}) is None
+    assert get_registry().counter("cache.write_errors").value == 1
+    assert list(cache.entries()) == []
+
+
+def test_build_survives_write_failure(tmp_path, monkeypatch):
+    cache = DatasetCache(tmp_path / "cache")
+    _read_only(monkeypatch, cache)
+    scenario = Scenario(
+        cache=cache, ndt_tests_per_month=2, gpdns_samples_per_month=1, seed=7
+    )
+    tests = scenario.ndt_tests  # build succeeds despite the dead cache
+    assert len(tests) > 0
+    registry = get_registry()
+    assert registry.counter("cache.write_errors").value >= 1
+    assert registry.counter("scenario.cache.store").value == 0
+    # No temp files leaked by the failed writes.
+    assert list((tmp_path / "cache").glob(".*.tmp")) == []
+
+
+def test_store_error_leaves_no_tmp(tmp_path, monkeypatch):
+    cache = DatasetCache(tmp_path / "cache")
+    real_replace = os.replace
+
+    def explode(src, dst):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr("repro.exec.cache.os.replace", explode)
+    params = {"seed": 1}
+    assert cache.store("ndt_tests", params, {"v": 1}) is None
+    monkeypatch.setattr("repro.exec.cache.os.replace", real_replace)
+    assert list((tmp_path / "cache").glob(".*.tmp")) == []
+    # The cache is healthy again once space returns.
+    assert cache.store("ndt_tests", params, {"v": 1}) is not None
+
+
+def test_sweep_removes_stale_tmp_keeps_young(tmp_path):
+    root = tmp_path / "cache"
+    root.mkdir()
+    stale = root / ".ndt_tests-dead1234.tmp"
+    young = root / ".ndt_tests-live5678.tmp"
+    entry = root / "ndt_tests-0011223344556677.dat"
+    for path in (stale, young, entry):
+        path.write_bytes(b"x")
+    old = time.time() - 7200
+    os.utime(stale, (old, old))
+
+    cache = DatasetCache(root)  # constructor sweeps
+    assert not stale.exists()
+    assert young.exists()
+    assert entry.exists()
+    assert get_registry().counter("cache.tmp_swept").value == 1
+    # Idempotent: nothing left to sweep.
+    assert cache.sweep_tmp() == 0
+
+
+def test_sweep_noop_on_missing_directory(tmp_path):
+    cache = DatasetCache(tmp_path / "never-created")
+    assert cache.sweep_tmp() == 0

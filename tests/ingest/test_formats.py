@@ -1,0 +1,188 @@
+"""Format adapters: canonicalisation, partitioning, append-at-end merge."""
+
+import datetime as dt
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario
+from repro.ingest import ErrorBudgetExceeded
+from repro.ingest.formats import (
+    FORMATS,
+    IngestFormatError,
+    NDTFormat,
+    PartitionKey,
+)
+from repro.mlab.ndt import NDTParseError, NDTResult
+
+
+def _ndt_line(month="2024-02", country="VE", asn=8048, down=5.0):
+    return NDTResult(
+        date=dt.date(int(month[:4]), int(month[5:7]), 10),
+        country=country,
+        asn=asn,
+        download_mbps=down,
+        upload_mbps=down / 3,
+        min_rtt_ms=40.0,
+        loss_rate=0.01,
+    ).to_json()
+
+
+def _trace_line(month_ts=1_706_745_600, probe_id=1000, reached=True):
+    final = [{"from": "8.8.8.8", "rtt": 42.5}] if reached else []
+    return json.dumps(
+        {
+            "prb_id": probe_id,
+            "msm_id": 5005,
+            "timestamp": month_ts,
+            "dst_addr": "8.8.8.8",
+            "result": [
+                {"hop": 1, "result": [{"from": "192.168.1.1", "rtt": 1.4}]},
+                {"hop": 2, "result": final},
+            ],
+        }
+    )
+
+
+def test_registry_names_and_datasets():
+    assert set(FORMATS) == {"ndt", "atlas", "peeringdb"}
+    assert FORMATS["ndt"].dataset == "ndt_tests"
+    assert FORMATS["atlas"].dataset == "gpdns_traceroutes"
+    assert FORMATS["peeringdb"].dataset == "peeringdb"
+
+
+def test_ndt_canonicalise_normalises_formatting():
+    adapter = FORMATS["ndt"]
+    line = _ndt_line()
+    # Same record, different key order and whitespace.
+    messy = json.dumps(json.loads(line), indent=2)
+    canonical, quarantine = adapter.canonicalise([messy], {}, strict=True)
+    assert canonical == [line]
+    assert quarantine is None
+
+
+def test_ndt_strict_raises_lenient_quarantines():
+    adapter = FORMATS["ndt"]
+    lines = [_ndt_line(), "{broken", _ndt_line(country="BR")]
+    with pytest.raises(NDTParseError):
+        adapter.canonicalise(lines, {}, strict=True)
+    canonical, quarantine = adapter.canonicalise(lines, {}, strict=False)
+    assert len(canonical) == 2
+    assert len(quarantine) == 1
+
+
+def test_ndt_lenient_budget_still_enforced():
+    adapter = FORMATS["ndt"]
+    lines = ["{bad"] * 10 + [_ndt_line()]
+    with pytest.raises(ErrorBudgetExceeded):
+        adapter.canonicalise(lines, {}, strict=False)
+
+
+def test_ndt_partition_by_month_and_country():
+    adapter = FORMATS["ndt"]
+    lines = [
+        _ndt_line("2024-02", "VE"),
+        _ndt_line("2024-02", "BR"),
+        _ndt_line("2024-03", "VE"),
+        _ndt_line("2024-02", "VE", asn=21826),
+    ]
+    shards = adapter.partition(lines, {})
+    assert set(shards) == {
+        PartitionKey("2024-02", "VE"),
+        PartitionKey("2024-02", "BR"),
+        PartitionKey("2024-03", "VE"),
+    }
+    assert len(shards[PartitionKey("2024-02", "VE")]) == 2
+
+
+def test_ndt_merge_appends_at_end_and_extends_pool():
+    adapter = NDTFormat()
+    scenario = Scenario()
+    base = adapter.build_shard(
+        scenario,
+        PartitionKey("2024-01", "VE"),
+        [_ndt_line("2024-01", "VE"), _ndt_line("2024-01", "BR")],
+        {},
+    )
+    shard = adapter.build_shard(
+        scenario,
+        PartitionKey("2024-02", "XK"),
+        [_ndt_line("2024-02", "XK", down=9.0)],
+        {},
+    )
+    merged = adapter.merge(
+        scenario, base, [(PartitionKey("2024-02", "XK"), shard)]
+    )
+    # Base rows keep their order and indices; the new country appends.
+    assert merged.countries == base.countries + ["XK"]
+    np.testing.assert_array_equal(
+        merged.country_idx[: len(base)], base.country_idx
+    )
+    rows = list(merged)
+    assert rows[-1].country == "XK"
+    assert rows[-1].download_mbps == pytest.approx(9.0)
+    assert [r.country for r in rows[:-1]] == [r.country for r in base]
+    assert merged.country_idx.dtype == base.country_idx.dtype
+    assert merged.month_ordinal.dtype == base.month_ordinal.dtype
+
+
+def test_atlas_rejects_unreached_traceroutes():
+    adapter = FORMATS["atlas"]
+    with pytest.raises(ValueError):
+        adapter.canonicalise([_trace_line(reached=False)], {}, strict=True)
+    canonical, quarantine = adapter.canonicalise(
+        [_trace_line(), _trace_line(reached=False)], {}, strict=False
+    )
+    assert len(canonical) == 1
+    assert len(quarantine) == 1
+
+
+def test_atlas_partitions_by_month_only():
+    adapter = FORMATS["atlas"]
+    canonical, _ = adapter.canonicalise([_trace_line()], {}, strict=True)
+    shards = adapter.partition(canonical, {})
+    (key,) = shards
+    assert key.country == ""
+    assert key.month == "2024-02"
+    assert key.shard_id == "2024-02.all"
+
+
+def test_atlas_shard_uses_probe_registry_country(scenario):
+    adapter = FORMATS["atlas"]
+    known = _trace_line(probe_id=1000)  # probe 1000 is Venezuelan
+    unknown = _trace_line(probe_id=999_999)
+    shard = adapter.build_shard(
+        scenario, PartitionKey("2024-02"), [known, unknown], {}
+    )
+    rows = {r.probe_id: i for i, r in enumerate(shard)}
+    assert shard.countries[int(shard.country_idx[rows[1000]])] == "VE"
+    assert shard.countries[int(shard.country_idx[rows[999_999]])] == "ZZ"
+
+
+def test_peeringdb_requires_month_meta():
+    adapter = FORMATS["peeringdb"]
+    with pytest.raises(IngestFormatError):
+        adapter.canonicalise(["{}"], {}, strict=True)
+    with pytest.raises(IngestFormatError):
+        adapter.canonicalise(["{}"], {"month": "February"}, strict=True)
+
+
+def test_peeringdb_merge_inserts_month(scenario):
+    from repro.peeringdb.schema import PeeringDBSnapshot
+    from repro.timeseries.month import Month
+
+    adapter = FORMATS["peeringdb"]
+    dump = PeeringDBSnapshot().to_json()
+    canonical, _ = adapter.canonicalise(
+        dump.splitlines(), {"month": "2024-02"}, strict=True
+    )
+    key = PartitionKey("2024-02")
+    shard = adapter.build_shard(scenario, key, canonical, {})
+    base = scenario.peeringdb
+    merged = adapter.merge(scenario, base, [(key, shard)])
+    assert Month(2024, 2) in merged
+    assert len(merged) == len(base) + 1
+    # Base snapshots are shared, not copied.
+    first = base.months()[0]
+    assert merged[first] is base[first]

@@ -1,0 +1,140 @@
+"""Partition overlay: scoped invalidation and incremental/cold identity."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import Scenario
+from repro.exec.cache import DatasetCache
+from repro.ingest.overlay import (
+    IngestOverlay,
+    build_overlay,
+    dataset_fingerprint,
+)
+from repro.ingest.wal import WalRecord, idempotency_key
+from repro.mlab.ndt import NDTResult
+from repro.obs import get_registry
+
+#: Tiny scenario parameters so overlay tests stay fast.
+PARAMS = dict(ndt_tests_per_month=2, gpdns_samples_per_month=1, seed=11)
+
+
+def _ndt_lines(month="2024-02", country="VE", n=3):
+    return tuple(
+        NDTResult(
+            date=dt.date(int(month[:4]), int(month[5:7]), 3 + i),
+            country=country,
+            asn=8048,
+            download_mbps=2.0 + i,
+            upload_mbps=0.7,
+            min_rtt_ms=55.0,
+            loss_rate=0.02,
+        ).to_json()
+        for i in range(n)
+    )
+
+
+def _record(seq, lines, format="ndt"):
+    return WalRecord(
+        seq=seq, format=format, key=idempotency_key(format, lines), lines=lines
+    )
+
+
+def _overlay(*records):
+    return build_overlay(records)
+
+
+def test_overlay_equality_is_content_based():
+    a = _overlay(_record(1, _ndt_lines()))
+    b = _overlay(_record(9, _ndt_lines()))  # same content, different seq
+    c = _overlay(_record(1, _ndt_lines(country="BR")))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert a.datasets() == ["ndt_tests"]
+    assert a.summary() == {"ndt_tests": ["2024-02.VE"]}
+
+
+def test_duplicate_records_not_double_applied():
+    # The WAL dedupes by key, but the overlay fold must also be stable:
+    # two distinct records with distinct content accumulate, in order.
+    first, second = _ndt_lines(n=1), _ndt_lines(n=2)
+    overlay = _overlay(_record(1, first), _record(2, second))
+    (key, lines), = overlay.partitions("ndt_tests")
+    assert lines == first + second
+
+
+def test_untouched_datasets_pass_through_identity():
+    scenario = Scenario(overlay=_overlay(_record(1, _ndt_lines())), **PARAMS)
+    bare = Scenario(**PARAMS)
+    assert dataset_fingerprint(scenario.peeringdb) == dataset_fingerprint(
+        bare.peeringdb
+    )
+
+
+def test_overlay_appends_only_the_new_month():
+    overlay = _overlay(_record(1, _ndt_lines(n=4)))
+    merged = Scenario(overlay=overlay, **PARAMS).ndt_tests
+    base = Scenario(**PARAMS).ndt_tests
+    assert len(merged) == len(base) + 4
+    rows = list(merged)
+    assert [r.download_mbps for r in rows[-4:]] == [2.0, 3.0, 4.0, 5.0]
+    # Base prefix is bit-identical.
+    assert dataset_fingerprint(merged) != dataset_fingerprint(base)
+    import numpy as np
+
+    np.testing.assert_array_equal(
+        merged.download_mbps[: len(base)], base.download_mbps
+    )
+
+
+def test_partition_cache_hits_not_rebuilds(tmp_path):
+    cache = DatasetCache(tmp_path / "cache")
+    overlay = _overlay(
+        _record(1, _ndt_lines("2024-02", "VE")),
+        _record(2, _ndt_lines("2024-03", "VE", n=2)),
+    )
+    registry = get_registry()
+
+    first = Scenario(cache=cache, overlay=overlay, **PARAMS).ndt_tests
+    assert registry.counter("ingest.partition.built").value == 2
+    assert registry.counter("ingest.partition.hit").value == 0
+
+    second = Scenario(cache=cache, overlay=overlay, **PARAMS).ndt_tests
+    assert registry.counter("ingest.partition.built").value == 2
+    assert registry.counter("ingest.partition.hit").value == 2
+    assert dataset_fingerprint(first) == dataset_fingerprint(second)
+
+    # New append dirties one partition: exactly one shard rebuild, the
+    # untouched 2024-02 shard still hits.
+    grown = _overlay(
+        _record(1, _ndt_lines("2024-02", "VE")),
+        _record(2, _ndt_lines("2024-03", "VE", n=2)),
+        _record(3, _ndt_lines("2024-03", "VE", n=1)),
+    )
+    Scenario(cache=cache, overlay=grown, **PARAMS).ndt_tests
+    assert registry.counter("ingest.partition.built").value == 3
+    assert registry.counter("ingest.partition.hit").value == 3
+
+
+def test_incremental_equals_cold_rebuild(tmp_path):
+    overlay = _overlay(_record(1, _ndt_lines()))
+    warm_cache = DatasetCache(tmp_path / "warm")
+    # Warm path: base cached first, overlay applied incrementally.
+    Scenario(cache=warm_cache, **PARAMS).ndt_tests
+    incremental = Scenario(cache=warm_cache, overlay=overlay, **PARAMS).ndt_tests
+    # Cold paths: fresh cache and no cache at all.
+    cold = Scenario(
+        cache=DatasetCache(tmp_path / "cold"), overlay=overlay, **PARAMS
+    ).ndt_tests
+    pure = Scenario(overlay=overlay, **PARAMS).ndt_tests
+    assert (
+        dataset_fingerprint(incremental)
+        == dataset_fingerprint(cold)
+        == dataset_fingerprint(pure)
+    )
+
+
+def test_empty_overlay_is_falsy():
+    assert not IngestOverlay({})
+    assert _overlay(_record(1, _ndt_lines()))

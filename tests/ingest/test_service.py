@@ -1,0 +1,112 @@
+"""IngestService: journal-before-ack, dedupe, backpressure, recovery."""
+
+import datetime as dt
+
+import pytest
+
+from repro.ingest.service import (
+    IngestBacklogError,
+    IngestService,
+    IngestValidationError,
+)
+from repro.mlab.ndt import NDTResult
+from repro.obs import get_registry
+
+
+def _lines(day=5, country="VE", n=2):
+    return [
+        NDTResult(
+            date=dt.date(2024, 2, day + i),
+            country=country,
+            asn=8048,
+            download_mbps=3.0,
+            upload_mbps=1.0,
+            min_rtt_ms=50.0,
+            loss_rate=0.01,
+        ).to_json()
+        for i in range(n)
+    ]
+
+
+def _service(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return IngestService(tmp_path / "wal", **kwargs)
+
+
+def test_submit_acks_with_receipt(tmp_path):
+    service = _service(tmp_path)
+    receipt = service.submit("ndt", _lines())
+    assert receipt.seq == 1
+    assert not receipt.duplicate
+    assert receipt.accepted == 2
+    assert receipt.quarantined == 0
+    assert receipt.partitions == ("2024-02.VE",)
+    assert receipt.backlog == 1
+    assert service.status()["journaled"] == 1
+
+
+def test_duplicate_submit_is_idempotent(tmp_path):
+    service = _service(tmp_path)
+    first = service.submit("ndt", _lines())
+    again = service.submit("ndt", _lines())
+    assert again.duplicate
+    assert again.seq == first.seq
+    assert service.wal.last_seq == 1
+
+
+def test_unknown_format_raises_key_error(tmp_path):
+    with pytest.raises(KeyError):
+        _service(tmp_path).submit("bgp", ["x"])
+
+
+def test_invalid_batch_raises_validation_error(tmp_path):
+    service = _service(tmp_path, strict=True)
+    with pytest.raises(IngestValidationError):
+        service.submit("ndt", ["{broken"])
+    with pytest.raises(IngestValidationError):
+        service.submit("ndt", ["", "   "])
+    assert get_registry().counter("ingest.rejected.invalid").value == 2
+    assert service.wal.last_seq == 0  # nothing journaled
+
+
+def test_backlog_bound_rejects_new_batches(tmp_path):
+    service = _service(tmp_path, max_backlog=1)
+    service.submit("ndt", _lines(day=1))
+    with pytest.raises(IngestBacklogError) as info:
+        service.submit("ndt", _lines(day=10))
+    assert info.value.retry_after > 0
+    assert get_registry().counter("ingest.rejected.backlog").value == 1
+
+
+def test_duplicate_retry_re_acked_even_at_full_backlog(tmp_path):
+    service = _service(tmp_path, max_backlog=1)
+    first = service.submit("ndt", _lines())
+    again = service.submit("ndt", _lines())  # retry after a lost ack
+    assert again.duplicate
+    assert again.seq == first.seq
+
+
+def test_recovery_restores_journal_and_checkpoint(tmp_path):
+    service = _service(tmp_path)
+    service.submit("ndt", _lines(day=1))
+    service.submit("ndt", _lines(day=10))
+    service.mark_applied(2, {"artifacts": "abc"})
+    service.submit("ndt", _lines(day=20))
+    service.wal.close()
+
+    recovered = _service(tmp_path)
+    assert recovered.wal.last_seq == 3
+    assert recovered.applied_seq == 2
+    assert recovered.backlog() == 1
+    assert recovered.applied_fingerprints == {"artifacts": "abc"}
+    overlay = recovered.overlay()
+    (key, lines), = overlay.partitions("ndt_tests")
+    assert len(lines) == 6
+
+
+def test_overlay_matches_submissions(tmp_path):
+    service = _service(tmp_path)
+    service.submit("ndt", _lines(country="VE"))
+    service.submit("ndt", _lines(country="BR"))
+    overlay = service.overlay()
+    assert overlay.summary() == {"ndt_tests": ["2024-02.BR", "2024-02.VE"]}

@@ -1,0 +1,202 @@
+"""POST /v1/ingest: receipts, error mapping, and the surface hot-swap."""
+
+import datetime as dt
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.mlab.ndt import NDTResult
+from repro.obs import get_registry
+from repro.serve import create_server
+
+SMALL = {"ndt_tests_per_month": 2, "gpdns_samples_per_month": 1}
+
+
+def _post(server, path, body=b"", headers=None):
+    request = urllib.request.Request(
+        server.url + path, data=body, headers=headers or {}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=60) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _payload(n=3, country="VE"):
+    # July 2023 sits inside fig11's sampling window, so the append
+    # visibly moves the report (the swap test relies on that).
+    lines = [
+        NDTResult(
+            date=dt.date(2023, 7, 5 + i),
+            country=country,
+            asn=8048,
+            download_mbps=3.5,
+            upload_mbps=1.2,
+            min_rtt_ms=48.0,
+            loss_rate=0.02,
+        ).to_json()
+        for i in range(n)
+    ]
+    return "\n".join(lines).encode()
+
+
+@pytest.fixture()
+def ingest_server(tmp_path):
+    server = create_server(
+        params=SMALL,
+        prebuild=True,
+        ingest_dir=tmp_path / "wal",
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def test_ingest_disabled_without_journal():
+    server = create_server(params=SMALL)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, _, body = _post(server, "/v1/ingest/ndt", _payload())
+        assert status == 503
+        assert "ingestion disabled" in json.loads(body)["error"]["message"]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_ingest_receipt_and_surface_swap(ingest_server):
+    _, _, before = _get(ingest_server, "/v1/report")
+    generation = ingest_server.surface.generation
+
+    status, _, body = _post(ingest_server, "/v1/ingest/ndt", _payload())
+    assert status == 200
+    receipt = json.loads(body)["data"]
+    assert receipt["seq"] == 1
+    assert receipt["duplicate"] is False
+    assert receipt["accepted"] == 3
+    assert receipt["partitions"] == ["2023-07.VE"]
+
+    ingest_server.context.ingest.join(timeout=120)
+    assert ingest_server.surface.generation == generation + 1
+    _, _, after = _get(ingest_server, "/v1/report")
+    assert after != before  # the appended month changed the report
+
+    # An identical retry re-acks the same seq and swaps nothing.
+    status, _, body = _post(ingest_server, "/v1/ingest/ndt", _payload())
+    assert status == 200
+    again = json.loads(body)["data"]
+    assert again["duplicate"] is True
+    assert again["seq"] == 1
+    ingest_server.context.ingest.join(timeout=120)
+    assert ingest_server.surface.generation == generation + 1
+
+    # Healthz reports the journal state.
+    _, _, health = _get(ingest_server, "/healthz")
+    ingest = json.loads(health)["data"]["ingest"]
+    assert ingest["journaled"] == 1
+    assert ingest["applied_seq"] == 1
+    assert ingest["backlog"] == 0
+
+
+def test_ingest_error_mapping(ingest_server):
+    status, _, body = _post(ingest_server, "/v1/ingest/bgp", _payload())
+    assert status == 404
+    assert "ndt" in json.loads(body)["error"]["known"]
+
+    status, _, body = _post(ingest_server, "/v1/ingest/ndt", b"{broken")
+    assert status == 422
+
+    status, _, body = _post(ingest_server, "/v1/ingest/ndt", b"")
+    assert status == 422
+
+    status, _, _ = _post(ingest_server, "/v1/ingest/ndt", b"\xff\xfe")
+    assert status == 422
+
+    status, _, body = _post(
+        ingest_server, "/v1/ingest/peeringdb", b"{}"
+    )
+    assert status == 422  # missing ?month=YYYY-MM
+
+    status, _, _ = _post(
+        ingest_server,
+        "/v1/ingest/ndt",
+        _payload(),
+        headers={"Content-Length": "999999999999"},
+    )
+    assert status == 413
+
+
+def test_ingest_backpressure_429(tmp_path):
+    server = create_server(
+        params=SMALL,
+        ingest_dir=tmp_path / "wal",
+        ingest_max_backlog=1,
+    )
+    # No serving thread needed: drive the handler path through the
+    # ingestor directly after filling the backlog via HTTP would race
+    # the background apply — instead stall the apply lock.
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    ingestor = server.context.ingest
+    try:
+        with ingestor._apply_lock:  # hold the lock: applies stall
+            status, _, _ = _post(server, "/v1/ingest/ndt", _payload(n=1))
+            assert status == 200
+            status, headers, body = _post(
+                server, "/v1/ingest/ndt", _payload(n=2, country="BR")
+            )
+            assert status == 429
+            assert headers["Retry-After"] == "5"
+            assert json.loads(body)["error"]["backlog"] == 1
+        ingestor.join(timeout=120)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_recovery_from_journal_on_startup(tmp_path):
+    wal_dir = tmp_path / "wal"
+    server = create_server(params=SMALL, prebuild=True, ingest_dir=wal_dir)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, _, _ = _post(server, "/v1/ingest/ndt", _payload())
+        assert status == 200
+        server.context.ingest.join(timeout=120)
+        _, _, first = _get(server, "/v1/report")
+        applied = server.context.ingest.service.applied_fingerprints
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    # A fresh process over the same journal converges to the same world.
+    reborn = create_server(params=SMALL, ingest_dir=wal_dir)
+    thread = threading.Thread(target=reborn.serve_forever, daemon=True)
+    thread.start()
+    try:
+        assert reborn.surface.generation == 1  # swapped before serving
+        _, _, second = _get(reborn, "/v1/report")
+        assert second == first
+        assert (
+            reborn.context.ingest.service.applied_fingerprints == applied
+        )
+    finally:
+        reborn.shutdown()
+        reborn.server_close()
+        thread.join(timeout=10)
